@@ -1,0 +1,264 @@
+(* Benchmark harness: regenerates every table and figure of the paper and
+   runs Bechamel micro-benchmarks of the flow stages.
+
+   Usage:
+     dune exec bench/main.exe                    # everything, paper scale
+     dune exec bench/main.exe -- table3 fig1     # selected experiments
+     dune exec bench/main.exe -- quick           # everything, reduced scale
+     dune exec bench/main.exe -- micro           # Bechamel micro-benchmarks
+
+   TMR_FAULTS=<n> overrides the faults-per-design sample size. *)
+
+module Context = Tmr_experiments.Context
+module Runs = Tmr_experiments.Runs
+module Tables = Tmr_experiments.Tables
+module Figures = Tmr_experiments.Figures
+module Reports = Tmr_experiments.Reports
+module Partition = Tmr_core.Partition
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+let time name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  say "[%s: %.1fs]" name (Unix.gettimeofday () -. t0);
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Experiment registry *)
+
+type wants = {
+  mutable device : bool;
+  mutable memory : bool;
+  mutable t1 : bool;
+  mutable t2 : bool;
+  mutable t3 : bool;
+  mutable t4 : bool;
+  mutable f1 : bool;
+  mutable f2 : bool;
+  mutable f3 : bool;
+  mutable f4 : bool;
+  mutable micro : bool;
+  mutable ablation : bool;
+  mutable scrub : bool;
+  mutable scale : Context.scale;
+}
+
+let needs_runs w = w.t3 || w.t4
+let needs_impls w = needs_runs w || w.t1 || w.t2 || w.f1 || w.f3 || w.f4
+
+let run_experiments w ~faults ~seed =
+  let ctx = Context.create ~scale:w.scale ~seed ~faults_per_design:faults () in
+  say "device: %s"
+    (Format.asprintf "%a" Tmr_arch.Arch.pp ctx.Context.dev.Tmr_arch.Device.params);
+  if w.device then begin
+    print_string (Reports.device_report ctx);
+    print_newline ()
+  end;
+  if w.memory then begin
+    print_string (Reports.memory_report ctx);
+    print_newline ()
+  end;
+  if w.f2 then begin
+    print_string (time "fig2" (fun () -> Figures.fig2 ctx));
+    print_newline ()
+  end;
+  if needs_impls w then begin
+    let impls =
+      time "implement 5 designs" (fun () ->
+          List.map (Runs.implement_design ctx) Partition.all_paper_designs)
+    in
+    let find strategy = List.find (fun r -> r.Runs.strategy = strategy) impls in
+    if w.t1 then begin
+      print_string
+        (time "table1" (fun () ->
+             Tables.table1 ctx (find Partition.Medium_partition)));
+      print_newline ()
+    end;
+    if w.f1 then begin
+      print_string
+        (time "fig1" (fun () ->
+             Figures.fig1 ctx (find Partition.Min_partition_nv)));
+      print_newline ()
+    end;
+    if w.f3 then begin
+      print_string
+        (time "fig3" (fun () ->
+             Figures.fig3 ctx
+               (find Partition.Min_partition_nv)
+               (find Partition.Medium_partition)));
+      print_newline ()
+    end;
+    if w.f4 then begin
+      print_string (Figures.fig4 impls);
+      print_newline ()
+    end;
+    if w.t2 then begin
+      print_string (Tables.table2 impls);
+      print_newline ()
+    end;
+    if needs_runs w then begin
+      let last_design = ref "" in
+      let progress name done_ total =
+        if name <> !last_design then begin
+          say "campaign %s: %d faults..." name total;
+          last_design := name
+        end;
+        if done_ > 0 && done_ mod 1000 = 0 then say "  %s: %d/%d" name done_ total
+      in
+      let runs =
+        time "fault-injection campaigns" (fun () ->
+            List.map (Runs.campaign_design ~progress ctx) impls)
+      in
+      if w.t3 then begin
+        print_string (Tables.table3 runs);
+        print_newline ()
+      end;
+      if w.t4 then begin
+        print_string (Tables.table4 runs);
+        print_newline ()
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the flow stages *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  say "micro-benchmarks (reduced device, 3-tap filter):";
+  let dev = Tmr_arch.Device.build Tmr_arch.Arch.small in
+  let db = Tmr_arch.Bitdb.build dev in
+  let params = Tmr_filter.Fir.tiny_params in
+  let nl = Tmr_filter.Designs.build ~params Partition.Medium_partition in
+  let impl = Tmr_pnr.Impl.implement_exn ~seed:4 dev db nl in
+  let faultlist = Tmr_inject.Faultlist.of_impl impl in
+  let faults = Tmr_inject.Faultlist.sample faultlist ~seed:5 ~count:16 in
+  let golden_nl = Tmr_filter.Fir.build params in
+  let stimulus =
+    {
+      Tmr_inject.Campaign.cycles = 16;
+      inputs = [ ("x", Tmr_filter.Fir.stimulus ~cycles:16 ~seed:3 params) ];
+    }
+  in
+  let mapped () = Tmr_techmap.Techmap.run nl in
+  let packed () = Tmr_pnr.Pack.run impl.Tmr_pnr.Impl.mapped in
+  let placed () =
+    Tmr_pnr.Place.run ~seed:4 ~moves_per_site:16 dev impl.Tmr_pnr.Impl.pack
+      impl.Tmr_pnr.Impl.mapped
+  in
+  let routed () =
+    match
+      Tmr_pnr.Route.run dev impl.Tmr_pnr.Impl.pack impl.Tmr_pnr.Impl.place
+    with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  let ex =
+    Tmr_fabric.Extract.create dev db
+      (Tmr_arch.Bitstream.copy impl.Tmr_pnr.Impl.bitgen.Tmr_pnr.Bitgen.bitstream)
+  in
+  let out_wires =
+    let bits = Tmr_netlist.Netlist.find_output_port impl.Tmr_pnr.Impl.mapped "y" in
+    Array.init (Array.length bits) (Tmr_pnr.Impl.output_pad_wire impl "y")
+  in
+  let ws = Tmr_fabric.Fsim.make_workspace dev in
+  let fsim_build () = Tmr_fabric.Fsim.build ~ws ex ~watch_outputs:out_wires in
+  let campaign () =
+    Tmr_inject.Campaign.run ~name:"micro" ~impl ~golden:golden_nl ~stimulus
+      ~faults ()
+  in
+  let tests =
+    [
+      Test.make ~name:"techmap tmr_p2 (tiny)" (Staged.stage mapped);
+      Test.make ~name:"pack tmr_p2 (tiny)" (Staged.stage packed);
+      Test.make ~name:"place tmr_p2 (tiny)" (Staged.stage placed);
+      Test.make ~name:"route tmr_p2 (tiny)" (Staged.stage routed);
+      Test.make ~name:"fsim build per fault" (Staged.stage fsim_build);
+      Test.make ~name:"campaign of 16 faults" (Staged.stage campaign);
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> say "%-28s %12.0f ns/run" name est
+          | Some _ | None -> say "%-28s (no estimate)" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let w =
+    {
+      device = false; memory = false; t1 = false; t2 = false; t3 = false;
+      t4 = false; f1 = false; f2 = false; f3 = false; f4 = false;
+      micro = false; ablation = false; scrub = false; scale = Context.Paper;
+    }
+  in
+  let all () =
+    w.device <- true; w.memory <- true; w.t1 <- true; w.t2 <- true;
+    w.t3 <- true; w.t4 <- true; w.f1 <- true; w.f2 <- true; w.f3 <- true;
+    w.f4 <- true; w.ablation <- true; w.scrub <- true
+  in
+  let args = List.tl (Array.to_list Sys.argv) in
+  if args = [] then all ()
+  else
+    List.iter
+      (function
+        | "all" -> all ()
+        | "quick" ->
+            all ();
+            w.scale <- Context.Reduced
+        | "device" -> w.device <- true
+        | "memory" -> w.memory <- true
+        | "table1" -> w.t1 <- true
+        | "table2" -> w.t2 <- true
+        | "table3" -> w.t3 <- true
+        | "table4" -> w.t4 <- true
+        | "fig1" -> w.f1 <- true
+        | "fig2" -> w.f2 <- true
+        | "fig3" -> w.f3 <- true
+        | "fig4" -> w.f4 <- true
+        | "micro" -> w.micro <- true
+        | "ablation" -> w.ablation <- true
+        | "scrub" -> w.scrub <- true
+        | "reduced" -> w.scale <- Context.Reduced
+        | other ->
+            Printf.eprintf
+              "unknown experiment %S (device memory table1-4 fig1-4 \
+               ablation scrub micro quick all reduced)\n"
+              other;
+            exit 2)
+      args;
+  let faults =
+    match Sys.getenv_opt "TMR_FAULTS" with
+    | Some v -> int_of_string v
+    | None -> if w.scale = Context.Paper then 1500 else 400
+  in
+  if w.device || w.memory || needs_impls w || w.f2 then
+    run_experiments w ~faults ~seed:1;
+  if w.ablation || w.scrub then begin
+    let ctx = Context.create ~scale:w.scale ~seed:1 ~faults_per_design:faults () in
+    if w.ablation then begin
+      print_string
+        (time "ablation" (fun () ->
+             Tmr_experiments.Ablation.floorplan ctx Partition.Medium_partition));
+      print_newline ()
+    end;
+    if w.scrub then begin
+      print_string (time "scrub" (fun () -> Tmr_experiments.Ablation.scrub ctx));
+      print_newline ()
+    end
+  end;
+  if w.micro then micro ()

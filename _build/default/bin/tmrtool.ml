@@ -1,0 +1,224 @@
+(* tmrtool — command-line driver for the TMR voter-partition study.
+
+   Subcommands:
+     report     device / configuration-memory composition
+     implement  run one filter version through the CAD flow
+     inject     fault-injection campaign on one design
+     tables     regenerate the paper's Tables 2/3/4 *)
+
+open Cmdliner
+
+module Context = Tmr_experiments.Context
+module Runs = Tmr_experiments.Runs
+module Tables = Tmr_experiments.Tables
+module Reports = Tmr_experiments.Reports
+module Partition = Tmr_core.Partition
+module Impl = Tmr_pnr.Impl
+module Campaign = Tmr_inject.Campaign
+
+let scale_conv =
+  let parse = function
+    | "paper" -> Ok Context.Paper
+    | "reduced" -> Ok Context.Reduced
+    | s -> Error (`Msg (Printf.sprintf "unknown scale %S (paper|reduced)" s))
+  in
+  let print ppf = function
+    | Context.Paper -> Format.pp_print_string ppf "paper"
+    | Context.Reduced -> Format.pp_print_string ppf "reduced"
+  in
+  Arg.conv (parse, print)
+
+let design_conv =
+  let parse s =
+    match
+      List.find_opt
+        (fun d -> Partition.name d = s)
+        Partition.all_paper_designs
+    with
+    | Some d -> Ok d
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown design %S (%s)" s
+               (String.concat "|" (List.map Partition.name Partition.all_paper_designs))))
+  in
+  let print ppf d = Format.pp_print_string ppf (Partition.name d) in
+  Arg.conv (parse, print)
+
+let scale_t =
+  Arg.(value & opt scale_conv Context.Paper & info [ "scale" ] ~doc:"paper or reduced")
+
+let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"random seed")
+
+let faults_t =
+  Arg.(value & opt int 1500 & info [ "faults" ] ~doc:"faults per design")
+
+let design_t =
+  Arg.(
+    value
+    & opt design_conv Partition.Medium_partition
+    & info [ "design" ] ~doc:"filter version (standard|tmr_p1|tmr_p2|tmr_p3|tmr_p3_nv)")
+
+let mk_ctx scale seed faults =
+  Context.create ~scale ~seed ~faults_per_design:faults ()
+
+(* --- report --- *)
+
+let report_cmd =
+  let what =
+    Arg.(
+      value & pos 0 string "device"
+      & info [] ~docv:"WHAT" ~doc:"device or memory")
+  in
+  let run scale seed what =
+    let ctx = mk_ctx scale seed 0 in
+    match what with
+    | "device" -> print_string (Reports.device_report ctx)
+    | "memory" -> print_string (Reports.memory_report ctx)
+    | other ->
+        Printf.eprintf "unknown report %S (device|memory)\n" other;
+        exit 2
+  in
+  Cmd.v (Cmd.info "report" ~doc:"device / memory composition reports")
+    Term.(const run $ scale_t $ seed_t $ what)
+
+(* --- implement --- *)
+
+let implement_cmd =
+  let run scale seed design =
+    let ctx = mk_ctx scale seed 0 in
+    let r = Runs.implement_design ctx design in
+    let impl = r.Runs.impl in
+    Printf.printf "%s (%s)\n" (Partition.paper_name design)
+      (Tmr_filter.Designs.description design);
+    Printf.printf "  slices        %d\n" (Impl.used_slices impl);
+    Printf.printf "  LUTs          %d\n" (Impl.used_luts impl);
+    Printf.printf "  flip-flops    %d\n" (Impl.used_ffs impl);
+    Printf.printf "  route iters   %d\n"
+      impl.Impl.route.Tmr_pnr.Route.iterations;
+    Printf.printf "  est. clock    %.1f MHz (critical %.1f ns, %d LUT levels)\n"
+      impl.Impl.timing.Tmr_pnr.Timing.mhz
+      impl.Impl.timing.Tmr_pnr.Timing.critical_ns
+      impl.Impl.timing.Tmr_pnr.Timing.logic_levels;
+    List.iter
+      (fun (cls, n) ->
+        Printf.printf "  DUT %-13s %d bits\n" (Tmr_arch.Bitdb.class_name cls) n)
+      r.Runs.faultlist.Tmr_inject.Faultlist.by_class
+  in
+  Cmd.v
+    (Cmd.info "implement" ~doc:"map, place and route one filter version")
+    Term.(const run $ scale_t $ seed_t $ design_t)
+
+(* --- inject --- *)
+
+let inject_cmd =
+  let run scale seed faults design =
+    let ctx = mk_ctx scale seed faults in
+    let r = Runs.implement_design ctx design in
+    let progress name done_ total =
+      if done_ mod 500 = 0 then
+        Printf.eprintf "%s: %d/%d\r%!" name done_ total
+    in
+    let r = Runs.campaign_design ~progress ctx r in
+    match r.Runs.campaign with
+    | None -> assert false
+    | Some c ->
+        Printf.printf "\n%s: injected %d, wrong answers %d (%.2f%%)\n"
+          (Partition.paper_name design) c.Campaign.injected c.Campaign.wrong
+          (Campaign.wrong_percent c);
+        List.iter
+          (fun eff ->
+            let n =
+              Array.fold_left
+                (fun acc fr ->
+                  if
+                    fr.Campaign.outcome = Campaign.Wrong_answer
+                    && fr.Campaign.effect = eff
+                  then acc + 1
+                  else acc)
+                0 c.Campaign.results
+            in
+            if n > 0 then
+              Printf.printf "  %-14s %d\n" (Tmr_inject.Classify.name eff) n)
+          Tmr_inject.Classify.all
+  in
+  Cmd.v
+    (Cmd.info "inject" ~doc:"fault-injection campaign on one design")
+    Term.(const run $ scale_t $ seed_t $ faults_t $ design_t)
+
+(* --- congestion --- *)
+
+let congestion_cmd =
+  let run scale seed design =
+    let ctx = mk_ctx scale seed 0 in
+    let r = Runs.implement_design ctx design in
+    let impl = r.Runs.impl in
+    let cong =
+      Tmr_pnr.Congestion.analyze ctx.Context.dev impl.Impl.route
+        impl.Impl.mapped impl.Impl.pack
+    in
+    Printf.printf "%s: %s\n\n" (Partition.paper_name design)
+      (Tmr_pnr.Congestion.summary cong);
+    print_endline "channel utilization (decile per tile):";
+    print_string (Tmr_pnr.Congestion.heatmap cong);
+    print_endline "\ndistinct TMR domains routed per tile (upset-b surface):";
+    print_string (Tmr_pnr.Congestion.mix_map cong)
+  in
+  Cmd.v
+    (Cmd.info "congestion"
+       ~doc:"routing utilization and domain-mix heatmaps for one design")
+    Term.(const run $ scale_t $ seed_t $ design_t)
+
+(* --- export --- *)
+
+let export_cmd =
+  let out_t =
+    Arg.(value & opt (some string) None & info [ "o" ] ~doc:"output file")
+  in
+  let mapped_t =
+    Arg.(value & flag & info [ "mapped" ] ~doc:"export the post-techmap netlist")
+  in
+  let run scale design mapped out =
+    let ctx = mk_ctx scale 1 0 in
+    let nl = Tmr_filter.Designs.build ~params:ctx.Context.params design in
+    let nl =
+      if mapped then (Tmr_techmap.Techmap.run nl).Tmr_techmap.Techmap.mapped
+      else nl
+    in
+    match out with
+    | None -> print_string (Tmr_netlist.Export.to_string nl)
+    | Some path ->
+        let oc = open_out path in
+        Tmr_netlist.Export.to_channel oc nl;
+        close_out oc;
+        Printf.eprintf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"dump a design netlist in the text interchange format")
+    Term.(const run $ scale_t $ design_t $ mapped_t $ out_t)
+
+(* --- tables --- *)
+
+let tables_cmd =
+  let run scale seed faults =
+    let ctx = mk_ctx scale seed faults in
+    let impls =
+      List.map (Runs.implement_design ctx) Partition.all_paper_designs
+    in
+    print_string (Tables.table2 impls);
+    print_newline ();
+    let runs = List.map (Runs.campaign_design ctx) impls in
+    print_string (Tables.table3 runs);
+    print_newline ();
+    print_string (Tables.table4 runs)
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"regenerate the paper's Tables 2, 3 and 4")
+    Term.(const run $ scale_t $ seed_t $ faults_t)
+
+let () =
+  let doc = "optimal TMR voter partitioning on an SRAM FPGA (DATE'05 reproduction)" in
+  let info = Cmd.info "tmrtool" ~doc in
+  exit (Cmd.eval (Cmd.group info
+       [ report_cmd; implement_cmd; inject_cmd; congestion_cmd; export_cmd;
+         tables_cmd ]))

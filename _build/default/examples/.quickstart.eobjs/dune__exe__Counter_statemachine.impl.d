@@ -1,0 +1,1 @@
+examples/counter_statemachine.ml: Array List Printf Tmr_core Tmr_logic Tmr_netlist

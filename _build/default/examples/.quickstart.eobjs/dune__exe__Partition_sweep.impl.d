@@ -1,0 +1,1 @@
+examples/partition_sweep.ml: Array List Printf String Sys Tmr_core Tmr_experiments Tmr_filter Tmr_inject Tmr_logic Tmr_netlist Tmr_pnr

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Printf Tmr_arch Tmr_core Tmr_inject Tmr_logic Tmr_netlist Tmr_pnr

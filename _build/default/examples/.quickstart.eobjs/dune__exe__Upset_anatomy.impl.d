@@ -1,0 +1,1 @@
+examples/upset_anatomy.ml: Array List Printf String Tmr_arch Tmr_core Tmr_experiments Tmr_fabric Tmr_inject Tmr_logic Tmr_netlist Tmr_pnr

@@ -1,0 +1,1 @@
+examples/upset_anatomy.mli:

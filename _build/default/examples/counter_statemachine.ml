@@ -1,0 +1,84 @@
+(* State-machine logic and the TMR register with voters (paper fig. 2).
+
+   A counter's state feeds back on itself, so an upset in a flip-flop is
+   never flushed by fresh data: the paper's point is that voting each
+   register lets the feedback path repair the state, while mere
+   triplication locks the corruption in — and a second upset in another
+   domain then defeats the majority.
+
+   Run with: dune exec examples/counter_statemachine.exe *)
+
+module Logic = Tmr_logic.Logic
+module Netlist = Tmr_netlist.Netlist
+module Word = Tmr_netlist.Word
+module Netsim = Tmr_netlist.Netsim
+module Partition = Tmr_core.Partition
+module Tmr = Tmr_core.Tmr
+
+(* count <= en ? count + 1 : count *)
+let build_counter ~width =
+  let nl = Netlist.create () in
+  Netlist.set_comp nl "input";
+  let en = Word.input nl "en" ~width:1 in
+  Netlist.set_comp nl "counter/reg";
+  let zero = Word.const nl ~width 0 in
+  let state = Word.reg nl zero in
+  Netlist.set_comp nl "counter/inc";
+  let one = Word.const nl ~width 1 in
+  let next = Word.add nl state one in
+  let gated = Word.mux2 nl ~sel:en.(0) state next in
+  Array.iteri (fun i ff -> Netlist.set_fanin nl ff 0 gated.(i)) state;
+  Netlist.set_comp nl "output";
+  Word.output nl "count" state;
+  Netlist.set_comp nl "";
+  nl
+
+let run_with_upsets nl ~label ~cycles =
+  let sim = Netsim.create nl in
+  Netsim.reset sim;
+  (* one counter flip-flop per domain *)
+  let ff_of_domain = Array.make 3 (-1) in
+  Netlist.iter_cells nl (fun c ->
+      match Netlist.kind nl c with
+      | Netlist.Ff _ ->
+          let d = Netlist.domain nl c in
+          if d >= 0 && ff_of_domain.(d) < 0 then ff_of_domain.(d) <- c
+      | _ -> ());
+  Printf.printf "%s:\n  cycle:" label;
+  for cycle = 0 to cycles - 1 do
+    Printf.printf " %3d" cycle
+  done;
+  print_newline ();
+  Printf.printf "  count:";
+  for cycle = 0 to cycles - 1 do
+    List.iter
+      (fun d -> Netsim.set_input sim (Tmr.redundant_port "en" d) 1)
+      [ 0; 1; 2 ];
+    if cycle = 4 then begin
+      let ff = ff_of_domain.(0) in
+      Netsim.set_ff sim ff (Logic.logic_not (Netsim.value sim ff))
+    end;
+    if cycle = 10 then begin
+      let ff = ff_of_domain.(1) in
+      Netsim.set_ff sim ff (Logic.logic_not (Netsim.value sim ff))
+    end;
+    Netsim.eval sim;
+    (match Netsim.output_int sim "count" with
+    | Some v -> Printf.printf " %3d" (v land 0xff)
+    | None -> Printf.printf "   X");
+    Netsim.clock sim
+  done;
+  print_newline ()
+
+let () =
+  let base = build_counter ~width:8 in
+  print_endline
+    "SEU in a counter flip-flop at cycle 4 (domain 0) and cycle 10 (domain 1):";
+  run_with_upsets
+    (Partition.protect base Partition.Min_partition)
+    ~label:"TMR, voted registers (fig. 2) - self-heals, counts on"
+    ~cycles:16;
+  run_with_upsets
+    (Partition.protect base Partition.Min_partition_nv)
+    ~label:"TMR, unvoted registers - first upset sticks, second defeats vote"
+    ~cycles:16

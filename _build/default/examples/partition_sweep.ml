@@ -1,0 +1,82 @@
+(* Sweep the voter-partition granularity — the trade-off curve the paper
+   motivates but only samples at three points.
+
+   A custom strategy groups the filter's tap blocks k at a time: k = 1 is
+   the paper's medium partition (TMR_p2); large k approaches the minimum
+   partition (TMR_p3).  For each k we report area, estimated clock, and
+   the measured upset sensitivity.
+
+   Runs at reduced scale by default so it finishes in seconds; pass
+   "paper" for the full device (minutes).
+
+   Run with: dune exec examples/partition_sweep.exe [-- paper] *)
+
+module Texttab = Tmr_logic.Texttab
+module Partition = Tmr_core.Partition
+module Tmr = Tmr_core.Tmr
+module Context = Tmr_experiments.Context
+module Runs = Tmr_experiments.Runs
+module Campaign = Tmr_inject.Campaign
+module Impl = Tmr_pnr.Impl
+
+(* Group component labels "tapNN/..." into blocks of [k] consecutive taps;
+   voters go on the boundaries of those groups. *)
+let group_of_k k comp =
+  let block = Partition.block_group comp in
+  if String.length block >= 5 && String.sub block 0 3 = "tap" then begin
+    match int_of_string_opt (String.sub block 3 (String.length block - 3)) with
+    | Some tap -> Printf.sprintf "group%02d" (tap / k)
+    | None -> block
+  end
+  else block
+
+let strategy_for nl k =
+  let barriers = Partition.boundary_cells ~group_of:(group_of_k k) nl in
+  Partition.Custom
+    ( Printf.sprintf "taps/%d" k,
+      { Tmr.barrier = (fun _ c -> barriers.(c)); vote_registers = true } )
+
+let () =
+  let scale =
+    if Array.length Sys.argv > 1 && Sys.argv.(1) = "paper" then Context.Paper
+    else Context.Reduced
+  in
+  let faults = match scale with Context.Paper -> 1200 | Context.Reduced -> 600 in
+  let ctx = Context.create ~scale ~faults_per_design:faults () in
+  let base = Tmr_filter.Fir.build ctx.Context.params in
+  let taps = Array.length ctx.Context.params.Tmr_filter.Fir.coeffs in
+  let t =
+    Texttab.create
+      ~title:"Voter partition sweep: k taps per voter barrier group"
+      ~header:
+        [ "k"; "voters"; "stages"; "slices"; "est. MHz"; "injected"; "wrong";
+          "[%]" ]
+      [ Texttab.Left; Texttab.Right; Texttab.Right; Texttab.Right;
+        Texttab.Right; Texttab.Right; Texttab.Right; Texttab.Right ]
+  in
+  let ks =
+    List.sort_uniq compare (List.filter (fun k -> k <= taps) [ 1; 2; 3; 5; taps ])
+  in
+  List.iter
+    (fun k ->
+      let strategy = strategy_for base k in
+      let run = Runs.implement_design ctx strategy in
+      let run = Runs.campaign_design ctx run in
+      let st = Tmr_netlist.Stats.compute run.Runs.nl in
+      match run.Runs.campaign with
+      | None -> ()
+      | Some c ->
+          Texttab.add_row t
+            [
+              string_of_int k;
+              string_of_int st.Tmr_netlist.Stats.voters;
+              string_of_int st.Tmr_netlist.Stats.voter_stages;
+              string_of_int (Impl.used_slices run.Runs.impl);
+              Printf.sprintf "%.0f" run.Runs.impl.Impl.timing.Tmr_pnr.Timing.mhz;
+              string_of_int c.Campaign.injected;
+              string_of_int c.Campaign.wrong;
+              Printf.sprintf "%.2f" (Campaign.wrong_percent c);
+            ];
+          Printf.printf "k=%d done\n%!" k)
+    ks;
+  print_string (Texttab.render t)

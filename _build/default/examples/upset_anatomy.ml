@@ -1,0 +1,86 @@
+(* Anatomy of single configuration upsets: pick one fault of each effect
+   class, inject it, and show what the fabric now computes, cycle by
+   cycle, against the golden device.
+
+   Run with: dune exec examples/upset_anatomy.exe *)
+
+module Logic = Tmr_logic.Logic
+module Bitdb = Tmr_arch.Bitdb
+module Bitstream = Tmr_arch.Bitstream
+module Partition = Tmr_core.Partition
+module Context = Tmr_experiments.Context
+module Runs = Tmr_experiments.Runs
+module Campaign = Tmr_inject.Campaign
+module Classify = Tmr_inject.Classify
+module Extract = Tmr_fabric.Extract
+module Fsim = Tmr_fabric.Fsim
+module Impl = Tmr_pnr.Impl
+module Netlist = Tmr_netlist.Netlist
+
+let () =
+  let ctx = Context.create ~scale:Context.Reduced ~faults_per_design:0 () in
+  let run = Runs.implement_design ctx Partition.Unprotected in
+  let impl = run.Runs.impl in
+  let bits = run.Runs.faultlist.Tmr_inject.Faultlist.bits in
+  (* one example bit per effect class *)
+  let example_of_effect eff =
+    Array.find_opt (fun b -> Classify.classify impl b = eff) bits
+  in
+  let stim = ctx.Context.stimulus in
+  let golden = Campaign.golden_outputs ctx.Context.golden_nl stim in
+  let y_golden = List.assoc "y" golden in
+  let out_wires =
+    let bits = Netlist.find_output_port impl.Impl.mapped "y" in
+    Array.init (Array.length bits) (Impl.output_pad_wire impl "y")
+  in
+  let in_wires =
+    let bits = Netlist.find_input_port impl.Impl.mapped "x" in
+    Array.init (Array.length bits) (Impl.input_pad_wire impl "x")
+  in
+  let samples = List.assoc "x" stim.Campaign.inputs in
+  let show_run ex =
+    let sim = Fsim.build ex ~watch_outputs:out_wires in
+    Fsim.reset sim;
+    let shown = ref 0 in
+    for cycle = 0 to stim.Campaign.cycles - 1 do
+      Array.iteri
+        (fun i w ->
+          Fsim.set_pad sim w
+            (Logic.of_bool ((samples.(cycle) asr i) land 1 = 1)))
+        in_wires;
+      Fsim.eval sim;
+      let n_out = Array.length out_wires in
+      let dut =
+        String.init n_out (fun i ->
+            Logic.to_char (Fsim.read sim out_wires.(n_out - 1 - i)))
+      in
+      let gold =
+        String.init
+          (Array.length y_golden.(cycle))
+          (fun i ->
+            Logic.to_char
+              y_golden.(cycle).(Array.length y_golden.(cycle) - 1 - i))
+      in
+      if dut <> gold && !shown < 3 then begin
+        incr shown;
+        Printf.printf "    cycle %2d  golden %s\n" cycle gold;
+        Printf.printf "              dut    %s\n" dut
+      end;
+      Fsim.clock sim
+    done;
+    if !shown = 0 then print_endline "    (silent: no output difference)"
+  in
+  List.iter
+    (fun eff ->
+      match example_of_effect eff with
+      | None -> Printf.printf "%-14s no candidate bit\n" (Classify.name eff)
+      | Some bit ->
+          Printf.printf "%-14s bit %d (frame %d):\n" (Classify.name eff) bit
+            (Bitdb.frame_of_bit ctx.Context.db bit);
+          let ex =
+            Extract.create ctx.Context.dev ctx.Context.db
+              (Bitstream.copy impl.Impl.bitgen.Tmr_pnr.Bitgen.bitstream)
+          in
+          Extract.apply_bit_flip ex bit;
+          show_run ex)
+    Classify.all

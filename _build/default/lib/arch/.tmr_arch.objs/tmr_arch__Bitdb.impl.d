@@ -1,0 +1,1 @@
+lib/arch/bitdb.ml: Arch Array Device

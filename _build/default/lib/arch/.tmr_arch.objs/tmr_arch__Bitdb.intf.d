@@ -1,0 +1,1 @@
+lib/arch/bitdb.mli: Device

@@ -1,0 +1,1 @@
+lib/arch/bitstream.ml: Buffer Bytes Char Printf String

@@ -1,0 +1,1 @@
+lib/arch/device.ml: Arch Array Hashtbl List Printf

@@ -1,0 +1,173 @@
+type resource =
+  | Pip of int
+  | Lut_bit of int * int
+  | Ff_init of int
+  | Out_sel of int
+  | Ce_inv of int
+  | Sr_inv of int
+  | In_inv of int * int
+  | Pad_enable of int
+  | Pad_cfg of int * int
+
+type bit_class =
+  | Class_routing
+  | Class_lut
+  | Class_custom
+  | Class_ff
+
+type t = {
+  resources : resource array;
+  frame_bits : int;
+  pip_bits : int array;
+  lut_bits : int array;  (* bel -> base address of its 16 table bits *)
+  ff_init_bits : int array;
+  out_sel_bits : int array;
+  ce_inv_bits : int array;
+  sr_inv_bits : int array;
+  in_inv_bits : int array;  (* bel -> base of 4 consecutive pin-invert bits *)
+  pad_bits : int array;
+  pad_cfg_bits : int array;  (* pad -> base of 3 consecutive attr bits *)
+}
+
+(* Column key used to give the bit layout a Xilinx-like column-major
+   organisation: resources are sorted by the column they sit in. *)
+let pip_col dev i =
+  let s = dev.Device.pip_src.(i) and d = dev.Device.pip_dst.(i) in
+  min dev.Device.wcol.(s) dev.Device.wcol.(d)
+
+let build dev =
+  let nbels = dev.Device.nbels in
+  let npips = dev.Device.npips in
+  let npads = dev.Device.npads in
+  (* (column, ordinal, resource) list; ordinal keeps the sort stable. *)
+  let entries = ref [] in
+  let add col r = entries := (col, r) :: !entries in
+  for i = npips - 1 downto 0 do
+    add (pip_col dev i) (Pip i)
+  done;
+  for b = nbels - 1 downto 0 do
+    let col = dev.Device.bel_col.(b) in
+    for pin = 3 downto 0 do
+      add col (In_inv (b, pin))
+    done;
+    add col (Sr_inv b);
+    add col (Ce_inv b);
+    add col (Out_sel b);
+    add col (Ff_init b);
+    for idx = 15 downto 0 do
+      add col (Lut_bit (b, idx))
+    done
+  done;
+  for pad = npads - 1 downto 0 do
+    let col = dev.Device.wcol.(dev.Device.pad_wire.(pad)) in
+    for attr = 2 downto 0 do
+      add col (Pad_cfg (pad, attr))
+    done;
+    add col (Pad_enable pad)
+  done;
+  let arr = Array.of_list !entries in
+  (* stable sort by column only *)
+  let tagged = Array.mapi (fun i (col, r) -> (col, i, r)) arr in
+  Array.sort
+    (fun (c1, i1, _) (c2, i2, _) -> if c1 <> c2 then compare c1 c2 else compare i1 i2)
+    tagged;
+  let resources = Array.map (fun (_, _, r) -> r) tagged in
+  let n = Array.length resources in
+  let pip_bits = Array.make npips (-1) in
+  let lut_bits = Array.make nbels (-1) in
+  let ff_init_bits = Array.make nbels (-1) in
+  let out_sel_bits = Array.make nbels (-1) in
+  let ce_inv_bits = Array.make nbels (-1) in
+  let sr_inv_bits = Array.make nbels (-1) in
+  let in_inv_bits = Array.make nbels (-1) in
+  let pad_bits = Array.make npads (-1) in
+  let pad_cfg_bits = Array.make npads (-1) in
+  for a = 0 to n - 1 do
+    match resources.(a) with
+    | Pip i -> pip_bits.(i) <- a
+    | Lut_bit (b, idx) -> if idx = 0 then lut_bits.(b) <- a
+    | Ff_init b -> ff_init_bits.(b) <- a
+    | Out_sel b -> out_sel_bits.(b) <- a
+    | Ce_inv b -> ce_inv_bits.(b) <- a
+    | Sr_inv b -> sr_inv_bits.(b) <- a
+    | In_inv (b, pin) -> if pin = 0 then in_inv_bits.(b) <- a
+    | Pad_enable pad -> pad_bits.(pad) <- a
+    | Pad_cfg (pad, attr) -> if attr = 0 then pad_cfg_bits.(pad) <- a
+  done;
+  (* LUT table bits must be contiguous ascending from their base for
+     [lut_bit] to be a simple offset; verify. *)
+  Array.iteri
+    (fun a r ->
+      match r with
+      | Lut_bit (b, idx) ->
+          if a <> lut_bits.(b) + idx then
+            failwith "Bitdb.build: LUT bits not contiguous"
+      | In_inv (b, pin) ->
+          if a <> in_inv_bits.(b) + pin then
+            failwith "Bitdb.build: pin-invert bits not contiguous"
+      | Pad_cfg (pad, attr) ->
+          if a <> pad_cfg_bits.(pad) + attr then
+            failwith "Bitdb.build: pad attr bits not contiguous"
+      | Pip _ | Ff_init _ | Out_sel _ | Ce_inv _ | Sr_inv _ | Pad_enable _ -> ())
+    resources;
+  {
+    resources;
+    frame_bits = dev.Device.params.Arch.frame_bits;
+    pip_bits;
+    lut_bits;
+    ff_init_bits;
+    out_sel_bits;
+    ce_inv_bits;
+    sr_inv_bits;
+    in_inv_bits;
+    pad_bits;
+    pad_cfg_bits;
+  }
+
+let num_bits t = Array.length t.resources
+let frame_bits t = t.frame_bits
+let num_frames t = (num_bits t + t.frame_bits - 1) / t.frame_bits
+let resource t a = t.resources.(a)
+let frame_of_bit t a = a / t.frame_bits
+
+let class_of_resource = function
+  | Pip _ -> Class_routing
+  | Lut_bit _ -> Class_lut
+  | Out_sel _ | Ce_inv _ | Sr_inv _ | In_inv _ | Pad_enable _ | Pad_cfg _ ->
+      Class_custom
+  | Ff_init _ -> Class_ff
+
+let class_of_bit t a = class_of_resource t.resources.(a)
+
+let pip_bit t i = t.pip_bits.(i)
+let lut_bit t ~bel ~idx = t.lut_bits.(bel) + idx
+let ff_init_bit t ~bel = t.ff_init_bits.(bel)
+let out_sel_bit t ~bel = t.out_sel_bits.(bel)
+let ce_inv_bit t ~bel = t.ce_inv_bits.(bel)
+let sr_inv_bit t ~bel = t.sr_inv_bits.(bel)
+let in_inv_bit t ~bel ~pin = t.in_inv_bits.(bel) + pin
+let pad_enable_bit t ~pad = t.pad_bits.(pad)
+let pad_cfg_bit t ~pad ~attr = t.pad_cfg_bits.(pad) + attr
+
+let class_counts t =
+  let routing = ref 0 and lut = ref 0 and custom = ref 0 and ff = ref 0 in
+  Array.iter
+    (fun r ->
+      match class_of_resource r with
+      | Class_routing -> incr routing
+      | Class_lut -> incr lut
+      | Class_custom -> incr custom
+      | Class_ff -> incr ff)
+    t.resources;
+  [
+    (Class_routing, !routing);
+    (Class_lut, !lut);
+    (Class_custom, !custom);
+    (Class_ff, !ff);
+  ]
+
+let class_name = function
+  | Class_routing -> "routing"
+  | Class_lut -> "LUT"
+  | Class_custom -> "customization"
+  | Class_ff -> "flip-flop"

@@ -1,0 +1,98 @@
+type t = {
+  nbits : int;
+  data : Bytes.t;
+}
+
+let create ~nbits = { nbits; data = Bytes.make ((nbits + 7) / 8) '\000' }
+
+let length t = t.nbits
+
+let check t a =
+  if a < 0 || a >= t.nbits then
+    invalid_arg (Printf.sprintf "Bitstream: address %d out of %d" a t.nbits)
+
+let get t a =
+  check t a;
+  Char.code (Bytes.get t.data (a lsr 3)) land (1 lsl (a land 7)) <> 0
+
+let set t a v =
+  check t a;
+  let byte = Char.code (Bytes.get t.data (a lsr 3)) in
+  let mask = 1 lsl (a land 7) in
+  let byte' = if v then byte lor mask else byte land lnot mask in
+  Bytes.set t.data (a lsr 3) (Char.chr (byte' land 0xff))
+
+let flip t a = set t a (not (get t a))
+
+let copy t = { nbits = t.nbits; data = Bytes.copy t.data }
+
+let popcount t =
+  let count = ref 0 in
+  for i = 0 to Bytes.length t.data - 1 do
+    let b = Char.code (Bytes.get t.data i) in
+    let rec pop v acc = if v = 0 then acc else pop (v lsr 1) (acc + (v land 1)) in
+    count := !count + pop b 0
+  done;
+  !count
+
+let diff a b =
+  if a.nbits <> b.nbits then invalid_arg "Bitstream.diff: size mismatch";
+  let out = ref [] in
+  for i = a.nbits - 1 downto 0 do
+    if get a i <> get b i then out := i :: !out
+  done;
+  !out
+
+let to_hex t =
+  let buf = Buffer.create (2 * Bytes.length t.data) in
+  Bytes.iter (fun b -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code b))) t.data;
+  Buffer.contents buf
+
+let of_hex ~nbits text =
+  let compact = String.concat "" (String.split_on_char '\n' text) in
+  let compact = String.concat "" (String.split_on_char ' ' compact) in
+  let t = create ~nbits in
+  let expected = Bytes.length t.data in
+  if String.length compact <> 2 * expected then
+    Error
+      (Printf.sprintf "hex image has %d bytes, expected %d"
+         (String.length compact / 2) expected)
+  else begin
+    let bad = ref None in
+    for i = 0 to expected - 1 do
+      match int_of_string_opt ("0x" ^ String.sub compact (2 * i) 2) with
+      | Some v -> Bytes.set t.data i (Char.chr v)
+      | None -> if !bad = None then bad := Some i
+    done;
+    match !bad with
+    | Some i -> Error (Printf.sprintf "bad hex at byte %d" i)
+    | None -> Ok t
+  end
+
+let save t path =
+  let oc = open_out path in
+  Printf.fprintf oc "tmrbits %d\n" t.nbits;
+  (* wrap at 64 hex chars for readability *)
+  let hex = to_hex t in
+  let n = String.length hex in
+  let rec dump i =
+    if i < n then begin
+      output_string oc (String.sub hex i (min 64 (n - i)));
+      output_char oc '\n';
+      dump (i + 64)
+    end
+  in
+  dump 0;
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let header = input_line ic in
+  let rest = really_input_string ic (in_channel_length ic - String.length header - 1) in
+  close_in ic;
+  match String.split_on_char ' ' header with
+  | [ "tmrbits"; n ] -> (
+      match int_of_string_opt n with
+      | Some nbits -> of_hex ~nbits rest
+      | None -> Error "bad bit count in header")
+  | _ -> Error "bad header"

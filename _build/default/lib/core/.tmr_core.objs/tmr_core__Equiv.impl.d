@@ -1,0 +1,1 @@
+lib/core/equiv.ml: Array List String Tmr Tmr_logic Tmr_netlist

@@ -1,0 +1,1 @@
+lib/core/tmr.ml: Array List Printf Tmr_logic Tmr_netlist

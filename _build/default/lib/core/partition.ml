@@ -1,0 +1,72 @@
+module Netlist = Tmr_netlist.Netlist
+
+type strategy =
+  | Unprotected
+  | Max_partition
+  | Medium_partition
+  | Min_partition
+  | Min_partition_nv
+  | Custom of string * Tmr.spec
+
+let name = function
+  | Unprotected -> "standard"
+  | Max_partition -> "tmr_p1"
+  | Medium_partition -> "tmr_p2"
+  | Min_partition -> "tmr_p3"
+  | Min_partition_nv -> "tmr_p3_nv"
+  | Custom (n, _) -> n
+
+let paper_name = function
+  | Unprotected -> "Standard Filter"
+  | Max_partition -> "TMR_p1"
+  | Medium_partition -> "TMR_p2"
+  | Min_partition -> "TMR_p3"
+  | Min_partition_nv -> "TMR_p3_nv"
+  | Custom (n, _) -> n
+
+let all_paper_designs =
+  [ Unprotected; Max_partition; Medium_partition; Min_partition;
+    Min_partition_nv ]
+
+let component_group comp = comp
+
+let block_group comp =
+  match String.index_opt comp '/' with
+  | Some i -> String.sub comp 0 i
+  | None -> comp
+
+let boundary_cells ~group_of nl =
+  let n = Netlist.num_cells nl in
+  let result = Array.make n false in
+  let fanouts = Netlist.compute_fanouts nl in
+  Netlist.iter_cells nl (fun c ->
+      match Netlist.kind nl c with
+      | Netlist.Input | Netlist.Output | Netlist.Const _ | Netlist.Ff _ -> ()
+      | Netlist.Not | Netlist.And2 | Netlist.Or2 | Netlist.Xor2
+      | Netlist.Mux2 | Netlist.Maj3 | Netlist.Lut _ ->
+          let g = group_of (Netlist.comp nl c) in
+          if
+            List.exists
+              (fun r -> group_of (Netlist.comp nl r) <> g)
+              fanouts.(c)
+          then result.(c) <- true);
+  result
+
+let spec_for nl strategy =
+  match strategy with
+  | Unprotected -> None
+  | Max_partition ->
+      let b = boundary_cells ~group_of:component_group nl in
+      Some { Tmr.barrier = (fun _ c -> b.(c)); vote_registers = true }
+  | Medium_partition ->
+      let b = boundary_cells ~group_of:block_group nl in
+      Some { Tmr.barrier = (fun _ c -> b.(c)); vote_registers = true }
+  | Min_partition ->
+      Some { Tmr.barrier = (fun _ _ -> false); vote_registers = true }
+  | Min_partition_nv -> Some Tmr.no_barriers
+  | Custom (_, spec) -> Some spec
+
+let protect nl strategy =
+  match spec_for nl strategy with
+  | None -> nl
+  | Some spec -> Tmr.triplicate nl spec

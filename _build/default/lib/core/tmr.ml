@@ -1,0 +1,144 @@
+module Netlist = Tmr_netlist.Netlist
+
+type spec = {
+  barrier : Netlist.t -> int -> bool;
+  vote_registers : bool;
+}
+
+let no_barriers = { barrier = (fun _ _ -> false); vote_registers = false }
+
+let domains = 3
+
+let redundant_port port d = Printf.sprintf "%s~%d" port d
+
+let triplicate src spec =
+  Netlist.iter_cells src (fun c ->
+      if Netlist.domain src c >= 0 then
+        invalid_arg "Tmr.triplicate: input is already triplicated");
+  let dst = Netlist.create () in
+  let n = Netlist.num_cells src in
+  (* raw domain copies, and the representative downstream consumers read
+     (the copy itself, or its domain voter at a barrier) *)
+  let copy = Array.init domains (fun _ -> Array.make n (-1)) in
+  let repr = Array.init domains (fun _ -> Array.make n (-1)) in
+  let placeholder = ref (-1) in
+  let get_placeholder () =
+    if !placeholder < 0 then
+      placeholder :=
+        Netlist.add_cell dst (Netlist.Const Tmr_logic.Logic.Zero) ~fanins:[||];
+    !placeholder
+  in
+  let vote_cell c =
+    match Netlist.kind src c with
+    | Netlist.Ff _ -> spec.vote_registers || spec.barrier src c
+    | Netlist.Input | Netlist.Output -> false
+    | Netlist.Const _ -> false
+    | Netlist.Not | Netlist.And2 | Netlist.Or2 | Netlist.Xor2 | Netlist.Mux2
+    | Netlist.Maj3 | Netlist.Lut _ ->
+        spec.barrier src c
+  in
+  let add_voters c =
+    for d = 0 to domains - 1 do
+      Netlist.set_comp dst (Netlist.comp src c ^ "/vote");
+      let v =
+        Netlist.add_cell dst
+          ~name:(Printf.sprintf "%s/vote~%d" (Netlist.name src c) d)
+          ~domain:d ~voter:true Netlist.Maj3
+          ~fanins:[| copy.(0).(c); copy.(1).(c); copy.(2).(c) |]
+      in
+      repr.(d).(c) <- v
+    done
+  in
+  for c = 0 to n - 1 do
+    let kind = Netlist.kind src c in
+    let name = Netlist.name src c in
+    Netlist.set_comp dst (Netlist.comp src c);
+    (match kind with
+    | Netlist.Output -> () (* handled with output ports below *)
+    | Netlist.Input ->
+        for d = 0 to domains - 1 do
+          let id =
+            Netlist.add_cell dst
+              ~name:(Printf.sprintf "%s~%d" name d)
+              ~domain:d Netlist.Input ~fanins:[||]
+          in
+          copy.(d).(c) <- id;
+          repr.(d).(c) <- id
+        done
+    | Netlist.Ff init ->
+        (* the D driver may be created later (feedback); fix up in pass 2 *)
+        for d = 0 to domains - 1 do
+          let id =
+            Netlist.add_cell dst
+              ~name:(Printf.sprintf "%s~%d" name d)
+              ~domain:d (Netlist.Ff init)
+              ~fanins:[| get_placeholder () |]
+          in
+          copy.(d).(c) <- id;
+          repr.(d).(c) <- id
+        done;
+        if vote_cell c then add_voters c
+    | Netlist.Const _ | Netlist.Not | Netlist.And2 | Netlist.Or2
+    | Netlist.Xor2 | Netlist.Mux2 | Netlist.Maj3 | Netlist.Lut _ ->
+        for d = 0 to domains - 1 do
+          let fanins =
+            Array.map (fun s -> repr.(d).(s)) (Netlist.fanins src c)
+          in
+          Array.iter
+            (fun f ->
+              if f < 0 then
+                invalid_arg
+                  "Tmr.triplicate: combinational fanin precedes definition")
+            fanins;
+          let id =
+            Netlist.add_cell dst
+              ~name:(Printf.sprintf "%s~%d" name d)
+              ~domain:d kind ~fanins
+          in
+          copy.(d).(c) <- id;
+          repr.(d).(c) <- id
+        done;
+        if vote_cell c then add_voters c)
+  done;
+  (* pass 2: flip-flop D fix-ups *)
+  for c = 0 to n - 1 do
+    match Netlist.kind src c with
+    | Netlist.Ff _ ->
+        let d_src = (Netlist.fanins src c).(0) in
+        for d = 0 to domains - 1 do
+          Netlist.set_fanin dst copy.(d).(c) 0 repr.(d).(d_src)
+        done
+    | Netlist.Input | Netlist.Output | Netlist.Const _ | Netlist.Not
+    | Netlist.And2 | Netlist.Or2 | Netlist.Xor2 | Netlist.Mux2
+    | Netlist.Maj3 | Netlist.Lut _ ->
+        ()
+  done;
+  (* ports *)
+  List.iter
+    (fun (port, bits) ->
+      for d = 0 to domains - 1 do
+        Netlist.add_input_port dst (redundant_port port d)
+          (Array.map (fun c -> copy.(d).(c)) bits)
+      done)
+    (Netlist.input_ports src);
+  List.iter
+    (fun (port, bits) ->
+      let out_bits =
+        Array.map
+          (fun ocell ->
+            let s = (Netlist.fanins src ocell).(0) in
+            Netlist.set_comp dst "output/vote";
+            let v =
+              Netlist.add_cell dst
+                ~name:(Netlist.name src ocell ^ "/vote")
+                ~voter:true Netlist.Maj3
+                ~fanins:[| copy.(0).(s); copy.(1).(s); copy.(2).(s) |]
+            in
+            Netlist.set_comp dst "output";
+            Netlist.add_cell dst ~name:(Netlist.name src ocell) Netlist.Output
+              ~fanins:[| v |])
+          bits
+      in
+      Netlist.add_output_port dst port out_bits)
+    (Netlist.output_ports src);
+  dst

@@ -1,0 +1,44 @@
+(** Triple Modular Redundancy transformation — the paper's subject.
+
+    [triplicate] builds, from a flat design, the TMR version the paper's
+    fig. 1-3 describe:
+
+    - every cell is copied into three redundancy domains (0, 1, 2), each
+      domain with its own input pads (no single point of failure at the
+      inputs);
+    - at every {e barrier} — a cell selected by the partition spec — the
+      three copies are voted by {e three} majority voters (one per domain,
+      each a single LUT after mapping), and each domain's downstream logic
+      reads its own voter: this is the paper's "logic partition by voters"
+      (fig. 3) and its TMR register with voters and refresh (fig. 2);
+    - every output port converges through one final majority voter to a
+      single off-chip signal (fig. 1's output logic block).
+
+    More barriers means shorter distance between voter walls (better
+    containment of routing upsets) but more inter-domain nets (more places
+    where a routing upset can connect two domains) — the trade-off the
+    paper quantifies. *)
+
+type spec = {
+  barrier : Tmr_netlist.Netlist.t -> int -> bool;
+      (** vote the output of this (non-register) cell *)
+  vote_registers : bool;
+      (** insert voter triples after every flip-flop (fig. 2); when false
+          the registers are merely triplicated — the paper's TMR_p3_nv *)
+}
+
+val no_barriers : spec
+(** Triplication with final output voters only and unvoted registers. *)
+
+val triplicate : Tmr_netlist.Netlist.t -> spec -> Tmr_netlist.Netlist.t
+(** The input must be a flat (untriplicated) design: every cell with
+    domain [-1].  The result passes {!Tmr_netlist.Check.run} and computes
+    the same function as the input when the three input-port copies are
+    driven identically. *)
+
+val redundant_port : string -> int -> string
+(** [redundant_port p d] is the name of domain [d]'s copy of input port
+    [p] in the triplicated netlist. *)
+
+val domains : int
+(** 3. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Context List Printf Runs Tmr_core Tmr_filter Tmr_inject Tmr_logic Tmr_pnr

@@ -1,0 +1,1 @@
+lib/experiments/context.ml: Tmr_arch Tmr_filter Tmr_inject Tmr_netlist

@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array Context List Printf Runs Tmr_arch Tmr_core Tmr_inject Tmr_logic Tmr_netlist Tmr_pnr

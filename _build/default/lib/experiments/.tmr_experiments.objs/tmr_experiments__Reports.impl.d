@@ -1,0 +1,1 @@
+lib/experiments/reports.ml: Context List Printf Tmr_arch Tmr_logic

@@ -1,0 +1,1 @@
+lib/experiments/runs.ml: Context List Option Tmr_core Tmr_filter Tmr_inject Tmr_netlist Tmr_pnr

@@ -1,0 +1,1 @@
+lib/experiments/runs.mli: Context Tmr_core Tmr_inject Tmr_netlist Tmr_pnr

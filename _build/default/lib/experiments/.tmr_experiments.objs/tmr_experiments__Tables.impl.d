@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Array Context List Option Printf Runs Tmr_arch Tmr_core Tmr_inject Tmr_logic Tmr_netlist Tmr_pnr

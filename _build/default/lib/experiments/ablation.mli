@@ -1,0 +1,16 @@
+(** Ablations beyond the paper's experiments.
+
+    - {!floorplan}: the paper's future-work item — dedicated floorplanning
+      of the three redundancy domains (each confined to its own third of
+      the array) versus the paper's free placement, measured with the same
+      fault-injection campaign.
+    - {!scrub}: upset accumulation between scrubs — how many accumulated
+      configuration upsets each design version absorbs before its first
+      wrong answer (the quantitative version of §2's argument for
+      continuous reconfiguration). *)
+
+val floorplan : Context.t -> Tmr_core.Partition.strategy -> string
+(** Compare [`Free] and [`Domains] placement of one design. *)
+
+val scrub : Context.t -> string
+(** Accumulation experiment over the five paper designs. *)

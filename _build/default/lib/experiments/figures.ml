@@ -1,0 +1,266 @@
+module Logic = Tmr_logic.Logic
+module Srand = Tmr_logic.Srand
+module Texttab = Tmr_logic.Texttab
+module Netlist = Tmr_netlist.Netlist
+module Word = Tmr_netlist.Word
+module Netsim = Tmr_netlist.Netsim
+module Stats = Tmr_netlist.Stats
+module Device = Tmr_arch.Device
+module Bitdb = Tmr_arch.Bitdb
+module Partition = Tmr_core.Partition
+module Tmr = Tmr_core.Tmr
+module Impl = Tmr_pnr.Impl
+module Pack = Tmr_pnr.Pack
+module Route = Tmr_pnr.Route
+module Campaign = Tmr_inject.Campaign
+
+let wire_domains (run : Runs.design_run) =
+  let impl = run.Runs.impl in
+  let dev = impl.Impl.dev in
+  let domains = Array.make dev.Device.nwires (-2) in
+  Array.iteri
+    (fun ni wires ->
+      let driver = impl.Impl.pack.Pack.nets.(ni).Pack.driver in
+      let d = Netlist.domain impl.Impl.mapped driver in
+      Array.iter (fun w -> domains.(w) <- d) wires)
+    impl.Impl.route.Route.net_wires;
+  domains
+
+let short_experiment (ctx : Context.t) (run : Runs.design_run) ~same_domain ~n =
+  let impl = run.Runs.impl in
+  let dev = impl.Impl.dev in
+  let db = ctx.Context.db in
+  let domains = wire_domains run in
+  let candidates = ref [] in
+  for p = 0 to dev.Device.npips - 1 do
+    if dev.Device.pip_bidir.(p) then begin
+      let a = domains.(dev.Device.pip_src.(p)) in
+      let b = domains.(dev.Device.pip_dst.(p)) in
+      if a >= 0 && b >= 0 then begin
+        let addr = Bitdb.pip_bit db p in
+        if not (Tmr_arch.Bitstream.get impl.Impl.bitgen.Tmr_pnr.Bitgen.bitstream addr)
+        then
+          if (same_domain && a = b) || ((not same_domain) && a <> b) then
+            candidates := addr :: !candidates
+      end
+    end
+  done;
+  let candidates = Array.of_list !candidates in
+  let rng = Srand.create (ctx.Context.seed + 4242) in
+  let chosen = Srand.sample rng n (Array.length candidates) in
+  let faults = Array.map (fun i -> candidates.(i)) chosen in
+  if Array.length faults = 0 then (0, 0)
+  else begin
+    let c =
+      Campaign.run
+        ~name:(Partition.name run.Runs.strategy)
+        ~impl ~golden:ctx.Context.golden_nl ~stimulus:ctx.Context.stimulus
+        ~faults ()
+    in
+    (c.Campaign.injected, c.Campaign.wrong)
+  end
+
+let fig1 ctx run =
+  let n = 150 in
+  let ia, wa = short_experiment ctx run ~same_domain:true ~n in
+  let ib, wb = short_experiment ctx run ~same_domain:false ~n in
+  let t =
+    Texttab.create
+      ~title:
+        (Printf.sprintf
+           "Fig 1: routing upsets on %s (shorts between routed nets)"
+           (Partition.paper_name run.Runs.strategy))
+      ~header:[ "Upset"; "Nets shorted"; "Injected"; "Wrong answers"; "[%]" ]
+      [ Texttab.Left; Texttab.Left; Texttab.Right; Texttab.Right; Texttab.Right ]
+  in
+  let pct i w = if i = 0 then "-" else Printf.sprintf "%.1f" (100.0 *. float_of_int w /. float_of_int i) in
+  Texttab.add_row t
+    [ "a"; "same redundant part"; string_of_int ia; string_of_int wa; pct ia wa ];
+  Texttab.add_row t
+    [ "b"; "two distinct redundant parts"; string_of_int ib; string_of_int wb;
+      pct ib wb ];
+  Texttab.render t
+  ^ "Upset \"a\" connects two signals of one redundant part and is voted\n\
+     out; upset \"b\" can corrupt two parts at once and defeat the vote.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Fig 2: accumulator with voted vs unvoted TMR registers *)
+
+let build_accumulator ~width =
+  let nl = Netlist.create () in
+  Netlist.set_comp nl "input";
+  let x = Word.input nl "x" ~width in
+  (* acc := acc + x; built with a feedback register *)
+  let acc_ff =
+    Netlist.with_comp nl "acc/reg" (fun () -> Word.reg nl x (* placeholder D *))
+  in
+  let sum =
+    Netlist.with_comp nl "acc/add" (fun () -> Word.add nl acc_ff x)
+  in
+  Array.iteri (fun i ff -> Netlist.set_fanin nl ff 0 sum.(i)) acc_ff;
+  Netlist.set_comp nl "output";
+  Word.output nl "y" acc_ff;
+  Netlist.set_comp nl "";
+  nl
+
+type fig2_outcome = {
+  output_errors_after_first : int;
+  state_diverged_cycles : int;
+  output_errors_after_second : int;
+}
+
+let run_fig2_variant nl ~cycles ~width ~seed =
+  (* golden: same netlist, no upsets *)
+  let inputs =
+    let rng = Srand.create seed in
+    Array.init cycles (fun _ -> Srand.int rng (1 lsl (width - 2)))
+  in
+  let golden = Netsim.create nl in
+  Netsim.reset golden;
+  let sim = Netsim.create nl in
+  Netsim.reset sim;
+  (* pick one accumulator flip-flop per domain *)
+  let ff_of_domain = Array.make 3 (-1) in
+  Netlist.iter_cells nl (fun c ->
+      match Netlist.kind nl c with
+      | Netlist.Ff _ ->
+          let d = Netlist.domain nl c in
+          if d >= 0 && ff_of_domain.(d) < 0 then ff_of_domain.(d) <- c
+      | _ -> ());
+  let outcome =
+    ref { output_errors_after_first = 0; state_diverged_cycles = 0;
+          output_errors_after_second = 0 }
+  in
+  let first_upset = 6 and second_upset = cycles / 2 in
+  for cycle = 0 to cycles - 1 do
+    List.iter
+      (fun d ->
+        let port = Tmr.redundant_port "x" d in
+        Netsim.set_input sim port inputs.(cycle);
+        Netsim.set_input golden port inputs.(cycle))
+      [ 0; 1; 2 ];
+    if cycle = first_upset then begin
+      let ff = ff_of_domain.(0) in
+      Netsim.set_ff sim ff (Logic.logic_not (Netsim.value sim ff))
+    end;
+    if cycle = second_upset then begin
+      let ff = ff_of_domain.(1) in
+      Netsim.set_ff sim ff (Logic.logic_not (Netsim.value sim ff))
+    end;
+    Netsim.eval sim;
+    Netsim.eval golden;
+    let out_err =
+      let a = Netsim.output_bits sim "y" in
+      let b = Netsim.output_bits golden "y" in
+      not (Array.for_all2 Logic.equal a b)
+    in
+    let diverged =
+      (* does domain 0's state differ from domain 1's? *)
+      ff_of_domain.(0) >= 0 && ff_of_domain.(1) >= 0
+      && not
+           (Logic.equal
+              (Netsim.value sim ff_of_domain.(0))
+              (Netsim.value sim ff_of_domain.(1)))
+    in
+    let o = !outcome in
+    outcome :=
+      {
+        output_errors_after_first =
+          (o.output_errors_after_first
+          + if out_err && cycle >= first_upset && cycle < second_upset then 1 else 0);
+        state_diverged_cycles =
+          (o.state_diverged_cycles
+          + if diverged && cycle >= first_upset && cycle < second_upset then 1 else 0);
+        output_errors_after_second =
+          (o.output_errors_after_second
+          + if out_err && cycle >= second_upset then 1 else 0);
+      };
+    Netsim.clock sim;
+    Netsim.clock golden
+  done;
+  !outcome
+
+let fig2 (ctx : Context.t) =
+  let width = 8 and cycles = 40 in
+  let base = build_accumulator ~width in
+  let voted = Partition.protect base Partition.Min_partition in
+  let unvoted = Partition.protect base Partition.Min_partition_nv in
+  let ov = run_fig2_variant voted ~cycles ~width ~seed:(ctx.Context.seed + 9) in
+  let ou = run_fig2_variant unvoted ~cycles ~width ~seed:(ctx.Context.seed + 9) in
+  let t =
+    Texttab.create
+      ~title:
+        "Fig 2: SEU in an accumulator register (state-machine logic), TMR \
+         with voted vs unvoted registers"
+      ~header:
+        [ "Registers"; "out errs after 1st SEU"; "diverged state cycles";
+          "out errs after 2nd SEU (other domain)" ]
+      [ Texttab.Left; Texttab.Right; Texttab.Right; Texttab.Right ]
+  in
+  Texttab.add_row t
+    [ "voted (fig 2)"; string_of_int ov.output_errors_after_first;
+      string_of_int ov.state_diverged_cycles;
+      string_of_int ov.output_errors_after_second ];
+  Texttab.add_row t
+    [ "unvoted"; string_of_int ou.output_errors_after_first;
+      string_of_int ou.state_diverged_cycles;
+      string_of_int ou.output_errors_after_second ];
+  Texttab.render t
+  ^ "Voted registers re-converge at the next clock edge, so a later upset\n\
+     in another domain is still masked; without voters the first upset is\n\
+     locked in the loop and the second one defeats the majority.\n"
+
+let fig3 ctx unpartitioned partitioned =
+  let n = 150 in
+  let iu, wu = short_experiment ctx unpartitioned ~same_domain:false ~n in
+  let ip, wp = short_experiment ctx partitioned ~same_domain:false ~n in
+  let pct i w =
+    if i = 0 then "-"
+    else Printf.sprintf "%.1f" (100.0 *. float_of_int w /. float_of_int i)
+  in
+  let t =
+    Texttab.create
+      ~title:
+        "Fig 3: inter-domain routing upsets (upset \"b\") with and without \
+         voter partition barriers"
+      ~header:[ "Design"; "Injected"; "Wrong answers"; "[%]" ]
+      [ Texttab.Left; Texttab.Right; Texttab.Right; Texttab.Right ]
+  in
+  Texttab.add_row t
+    [ Partition.paper_name unpartitioned.Runs.strategy; string_of_int iu;
+      string_of_int wu; pct iu wu ];
+  Texttab.add_row t
+    [ Partition.paper_name partitioned.Runs.strategy; string_of_int ip;
+      string_of_int wp; pct ip wp ];
+  Texttab.render t
+  ^ "Partitioning the triplicated logic with voter walls confines the\n\
+     corruption of each redundant part, so the same class of upset is\n\
+     far less likely to reach the output (the paper's fig. 3).\n"
+
+let fig4 runs =
+  let t =
+    Texttab.create
+      ~title:"Fig 4: structure of the TMR filter schemes"
+      ~header:
+        [ "Design"; "gates"; "voters"; "voter stages"; "inter-domain nets";
+          "LUTs"; "FFs"; "comb depth" ]
+      [ Texttab.Left; Texttab.Right; Texttab.Right; Texttab.Right;
+        Texttab.Right; Texttab.Right; Texttab.Right; Texttab.Right ]
+  in
+  List.iter
+    (fun (run : Runs.design_run) ->
+      let st = Stats.compute run.Runs.nl in
+      let stm = Stats.compute run.Runs.impl.Impl.mapped in
+      Texttab.add_row t
+        [
+          Partition.paper_name run.Runs.strategy;
+          string_of_int st.Stats.gates;
+          string_of_int st.Stats.voters;
+          string_of_int st.Stats.voter_stages;
+          string_of_int st.Stats.cross_domain_nets;
+          string_of_int stm.Stats.luts;
+          string_of_int stm.Stats.ffs;
+          string_of_int st.Stats.comb_depth;
+        ])
+    runs;
+  Texttab.render t

@@ -1,0 +1,38 @@
+(** Reproductions of the paper's figures.
+
+    Figures 1-4 are schematics; each is reproduced as the behavioural
+    scenario it illustrates, executed on the real implementation flow and
+    reported as text. *)
+
+val wire_domains : Runs.design_run -> int array
+(** wire id -> TMR domain of the net routed through it; [-1] for nets of
+    no single domain (voter outputs to pads, etc.), [-2] for unused
+    wires. *)
+
+val short_experiment :
+  Context.t ->
+  Runs.design_run ->
+  same_domain:bool ->
+  n:int ->
+  int * int
+(** Inject up to [n] pass-pip shorts between two routed nets of the same /
+    of different TMR domains; returns (injected, wrong answers).  This is
+    fig. 1's upset "a" (intra-domain, voted out) versus upset "b"
+    (inter-domain, able to defeat the vote). *)
+
+val fig1 : Context.t -> Runs.design_run -> string
+(** Upsets "a" and "b" on an unpartitioned TMR design. *)
+
+val fig2 : Context.t -> string
+(** TMR register with voters and refresh: a state-machine (accumulator)
+    with voted registers self-recovers from an SEU in a flip-flop, and
+    survives a later SEU in another domain; with unvoted registers the
+    corruption is latched forever and a second SEU defeats the vote. *)
+
+val fig3 : Context.t -> Runs.design_run -> Runs.design_run -> string
+(** The inter-domain upset "b" on an unpartitioned versus a partitioned
+    TMR design: the voter barrier blocks the propagation. *)
+
+val fig4 : Runs.design_run list -> string
+(** Structural comparison of the TMR filter schemes: voters, voter
+    stages, inter-domain nets. *)

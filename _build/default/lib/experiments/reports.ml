@@ -1,0 +1,53 @@
+module Texttab = Tmr_logic.Texttab
+module Arch = Tmr_arch.Arch
+module Bitdb = Tmr_arch.Bitdb
+
+let device_report (ctx : Context.t) =
+  let db = ctx.Context.db in
+  let p = ctx.Context.dev.Tmr_arch.Device.params in
+  let t =
+    Texttab.create ~title:"Device report (paper SS4: Spartan XC2S200E-PQ208)"
+      ~header:[ "quantity"; "this model"; "paper" ]
+      [ Texttab.Left; Texttab.Right; Texttab.Right ]
+  in
+  Texttab.add_row t
+    [ "CLB array";
+      Printf.sprintf "%d x %d" p.Arch.rows p.Arch.cols;
+      "28 x 42" ];
+  Texttab.add_row t
+    [ "configuration bits"; string_of_int (Bitdb.num_bits db); "1,442,016" ];
+  Texttab.add_row t
+    [ "frames"; string_of_int (Bitdb.num_frames db); "2,501" ];
+  Texttab.add_row t
+    [ "frame bits"; string_of_int (Bitdb.frame_bits db); "576" ];
+  Texttab.add_row t
+    [ "LUT4+FF bels"; string_of_int (Arch.num_bels p); "4,704 (2,352 slices x 2)" ];
+  Texttab.render t
+
+let memory_report (ctx : Context.t) =
+  let db = ctx.Context.db in
+  let counts = Bitdb.class_counts db in
+  let total = Bitdb.num_bits db in
+  let paper = function
+    | Bitdb.Class_routing -> "82.9"
+    | Bitdb.Class_lut -> "7.4"
+    | Bitdb.Class_custom -> "6.36"
+    | Bitdb.Class_ff -> "0.46"
+  in
+  let t =
+    Texttab.create
+      ~title:"Configuration memory composition (paper SS2 percentages)"
+      ~header:[ "bit class"; "#bits"; "[%]"; "paper [%]" ]
+      [ Texttab.Left; Texttab.Right; Texttab.Right; Texttab.Right ]
+  in
+  List.iter
+    (fun (cls, n) ->
+      Texttab.add_row t
+        [
+          Bitdb.class_name cls;
+          string_of_int n;
+          Printf.sprintf "%.2f" (100.0 *. float_of_int n /. float_of_int total);
+          paper cls;
+        ])
+    counts;
+  Texttab.render t

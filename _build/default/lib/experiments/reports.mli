@@ -1,0 +1,11 @@
+(** Reproductions of the paper's in-text measurements (§2 and §4). *)
+
+val device_report : Context.t -> string
+(** §4: configuration memory size, frame organisation, array size —
+    compared with the paper's XC2S200E figures (1,442,016 bits, 2,501
+    frames of 576 bits, 28x42 array). *)
+
+val memory_report : Context.t -> string
+(** §2: composition of the customizable bits (routing / LUT /
+    customization / flip-flop percentages) against the paper's 82.9 / 7.4
+    / 6.36 / 0.46. *)

@@ -1,0 +1,40 @@
+module Partition = Tmr_core.Partition
+module Impl = Tmr_pnr.Impl
+module Faultlist = Tmr_inject.Faultlist
+module Campaign = Tmr_inject.Campaign
+
+type design_run = {
+  strategy : Partition.strategy;
+  nl : Tmr_netlist.Netlist.t;
+  impl : Impl.t;
+  faultlist : Faultlist.t;
+  campaign : Campaign.t option;
+}
+
+let implement_design (ctx : Context.t) strategy =
+  let nl = Tmr_filter.Designs.build ~params:ctx.Context.params strategy in
+  let impl =
+    Impl.implement_exn ~seed:ctx.Context.seed
+      ?moves_per_site:ctx.Context.place_moves ctx.Context.dev ctx.Context.db nl
+  in
+  { strategy; nl; impl; faultlist = Faultlist.of_impl impl; campaign = None }
+
+let campaign_design ?progress (ctx : Context.t) run =
+  let name = Partition.name run.strategy in
+  let faults =
+    Faultlist.sample run.faultlist ~seed:ctx.Context.seed
+      ~count:ctx.Context.faults_per_design
+  in
+  let progress_cb =
+    Option.map (fun f done_ total -> f name done_ total) progress
+  in
+  let campaign =
+    Campaign.run ?progress:progress_cb ~name ~impl:run.impl
+      ~golden:ctx.Context.golden_nl ~stimulus:ctx.Context.stimulus ~faults ()
+  in
+  { run with campaign = Some campaign }
+
+let run_all ?progress ctx =
+  List.map
+    (fun strategy -> campaign_design ?progress ctx (implement_design ctx strategy))
+    Partition.all_paper_designs

@@ -1,0 +1,28 @@
+(** Implement the five filter versions and run their fault-injection
+    campaigns — the heavy lifting shared by Tables 2, 3 and 4. *)
+
+type design_run = {
+  strategy : Tmr_core.Partition.strategy;
+  nl : Tmr_netlist.Netlist.t;  (** the (possibly TMR) gate-level design *)
+  impl : Tmr_pnr.Impl.t;
+  faultlist : Tmr_inject.Faultlist.t;
+  campaign : Tmr_inject.Campaign.t option;  (** None when only implemented *)
+}
+
+val implement_design :
+  Context.t -> Tmr_core.Partition.strategy -> design_run
+(** Build, map, place, route; no fault injection. *)
+
+val campaign_design :
+  ?progress:(string -> int -> int -> unit) ->
+  Context.t ->
+  design_run ->
+  design_run
+(** Add the fault-injection campaign ([Context.faults_per_design] random
+    DUT bits). *)
+
+val run_all :
+  ?progress:(string -> int -> int -> unit) ->
+  Context.t ->
+  design_run list
+(** The five paper designs, implemented and injected. *)

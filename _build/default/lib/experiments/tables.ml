@@ -1,0 +1,271 @@
+module Logic = Tmr_logic.Logic
+module Texttab = Tmr_logic.Texttab
+module Netlist = Tmr_netlist.Netlist
+module Netsim = Tmr_netlist.Netsim
+module Bitdb = Tmr_arch.Bitdb
+module Partition = Tmr_core.Partition
+module Impl = Tmr_pnr.Impl
+module Campaign = Tmr_inject.Campaign
+module Classify = Tmr_inject.Classify
+
+let paper_table2 =
+  [
+    ("standard", (150, 42_953, 9_600, 722, 154));
+    ("tmr_p1", (560, 138_453, 35_840, 3_498, 123));
+    ("tmr_p2", (504, 161_568, 32_256, 3_492, 137));
+    ("tmr_p3", (498, 151_994, 31_872, 3_447, 153));
+    ("tmr_p3_nv", (476, 150_521, 30_464, 2_141, 154));
+  ]
+
+let paper_table3 =
+  [
+    ("standard", (5_100, 4_952, 97.10));
+    ("tmr_p1", (17_515, 706, 4.03));
+    ("tmr_p2", (19_401, 190, 0.98));
+    ("tmr_p3", (18_501, 289, 1.56));
+    ("tmr_p3_nv", (18_000, 2_268, 12.60));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 *)
+
+let count_wrong results =
+  Array.fold_left
+    (fun acc r ->
+      if r.Campaign.outcome = Campaign.Wrong_answer then acc + 1 else acc)
+    0 results
+
+(* Inject up to [n] faults of one bit class into the TMR design and report
+   how many defeated it. *)
+let probe_class (ctx : Context.t) (run : Runs.design_run) cls n =
+  let bits =
+    Array.of_list
+      (List.filter
+         (fun b -> Bitdb.class_of_bit ctx.Context.db b = cls)
+         (Array.to_list run.Runs.faultlist.Tmr_inject.Faultlist.bits))
+  in
+  let rng = Tmr_logic.Srand.create (ctx.Context.seed + 77) in
+  let chosen = Tmr_logic.Srand.sample rng n (Array.length bits) in
+  let faults = Array.map (fun i -> bits.(i)) chosen in
+  if Array.length faults = 0 then (0, 0)
+  else begin
+    let c =
+      Campaign.run
+        ~name:(Partition.name run.Runs.strategy)
+        ~impl:run.Runs.impl ~golden:ctx.Context.golden_nl
+        ~stimulus:ctx.Context.stimulus ~faults ()
+    in
+    (c.Campaign.injected, c.Campaign.wrong)
+  end
+
+(* Flip every flip-flop of redundancy domain 0 once, mid-run, in netlist
+   simulation of the TMR design; count output errors (there should be
+   none: this is the paper's "corrected by design" row). *)
+let probe_ff_state (ctx : Context.t) (run : Runs.design_run) =
+  let nl = run.Runs.nl in
+  let stim = ctx.Context.stimulus in
+  let golden = Campaign.golden_outputs ctx.Context.golden_nl stim in
+  let ffs = ref [] in
+  Netlist.iter_cells nl (fun c ->
+      match Netlist.kind nl c with
+      | Netlist.Ff _ when Netlist.domain nl c = 0 -> ffs := c :: !ffs
+      | _ -> ());
+  let errors = ref 0 in
+  let injected = ref 0 in
+  List.iter
+    (fun ff ->
+      incr injected;
+      let sim = Netsim.create nl in
+      Netsim.reset sim;
+      let ok = ref true in
+      for cycle = 0 to stim.Campaign.cycles - 1 do
+        List.iter
+          (fun (port, samples) ->
+            List.iter
+              (fun d ->
+                let name = Tmr_core.Tmr.redundant_port port d in
+                Netsim.set_input sim name samples.(cycle))
+              [ 0; 1; 2 ])
+          stim.Campaign.inputs;
+        if cycle = 8 then begin
+          (* the SEU: invert the stored bit *)
+          let v = Netsim.value sim ff in
+          Netsim.set_ff sim ff (Logic.logic_not v)
+        end;
+        Netsim.eval sim;
+        List.iter
+          (fun (port, matrix) ->
+            let bits = Netsim.output_bits sim port in
+            Array.iteri
+              (fun i expected ->
+                if not (Logic.equal bits.(i) expected) then ok := false)
+              matrix.(cycle))
+          golden;
+        Netsim.clock sim
+      done;
+      if not !ok then incr errors)
+    !ffs;
+  (!injected, !errors)
+
+let table1 ctx run =
+  let t =
+    Texttab.create
+      ~title:
+        (Printf.sprintf
+           "Table 1: upset analysis in the TMR approach (measured on %s)"
+           (Partition.name run.Runs.strategy))
+      ~header:
+        [ "Upset location"; "Upset effect"; "Injected"; "TMR output errors";
+          "Correction" ]
+      [ Texttab.Left; Texttab.Left; Texttab.Right; Texttab.Right; Texttab.Left ]
+  in
+  let probe = probe_class ctx run in
+  let lut_inj, lut_err = probe Bitdb.Class_lut 40 in
+  Texttab.add_row t
+    [ "LUT"; "combinational logic change"; string_of_int lut_inj;
+      string_of_int lut_err; "by scrubbing" ];
+  let rt_inj, rt_err = probe Bitdb.Class_routing 40 in
+  Texttab.add_row t
+    [ "Routing"; "connection / disconnection"; string_of_int rt_inj;
+      string_of_int rt_err; "by scrubbing" ];
+  let cu_inj, cu_err = probe Bitdb.Class_custom 40 in
+  Texttab.add_row t
+    [ "Customization"; "CLB mux / pad change"; string_of_int cu_inj;
+      string_of_int cu_err; "by scrubbing" ];
+  let ff_inj, ff_err = probe_ff_state ctx run in
+  Texttab.add_row t
+    [ "Flip-flops"; "sequential state flip (SEU)"; string_of_int ff_inj;
+      string_of_int ff_err; "by design (voters)" ];
+  Texttab.render t
+
+(* ------------------------------------------------------------------ *)
+(* Table 2 *)
+
+let table2 runs =
+  let t =
+    Texttab.create
+      ~title:"Table 2: comparison between TMR partitioned designs"
+      ~header:
+        [ "Filter design"; "slices"; "#routing bits"; "#LUTs bits";
+          "#CLB ffps bits"; "est. MHz"; "paper slices"; "paper MHz" ]
+      [ Texttab.Left; Texttab.Right; Texttab.Right; Texttab.Right;
+        Texttab.Right; Texttab.Right; Texttab.Right; Texttab.Right ]
+  in
+  List.iter
+    (fun (run : Runs.design_run) ->
+      let name = Partition.name run.Runs.strategy in
+      let by_class = run.Runs.faultlist.Tmr_inject.Faultlist.by_class in
+      let get cls = try List.assoc cls by_class with Not_found -> 0 in
+      let paper_slices, paper_mhz =
+        match List.assoc_opt name paper_table2 with
+        | Some (s, _, _, _, m) -> (string_of_int s, string_of_int m)
+        | None -> ("-", "-")
+      in
+      Texttab.add_row t
+        [
+          Partition.paper_name run.Runs.strategy;
+          string_of_int (Impl.used_slices run.Runs.impl);
+          string_of_int (get Bitdb.Class_routing);
+          string_of_int (get Bitdb.Class_lut);
+          string_of_int (get Bitdb.Class_ff);
+          Printf.sprintf "%.0f" run.Runs.impl.Impl.timing.Tmr_pnr.Timing.mhz;
+          paper_slices;
+          paper_mhz;
+        ])
+    runs;
+  Texttab.render t
+
+(* ------------------------------------------------------------------ *)
+(* Table 3 *)
+
+let table3 runs =
+  let t =
+    Texttab.create ~title:"Table 3: fault injection campaign results"
+      ~header:
+        [ "Design"; "Injected"; "Wrong answers"; "[%]"; "paper [%]" ]
+      [ Texttab.Left; Texttab.Right; Texttab.Right; Texttab.Right;
+        Texttab.Right ]
+  in
+  List.iter
+    (fun (run : Runs.design_run) ->
+      match run.Runs.campaign with
+      | None -> ()
+      | Some c ->
+          let name = Partition.name run.Runs.strategy in
+          let paper =
+            match List.assoc_opt name paper_table3 with
+            | Some (_, _, pct) -> Printf.sprintf "%.2f" pct
+            | None -> "-"
+          in
+          Texttab.add_row t
+            [
+              Partition.paper_name run.Runs.strategy;
+              string_of_int c.Campaign.injected;
+              string_of_int c.Campaign.wrong;
+              Printf.sprintf "%.2f" (Campaign.wrong_percent c);
+              paper;
+            ])
+    runs;
+  Texttab.render t
+
+(* ------------------------------------------------------------------ *)
+(* Table 4 *)
+
+let table4 runs =
+  let with_campaigns =
+    List.filter_map
+      (fun (run : Runs.design_run) ->
+        Option.map (fun c -> (run, c)) run.Runs.campaign)
+      runs
+  in
+  let header =
+    "Effect"
+    :: List.concat_map
+         (fun ((run : Runs.design_run), _) ->
+           let n = Partition.paper_name run.Runs.strategy in
+           [ n ^ " [#]"; "[%]" ])
+         with_campaigns
+  in
+  let aligns =
+    Texttab.Left :: List.concat_map (fun _ -> [ Texttab.Right; Texttab.Right ]) with_campaigns
+  in
+  let t =
+    Texttab.create
+      ~title:
+        "Table 4: effects induced by the upsets that caused a wrong answer"
+      ~header aligns
+  in
+  let count_effect results eff =
+    Array.fold_left
+      (fun acc r ->
+        if r.Campaign.outcome = Campaign.Wrong_answer && r.Campaign.effect = eff
+        then acc + 1
+        else acc)
+      0 results
+  in
+  List.iter
+    (fun eff ->
+      let row =
+        Classify.name eff
+        :: List.concat_map
+             (fun (_, c) ->
+               let n = count_effect c.Campaign.results eff in
+               let total = max 1 (count_wrong c.Campaign.results) in
+               [
+                 string_of_int n;
+                 Printf.sprintf "%.0f" (100.0 *. float_of_int n /. float_of_int total);
+               ])
+             with_campaigns
+      in
+      Texttab.add_row t row)
+    Classify.all;
+  Texttab.add_separator t;
+  let totals =
+    "Total"
+    :: List.concat_map
+         (fun (_, c) ->
+           [ string_of_int (count_wrong c.Campaign.results); "" ])
+         with_campaigns
+  in
+  Texttab.add_row t totals;
+  Texttab.render t

@@ -1,0 +1,29 @@
+(** Reproductions of the paper's tables, rendered as plain text.
+
+    Each function returns the rendered table; the paper's own numbers are
+    shown alongside where they exist, so a run is directly comparable with
+    the publication (EXPERIMENTS.md records one such run). *)
+
+val table1 : Context.t -> Runs.design_run -> string
+(** Upset analysis in the TMR approach: one row per upset location (LUT,
+    routing, customization, flip-flop), with the consequence measured by
+    actually injecting examples of that class into the given TMR design
+    (and, for the flip-flop row, flipping user state in simulation). *)
+
+val table2 : Runs.design_run list -> string
+(** Area (slices), DUT configuration bits by class, estimated
+    performance. *)
+
+val table3 : Runs.design_run list -> string
+(** Fault-injection campaign results: injected faults, wrong answers. *)
+
+val table4 : Runs.design_run list -> string
+(** Classification of the effects of the upsets that caused a wrong
+    answer. *)
+
+val paper_table2 : (string * (int * int * int * int * int)) list
+(** The paper's Table 2 rows: design -> (slices, routing bits, LUT bits,
+    FF bits, MHz). *)
+
+val paper_table3 : (string * (int * int * float)) list
+(** The paper's Table 3 rows: design -> (injected, wrong, percent). *)

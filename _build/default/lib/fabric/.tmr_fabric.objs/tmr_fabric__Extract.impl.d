@@ -1,0 +1,1 @@
+lib/fabric/extract.ml: Array Tmr_arch Tmr_logic

@@ -1,0 +1,1 @@
+lib/fabric/extract.mli: Tmr_arch Tmr_logic

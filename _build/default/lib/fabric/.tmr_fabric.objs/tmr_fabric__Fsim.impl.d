@@ -1,0 +1,1 @@
+lib/fabric/fsim.ml: Array Extract Hashtbl List Tmr_arch Tmr_logic

@@ -1,0 +1,1 @@
+lib/fabric/fsim.mli: Extract Tmr_arch Tmr_logic

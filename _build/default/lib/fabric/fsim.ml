@@ -1,0 +1,499 @@
+module Logic = Tmr_logic.Logic
+module Device = Tmr_arch.Device
+
+(* Node kinds, encoded for tight loops. *)
+let k_constx = 0
+let k_pad = 1
+let k_bel_comb = 2
+let k_bel_reg = 3
+let k_resolve = 4
+
+type workspace = {
+  ws_dev : Device.t;
+  mutable epoch : int;
+  wire_mark : int array;  (* cone membership stamp *)
+  bel_mark : int array;
+  res_stamp : int array;  (* wire -> epoch of res_node validity *)
+  res_node : int array;  (* wire -> node id *)
+  ing_stamp : int array;  (* wire -> epoch when in-progress *)
+  bel_node_stamp : int array;
+  bel_node_id : int array;
+}
+
+let make_workspace dev =
+  {
+    ws_dev = dev;
+    epoch = 0;
+    wire_mark = Array.make dev.Device.nwires 0;
+    bel_mark = Array.make dev.Device.nbels 0;
+    res_stamp = Array.make dev.Device.nwires 0;
+    res_node = Array.make dev.Device.nwires 0;
+    ing_stamp = Array.make dev.Device.nwires 0;
+    bel_node_stamp = Array.make dev.Device.nbels 0;
+    bel_node_id = Array.make dev.Device.nbels 0;
+  }
+
+type t = {
+  nnodes : int;
+  kind : int array;
+  inputs : int array array;  (* resolve inputs; bel pin nodes (len 4, -1 unused) *)
+  table : int array;  (* bel nodes: LUT table *)
+  inv : int array;  (* bel nodes: pin inversion mask *)
+  ce_frozen : bool array;  (* bel nodes: clock-enable inverted *)
+  q_init : Logic.t array;
+  q : Logic.t array;
+  values : Logic.t array;
+  last : Logic.t array;
+      (* settled value of each node at the end of the previous cycle; used
+         by the drive-conflict glitch rule on shorted nodes *)
+  sccs : int array array;  (* evaluation order *)
+  scc_cyclic : bool array;
+  pad_node : (int, int) Hashtbl.t;  (* PadIn wire -> node *)
+  watch_node : (int, int) Hashtbl.t;  (* PadOut wire -> node *)
+  has_loop : bool;
+}
+
+let support_mask table =
+  let m = ref 0 in
+  for j = 0 to 3 do
+    let differs = ref false in
+    for idx = 0 to 15 do
+      if (table lsr idx) land 1 <> (table lsr (idx lxor (1 lsl j))) land 1 then
+        differs := true
+    done;
+    if !differs then m := !m lor (1 lsl j)
+  done;
+  !m
+
+(* Growable node store. *)
+type builder = {
+  mutable n : int;
+  mutable b_kind : int array;
+  mutable b_table : int array;
+  mutable b_inv : int array;
+  mutable b_ce : bool array;
+  mutable b_qi : Logic.t array;
+}
+
+let builder_create () =
+  {
+    n = 0;
+    b_kind = Array.make 256 0;
+    b_table = Array.make 256 0;
+    b_inv = Array.make 256 0;
+    b_ce = Array.make 256 false;
+    b_qi = Array.make 256 Logic.X;
+  }
+
+let builder_alloc b k ~table ~inv ~ce ~qi =
+  if b.n >= Array.length b.b_kind then begin
+    let grow a fill = Array.append a (Array.make (Array.length a) fill) in
+    b.b_kind <- grow b.b_kind 0;
+    b.b_table <- grow b.b_table 0;
+    b.b_inv <- grow b.b_inv 0;
+    b.b_ce <- grow b.b_ce false;
+    b.b_qi <- grow b.b_qi Logic.X
+  end;
+  let id = b.n in
+  b.b_kind.(id) <- k;
+  b.b_table.(id) <- table;
+  b.b_inv.(id) <- inv;
+  b.b_ce.(id) <- ce;
+  b.b_qi.(id) <- qi;
+  b.n <- id + 1;
+  id
+
+let build ?ws ex ~watch_outputs =
+  let dev = Extract.device ex in
+  let ws =
+    match ws with
+    | Some w ->
+        if w.ws_dev != dev then
+          invalid_arg "Fsim.build: workspace built for another device";
+        w
+    | None -> make_workspace dev
+  in
+  ws.epoch <- ws.epoch + 1;
+  let ep = ws.epoch in
+  (* ---- Phase 1: collect the observable cone (wires and bels) ---- *)
+  let bel_list = ref [] in
+  let stack = ref [] in
+  let push_wire w =
+    if ws.wire_mark.(w) <> ep then begin
+      ws.wire_mark.(w) <- ep;
+      stack := w :: !stack
+    end
+  in
+  Array.iter push_wire watch_outputs;
+  let visit_bel b =
+    if ws.bel_mark.(b) <> ep then begin
+      ws.bel_mark.(b) <- ep;
+      bel_list := b :: !bel_list;
+      let mask = support_mask (Extract.lut_table ex b) in
+      Array.iteri
+        (fun j pinw -> if (mask lsr j) land 1 = 1 then push_wire pinw)
+        dev.Device.bel_in.(b)
+    end
+  in
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | w :: rest ->
+        stack := rest;
+        (match dev.Device.wkind.(w) with
+        | Device.BelOut -> visit_bel dev.Device.wire_bel.(w)
+        | Device.PadIn -> ()
+        | Device.HSingle | Device.VSingle | Device.HDouble | Device.VDouble
+        | Device.HLong | Device.VLong | Device.BelIn | Device.PadOut ->
+            List.iter push_wire (Extract.drivers ex w);
+            List.iter push_wire (Extract.links ex w));
+        drain ()
+  in
+  drain ();
+  (* ---- Phase 2: allocate nodes ---- *)
+  let bld = builder_create () in
+  let alloc = builder_alloc bld in
+  let x_node = alloc k_constx ~table:0 ~inv:0 ~ce:false ~qi:Logic.X in
+  List.iter
+    (fun b ->
+      let registered = Extract.out_sel ex b in
+      let id =
+        alloc
+          (if registered then k_bel_reg else k_bel_comb)
+          ~table:(Extract.lut_table ex b)
+          ~inv:(Extract.in_inv_mask ex b)
+          ~ce:(Extract.ce_inv ex b)
+          ~qi:(Extract.ff_init ex b)
+      in
+      ws.bel_node_stamp.(b) <- ep;
+      ws.bel_node_id.(b) <- id)
+    !bel_list;
+  let pad_node = Hashtbl.create 64 in
+  let resolve_inputs = Hashtbl.create 64 in
+  let set_resolved w n =
+    ws.res_stamp.(w) <- ep;
+    ws.res_node.(w) <- n
+  in
+  let rec wire_node w =
+    if ws.res_stamp.(w) = ep then ws.res_node.(w)
+    else if ws.ing_stamp.(w) = ep then x_node (* pure driver loop: floats *)
+    else begin
+      match dev.Device.wkind.(w) with
+      | Device.PadIn ->
+          let pad = dev.Device.wire_pad.(w) in
+          let n =
+            if Extract.pad_enabled ex pad then begin
+              match Hashtbl.find_opt pad_node w with
+              | Some n -> n
+              | None ->
+                  let n = alloc k_pad ~table:0 ~inv:0 ~ce:false ~qi:Logic.X in
+                  Hashtbl.add pad_node w n;
+                  n
+            end
+            else x_node
+          in
+          set_resolved w n;
+          n
+      | Device.BelOut ->
+          let b = dev.Device.wire_bel.(w) in
+          let n =
+            if ws.bel_node_stamp.(b) = ep then ws.bel_node_id.(b)
+            else x_node (* outside the collected cone *)
+          in
+          set_resolved w n;
+          n
+      | Device.HSingle | Device.VSingle | Device.HDouble | Device.VDouble
+      | Device.HLong | Device.VLong | Device.BelIn | Device.PadOut ->
+          (* The electrical node is the whole component of wires shorted
+             together by ON pass pips; its drivers are every buffered
+             driver of any member. *)
+          let members = ref [] in
+          let rec collect u =
+            if ws.ing_stamp.(u) <> ep then begin
+              ws.ing_stamp.(u) <- ep;
+              members := u :: !members;
+              List.iter collect (Extract.links ex u)
+            end
+          in
+          collect w;
+          let members = !members in
+          let drvs = List.concat_map (fun u -> Extract.drivers ex u) members in
+          let finish n =
+            List.iter (fun u -> set_resolved u n) members;
+            n
+          in
+          (match drvs with
+          | [] -> finish x_node
+          | [ u ] ->
+              let n = wire_node u in
+              finish n
+          | us ->
+              let n = alloc k_resolve ~table:0 ~inv:0 ~ce:false ~qi:Logic.X in
+              (* register before resolving inputs so cycles hit the node,
+                 not infinite recursion *)
+              ignore (finish n);
+              Hashtbl.replace resolve_inputs n
+                (Array.of_list (List.map wire_node us));
+              n)
+    end
+  in
+  (* bel pins *)
+  let bel_pins = Hashtbl.create 256 in
+  List.iter
+    (fun b ->
+      let mask = support_mask (Extract.lut_table ex b) in
+      let pins =
+        Array.init 4 (fun j ->
+            if (mask lsr j) land 1 = 1 then wire_node dev.Device.bel_in.(b).(j)
+            else -1)
+      in
+      Hashtbl.add bel_pins ws.bel_node_id.(b) pins)
+    !bel_list;
+  let watch_node = Hashtbl.create 32 in
+  Array.iter
+    (fun w ->
+      let pad = dev.Device.wire_pad.(w) in
+      let n =
+        if pad >= 0 && not (Extract.pad_enabled ex pad) then x_node
+        else wire_node w
+      in
+      Hashtbl.replace watch_node w n)
+    watch_outputs;
+  let n = bld.n in
+  let kind = Array.sub bld.b_kind 0 n in
+  let table = Array.sub bld.b_table 0 n in
+  let inv = Array.sub bld.b_inv 0 n in
+  let ce_frozen = Array.sub bld.b_ce 0 n in
+  let q_init = Array.sub bld.b_qi 0 n in
+  let inputs = Array.make n [||] in
+  Hashtbl.iter (fun node ins -> inputs.(node) <- ins) resolve_inputs;
+  Hashtbl.iter (fun node pins -> inputs.(node) <- pins) bel_pins;
+  (* ---- Phase 3: SCC decomposition of the combinational graph ----
+     Combinational dependencies: resolve -> inputs; comb bel -> pins.
+     Registered bels, pads and constants are sources. *)
+  let dep node =
+    if kind.(node) = k_resolve then inputs.(node)
+    else if kind.(node) = k_bel_comb then inputs.(node)
+    else [||]
+  in
+  (* Tarjan, iterative *)
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let scc_stack = ref [] in
+  let counter = ref 0 in
+  let sccs = ref [] in
+  let strongconnect v =
+    let call_stack = ref [ (v, 0) ] in
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    scc_stack := v :: !scc_stack;
+    on_stack.(v) <- true;
+    while !call_stack <> [] do
+      match !call_stack with
+      | [] -> ()
+      | (node, i) :: rest ->
+          let deps = dep node in
+          if i < Array.length deps then begin
+            call_stack := (node, i + 1) :: rest;
+            let child = deps.(i) in
+            if child >= 0 then begin
+              if index.(child) < 0 then begin
+                index.(child) <- !counter;
+                low.(child) <- !counter;
+                incr counter;
+                scc_stack := child :: !scc_stack;
+                on_stack.(child) <- true;
+                call_stack := (child, 0) :: !call_stack
+              end
+              else if on_stack.(child) then
+                low.(node) <- min low.(node) index.(child)
+            end
+          end
+          else begin
+            call_stack := rest;
+            (match rest with
+            | (parent, _) :: _ -> low.(parent) <- min low.(parent) low.(node)
+            | [] -> ());
+            if low.(node) = index.(node) then begin
+              let comp = ref [] in
+              let continue = ref true in
+              while !continue do
+                match !scc_stack with
+                | [] -> continue := false
+                | w :: tl ->
+                    scc_stack := tl;
+                    on_stack.(w) <- false;
+                    comp := w :: !comp;
+                    if w = node then continue := false
+              done;
+              sccs := Array.of_list !comp :: !sccs
+            end
+          end
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strongconnect v
+  done;
+  (* Tarjan emits an SCC only after everything it depends on has been
+     emitted, so the emission order is already inputs-first; accumulation
+     with [::] reversed it, so reverse back. *)
+  let sccs = Array.of_list (List.rev !sccs) in
+  let has_self_loop comp =
+    Array.length comp > 1
+    || (let node = comp.(0) in
+        Array.exists (fun d -> d = node) (dep node))
+  in
+  let scc_cyclic = Array.map has_self_loop sccs in
+  {
+    nnodes = n;
+    kind;
+    inputs;
+    table;
+    inv;
+    ce_frozen;
+    q_init;
+    q = Array.map (fun v -> v) q_init;
+    values = Array.make n Logic.X;
+    last = Array.make n Logic.X;
+    sccs;
+    scc_cyclic;
+    pad_node;
+    watch_node;
+    has_loop = Array.exists (fun c -> c) scc_cyclic;
+  }
+
+let num_nodes t = t.nnodes
+let has_comb_loop t = t.has_loop
+
+let reset t =
+  Array.blit t.q_init 0 t.q 0 t.nnodes;
+  Array.fill t.values 0 t.nnodes Logic.X;
+  Array.fill t.last 0 t.nnodes Logic.X
+
+let set_pad t wire v =
+  match Hashtbl.find_opt t.pad_node wire with
+  | Some n -> t.values.(n) <- v
+  | None -> ()
+
+(* LUT evaluation on node values with inversion mask; X-aware. *)
+let lut_eval t node =
+  let pins = t.inputs.(node) in
+  let table = t.table.(node) in
+  let inv = t.inv.(node) in
+  (* fast path: all defined *)
+  let rec fast j idx =
+    if j >= 4 then Some idx
+    else
+      let p = pins.(j) in
+      if p < 0 then fast (j + 1) idx
+      else
+        match t.values.(p) with
+        | Logic.Zero ->
+            let bit = (inv lsr j) land 1 in
+            fast (j + 1) (idx lor (bit lsl j))
+        | Logic.One ->
+            let bit = 1 - ((inv lsr j) land 1) in
+            fast (j + 1) (idx lor (bit lsl j))
+        | Logic.X -> None
+  in
+  match fast 0 0 with
+  | Some idx -> Logic.of_bool ((table lsr idx) land 1 = 1)
+  | None ->
+      (* enumerate completions of X pins *)
+      let rec scan j idx =
+        if j >= 4 then Logic.of_bool ((table lsr idx) land 1 = 1)
+        else
+          let p = pins.(j) in
+          if p < 0 then scan (j + 1) idx
+          else
+            let continue v =
+              let bit =
+                if v then 1 - ((inv lsr j) land 1) else (inv lsr j) land 1
+              in
+              scan (j + 1) (idx lor (bit lsl j))
+            in
+            match t.values.(p) with
+            | Logic.Zero -> continue false
+            | Logic.One -> continue true
+            | Logic.X ->
+                let a = continue false and b = continue true in
+                if Logic.equal a b then a else Logic.X
+      in
+      scan 0 0
+
+let eval_node t node =
+  let k = t.kind.(node) in
+  if k = k_resolve then begin
+    (* A multiply-driven node: the drivers fight.  The settled value is
+       their agreement; beyond that we are pessimistic about skew — if any
+       driver transitioned this cycle, the fight glitches and the node
+       reads unknown (two copies of the same TMR signal are shorted
+       harmlessly in a zero-delay model, but not in silicon). *)
+    let ins = t.inputs.(node) in
+    let len = Array.length ins in
+    if len = 0 then Logic.X
+    else begin
+      let v = ref t.values.(ins.(0)) in
+      for i = 1 to len - 1 do
+        v := Logic.resolve !v t.values.(ins.(i))
+      done;
+      (match !v with
+      | Logic.X -> ()
+      | Logic.Zero | Logic.One ->
+          for i = 0 to len - 1 do
+            if not (Logic.equal t.last.(ins.(i)) !v) then v := Logic.X
+          done);
+      !v
+    end
+  end
+  else if k = k_bel_comb then lut_eval t node
+  else if k = k_bel_reg then t.q.(node)
+  else if k = k_constx then Logic.X
+  else (* k_pad *) t.values.(node)
+
+let eval t =
+  Array.iteri
+    (fun ci comp ->
+      if not t.scc_cyclic.(ci) then begin
+        let node = comp.(0) in
+        t.values.(node) <- eval_node t node
+      end
+      else begin
+        (* Kleene iteration from X *)
+        Array.iter (fun node -> t.values.(node) <- Logic.X) comp;
+        let changed = ref true in
+        let guard = ref ((3 * Array.length comp) + 4) in
+        while !changed && !guard > 0 do
+          changed := false;
+          decr guard;
+          Array.iter
+            (fun node ->
+              let v = eval_node t node in
+              if not (Logic.equal v t.values.(node)) then begin
+                t.values.(node) <- v;
+                changed := true
+              end)
+            comp
+        done
+      end)
+    t.sccs
+
+let clock t =
+  for node = 0 to t.nnodes - 1 do
+    let k = t.kind.(node) in
+    if k = k_bel_reg || k = k_bel_comb then
+      if not t.ce_frozen.(node) then t.q.(node) <- lut_eval t node
+  done;
+  Array.blit t.values 0 t.last 0 t.nnodes
+
+let step t =
+  eval t;
+  clock t;
+  eval t
+
+let read t wire =
+  match Hashtbl.find_opt t.watch_node wire with
+  | Some n -> t.values.(n)
+  | None -> invalid_arg "Fsim.read: wire is not watched"

@@ -1,0 +1,48 @@
+(** Simulator for whatever circuit a (possibly faulty) configuration
+    actually implements.
+
+    Built per fault from the {!Extract} state by walking backward from the
+    watched output pads: wires collapse onto their single driver,
+    multi-driven wires become resolution nodes (agreement or [X]), floating
+    wires read [X], and fault-created combinational loops are iterated to
+    their Kleene fixpoint.  Bels evaluate their (possibly corrupted) LUT
+    table with pin-inversion muxes applied; registered bels expose the
+    flip-flop, whose clock-enable and initialisation come from the
+    configuration. *)
+
+type t
+
+type workspace
+(** Reusable scratch arrays sized for one device; lets a fault-injection
+    campaign build thousands of simulators without re-allocating. *)
+
+val make_workspace : Tmr_arch.Device.t -> workspace
+
+val build : ?ws:workspace -> Extract.t -> watch_outputs:int array -> t
+(** [watch_outputs] are PadOut wires (the design's output pads).  The
+    simulator covers exactly the logic cone observable from them. *)
+
+val reset : t -> unit
+(** Flip-flops to their configuration-load state (a scrub/reconfiguration
+    boundary). *)
+
+val set_pad : t -> int -> Tmr_logic.Logic.t -> unit
+(** Drive a PadIn wire.  Ignored when the cone does not observe that pad. *)
+
+val eval : t -> unit
+
+val clock : t -> unit
+(** Latch every flip-flop from the latest {!eval} (edge only). *)
+
+val step : t -> unit
+(** {!eval}, {!clock}, then {!eval} again. *)
+
+val read : t -> int -> Tmr_logic.Logic.t
+(** Value of a watched PadOut wire after the latest {!eval}/{!step}. *)
+
+val num_nodes : t -> int
+(** Size of the collapsed simulation graph (diagnostics). *)
+
+val has_comb_loop : t -> bool
+(** True when the configuration contains a fault-induced combinational
+    cycle (diagnostics for effect classification). *)

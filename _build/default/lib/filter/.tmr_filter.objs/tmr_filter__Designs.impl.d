@@ -1,0 +1,1 @@
+lib/filter/designs.ml: Fir Tmr_core

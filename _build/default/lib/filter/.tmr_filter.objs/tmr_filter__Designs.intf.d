@@ -1,0 +1,1 @@
+lib/filter/designs.mli: Fir Tmr_core Tmr_netlist

@@ -1,0 +1,1 @@
+lib/filter/fir.ml: Array Printf Tmr_logic Tmr_netlist

@@ -1,0 +1,1 @@
+lib/filter/fir.mli: Tmr_netlist

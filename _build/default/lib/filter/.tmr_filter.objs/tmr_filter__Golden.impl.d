@@ -1,0 +1,1 @@
+lib/filter/golden.ml: Array Fir

@@ -1,0 +1,1 @@
+lib/filter/golden.mli: Fir

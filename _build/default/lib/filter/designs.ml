@@ -1,0 +1,18 @@
+module Partition = Tmr_core.Partition
+
+let build ?(params = Fir.paper_params) strategy =
+  Partition.protect (Fir.build params) strategy
+
+let description = function
+  | Partition.Unprotected -> "standard filter, no protection"
+  | Partition.Max_partition ->
+      "TMR with maximum logic partition: voters after every multiplier and \
+       adder, voted registers"
+  | Partition.Medium_partition ->
+      "TMR with medium logic partition: voters after each tap block, voted \
+       registers"
+  | Partition.Min_partition ->
+      "TMR with minimum partition: voted registers and output voters only"
+  | Partition.Min_partition_nv ->
+      "TMR with minimum partition and unvoted registers: output voters only"
+  | Partition.Custom (n, _) -> "custom partition: " ^ n

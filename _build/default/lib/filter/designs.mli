@@ -1,0 +1,9 @@
+(** The five filter versions of the paper's evaluation (§3, Table 2/3/4). *)
+
+val build :
+  ?params:Fir.params -> Tmr_core.Partition.strategy -> Tmr_netlist.Netlist.t
+(** The filter protected by the given strategy (default: the paper's
+    11-tap 9-bit filter). *)
+
+val description : Tmr_core.Partition.strategy -> string
+(** The paper's wording for each version. *)

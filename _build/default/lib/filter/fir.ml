@@ -1,0 +1,63 @@
+module Netlist = Tmr_netlist.Netlist
+module Word = Tmr_netlist.Word
+module Srand = Tmr_logic.Srand
+
+type params = {
+  coeffs : int array;
+  input_width : int;
+  acc_width : int;
+}
+
+let paper_params =
+  {
+    coeffs = [| 1; -1; -9; 6; 73; 120; 73; 6; -9; -1; 1 |];
+    input_width = 9;
+    acc_width = 18;
+  }
+
+let tiny_params = { coeffs = [| 1; -2; 3 |]; input_width = 5; acc_width = 10 }
+
+let build p =
+  let nl = Netlist.create () in
+  Netlist.set_comp nl "input";
+  let x = Word.input nl "x" ~width:p.input_width in
+  let taps = Array.length p.coeffs in
+  (* delay line: delayed.(i) = x[n-i] *)
+  let delayed = Array.make taps x in
+  for i = 1 to taps - 1 do
+    Netlist.with_comp nl
+      (Printf.sprintf "tap%02d/reg" i)
+      (fun () -> delayed.(i) <- Word.reg nl delayed.(i - 1))
+  done;
+  (* products and accumulation chain *)
+  let acc = ref None in
+  for i = 0 to taps - 1 do
+    let product =
+      Netlist.with_comp nl
+        (Printf.sprintf "tap%02d/mult" i)
+        (fun () -> Word.mul_const nl delayed.(i) p.coeffs.(i) ~width:p.acc_width)
+    in
+    acc :=
+      Some
+        (match !acc with
+        | None -> product
+        | Some sum ->
+            Netlist.with_comp nl
+              (Printf.sprintf "tap%02d/add" i)
+              (fun () -> Word.add nl sum product))
+  done;
+  Netlist.set_comp nl "output";
+  (match !acc with
+  | Some sum -> Word.output nl "y" sum
+  | None -> invalid_arg "Fir.build: no coefficients");
+  Netlist.set_comp nl "";
+  nl
+
+let stimulus ?(cycles = 48) ~seed p =
+  let rng = Srand.create seed in
+  let amplitude = (1 lsl (p.input_width - 1)) - 1 in
+  Array.init cycles (fun t ->
+      if t = 0 then amplitude (* impulse *)
+      else if t < 4 then 0
+      else if t < 12 then amplitude / 2 (* step *)
+      else Srand.int rng ((2 * amplitude) + 1) - amplitude)

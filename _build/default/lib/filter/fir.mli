@@ -1,0 +1,31 @@
+(** The paper's case study: an 11-tap 9-bit low-pass FIR filter.
+
+    Direct form: a 9-bit register delay line on the input samples, one
+    constant-coefficient multiplier per tap (shift-and-add networks, since
+    the coefficients are constants) and a chain of 18-bit adders — "eleven
+    dedicated 9-bit multipliers, ten 18-bit adders and ten 9-bit
+    registers".  Coefficients are the paper's Matlab design scaled by 512:
+    1, -1, -9, 6, 73, 120, mirrored. *)
+
+type params = {
+  coeffs : int array;
+  input_width : int;
+  acc_width : int;
+}
+
+val paper_params : params
+(** 11 symmetric coefficients [1; -1; -9; 6; 73; 120; 73; 6; -9; -1; 1],
+    9-bit input, 18-bit accumulation. *)
+
+val tiny_params : params
+(** A 3-tap variant for unit tests. *)
+
+val build : params -> Tmr_netlist.Netlist.t
+(** Ports: input ["x"] ([input_width] bits), output ["y"] ([acc_width]
+    bits).  Components are labelled ["tapNN/mult"], ["tapNN/add"],
+    ["tapNN/reg"] so the {!Tmr_core.Partition} strategies can find the
+    block boundaries. *)
+
+val stimulus : ?cycles:int -> seed:int -> params -> int array
+(** Deterministic test pattern: an impulse, a step, then seeded random
+    samples, all within the signed input range. *)

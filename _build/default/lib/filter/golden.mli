@@ -1,0 +1,19 @@
+(** Software reference model of the FIR filter — the "Golden device" of the
+    paper's fault-injection system, §4 (a copy of the DUT without TMR).
+
+    Semantics match the netlist exactly: the output sample for an input is
+    the combinational response before the clock edge; {!step} returns it
+    and then shifts the delay line.  All arithmetic wraps at [acc_width]
+    bits. *)
+
+type t
+
+val create : Fir.params -> t
+val reset : t -> unit
+
+val step : t -> int -> int
+(** [step t x] = filter output for this cycle, then advances the delay
+    line. *)
+
+val run : Fir.params -> int array -> int array
+(** Whole-sequence convenience: reset, then map {!step}. *)

@@ -1,0 +1,1 @@
+lib/inject/campaign.ml: Array Classify List Printf Tmr_arch Tmr_core Tmr_fabric Tmr_logic Tmr_netlist Tmr_pnr

@@ -1,0 +1,1 @@
+lib/inject/campaign.mli: Classify Tmr_logic Tmr_netlist Tmr_pnr

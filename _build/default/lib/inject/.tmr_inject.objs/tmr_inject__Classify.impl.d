@@ -1,0 +1,1 @@
+lib/inject/classify.ml: Array Tmr_arch Tmr_pnr

@@ -1,0 +1,1 @@
+lib/inject/classify.mli: Tmr_pnr

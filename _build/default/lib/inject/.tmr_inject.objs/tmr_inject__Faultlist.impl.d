@@ -1,0 +1,1 @@
+lib/inject/faultlist.ml: Array Tmr_arch Tmr_logic Tmr_pnr

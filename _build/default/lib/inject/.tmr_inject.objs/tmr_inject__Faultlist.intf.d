@@ -1,0 +1,1 @@
+lib/inject/faultlist.mli: Tmr_arch Tmr_pnr

@@ -1,0 +1,1 @@
+lib/inject/scrub.ml: Array Campaign Faultlist Hashtbl List Tmr_arch Tmr_fabric Tmr_logic Tmr_netlist Tmr_pnr

@@ -1,0 +1,1 @@
+lib/inject/scrub.mli: Campaign Faultlist Tmr_netlist Tmr_pnr

@@ -1,0 +1,182 @@
+module Logic = Tmr_logic.Logic
+module Netlist = Tmr_netlist.Netlist
+module Netsim = Tmr_netlist.Netsim
+module Bitstream = Tmr_arch.Bitstream
+module Impl = Tmr_pnr.Impl
+module Extract = Tmr_fabric.Extract
+module Fsim = Tmr_fabric.Fsim
+
+type stimulus = {
+  cycles : int;
+  inputs : (string * int array) list;
+}
+
+type outcome =
+  | Silent
+  | Wrong_answer
+
+type fault_result = {
+  bit : int;
+  outcome : outcome;
+  effect : Classify.effect;
+  first_error_cycle : int;
+}
+
+type t = {
+  design : string;
+  injected : int;
+  wrong : int;
+  results : fault_result array;
+}
+
+let golden_outputs nl stimulus =
+  List.iter
+    (fun (port, samples) ->
+      if Array.length samples < stimulus.cycles then
+        invalid_arg (Printf.sprintf "Campaign: port %S has too few samples" port))
+    stimulus.inputs;
+  let sim = Netsim.create nl in
+  Netsim.reset sim;
+  let ports = Netlist.output_ports nl in
+  let record =
+    List.map
+      (fun (port, bits) ->
+        (port, Array.make_matrix stimulus.cycles (Array.length bits) Logic.X))
+      ports
+  in
+  for cycle = 0 to stimulus.cycles - 1 do
+    List.iter
+      (fun (port, samples) -> Netsim.set_input sim port samples.(cycle))
+      stimulus.inputs;
+    Netsim.eval sim;
+    List.iter
+      (fun (port, matrix) ->
+        let bits = Netsim.output_bits sim port in
+        Array.blit bits 0 matrix.(cycle) 0 (Array.length bits))
+      record;
+    Netsim.clock sim
+  done;
+  record
+
+(* The DUT's physical pads for a base input port: the port itself on an
+   unprotected design, or its three domain copies on a TMR design. *)
+let dut_input_wires impl port =
+  let mapped = impl.Impl.mapped in
+  let has name = List.mem_assoc name (Netlist.input_ports mapped) in
+  let port_wires name =
+    let bits = Netlist.find_input_port mapped name in
+    Array.init (Array.length bits) (Impl.input_pad_wire impl name)
+  in
+  if has port then [ port_wires port ]
+  else begin
+    let copies =
+      List.init Tmr_core.Tmr.domains (Tmr_core.Tmr.redundant_port port)
+    in
+    List.iter
+      (fun c ->
+        if not (has c) then
+          invalid_arg (Printf.sprintf "Campaign: DUT has no input port %S" c))
+      copies;
+    List.map port_wires copies
+  end
+
+let dut_output_wires impl port =
+  let bits = Netlist.find_output_port impl.Impl.mapped port in
+  Array.init (Array.length bits) (Impl.output_pad_wire impl port)
+
+let run ?progress ~name ~impl ~golden ~stimulus ~faults () =
+  let golden_ref = golden_outputs golden stimulus in
+  (* physical IO map *)
+  let input_map =
+    List.map
+      (fun (port, samples) -> (dut_input_wires impl port, samples))
+      stimulus.inputs
+  in
+  let output_map =
+    List.map (fun (port, matrix) -> (dut_output_wires impl port, matrix)) golden_ref
+  in
+  let watch_outputs =
+    Array.concat (List.map (fun (wires, _) -> wires) output_map)
+  in
+  let ex =
+    Extract.create impl.Impl.dev impl.Impl.db
+      (Bitstream.copy impl.Impl.bitgen.Tmr_pnr.Bitgen.bitstream)
+  in
+  (* Run the DUT through the stimulus; return the first cycle where any
+     output bit disagrees with the golden reference, or -1. *)
+  let run_dut sim =
+    Fsim.reset sim;
+    let error_cycle = ref (-1) in
+    let cycle = ref 0 in
+    while !error_cycle < 0 && !cycle < stimulus.cycles do
+      let c = !cycle in
+      List.iter
+        (fun (wire_sets, samples) ->
+          let v = samples.(c) in
+          List.iter
+            (fun wires ->
+              Array.iteri
+                (fun i w ->
+                  Fsim.set_pad sim w (Logic.of_bool ((v asr i) land 1 = 1)))
+                wires)
+            wire_sets)
+        input_map;
+      Fsim.eval sim;
+      let ok =
+        List.for_all
+          (fun (wires, matrix) ->
+            let expected = matrix.(c) in
+            let n = Array.length wires in
+            let rec check i =
+              i >= n
+              || (Logic.equal (Fsim.read sim wires.(i)) expected.(i)
+                  && check (i + 1))
+            in
+            check 0)
+          output_map
+      in
+      if not ok then error_cycle := c
+      else begin
+        Fsim.clock sim;
+        incr cycle
+      end
+    done;
+    !error_cycle
+  in
+  let ws = Fsim.make_workspace impl.Impl.dev in
+  (* baseline: the un-faulted DUT must match the golden device *)
+  let baseline = Fsim.build ~ws ex ~watch_outputs in
+  (match run_dut baseline with
+  | -1 -> ()
+  | c ->
+      failwith
+        (Printf.sprintf
+           "Campaign %s: fault-free DUT disagrees with golden device at cycle %d"
+           name c));
+  let total = Array.length faults in
+  let results =
+    Array.mapi
+      (fun i bit ->
+        (match progress with Some f -> f i total | None -> ());
+        Extract.apply_bit_flip ex bit;
+        let sim = Fsim.build ~ws ex ~watch_outputs in
+        let error_cycle = run_dut sim in
+        Extract.apply_bit_flip ex bit;
+        {
+          bit;
+          outcome = (if error_cycle >= 0 then Wrong_answer else Silent);
+          effect = Classify.classify impl bit;
+          first_error_cycle = error_cycle;
+        })
+      faults
+  in
+  let wrong =
+    Array.fold_left
+      (fun acc r -> if r.outcome = Wrong_answer then acc + 1 else acc)
+      0 results
+  in
+  { design = name; injected = total; wrong; results }
+
+let wrong_percent t =
+  if t.injected = 0 then 0.0
+  else 100.0 *. float_of_int t.wrong /. float_of_int t.injected

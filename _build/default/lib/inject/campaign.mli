@@ -1,0 +1,61 @@
+(** Fault Injection Manager (paper §4, module 2).
+
+    For each fault in the list: flip the bit in the configuration image,
+    re-derive the circuit the fabric now implements, run the test pattern,
+    and compare every output bit of every clock cycle against the golden
+    device (a netlist-level simulation of the unprotected design).  Any
+    difference — including an unknown value — classifies the fault as a
+    Wrong Answer; the fault is then reverted (scrubbing) and the next one
+    is injected. *)
+
+type stimulus = {
+  cycles : int;
+  inputs : (string * int array) list;
+      (** per base input port, one sample per cycle.  A TMR DUT's
+          triplicated copies of the port are driven identically. *)
+}
+
+type outcome =
+  | Silent
+  | Wrong_answer
+
+type fault_result = {
+  bit : int;
+  outcome : outcome;
+  effect : Classify.effect;
+  first_error_cycle : int;  (** -1 when silent *)
+}
+
+type t = {
+  design : string;
+  injected : int;
+  wrong : int;
+  results : fault_result array;
+}
+
+val dut_input_wires : Tmr_pnr.Impl.t -> string -> int array list
+(** Physical PadIn wires for a base input port: one wire set on an
+    unprotected design, three (one per redundancy domain) on a TMR one. *)
+
+val dut_output_wires : Tmr_pnr.Impl.t -> string -> int array
+
+val golden_outputs :
+  Tmr_netlist.Netlist.t ->
+  stimulus ->
+  (string * Tmr_logic.Logic.t array array) list
+(** Reference response of a netlist: for each output port, the per-cycle
+    bit values sampled combinationally (before each clock edge). *)
+
+val run :
+  ?progress:(int -> int -> unit) ->
+  name:string ->
+  impl:Tmr_pnr.Impl.t ->
+  golden:Tmr_netlist.Netlist.t ->
+  stimulus:stimulus ->
+  faults:int array ->
+  unit ->
+  t
+(** Raises [Failure] if the un-faulted DUT does not match the golden
+    device (an implementation-flow bug, not a fault). *)
+
+val wrong_percent : t -> float

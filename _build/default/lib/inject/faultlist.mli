@@ -1,0 +1,19 @@
+(** Fault List Manager (paper §4, module 1).
+
+    Generates the list of candidate single-bit upsets for a DUT: only bits
+    that are "actually programmed to implement the DUT" (used-bel bits,
+    used-pad bits, and routing bits incident to routed wires), so no
+    injection is wasted on unrelated parts of the configuration memory.
+    Common-mode faults are impossible by construction: one bit per
+    injection. *)
+
+type t = {
+  bits : int array;  (** candidate bit addresses, ascending *)
+  by_class : (Tmr_arch.Bitdb.bit_class * int) list;
+}
+
+val of_impl : Tmr_pnr.Impl.t -> t
+
+val sample : t -> seed:int -> count:int -> int array
+(** Random sample without replacement (the whole list if [count] is
+    larger), deterministic in [seed]. *)

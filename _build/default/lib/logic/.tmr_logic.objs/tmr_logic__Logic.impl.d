@@ -1,0 +1,1 @@
+lib/logic/logic.ml: Format List

@@ -1,0 +1,1 @@
+lib/logic/srand.ml: Array Hashtbl Int64

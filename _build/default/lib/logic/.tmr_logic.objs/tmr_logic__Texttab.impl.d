@@ -1,0 +1,1 @@
+lib/logic/texttab.ml: Array Buffer List Printf String

@@ -1,0 +1,74 @@
+type t =
+  | Zero
+  | One
+  | X
+
+let equal a b =
+  match a, b with
+  | Zero, Zero | One, One | X, X -> true
+  | (Zero | One | X), _ -> false
+
+let of_bool b = if b then One else Zero
+
+let to_bool_opt = function
+  | Zero -> Some false
+  | One -> Some true
+  | X -> None
+
+let is_x = function
+  | X -> true
+  | Zero | One -> false
+
+let logic_not = function
+  | Zero -> One
+  | One -> Zero
+  | X -> X
+
+let ( &&& ) a b =
+  match a, b with
+  | Zero, _ | _, Zero -> Zero
+  | One, One -> One
+  | (X | One), _ -> X
+
+let ( ||| ) a b =
+  match a, b with
+  | One, _ | _, One -> One
+  | Zero, Zero -> Zero
+  | (X | Zero), _ -> X
+
+let logic_xor a b =
+  match a, b with
+  | X, _ | _, X -> X
+  | Zero, Zero | One, One -> Zero
+  | (Zero | One), _ -> One
+
+let mux ~sel a b =
+  match sel with
+  | Zero -> a
+  | One -> b
+  | X -> if equal a b && not (is_x a) then a else X
+
+let maj3 a b c =
+  match a, b, c with
+  | Zero, Zero, _ | Zero, _, Zero | _, Zero, Zero -> Zero
+  | One, One, _ | One, _, One | _, One, One -> One
+  | (Zero | One | X), _, _ -> X
+
+let resolve a b = if equal a b && not (is_x a) then a else X
+
+let resolve_list = function
+  | [] -> X
+  | v :: rest -> List.fold_left resolve v rest
+
+let to_char = function
+  | Zero -> '0'
+  | One -> '1'
+  | X -> 'X'
+
+let of_char = function
+  | '0' -> Some Zero
+  | '1' -> Some One
+  | 'X' | 'x' -> Some X
+  | _ -> None
+
+let pp ppf v = Format.pp_print_char ppf (to_char v)

@@ -1,0 +1,77 @@
+type align =
+  | Left
+  | Right
+
+type row =
+  | Cells of string list
+  | Separator
+
+type t = {
+  title : string option;
+  header : string list;
+  aligns : align list;
+  ncols : int;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title ~header aligns =
+  let ncols = List.length aligns in
+  if List.length header <> ncols then
+    invalid_arg "Texttab.create: header / alignment arity mismatch";
+  { title; header; aligns; ncols; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> t.ncols then
+    invalid_arg
+      (Printf.sprintf "Texttab.add_row: expected %d cells, got %d" t.ncols
+         (List.length cells));
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.make t.ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure t.header;
+  List.iter (function Cells c -> measure c | Separator -> ()) rows;
+  let buf = Buffer.create 256 in
+  let pad i cell align =
+    let w = widths.(i) in
+    let n = w - String.length cell in
+    match align with
+    | Left -> cell ^ String.make n ' '
+    | Right -> String.make n ' ' ^ cell
+  in
+  let emit_cells cells =
+    List.iteri
+      (fun i (cell, align) ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad i cell align))
+      (List.combine cells t.aligns);
+    Buffer.add_char buf '\n'
+  in
+  let rule () =
+    let total =
+      Array.fold_left ( + ) 0 widths + (2 * (t.ncols - 1))
+    in
+    Buffer.add_string buf (String.make total '-');
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  emit_cells t.header;
+  rule ();
+  List.iter
+    (function
+      | Cells c -> emit_cells c
+      | Separator -> rule ())
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t); print_newline ()

@@ -1,0 +1,1 @@
+lib/netlist/check.ml: Array Format Levelize List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/netlist/export.ml: Array Buffer Char List Netlist Option Printf String Tmr_logic

@@ -1,0 +1,1 @@
+lib/netlist/netsim.ml: Array Levelize List Netlist Tmr_logic

@@ -1,0 +1,1 @@
+lib/netlist/netsim.mli: Netlist Tmr_logic

@@ -1,0 +1,1 @@
+lib/netlist/vcd.ml: Array Buffer Char List Netlist Netsim Printf String Tmr_logic

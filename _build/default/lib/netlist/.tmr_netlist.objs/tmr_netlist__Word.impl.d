@@ -1,0 +1,1 @@
+lib/netlist/word.ml: Array List Netlist Printf Tmr_logic

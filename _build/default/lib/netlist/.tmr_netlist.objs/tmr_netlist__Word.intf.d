@@ -1,0 +1,1 @@
+lib/netlist/word.mli: Netlist

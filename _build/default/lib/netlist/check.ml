@@ -1,0 +1,45 @@
+let lut_is_maj3 table =
+  let expected = Netlist.lut_of_fun ~arity:3 (fun v ->
+      (v.(0) && v.(1)) || (v.(0) && v.(2)) || (v.(1) && v.(2)))
+  in
+  table = expected.Netlist.table
+
+let run nl =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  (match Levelize.run nl with
+  | Ok _ -> ()
+  | Error msg -> err "%s" msg);
+  Netlist.iter_cells nl (fun c ->
+      let d = Netlist.domain nl c in
+      if d < -1 || d > 2 then err "cell %d: domain %d out of range" c d;
+      if Netlist.is_voter nl c then begin
+        match Netlist.kind nl c with
+        | Netlist.Maj3 -> ()
+        | Netlist.Lut { arity = 3; table } when lut_is_maj3 table -> ()
+        | k ->
+            err "cell %d: voter flag on non-majority cell (%s)" c
+              (Format.asprintf "%a" Netlist.pp_kind k)
+      end;
+      (* TMR isolation: a cell assigned to a domain must not read logic of a
+         different domain, unless it is a voter (voters read all three). *)
+      if d >= 0 && not (Netlist.is_voter nl c) then
+        Array.iter
+          (fun src ->
+            let ds = Netlist.domain nl src in
+            if ds >= 0 && ds <> d then
+              err "cell %d (domain %d) reads cell %d of domain %d" c d src ds)
+          (Netlist.fanins nl c));
+  List.iter
+    (fun (port_name, bits) ->
+      if Array.length bits = 0 then err "output port %S is empty" port_name)
+    (Netlist.output_ports nl);
+  match !errors with
+  | [] -> Ok ()
+  | es -> Error (List.rev es)
+
+let run_exn nl =
+  match run nl with
+  | Ok () -> ()
+  | Error es ->
+      failwith ("Check: " ^ String.concat "; " es)

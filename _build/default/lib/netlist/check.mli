@@ -1,0 +1,13 @@
+(** Netlist well-formedness lint.
+
+    Run after construction and after every transformation (triplication,
+    voter insertion, technology mapping) to catch rewiring mistakes
+    early. *)
+
+val run : Netlist.t -> (unit, string list) result
+(** Checks: no combinational loops; output ports driven; domains within
+    [-1, 2]; voters are 3-input majority functions; LUT tables within
+    range; TMR invariant — a non-voter cell never reads a net from a
+    different non-negative domain. *)
+
+val run_exn : Netlist.t -> unit

@@ -1,0 +1,28 @@
+(** Textual netlist interchange.
+
+    A line-oriented, diff-friendly dump of a netlist, and its parser.  The
+    format round-trips every attribute the flow uses (kinds, fanins,
+    names, components, domains, voter flags, ports), so netlists can be
+    checked into test fixtures, inspected, or exchanged with external
+    tools.
+
+    Format (one record per line):
+    {v
+    tmrnl 1
+    cell <id> <kind> [<fanin>...] ; name=<q> comp=<q> domain=<d> voter=<0|1>
+    inport <q> <id>...
+    outport <q> <id>...
+    v}
+    where [<kind>] is one of [input output const0 const1 constx not and2
+    or2 xor2 mux2 maj3 lut<arity>:<hex> ff0 ff1 ffx] and [<q>] is a
+    URL-percent-quoted string. *)
+
+val to_string : Netlist.t -> string
+
+val to_channel : out_channel -> Netlist.t -> unit
+
+val of_string : string -> (Netlist.t, string) result
+(** Parses a dump; cell ids must be dense and in dependency order (as
+    produced by {!to_string}). *)
+
+val of_string_exn : string -> Netlist.t

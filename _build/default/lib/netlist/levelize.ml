@@ -1,0 +1,70 @@
+type t = {
+  order : Netlist.id array;
+  level : int array;
+  depth : int;
+}
+
+let is_source nl c =
+  match Netlist.kind nl c with
+  | Netlist.Input | Netlist.Const _ | Netlist.Ff _ -> true
+  | Netlist.Output | Netlist.Not | Netlist.And2 | Netlist.Or2 | Netlist.Xor2
+  | Netlist.Mux2 | Netlist.Maj3 | Netlist.Lut _ ->
+      false
+
+(* Iterative DFS with colouring; grey-on-grey means a combinational loop. *)
+let run nl =
+  let n = Netlist.num_cells nl in
+  let colour = Array.make n 0 (* 0 white, 1 grey, 2 black *) in
+  let level = Array.make n 0 in
+  let order = Array.make n 0 in
+  let next = ref 0 in
+  let push_order c =
+    order.(!next) <- c;
+    incr next
+  in
+  let exception Loop of Netlist.id in
+  let visit root =
+    if colour.(root) = 0 then begin
+      let stack = ref [ (root, 0) ] in
+      colour.(root) <- 1;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (c, i) :: rest ->
+            let fanins = if is_source nl c then [||] else Netlist.fanins nl c in
+            if i < Array.length fanins then begin
+              stack := (c, i + 1) :: rest;
+              let src = fanins.(i) in
+              if colour.(src) = 0 then begin
+                colour.(src) <- 1;
+                stack := (src, 0) :: !stack
+              end
+              else if colour.(src) = 1 then raise (Loop src)
+            end
+            else begin
+              colour.(c) <- 2;
+              let lvl =
+                Array.fold_left (fun acc src -> max acc (level.(src) + 1)) 0 fanins
+              in
+              level.(c) <- lvl;
+              push_order c;
+              stack := rest
+            end
+      done
+    end
+  in
+  match Netlist.iter_cells nl visit with
+  | () ->
+      let depth =
+        if n = 0 then 0 else Array.fold_left max 0 level + 1
+      in
+      Ok { order; level; depth }
+  | exception Loop c ->
+      Error
+        (Printf.sprintf "combinational loop through cell %d (%s)" c
+           (Netlist.name nl c))
+
+let run_exn nl =
+  match run nl with
+  | Ok t -> t
+  | Error msg -> failwith ("Levelize: " ^ msg)

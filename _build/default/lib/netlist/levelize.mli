@@ -1,0 +1,19 @@
+(** Topological ordering of the combinational part of a netlist.
+
+    Flip-flop outputs, inputs and constants are sources; flip-flop D pins
+    are sinks.  A cycle that passes through no flip-flop is a combinational
+    loop and is rejected (the fabric simulator, which must tolerate
+    fault-induced loops, has its own relaxation — see {!Tmr_fabric}). *)
+
+type t = {
+  order : Netlist.id array;
+      (** every cell exactly once, drivers before readers along
+          combinational edges *)
+  level : int array;  (** combinational depth; sources are level 0 *)
+  depth : int;  (** max level + 1, 0 for an empty netlist *)
+}
+
+val run : Netlist.t -> (t, string) result
+(** [Error msg] names a cell on a combinational loop. *)
+
+val run_exn : Netlist.t -> t

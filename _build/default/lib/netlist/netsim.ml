@@ -1,0 +1,102 @@
+module Logic = Tmr_logic.Logic
+
+type t = {
+  nl : Netlist.t;
+  lev : Levelize.t;
+  values : Logic.t array;
+  scratch : Logic.t array; (* fanin buffer, max arity 4 *)
+}
+
+let create nl =
+  let lev = Levelize.run_exn nl in
+  let n = Netlist.num_cells nl in
+  let t = { nl; lev; values = Array.make n Logic.X; scratch = Array.make 4 Logic.X } in
+  t
+
+let reset t =
+  Netlist.iter_cells t.nl (fun c ->
+      t.values.(c) <-
+        (match Netlist.kind t.nl c with
+        | Netlist.Ff init -> init
+        | Netlist.Const v -> v
+        | Netlist.Input | Netlist.Output | Netlist.Not | Netlist.And2
+        | Netlist.Or2 | Netlist.Xor2 | Netlist.Mux2 | Netlist.Maj3
+        | Netlist.Lut _ ->
+            Logic.X))
+
+let set_input_bits t port_name bits =
+  let ids = Netlist.find_input_port t.nl port_name in
+  if Array.length ids <> Array.length bits then
+    invalid_arg "Netsim.set_input_bits: width mismatch";
+  Array.iteri (fun i id -> t.values.(id) <- bits.(i)) ids
+
+let set_input t port_name v =
+  let ids = Netlist.find_input_port t.nl port_name in
+  Array.iteri
+    (fun i id -> t.values.(id) <- Logic.of_bool ((v asr i) land 1 = 1))
+    ids
+
+let set_ff t c v =
+  match Netlist.kind t.nl c with
+  | Netlist.Ff _ -> t.values.(c) <- v
+  | _ -> invalid_arg "Netsim.set_ff: not a flip-flop"
+
+let eval t =
+  let order = t.lev.Levelize.order in
+  for i = 0 to Array.length order - 1 do
+    let c = order.(i) in
+    match Netlist.kind t.nl c with
+    | Netlist.Input | Netlist.Ff _ | Netlist.Const _ -> ()
+    | ( Netlist.Output | Netlist.Not | Netlist.And2 | Netlist.Or2
+      | Netlist.Xor2 | Netlist.Mux2 | Netlist.Maj3 | Netlist.Lut _ ) as k ->
+        let fanins = Netlist.fanins t.nl c in
+        for j = 0 to Array.length fanins - 1 do
+          t.scratch.(j) <- t.values.(fanins.(j))
+        done;
+        t.values.(c) <- Netlist.eval_kind k t.scratch
+  done
+
+let clock t =
+  (* latch all D values, then commit; assumes [eval] has run *)
+  let updates = ref [] in
+  Netlist.iter_cells t.nl (fun c ->
+      match Netlist.kind t.nl c with
+      | Netlist.Ff _ ->
+          let d = (Netlist.fanins t.nl c).(0) in
+          updates := (c, t.values.(d)) :: !updates
+      | Netlist.Input | Netlist.Output | Netlist.Const _ | Netlist.Not
+      | Netlist.And2 | Netlist.Or2 | Netlist.Xor2 | Netlist.Mux2
+      | Netlist.Maj3 | Netlist.Lut _ ->
+          ());
+  List.iter (fun (c, v) -> t.values.(c) <- v) !updates
+
+let step t =
+  eval t;
+  clock t;
+  eval t
+
+let value t c = t.values.(c)
+
+let output_bits t port_name =
+  let ids = Netlist.find_output_port t.nl port_name in
+  Array.map (fun id -> t.values.(id)) ids
+
+let output_int t port_name =
+  let bits = output_bits t port_name in
+  let n = Array.length bits in
+  let rec build i acc =
+    if i >= n then Some acc
+    else
+      match bits.(i) with
+      | Logic.X -> None
+      | Logic.One ->
+          let acc = acc lor (1 lsl i) in
+          build (i + 1) acc
+      | Logic.Zero -> build (i + 1) acc
+  in
+  match build 0 0 with
+  | None -> None
+  | Some unsigned ->
+      if n > 0 && unsigned land (1 lsl (n - 1)) <> 0 then
+        Some (unsigned - (1 lsl n))
+      else Some unsigned

@@ -1,0 +1,43 @@
+(** Cycle-based netlist simulator over three-valued logic.
+
+    This is the reference ("golden device") simulator: it runs the netlist
+    as designed, before placement and routing.  The fabric simulator in
+    {!Tmr_fabric} runs what a (possibly faulty) bitstream actually
+    implements; comparing the two is the fault-classification criterion. *)
+
+type t
+
+val create : Netlist.t -> t
+(** Levelizes the netlist; fails on combinational loops. *)
+
+val reset : t -> unit
+(** Flip-flops return to their configuration-load init value; primary
+    inputs become [X] until driven. *)
+
+val set_input : t -> string -> int -> unit
+(** Drive an input port with a two's-complement integer. *)
+
+val set_input_bits : t -> string -> Tmr_logic.Logic.t array -> unit
+
+val set_ff : t -> Netlist.id -> Tmr_logic.Logic.t -> unit
+(** Override a flip-flop's current state (used to emulate an SEU in user
+    sequential logic for the fig. 2 experiment). *)
+
+val eval : t -> unit
+(** Propagate combinational logic for the current inputs and state. *)
+
+val clock : t -> unit
+(** Latch every flip-flop from the values of the latest {!eval} (the rising
+    edge alone; no re-evaluation). *)
+
+val step : t -> unit
+(** {!eval}, {!clock}, then {!eval} again so post-edge outputs are
+    readable. *)
+
+val value : t -> Netlist.id -> Tmr_logic.Logic.t
+(** Value of a net after the latest {!eval}/{!step}. *)
+
+val output_bits : t -> string -> Tmr_logic.Logic.t array
+
+val output_int : t -> string -> int option
+(** Two's-complement reading of an output port; [None] if any bit is [X]. *)

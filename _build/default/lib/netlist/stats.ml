@@ -1,0 +1,71 @@
+type t = {
+  cells : int;
+  gates : int;
+  luts : int;
+  ffs : int;
+  inputs : int;
+  outputs : int;
+  consts : int;
+  voters : int;
+  voter_stages : int;
+  cross_domain_nets : int;
+  comb_depth : int;
+}
+
+let compute nl =
+  let gates = ref 0
+  and luts = ref 0
+  and ffs = ref 0
+  and inputs = ref 0
+  and outputs = ref 0
+  and consts = ref 0
+  and voters = ref 0 in
+  let stages = Hashtbl.create 16 in
+  let cross = ref 0 in
+  Netlist.iter_cells nl (fun c ->
+      (match Netlist.kind nl c with
+      | Netlist.Input -> incr inputs
+      | Netlist.Output -> incr outputs
+      | Netlist.Const _ -> incr consts
+      | Netlist.Ff _ -> incr ffs
+      | Netlist.Lut _ ->
+          incr gates;
+          incr luts
+      | Netlist.Not | Netlist.And2 | Netlist.Or2 | Netlist.Xor2
+      | Netlist.Mux2 | Netlist.Maj3 ->
+          incr gates);
+      if Netlist.is_voter nl c then begin
+        incr voters;
+        Hashtbl.replace stages (Netlist.comp nl c) ()
+      end;
+      let d = Netlist.domain nl c in
+      Array.iter
+        (fun src ->
+          let ds = Netlist.domain nl src in
+          if d >= 0 && ds >= 0 && d <> ds then incr cross)
+        (Netlist.fanins nl c));
+  let comb_depth =
+    match Levelize.run nl with
+    | Ok lev -> lev.Levelize.depth
+    | Error _ -> -1
+  in
+  {
+    cells = Netlist.num_cells nl;
+    gates = !gates;
+    luts = !luts;
+    ffs = !ffs;
+    inputs = !inputs;
+    outputs = !outputs;
+    consts = !consts;
+    voters = !voters;
+    voter_stages = Hashtbl.length stages;
+    cross_domain_nets = !cross;
+    comb_depth;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "cells=%d gates=%d (luts=%d) ffs=%d in=%d out=%d const=%d voters=%d \
+     voter_stages=%d cross_domain=%d depth=%d"
+    s.cells s.gates s.luts s.ffs s.inputs s.outputs s.consts s.voters
+    s.voter_stages s.cross_domain_nets s.comb_depth

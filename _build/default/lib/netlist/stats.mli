@@ -1,0 +1,21 @@
+(** Structural statistics used by the fig. 4 experiment and reports. *)
+
+type t = {
+  cells : int;
+  gates : int;  (** combinational logic cells (gates + LUTs), voters included *)
+  luts : int;
+  ffs : int;
+  inputs : int;
+  outputs : int;
+  consts : int;
+  voters : int;
+  voter_stages : int;  (** distinct component labels that contain voters *)
+  cross_domain_nets : int;
+      (** nets whose driver and some reader live in different non-negative
+          domains — the inter-domain wiring voters create *)
+  comb_depth : int;
+}
+
+val compute : Netlist.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,98 @@
+module Logic = Tmr_logic.Logic
+
+type signal = {
+  label : string;
+  code : string;
+  cells : Netlist.id array;  (* LSB first *)
+  mutable last : string option;
+}
+
+type t = {
+  sim : Netsim.t;
+  mutable signals : signal list;  (* reversed *)
+  mutable next_code : int;
+  mutable cycles : string list;  (* rendered change blocks, reversed *)
+  mutable sampled : bool;
+}
+
+(* VCD identifier codes: printable characters '!'..'~' in a varint-like
+   scheme. *)
+let code_of_int n =
+  let base = 94 in
+  let rec go n acc =
+    let digit = Char.chr (33 + (n mod base)) in
+    let acc = String.make 1 digit ^ acc in
+    if n < base then acc else go ((n / base) - 1) acc
+  in
+  go n ""
+
+let create sim nl =
+  let t = { sim; signals = []; next_code = 0; cycles = []; sampled = false } in
+  let add label cells =
+    let code = code_of_int t.next_code in
+    t.next_code <- t.next_code + 1;
+    t.signals <- { label; code; cells; last = None } :: t.signals
+  in
+  List.iter (fun (port, bits) -> add port bits) (Netlist.input_ports nl);
+  List.iter (fun (port, bits) -> add port bits) (Netlist.output_ports nl);
+  t
+
+let watch_cell t ~label cell =
+  if t.sampled then invalid_arg "Vcd.watch_cell: sampling already started";
+  let code = code_of_int t.next_code in
+  t.next_code <- t.next_code + 1;
+  t.signals <- { label; code; cells = [| cell |]; last = None } :: t.signals
+
+let value_string t signal =
+  (* VCD bit strings are MSB first *)
+  let n = Array.length signal.cells in
+  String.init n (fun i ->
+      match Netsim.value t.sim signal.cells.(n - 1 - i) with
+      | Logic.Zero -> '0'
+      | Logic.One -> '1'
+      | Logic.X -> 'x')
+
+let sample t =
+  t.sampled <- true;
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "#%d\n" (List.length t.cycles));
+  List.iter
+    (fun signal ->
+      let v = value_string t signal in
+      if signal.last <> Some v then begin
+        signal.last <- Some v;
+        if Array.length signal.cells = 1 then
+          Buffer.add_string buf (Printf.sprintf "%s%s\n" v signal.code)
+        else Buffer.add_string buf (Printf.sprintf "b%s %s\n" v signal.code)
+      end)
+    (List.rev t.signals);
+  t.cycles <- Buffer.contents buf :: t.cycles
+
+let sanitize label =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '[' | ']' -> c
+      | _ -> '_')
+    label
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "$date reproduction run $end\n";
+  Buffer.add_string buf "$version tmr-fpga Vcd $end\n";
+  Buffer.add_string buf "$timescale 1 ns $end\n";
+  Buffer.add_string buf "$scope module dut $end\n";
+  List.iter
+    (fun signal ->
+      Buffer.add_string buf
+        (Printf.sprintf "$var wire %d %s %s $end\n"
+           (Array.length signal.cells) signal.code (sanitize signal.label)))
+    (List.rev t.signals);
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  List.iter (Buffer.add_string buf) (List.rev t.cycles);
+  Buffer.contents buf
+
+let save t path =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc

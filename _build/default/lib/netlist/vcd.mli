@@ -1,0 +1,22 @@
+(** Value-change-dump (VCD) trace writer for netlist simulations.
+
+    Records the port values of a {!Netsim} run so waveforms can be viewed
+    in GTKWave & co.  One timescale unit per clock cycle; X values are
+    emitted as VCD [x]. *)
+
+type t
+
+val create : Netsim.t -> Netlist.t -> t
+(** Traces every input and output port of the netlist. *)
+
+val watch_cell : t -> label:string -> Netlist.id -> unit
+(** Additionally trace one internal net (e.g. a flip-flop under SEU
+    attack).  Must be called before the first {!sample}. *)
+
+val sample : t -> unit
+(** Record the current simulator values as the next cycle. *)
+
+val to_string : t -> string
+(** Render the full VCD document (header + value changes). *)
+
+val save : t -> string -> unit

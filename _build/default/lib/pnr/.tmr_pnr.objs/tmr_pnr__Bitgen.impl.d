@@ -1,0 +1,1 @@
+lib/pnr/bitgen.ml: Array Hashtbl List Option Pack Place Route Tmr_arch Tmr_logic Tmr_netlist

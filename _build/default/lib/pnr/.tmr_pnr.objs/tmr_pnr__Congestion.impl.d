@@ -1,0 +1,1 @@
+lib/pnr/congestion.ml: Array Buffer Char Pack Printf Route Tmr_arch Tmr_netlist

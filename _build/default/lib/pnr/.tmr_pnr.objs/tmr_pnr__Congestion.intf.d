@@ -1,0 +1,1 @@
+lib/pnr/congestion.mli: Pack Route Tmr_arch Tmr_netlist

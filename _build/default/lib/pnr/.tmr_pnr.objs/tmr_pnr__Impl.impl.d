@@ -1,0 +1,1 @@
+lib/pnr/impl.ml: Array Bitgen Hashtbl Pack Place Printf Route String Timing Tmr_arch Tmr_netlist Tmr_techmap

@@ -1,0 +1,1 @@
+lib/pnr/impl.mli: Bitgen Pack Place Route Timing Tmr_arch Tmr_netlist

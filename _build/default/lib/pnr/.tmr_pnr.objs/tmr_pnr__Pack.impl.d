@@ -1,0 +1,1 @@
+lib/pnr/pack.ml: Array List Tmr_logic Tmr_netlist Tmr_techmap

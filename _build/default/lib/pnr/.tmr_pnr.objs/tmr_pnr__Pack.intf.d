@@ -1,0 +1,1 @@
+lib/pnr/pack.mli: Tmr_netlist

@@ -1,0 +1,1 @@
+lib/pnr/place.ml: Array Hashtbl List Option Pack Printf Tmr_arch Tmr_logic Tmr_netlist

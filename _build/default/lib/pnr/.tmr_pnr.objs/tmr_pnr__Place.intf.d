@@ -1,0 +1,1 @@
+lib/pnr/place.mli: Pack Tmr_arch Tmr_netlist

@@ -1,0 +1,1 @@
+lib/pnr/route.ml: Array Hashtbl List Pack Place Printf String Sys Tmr_arch

@@ -1,0 +1,1 @@
+lib/pnr/route.mli: Pack Place Stdlib Tmr_arch

@@ -1,0 +1,1 @@
+lib/pnr/timing.ml: Array Hashtbl Pack Place Route Tmr_arch Tmr_netlist

@@ -1,0 +1,1 @@
+lib/pnr/timing.mli: Pack Place Route Tmr_arch Tmr_netlist

@@ -1,0 +1,107 @@
+module Device = Tmr_arch.Device
+module Arch = Tmr_arch.Arch
+module Netlist = Tmr_netlist.Netlist
+
+type t = {
+  rows : int;
+  cols : int;
+  capacity : int;
+  usage : int array array;
+  domain_mix : int array array;
+  total_wirelength : int;
+  max_utilization : float;
+}
+
+let analyze dev route nl pack =
+  let p = dev.Device.params in
+  let rows = p.Arch.rows and cols = p.Arch.cols in
+  let usage = Array.make_matrix rows cols 0 in
+  let domains = Array.make_matrix rows cols 0 (* bitmask of domains *) in
+  let total_wirelength = ref 0 in
+  let is_channel w =
+    match dev.Device.wkind.(w) with
+    | Device.HSingle | Device.VSingle | Device.HDouble | Device.VDouble
+    | Device.HLong | Device.VLong ->
+        true
+    | Device.BelIn | Device.BelOut | Device.PadIn | Device.PadOut -> false
+  in
+  Array.iteri
+    (fun ni wires ->
+      let driver = pack.Pack.nets.(ni).Pack.driver in
+      let d = Netlist.domain nl driver in
+      Array.iter
+        (fun w ->
+          total_wirelength := !total_wirelength + Device.wire_span dev w;
+          if is_channel w then begin
+            let r = min (rows - 1) dev.Device.wrow.(w) in
+            let c = min (cols - 1) dev.Device.wcol.(w) in
+            usage.(r).(c) <- usage.(r).(c) + 1;
+            if d >= 0 then domains.(r).(c) <- domains.(r).(c) lor (1 lsl d)
+          end)
+        wires)
+    route.Route.net_wires;
+  let domain_mix =
+    Array.map
+      (Array.map (fun mask ->
+           let rec pop v = if v = 0 then 0 else (v land 1) + pop (v lsr 1) in
+           pop mask))
+      domains
+  in
+  (* channel wires anchored at one tile position: H and V singles, doubles
+     (longs excluded: they are shared across the row/column) *)
+  let capacity = 2 * (p.Arch.ch_singles + p.Arch.ch_doubles) in
+  let max_utilization =
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left
+          (fun acc u -> max acc (float_of_int u /. float_of_int capacity))
+          acc row)
+      0.0 usage
+  in
+  { rows; cols; capacity; usage; domain_mix;
+    total_wirelength = !total_wirelength; max_utilization }
+
+let render cell t =
+  let buf = Buffer.create (t.rows * (t.cols + 1)) in
+  for r = 0 to t.rows - 1 do
+    for c = 0 to t.cols - 1 do
+      Buffer.add_char buf (cell r c)
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let heatmap t =
+  render
+    (fun r c ->
+      let u = t.usage.(r).(c) in
+      if u = 0 then '.'
+      else begin
+        let decile = 10 * u / max 1 t.capacity in
+        if decile >= 10 then '!'
+        else if decile = 0 then '1'
+        else Char.chr (Char.code '0' + decile)
+      end)
+    t
+
+let mix_map t =
+  render
+    (fun r c ->
+      match t.domain_mix.(r).(c) with
+      | 0 -> '.'
+      | n -> Char.chr (Char.code '0' + min n 9))
+    t
+
+let summary t =
+  let busy = ref 0 and mixed = ref 0 in
+  for r = 0 to t.rows - 1 do
+    for c = 0 to t.cols - 1 do
+      if t.usage.(r).(c) > 0 then incr busy;
+      if t.domain_mix.(r).(c) >= 2 then incr mixed
+    done
+  done;
+  Printf.sprintf
+    "wirelength=%d, busy tiles=%d/%d, tiles mixing >=2 domains=%d, peak \
+     channel utilization=%.0f%%"
+    t.total_wirelength !busy (t.rows * t.cols) !mixed
+    (100.0 *. t.max_utilization)

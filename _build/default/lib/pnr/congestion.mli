@@ -1,0 +1,28 @@
+(** Routing congestion analysis and ASCII visualization.
+
+    The paper's trade-off is about where nets of different TMR domains run
+    close together; this module makes that visible: per-tile channel
+    utilization, per-tile domain mixing, and an ASCII heatmap. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  capacity : int;  (** channel wires owned by one tile position *)
+  usage : int array array;  (** [row][col] used channel wires *)
+  domain_mix : int array array;
+      (** [row][col] number of distinct TMR domains routed through *)
+  total_wirelength : int;  (** sum of spans of all used wires *)
+  max_utilization : float;
+}
+
+val analyze : Tmr_arch.Device.t -> Route.result -> Tmr_netlist.Netlist.t -> Pack.t -> t
+(** Domain mixing needs the mapped netlist (for net driver domains). *)
+
+val heatmap : t -> string
+(** One character per tile: [.]=idle, [1-9]=utilization decile, [!]=full. *)
+
+val mix_map : t -> string
+(** One character per tile: number of distinct domains routed through it
+    ([.] for none) — where upset "b" can strike. *)
+
+val summary : t -> string

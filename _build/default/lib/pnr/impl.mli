@@ -1,0 +1,50 @@
+(** End-to-end implementation: technology map, pack, place, route, generate
+    the bitstream, and keep every artefact the fault-injection campaign
+    needs (the golden configuration, the DUT bit list, the physical IO
+    map). *)
+
+type t = {
+  source : Tmr_netlist.Netlist.t;  (** the netlist as designed (gates) *)
+  mapped : Tmr_netlist.Netlist.t;  (** post-techmap LUT netlist *)
+  dev : Tmr_arch.Device.t;
+  db : Tmr_arch.Bitdb.t;
+  pack : Pack.t;
+  place : Place.t;
+  route : Route.result;
+  bitgen : Bitgen.t;
+  timing : Timing.report;
+  seed : int;
+}
+
+val implement :
+  ?seed:int ->
+  ?moves_per_site:int ->
+  ?floorplan:Place.floorplan ->
+  ?max_route_iters:int ->
+  Tmr_arch.Device.t ->
+  Tmr_arch.Bitdb.t ->
+  Tmr_netlist.Netlist.t ->
+  (t, string) result
+(** The input netlist is the gate-level design (pre-techmap). *)
+
+val implement_exn :
+  ?seed:int ->
+  ?moves_per_site:int ->
+  ?floorplan:Place.floorplan ->
+  ?max_route_iters:int ->
+  Tmr_arch.Device.t ->
+  Tmr_arch.Bitdb.t ->
+  Tmr_netlist.Netlist.t ->
+  t
+
+val input_pad_wire : t -> string -> int -> int
+(** [input_pad_wire t port bit] is the PadIn wire driving input [port]
+    bit [bit]. *)
+
+val output_pad_wire : t -> string -> int -> int
+
+val used_slices : t -> int
+(** Distinct (tile, slice) pairs occupied — Table 2's area column. *)
+
+val used_luts : t -> int
+val used_ffs : t -> int

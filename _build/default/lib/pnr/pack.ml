@@ -1,0 +1,231 @@
+module Logic = Tmr_logic.Logic
+module Netlist = Tmr_netlist.Netlist
+
+type site = {
+  lut : int option;
+  ff : int option;
+  pins : int array;
+  table : int;
+  registered : bool;
+  out_cell : int;
+}
+
+type sink =
+  | Site_pin of int * int
+  | Out_pad of int
+
+type net = {
+  driver : int;
+  sinks : sink list;
+}
+
+type t = {
+  sites : site array;
+  site_of_cell : int array;
+  nets : net array;
+  net_of_cell : int array;
+  live : bool array;
+  live_inputs : int array;
+  live_outputs : int array;
+}
+
+(* output = pin 0: table bit at index idx is idx land 1 *)
+let identity_table =
+  let v = ref 0 in
+  for idx = 0 to 15 do
+    if idx land 1 = 1 then v := !v lor (1 lsl idx)
+  done;
+  !v
+
+let expand_table ~arity table =
+  let mask = (1 lsl arity) - 1 in
+  let v = ref 0 in
+  for idx = 0 to 15 do
+    if (table lsr (idx land mask)) land 1 = 1 then v := !v lor (1 lsl idx)
+  done;
+  !v
+
+let compute_live nl =
+  let n = Netlist.num_cells nl in
+  let live = Array.make n false in
+  let rec mark c =
+    if not live.(c) then begin
+      live.(c) <- true;
+      Array.iter mark (Netlist.fanins nl c)
+    end
+  in
+  List.iter
+    (fun (_, bits) -> Array.iter mark bits)
+    (Netlist.output_ports nl);
+  (* input ports always exist physically, even if logically unused *)
+  List.iter
+    (fun (_, bits) -> Array.iter (fun c -> live.(c) <- true) bits)
+    (Netlist.input_ports nl);
+  live
+
+let run nl =
+  if not (Tmr_techmap.Techmap.check_only_mapped_kinds nl) then
+    invalid_arg "Pack.run: netlist is not technology-mapped";
+  let n = Netlist.num_cells nl in
+  let live = compute_live nl in
+  let fanouts = Netlist.compute_fanouts nl in
+  let live_readers c = List.filter (fun r -> live.(r)) fanouts.(c) in
+  (* Pair each flip-flop with its driver LUT when the LUT feeds only it. *)
+  let paired_lut_of_ff = Array.make n (-1) in
+  let absorbed = Array.make n false in
+  Netlist.iter_cells nl (fun c ->
+      if live.(c) then
+        match Netlist.kind nl c with
+        | Netlist.Ff _ -> (
+            let d = (Netlist.fanins nl c).(0) in
+            match Netlist.kind nl d with
+            | Netlist.Lut _ when live.(d) && live_readers d = [ c ] ->
+                paired_lut_of_ff.(c) <- d;
+                absorbed.(d) <- true
+            | _ -> ())
+        | Netlist.Input | Netlist.Output | Netlist.Const _ | Netlist.Lut _
+        | Netlist.Not | Netlist.And2 | Netlist.Or2 | Netlist.Xor2
+        | Netlist.Mux2 | Netlist.Maj3 ->
+            ());
+  let sites = ref [] in
+  let nsites = ref 0 in
+  let site_of_cell = Array.make n (-1) in
+  let add_site s =
+    sites := s :: !sites;
+    (match s.lut with Some c -> site_of_cell.(c) <- !nsites | None -> ());
+    (match s.ff with Some c -> site_of_cell.(c) <- !nsites | None -> ());
+    incr nsites
+  in
+  Netlist.iter_cells nl (fun c ->
+      if live.(c) && not absorbed.(c) then
+        match Netlist.kind nl c with
+        | Netlist.Lut { arity; table } ->
+            let fanins = Netlist.fanins nl c in
+            let pins = Array.make 4 (-1) in
+            Array.iteri (fun j src -> pins.(j) <- src) fanins;
+            add_site
+              {
+                lut = Some c;
+                ff = None;
+                pins;
+                table = expand_table ~arity table;
+                registered = false;
+                out_cell = c;
+              }
+        | Netlist.Ff _ ->
+            let d = (Netlist.fanins nl c).(0) in
+            if paired_lut_of_ff.(c) >= 0 then begin
+              let lut_cell = paired_lut_of_ff.(c) in
+              match Netlist.kind nl lut_cell with
+              | Netlist.Lut { arity; table } ->
+                  let fanins = Netlist.fanins nl lut_cell in
+                  let pins = Array.make 4 (-1) in
+                  Array.iteri (fun j src -> pins.(j) <- src) fanins;
+                  add_site
+                    {
+                      lut = Some lut_cell;
+                      ff = Some c;
+                      pins;
+                      table = expand_table ~arity table;
+                      registered = true;
+                      out_cell = c;
+                    }
+              | _ -> assert false
+            end
+            else begin
+              let pins = Array.make 4 (-1) in
+              pins.(0) <- d;
+              add_site
+                {
+                  lut = None;
+                  ff = Some c;
+                  pins;
+                  table = identity_table;
+                  registered = true;
+                  out_cell = c;
+                }
+            end
+        | Netlist.Const v ->
+            add_site
+              {
+                lut = Some c;
+                ff = None;
+                pins = Array.make 4 (-1);
+                table = (match v with
+                         | Logic.One -> 0xffff
+                         | Logic.Zero | Logic.X -> 0x0000);
+                registered = false;
+                out_cell = c;
+              }
+        | Netlist.Input | Netlist.Output -> ()
+        | Netlist.Not | Netlist.And2 | Netlist.Or2 | Netlist.Xor2
+        | Netlist.Mux2 | Netlist.Maj3 ->
+            assert false);
+  let sites = Array.of_list (List.rev !sites) in
+  (* Nets: one per live driver cell with at least one live reader that needs
+     routing.  The internal LUT->FF connection of a paired site is not a
+     net. *)
+  let nets = ref [] in
+  let net_of_cell = Array.make n (-1) in
+  let nnets = ref 0 in
+  let sink_list_of_driver drv =
+    let for_reader r =
+      match Netlist.kind nl r with
+      | Netlist.Output -> [ Out_pad r ]
+      | Netlist.Lut _ | Netlist.Ff _ | Netlist.Const _ ->
+          let s = site_of_cell.(r) in
+          if s < 0 then []
+          else begin
+            (* pins of site s reading drv (possibly several) *)
+            let site = sites.(s) in
+            let hits = ref [] in
+            Array.iteri
+              (fun j p -> if p = drv then hits := Site_pin (s, j) :: !hits)
+              site.pins;
+            !hits
+          end
+      | Netlist.Input | Netlist.Not | Netlist.And2 | Netlist.Or2
+      | Netlist.Xor2 | Netlist.Mux2 | Netlist.Maj3 ->
+          []
+    in
+    List.concat_map for_reader (List.sort_uniq compare (live_readers drv))
+  in
+  let add_net drv =
+    let sinks = sink_list_of_driver drv in
+    if sinks <> [] then begin
+      nets := { driver = drv; sinks } :: !nets;
+      net_of_cell.(drv) <- !nnets;
+      incr nnets
+    end
+  in
+  Netlist.iter_cells nl (fun c ->
+      if live.(c) then
+        match Netlist.kind nl c with
+        | Netlist.Input -> add_net c
+        | Netlist.Lut _ | Netlist.Ff _ | Netlist.Const _ ->
+            if site_of_cell.(c) >= 0 && sites.(site_of_cell.(c)).out_cell = c
+            then add_net c
+        | Netlist.Output | Netlist.Not | Netlist.And2 | Netlist.Or2
+        | Netlist.Xor2 | Netlist.Mux2 | Netlist.Maj3 ->
+            ());
+  let live_inputs =
+    List.concat_map
+      (fun (_, bits) -> Array.to_list bits)
+      (Netlist.input_ports nl)
+    |> Array.of_list
+  in
+  let live_outputs =
+    List.concat_map
+      (fun (_, bits) -> Array.to_list bits)
+      (Netlist.output_ports nl)
+    |> Array.of_list
+  in
+  {
+    sites;
+    site_of_cell;
+    nets = Array.of_list (List.rev !nets);
+    net_of_cell;
+    live;
+    live_inputs;
+    live_outputs;
+  }

@@ -1,0 +1,46 @@
+(** Packing: assign mapped netlist cells to abstract bel sites.
+
+    A site realises one LUT4 and/or one flip-flop:
+    - a LUT whose only reader is a flip-flop is paired with it (the LUT
+      output feeds the FF internally and the site exposes the registered
+      value);
+    - a flip-flop driven by anything else gets a route-through site (an
+      identity LUT on pin 0);
+    - a surviving constant cell gets a constant-table site with no pins.
+
+    Dead cells (not backward-reachable from an output port) are dropped.
+    Sites are abstract here; {!Place} binds them to device bels. *)
+
+type site = {
+  lut : int option;  (** netlist cell realised combinationally *)
+  ff : int option;
+  pins : int array;  (** driver cell per pin 0..3; -1 = unused pin *)
+  table : int;  (** full 16-entry truth table (unused pins don't care) *)
+  registered : bool;  (** site output is the FF value *)
+  out_cell : int;  (** the netlist cell whose net this site drives *)
+}
+
+type sink =
+  | Site_pin of int * int  (** site index, pin number *)
+  | Out_pad of int  (** Output cell id *)
+
+type net = {
+  driver : int;  (** driver cell: an Input cell or a site's [out_cell] *)
+  sinks : sink list;
+}
+
+type t = {
+  sites : site array;
+  site_of_cell : int array;  (** cell -> site index, -1 if none *)
+  nets : net array;
+  net_of_cell : int array;  (** driver cell -> net index, -1 if none *)
+  live : bool array;
+  live_inputs : int array;  (** live Input cells in port order *)
+  live_outputs : int array;  (** live Output cells in port order *)
+}
+
+val run : Tmr_netlist.Netlist.t -> t
+(** The netlist must be in post-techmap form ({!Tmr_techmap.Techmap.check_only_mapped_kinds}). *)
+
+val identity_table : int
+(** Truth table of the route-through LUT (output = pin 0). *)

@@ -1,0 +1,326 @@
+module Netlist = Tmr_netlist.Netlist
+module Device = Tmr_arch.Device
+module Arch = Tmr_arch.Arch
+module Srand = Tmr_logic.Srand
+
+type floorplan =
+  [ `Free
+  | `Domains ]
+
+type t = {
+  site_bel : int array;
+  pad_of_cell : int array;
+  cost : float;
+}
+
+(* The annealer works on "movables": sites and port cells.  Positions are
+   tile coordinates (bels) or pad anchors. *)
+
+let domain_of_site nl pack s =
+  let site = pack.Pack.sites.(s) in
+  let dom c = Netlist.domain nl c in
+  match site.Pack.lut, site.Pack.ff with
+  | Some c, _ -> dom c
+  | None, Some c -> dom c
+  | None, None -> -1
+
+let region_of_domain (dev : Device.t) d =
+  let cols = dev.Device.params.Arch.cols in
+  if d < 0 then (0, cols - 1)
+  else
+    let third = cols / 3 in
+    let lo = d * third in
+    let hi = if d = 2 then cols - 1 else lo + third - 1 in
+    (lo, hi)
+
+let run ?(seed = 1) ?(moves_per_site = 128) ?(floorplan = `Free) dev pack nl =
+  let rng = Srand.create (seed * 7919 + 13) in
+  let nsites = Array.length pack.Pack.sites in
+  let nbels = dev.Device.nbels in
+  if nsites > nbels then
+    failwith
+      (Printf.sprintf "Place: design needs %d bels, device has %d" nsites nbels);
+  let in_pads = Device.input_pads dev in
+  let out_pads = Device.output_pads dev in
+  let n_inputs = Array.length pack.Pack.live_inputs in
+  let n_outputs = Array.length pack.Pack.live_outputs in
+  if n_inputs > Array.length in_pads then
+    failwith (Printf.sprintf "Place: %d input bits but %d input pads" n_inputs
+                (Array.length in_pads));
+  if n_outputs > Array.length out_pads then
+    failwith (Printf.sprintf "Place: %d output bits but %d output pads" n_outputs
+                (Array.length out_pads));
+  (* --- initial placement --- *)
+  let site_bel = Array.make nsites (-1) in
+  let bel_site = Array.make nbels (-1) in
+  (match floorplan with
+  | `Free ->
+      (* Scanline-with-stride initial placement: consecutive sites (which
+         the netlist builders create structurally close together) land in
+         neighbouring bels, spread evenly over the array. *)
+      for s = 0 to nsites - 1 do
+        let b = s * nbels / nsites in
+        site_bel.(s) <- b;
+        bel_site.(b) <- s
+      done
+  | `Domains ->
+      (* bucket bels by column region, fill each domain from its bucket *)
+      let buckets = Array.make 3 [] in
+      let free_bucket = ref [] in
+      for b = nbels - 1 downto 0 do
+        let c = dev.Device.bel_col.(b) in
+        let assigned = ref false in
+        for d = 0 to 2 do
+          let lo, hi = region_of_domain dev d in
+          if (not !assigned) && c >= lo && c <= hi then begin
+            buckets.(d) <- b :: buckets.(d);
+            assigned := true
+          end
+        done;
+        if not !assigned then free_bucket := b :: !free_bucket
+      done;
+      let buckets = Array.map Array.of_list buckets in
+      Array.iter (Srand.shuffle rng) buckets;
+      let cursor = Array.make 3 0 in
+      let free = Array.of_list !free_bucket in
+      let free_cursor = ref 0 in
+      for s = 0 to nsites - 1 do
+        let d = domain_of_site nl pack s in
+        let b =
+          if d >= 0 && cursor.(d) < Array.length buckets.(d) then begin
+            let b = buckets.(d).(cursor.(d)) in
+            cursor.(d) <- cursor.(d) + 1;
+            b
+          end
+          else begin
+            (* overflow or domainless: any free bel *)
+            let rec next () =
+              if !free_cursor < Array.length free then begin
+                let b = free.(!free_cursor) in
+                incr free_cursor;
+                if bel_site.(b) < 0 then b else next ()
+              end
+              else begin
+                (* fall back to scanning buckets for leftovers *)
+                let found = ref (-1) in
+                for b = 0 to nbels - 1 do
+                  if !found < 0 && bel_site.(b) < 0 then found := b
+                done;
+                !found
+              end
+            in
+            next ()
+          end
+        in
+        site_bel.(s) <- b;
+        bel_site.(b) <- s
+      done);
+  (* pads *)
+  let n = Netlist.num_cells nl in
+  let pad_of_cell = Array.make n (-1) in
+  let pad_cell = Array.make dev.Device.npads (-1) in
+  let assign_pads cells pads =
+    let order = Array.copy pads in
+    Srand.shuffle rng order;
+    Array.iteri
+      (fun i c ->
+        pad_of_cell.(c) <- order.(i);
+        pad_cell.(order.(i)) <- c)
+      cells
+  in
+  assign_pads pack.Pack.live_inputs in_pads;
+  assign_pads pack.Pack.live_outputs out_pads;
+  (* --- cost model: HPWL over nets --- *)
+  let pos_of_cell c =
+    let s = pack.Pack.site_of_cell.(c) in
+    if s >= 0 then
+      let b = site_bel.(s) in
+      (dev.Device.bel_row.(b), dev.Device.bel_col.(b))
+    else begin
+      let pad = pad_of_cell.(c) in
+      assert (pad >= 0);
+      let w = dev.Device.pad_wire.(pad) in
+      (dev.Device.wrow.(w), dev.Device.wcol.(w))
+    end
+  in
+  let nnets = Array.length pack.Pack.nets in
+  let net_cells =
+    Array.map
+      (fun net ->
+        let cells = ref [ net.Pack.driver ] in
+        List.iter
+          (fun sink ->
+            match sink with
+            | Pack.Site_pin (s, _) ->
+                cells := pack.Pack.sites.(s).Pack.out_cell :: !cells
+            | Pack.Out_pad c -> cells := c :: !cells)
+          net.Pack.sinks;
+        Array.of_list (List.sort_uniq compare !cells))
+      pack.Pack.nets
+  in
+  let hpwl ni =
+    let cells = net_cells.(ni) in
+    let rmin = ref max_int and rmax = ref min_int in
+    let cmin = ref max_int and cmax = ref min_int in
+    Array.iter
+      (fun c ->
+        let r, cc = pos_of_cell c in
+        if r < !rmin then rmin := r;
+        if r > !rmax then rmax := r;
+        if cc < !cmin then cmin := cc;
+        if cc > !cmax then cmax := cc)
+      cells;
+    float_of_int (!rmax - !rmin + (!cmax - !cmin))
+  in
+  (* nets touching each movable cell *)
+  let nets_of_cell = Hashtbl.create (4 * nnets) in
+  Array.iteri
+    (fun ni cells ->
+      Array.iter
+        (fun c ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt nets_of_cell c) in
+          Hashtbl.replace nets_of_cell c (ni :: cur))
+        cells)
+    net_cells;
+  let nets_of_site s =
+    let site = pack.Pack.sites.(s) in
+    let own = Option.value ~default:[] (Hashtbl.find_opt nets_of_cell site.Pack.out_cell) in
+    (* pins: nets where this site is a sink *)
+    Array.fold_left
+      (fun acc p ->
+        if p >= 0 then
+          match pack.Pack.net_of_cell.(p) with
+          | -1 -> acc
+          | ni -> ni :: acc
+        else acc)
+      own site.Pack.pins
+    |> List.sort_uniq compare
+  in
+  let site_nets = Array.init nsites nets_of_site in
+  let net_cost = Array.init nnets hpwl in
+  let total = ref (Array.fold_left ( +. ) 0.0 net_cost) in
+  let recompute nets_list =
+    List.fold_left
+      (fun delta ni ->
+        let fresh = hpwl ni in
+        let d = fresh -. net_cost.(ni) in
+        net_cost.(ni) <- fresh;
+        delta +. d)
+      0.0 nets_list
+  in
+  let restore nets_list saved =
+    List.iter2 (fun ni c -> net_cost.(ni) <- c) nets_list saved
+  in
+  let allowed_col s col =
+    match floorplan with
+    | `Free -> true
+    | `Domains ->
+        let lo, hi = region_of_domain dev (domain_of_site nl pack s) in
+        col >= lo && col <= hi
+  in
+  (* --- annealing --- *)
+  let nmoves = max 2000 (moves_per_site * max nsites 1) in
+  let temp0 = 4.0 +. (0.02 *. float_of_int nsites) in
+  let temp_ref = ref 1.0 in
+  let rows = dev.Device.params.Arch.rows in
+  let cols = dev.Device.params.Arch.cols in
+  let bpt = Arch.bels_per_tile dev.Device.params in
+  let radius_ref = ref (max rows cols) in
+  (* Range-limited move target: a random bel within the current radius of
+     the site's tile. *)
+  let candidate_bel s =
+    let b = site_bel.(s) in
+    let r0 = dev.Device.bel_row.(b) and c0 = dev.Device.bel_col.(b) in
+    let rad = !radius_ref in
+    let clamp v lo hi = max lo (min hi v) in
+    let r = clamp (r0 - rad + Srand.int rng ((2 * rad) + 1)) 0 (rows - 1) in
+    let c = clamp (c0 - rad + Srand.int rng ((2 * rad) + 1)) 0 (cols - 1) in
+    Device.bel_at dev ~row:r ~col:c ~slot:(Srand.int rng bpt)
+  in
+  let try_site_move () =
+    if nsites = 0 then ()
+    else begin
+      let s = Srand.int rng nsites in
+      let b_new = candidate_bel s in
+      let b_old = site_bel.(s) in
+      if b_new <> b_old && allowed_col s dev.Device.bel_col.(b_new) then begin
+        let s2 = bel_site.(b_new) in
+        if s2 >= 0 && not (allowed_col s2 dev.Device.bel_col.(b_old)) then ()
+        else begin
+          let affected =
+            if s2 >= 0 then List.sort_uniq compare (site_nets.(s) @ site_nets.(s2))
+            else site_nets.(s)
+          in
+          let saved = List.map (fun ni -> net_cost.(ni)) affected in
+          (* apply *)
+          site_bel.(s) <- b_new;
+          bel_site.(b_new) <- s;
+          bel_site.(b_old) <- s2;
+          if s2 >= 0 then site_bel.(s2) <- b_old;
+          let delta = recompute affected in
+          let temp = !temp_ref in
+          if delta <= 0.0 || Srand.float rng 1.0 < exp (-.delta /. temp) then
+            total := !total +. delta
+          else begin
+            (* revert *)
+            site_bel.(s) <- b_old;
+            bel_site.(b_old) <- s;
+            bel_site.(b_new) <- s2;
+            if s2 >= 0 then site_bel.(s2) <- b_new;
+            restore affected saved
+          end
+        end
+      end
+    end
+  in
+  let try_pad_move () =
+    (* swap the pad assignment of two same-direction port cells *)
+    let cells, pads =
+      if Srand.bool rng && n_inputs > 0 then (pack.Pack.live_inputs, in_pads)
+      else if n_outputs > 0 then (pack.Pack.live_outputs, out_pads)
+      else (pack.Pack.live_inputs, in_pads)
+    in
+    if Array.length cells = 0 then ()
+    else begin
+      let c1 = cells.(Srand.int rng (Array.length cells)) in
+      let p2 = pads.(Srand.int rng (Array.length pads)) in
+      let p1 = pad_of_cell.(c1) in
+      if p1 <> p2 then begin
+        let c2 = pad_cell.(p2) in
+        let affected =
+          let l1 = Option.value ~default:[] (Hashtbl.find_opt nets_of_cell c1) in
+          let l2 =
+            if c2 >= 0 then
+              Option.value ~default:[] (Hashtbl.find_opt nets_of_cell c2)
+            else []
+          in
+          List.sort_uniq compare (l1 @ l2)
+        in
+        let saved = List.map (fun ni -> net_cost.(ni)) affected in
+        pad_of_cell.(c1) <- p2;
+        pad_cell.(p2) <- c1;
+        pad_cell.(p1) <- c2;
+        if c2 >= 0 then pad_of_cell.(c2) <- p1;
+        let delta = recompute affected in
+        let temp = !temp_ref in
+        if delta <= 0.0 || Srand.float rng 1.0 < exp (-.delta /. temp) then
+          total := !total +. delta
+        else begin
+          pad_of_cell.(c1) <- p1;
+          pad_cell.(p1) <- c1;
+          pad_cell.(p2) <- c2;
+          if c2 >= 0 then pad_of_cell.(c2) <- p2;
+          restore affected saved
+        end
+      end
+    end
+  in
+  let max_dim = max rows cols in
+  for m = 0 to nmoves - 1 do
+    let progress = float_of_int m /. float_of_int nmoves in
+    temp_ref := max 0.005 (temp0 *. ((1.0 -. progress) ** 3.0));
+    let shrink = (1.0 -. progress) ** 2.0 in
+    radius_ref := max 2 (int_of_float (float_of_int max_dim *. shrink));
+    if Srand.int rng 10 < 8 then try_site_move () else try_pad_move ()
+  done;
+  { site_bel; pad_of_cell; cost = !total }

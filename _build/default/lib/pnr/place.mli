@@ -1,0 +1,29 @@
+(** Placement: bind packed sites to device bels and port cells to IO pads.
+
+    Random initial placement refined by simulated annealing on the
+    half-perimeter wirelength of every net.  The default mode is
+    domain-agnostic, matching the paper's setup (no dedicated floorplanning
+    of the TMR domains); [`Domains] constrains each TMR domain to its own
+    vertical region of the array, implementing the paper's future-work
+    floorplanning experiment. *)
+
+type floorplan =
+  [ `Free  (** any site anywhere — the paper's configuration *)
+  | `Domains  (** domain d confined to its third of the columns *) ]
+
+type t = {
+  site_bel : int array;  (** site index -> device bel id *)
+  pad_of_cell : int array;  (** Input/Output cell -> pad id, -1 otherwise *)
+  cost : float;  (** final wirelength cost *)
+}
+
+val run :
+  ?seed:int ->
+  ?moves_per_site:int ->
+  ?floorplan:floorplan ->
+  Tmr_arch.Device.t ->
+  Pack.t ->
+  Tmr_netlist.Netlist.t ->
+  t
+(** Raises [Failure] when the design does not fit (more sites than bels or
+    more port bits than pads). *)

@@ -1,0 +1,26 @@
+(** Negotiated-congestion (PathFinder) routing over the device graph.
+
+    Each net is routed as a tree from its driver wire (bel output pin or
+    input pad) to every sink (bel input pins, output pads) with A*-guided
+    maze expansion.  Wires have capacity one; congestion is resolved by
+    iterating with growing present-sharing and history penalties. *)
+
+type result = {
+  net_pips : int array array;  (** net index -> pips of its routing tree *)
+  net_wires : int array array;  (** net index -> wires (driver wire first) *)
+  sink_stats : (int * int * int) array array;
+      (** net index -> per sink (sink wire, pips on path, wire span sum) *)
+  iterations : int;
+}
+
+val driver_wire : Tmr_arch.Device.t -> Pack.t -> Place.t -> int -> int
+(** Physical wire driving a net (by net index). *)
+
+val sink_wire : Tmr_arch.Device.t -> Pack.t -> Place.t -> Pack.sink -> int
+
+val run :
+  ?max_iters:int ->
+  Tmr_arch.Device.t ->
+  Pack.t ->
+  Place.t ->
+  (result, string) Stdlib.result

@@ -1,0 +1,117 @@
+module Netlist = Tmr_netlist.Netlist
+module Levelize = Tmr_netlist.Levelize
+module Device = Tmr_arch.Device
+
+type report = {
+  critical_ns : float;
+  mhz : float;
+  logic_levels : int;
+}
+
+let lut_delay = 0.6
+let clk_to_out = 0.5
+let setup = 0.4
+let pad_delay = 0.8
+
+let analyze dev pack place route nl =
+  let n = Netlist.num_cells nl in
+  (* (net sink wire -> (pips, span)) per net *)
+  let sink_delay = Hashtbl.create 1024 in
+  Array.iteri
+    (fun ni stats ->
+      Array.iter
+        (fun (wire, pips, span) ->
+          Hashtbl.replace sink_delay (ni, wire)
+            (0.3 +. (0.12 *. float_of_int pips) +. (0.05 *. float_of_int span)))
+        stats)
+    route.Route.sink_stats;
+  let net_delay_to driver sink_wire =
+    match pack.Pack.net_of_cell.(driver) with
+    | -1 -> 0.3
+    | ni -> (
+        match Hashtbl.find_opt sink_delay (ni, sink_wire) with
+        | Some d -> d
+        | None -> 0.3)
+  in
+  let arrival = Array.make n 0.0 in
+  let levels = Array.make n 0 in
+  let crit = ref 0.0 in
+  let crit_levels = ref 0 in
+  let end_path a lv =
+    if a > !crit then begin
+      crit := a;
+      crit_levels := lv
+    end
+  in
+  let lev = Levelize.run_exn nl in
+  Array.iter
+    (fun c ->
+      if pack.Pack.live.(c) then
+        match Netlist.kind nl c with
+        | Netlist.Input -> (arrival.(c) <- pad_delay; levels.(c) <- 0)
+        | Netlist.Const _ -> (arrival.(c) <- 0.0; levels.(c) <- 0)
+        | Netlist.Ff _ ->
+            (* Q starts a new path; the D path is closed below. *)
+            arrival.(c) <- clk_to_out;
+            levels.(c) <- 0
+        | Netlist.Lut _ -> (
+            let s = pack.Pack.site_of_cell.(c) in
+            if s < 0 then ((* absorbed into a paired site *)
+                           arrival.(c) <- 0.0)
+            else begin
+              let site = pack.Pack.sites.(s) in
+              let bel = place.Place.site_bel.(s) in
+              let a = ref 0.0 and lv = ref 0 in
+              Array.iteri
+                (fun j p ->
+                  if p >= 0 then begin
+                    let wire = dev.Device.bel_in.(bel).(j) in
+                    let arr = arrival.(p) +. net_delay_to p wire in
+                    if arr > !a then a := arr;
+                    if levels.(p) > !lv then lv := levels.(p)
+                  end)
+                site.Pack.pins;
+              arrival.(c) <- !a +. lut_delay;
+              levels.(c) <- !lv + 1;
+              if site.Pack.registered then
+                (* paired site: path ends at the internal FF D *)
+                end_path (arrival.(c) +. setup) levels.(c)
+            end)
+        | Netlist.Output ->
+            let src = (Netlist.fanins nl c).(0) in
+            let pad = place.Place.pad_of_cell.(c) in
+            let wire = if pad >= 0 then dev.Device.pad_wire.(pad) else -1 in
+            let d = if wire >= 0 then net_delay_to src wire else 0.3 in
+            let a = arrival.(src) +. d +. pad_delay in
+            arrival.(c) <- a;
+            levels.(c) <- levels.(src);
+            end_path a levels.(c)
+        | Netlist.Not | Netlist.And2 | Netlist.Or2 | Netlist.Xor2
+        | Netlist.Mux2 | Netlist.Maj3 ->
+            invalid_arg "Timing.analyze: unmapped netlist")
+    lev.Levelize.order;
+  (* Close register D paths for route-through / unpaired flip-flops. *)
+  Netlist.iter_cells nl (fun c ->
+      if pack.Pack.live.(c) then
+        match Netlist.kind nl c with
+        | Netlist.Ff _ ->
+            let s = pack.Pack.site_of_cell.(c) in
+            if s >= 0 then begin
+              let site = pack.Pack.sites.(s) in
+              match site.Pack.lut with
+              | Some _ -> () (* paired: already closed at the LUT *)
+              | None ->
+                  let d = site.Pack.pins.(0) in
+                  let bel = place.Place.site_bel.(s) in
+                  let wire = dev.Device.bel_in.(bel).(0) in
+                  let a =
+                    arrival.(d) +. net_delay_to d wire +. lut_delay +. setup
+                  in
+                  end_path a (levels.(d) + 1)
+            end
+        | Netlist.Input | Netlist.Output | Netlist.Const _ | Netlist.Lut _
+        | Netlist.Not | Netlist.And2 | Netlist.Or2 | Netlist.Xor2
+        | Netlist.Mux2 | Netlist.Maj3 ->
+            ());
+  let critical_ns = max !crit 0.001 in
+  { critical_ns; mhz = 1000.0 /. critical_ns; logic_levels = !crit_levels }

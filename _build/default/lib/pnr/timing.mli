@@ -1,0 +1,21 @@
+(** Static timing estimate over the placed-and-routed design.
+
+    Delay model: LUT 0.6 ns, flip-flop clock-to-out 0.5 ns and setup
+    0.4 ns, pad 0.8 ns, net delay 0.3 ns + 0.12 ns per PIP + 0.05 ns per
+    tile of wire span (taken from the router's per-sink statistics).  The
+    paper reports "estimated performance" from the vendor tools; what must
+    be preserved is the ordering between the five filter versions. *)
+
+type report = {
+  critical_ns : float;
+  mhz : float;
+  logic_levels : int;  (** LUT levels on the critical path *)
+}
+
+val analyze :
+  Tmr_arch.Device.t ->
+  Pack.t ->
+  Place.t ->
+  Route.result ->
+  Tmr_netlist.Netlist.t ->
+  report

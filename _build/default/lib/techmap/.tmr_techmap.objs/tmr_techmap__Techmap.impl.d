@@ -1,0 +1,1 @@
+lib/techmap/techmap.ml: Array Hashtbl List Tmr_logic Tmr_netlist

@@ -1,0 +1,1 @@
+lib/techmap/techmap.mli: Tmr_netlist

@@ -1,0 +1,237 @@
+module Logic = Tmr_logic.Logic
+module Netlist = Tmr_netlist.Netlist
+module Levelize = Tmr_netlist.Levelize
+
+type result = {
+  mapped : Netlist.t;
+  cell_map : int array;
+}
+
+let is_gate nl c =
+  match Netlist.kind nl c with
+  | Netlist.Not | Netlist.And2 | Netlist.Or2 | Netlist.Xor2 | Netlist.Mux2
+  | Netlist.Maj3 | Netlist.Lut _ ->
+      true
+  | Netlist.Input | Netlist.Output | Netlist.Const _ | Netlist.Ff _ -> false
+
+let is_const nl c =
+  match Netlist.kind nl c with
+  | Netlist.Const _ -> true
+  | _ -> false
+
+(* A gate can be absorbed into the (unique) cone reading it when it is not a
+   root itself.  Roots: voters, gates with fanout <> 1, and gates whose only
+   reader is not a same-domain non-voter gate. *)
+let compute_roots nl fanouts =
+  let n = Netlist.num_cells nl in
+  let root = Array.make n false in
+  Netlist.iter_cells nl (fun c ->
+      if is_gate nl c then
+        let absorbable =
+          (not (Netlist.is_voter nl c))
+          &&
+          match fanouts.(c) with
+          | [ reader ] ->
+              is_gate nl reader
+              && (not (Netlist.is_voter nl reader))
+              && Netlist.domain nl reader = Netlist.domain nl c
+          | [] | _ :: _ :: _ -> false
+        in
+        root.(c) <- not absorbable);
+  root
+
+(* Expand the cone of [root_cell]: returns the support (leaf ids, in
+   deterministic order).  Constants are always folded; absorbable gates are
+   folded while the support stays within 4 leaves. *)
+let expand_cone nl fanouts roots root_cell =
+  ignore fanouts;
+  let support = ref (Array.to_list (Netlist.fanins nl root_cell)) in
+  (* dedupe while preserving order *)
+  let dedupe l =
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun c ->
+        if Hashtbl.mem seen c then false
+        else begin
+          Hashtbl.add seen c ();
+          true
+        end)
+      l
+  in
+  support := dedupe !support;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let try_expand c =
+      if is_const nl c then Some [||]
+      else if is_gate nl c && not roots.(c) then Some (Netlist.fanins nl c)
+      else None
+    in
+    let rec scan before = function
+      | [] -> ()
+      | c :: after -> (
+          match try_expand c with
+          | Some fanins ->
+              let candidate =
+                dedupe (List.rev_append before (Array.to_list fanins @ after))
+              in
+              if List.length candidate <= 4 || is_const nl c then begin
+                support := candidate;
+                changed := true
+              end
+              else scan (c :: before) after
+          | None -> scan (c :: before) after)
+    in
+    scan [] !support
+  done;
+  !support
+
+(* Evaluate the boolean function of [root_cell] given values for its support
+   leaves, by recursive memoized evaluation within the cone. *)
+let eval_cone nl support_values root_cell =
+  let memo = Hashtbl.create 16 in
+  let rec value c =
+    match Hashtbl.find_opt support_values c with
+    | Some v -> v
+    | None -> (
+        match Hashtbl.find_opt memo c with
+        | Some v -> v
+        | None ->
+            let k = Netlist.kind nl c in
+            let v =
+              match k with
+              | Netlist.Const cv -> cv
+              | Netlist.Input | Netlist.Ff _ ->
+                  invalid_arg "Techmap.eval_cone: leaf missing from support"
+              | Netlist.Output | Netlist.Not | Netlist.And2 | Netlist.Or2
+              | Netlist.Xor2 | Netlist.Mux2 | Netlist.Maj3 | Netlist.Lut _ ->
+                  let vs = Array.map value (Netlist.fanins nl c) in
+                  Netlist.eval_kind k vs
+            in
+            Hashtbl.add memo c v;
+            v)
+  in
+  value root_cell
+
+let cone_truth_table nl support root_cell =
+  let arity = List.length support in
+  let table = ref 0 in
+  let support = Array.of_list support in
+  for idx = 0 to (1 lsl arity) - 1 do
+    let support_values = Hashtbl.create 8 in
+    Array.iteri
+      (fun i leaf ->
+        Hashtbl.replace support_values leaf
+          (Logic.of_bool ((idx lsr i) land 1 = 1)))
+      support;
+    match eval_cone nl support_values root_cell with
+    | Logic.One -> table := !table lor (1 lsl idx)
+    | Logic.Zero -> ()
+    | Logic.X -> invalid_arg "Techmap: X constant in mapped cone"
+  done;
+  !table
+
+let run nl =
+  let n = Netlist.num_cells nl in
+  let fanouts = Netlist.compute_fanouts nl in
+  let roots = compute_roots nl fanouts in
+  let lev = Levelize.run_exn nl in
+  let mapped = Netlist.create () in
+  let cell_map = Array.make n (-1) in
+  let add_like c ?voter kind ~fanins =
+    Netlist.with_comp mapped (Netlist.comp nl c) (fun () ->
+        Netlist.add_cell mapped ~name:(Netlist.name nl c)
+          ~domain:(Netlist.domain nl c)
+          ?voter kind ~fanins)
+  in
+  (* Pass 1: inputs, constants and flip-flops (flip-flops get a placeholder
+     fanin fixed up after their drivers exist). *)
+  let placeholder = ref (-1) in
+  let get_placeholder () =
+    if !placeholder < 0 then
+      placeholder :=
+        Netlist.add_cell mapped (Netlist.Const Logic.Zero) ~fanins:[||];
+    !placeholder
+  in
+  Netlist.iter_cells nl (fun c ->
+      match Netlist.kind nl c with
+      | Netlist.Input -> cell_map.(c) <- add_like c Netlist.Input ~fanins:[||]
+      | Netlist.Const v ->
+          cell_map.(c) <- add_like c (Netlist.Const v) ~fanins:[||]
+      | Netlist.Ff init ->
+          cell_map.(c) <-
+            add_like c (Netlist.Ff init) ~fanins:[| get_placeholder () |]
+      | Netlist.Output | Netlist.Not | Netlist.And2 | Netlist.Or2
+      | Netlist.Xor2 | Netlist.Mux2 | Netlist.Maj3 | Netlist.Lut _ ->
+          ());
+  (* Pass 2: cone roots, in topological order so leaves are mapped first. *)
+  Array.iter
+    (fun c ->
+      if is_gate nl c && roots.(c) then begin
+        let support = expand_cone nl fanouts roots c in
+        match support with
+        | [] ->
+            (* Constant cone. *)
+            let v = eval_cone nl (Hashtbl.create 1) c in
+            cell_map.(c) <- add_like c (Netlist.Const v) ~fanins:[||]
+        | _ :: _ ->
+            let table = cone_truth_table nl support c in
+            let arity = List.length support in
+            let fanins =
+              Array.of_list
+                (List.map
+                   (fun leaf ->
+                     let m = cell_map.(leaf) in
+                     if m < 0 then
+                       invalid_arg "Techmap: support leaf not yet mapped";
+                     m)
+                   support)
+            in
+            cell_map.(c) <-
+              add_like c
+                ~voter:(Netlist.is_voter nl c)
+                (Netlist.Lut { arity; table })
+                ~fanins
+      end)
+    lev.Levelize.order;
+  (* Pass 3: outputs and flip-flop D fix-ups. *)
+  Netlist.iter_cells nl (fun c ->
+      match Netlist.kind nl c with
+      | Netlist.Output ->
+          let src = (Netlist.fanins nl c).(0) in
+          let m = cell_map.(src) in
+          if m < 0 then invalid_arg "Techmap: output driver unmapped";
+          cell_map.(c) <- add_like c Netlist.Output ~fanins:[| m |]
+      | Netlist.Ff _ ->
+          let d = (Netlist.fanins nl c).(0) in
+          let m = cell_map.(d) in
+          if m < 0 then invalid_arg "Techmap: flip-flop driver unmapped";
+          Netlist.set_fanin mapped cell_map.(c) 0 m
+      | Netlist.Input | Netlist.Const _ | Netlist.Not | Netlist.And2
+      | Netlist.Or2 | Netlist.Xor2 | Netlist.Mux2 | Netlist.Maj3
+      | Netlist.Lut _ ->
+          ());
+  (* Ports. *)
+  List.iter
+    (fun (port_name, bits) ->
+      Netlist.add_input_port mapped port_name
+        (Array.map (fun c -> cell_map.(c)) bits))
+    (Netlist.input_ports nl);
+  List.iter
+    (fun (port_name, bits) ->
+      Netlist.add_output_port mapped port_name
+        (Array.map (fun c -> cell_map.(c)) bits))
+    (Netlist.output_ports nl);
+  { mapped; cell_map }
+
+let check_only_mapped_kinds nl =
+  Netlist.fold_cells nl ~init:true ~f:(fun acc c ->
+      acc
+      &&
+      match Netlist.kind nl c with
+      | Netlist.Input | Netlist.Output | Netlist.Const _ | Netlist.Lut _
+      | Netlist.Ff _ ->
+          true
+      | Netlist.Not | Netlist.And2 | Netlist.Or2 | Netlist.Xor2
+      | Netlist.Mux2 | Netlist.Maj3 ->
+          false)

@@ -1,0 +1,26 @@
+(** Technology mapping: cover the gate netlist with 4-input LUTs.
+
+    Greedy single-fanout cone absorption: every gate whose output is read
+    exactly once by combinational logic of the same TMR role is folded into
+    its reader's LUT while the merged support stays within four inputs.
+    Constants are folded into truth tables.
+
+    Voters are kept as dedicated 3-input majority LUTs — they are never
+    absorbed and never absorb neighbouring logic — matching the paper's
+    "one majority voter can be implemented by one LUT" and keeping the
+    voter-barrier structure visible to the fault-classification code. *)
+
+type result = {
+  mapped : Tmr_netlist.Netlist.t;  (** LUT/FF/port netlist *)
+  cell_map : int array;
+      (** old cell id -> new cell id for surviving cells (inputs, outputs,
+          flip-flops, cone roots); [-1] for absorbed gates *)
+}
+
+val run : Tmr_netlist.Netlist.t -> result
+(** Input may contain any cell kind; output contains only [Input], [Output],
+    [Const], [Lut] and [Ff] cells.  Ports, names, component labels, domains
+    and voter flags are preserved. *)
+
+val check_only_mapped_kinds : Tmr_netlist.Netlist.t -> bool
+(** True when the netlist is in post-mapping form. *)

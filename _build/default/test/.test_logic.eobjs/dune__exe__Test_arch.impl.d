@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Array Filename Lazy List QCheck QCheck_alcotest Sys Tmr_arch Tmr_logic

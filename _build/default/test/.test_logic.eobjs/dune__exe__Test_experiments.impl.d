@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Lazy List Printf String Tmr_core Tmr_experiments Tmr_inject

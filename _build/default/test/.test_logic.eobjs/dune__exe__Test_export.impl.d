@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest List Tmr_core Tmr_netlist

@@ -1,0 +1,1 @@
+test/test_fabric.ml: Alcotest Array Lazy List QCheck QCheck_alcotest String Tmr_arch Tmr_fabric Tmr_logic Tmr_netlist Tmr_pnr

@@ -1,0 +1,1 @@
+test/test_filter.ml: Alcotest Array Hashtbl List Printf QCheck QCheck_alcotest String Tmr_core Tmr_filter Tmr_netlist

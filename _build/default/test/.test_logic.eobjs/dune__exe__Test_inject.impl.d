@@ -1,0 +1,1 @@
+test/test_inject.ml: Alcotest Array Hashtbl Lazy List Printf Tmr_arch Tmr_core Tmr_filter Tmr_inject Tmr_logic Tmr_pnr

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Hashtbl List Printf QCheck QCheck_alcotest String Tmr_logic

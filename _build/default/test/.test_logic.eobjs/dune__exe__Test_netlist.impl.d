@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array List Printf QCheck QCheck_alcotest String Tmr_logic Tmr_netlist

@@ -1,0 +1,1 @@
+test/test_pnr.ml: Alcotest Array Hashtbl Lazy List Printf String Tmr_arch Tmr_core Tmr_filter Tmr_logic Tmr_netlist Tmr_pnr Tmr_techmap

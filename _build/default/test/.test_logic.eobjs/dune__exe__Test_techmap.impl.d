@@ -1,0 +1,1 @@
+test/test_techmap.ml: Alcotest Array List Printf QCheck QCheck_alcotest Tmr_logic Tmr_netlist Tmr_techmap

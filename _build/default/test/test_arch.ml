@@ -1,0 +1,148 @@
+module Arch = Tmr_arch.Arch
+module Device = Tmr_arch.Device
+module Bitdb = Tmr_arch.Bitdb
+module Bitstream = Tmr_arch.Bitstream
+module Srand = Tmr_logic.Srand
+
+let dev = lazy (Device.build Arch.small)
+let db = lazy (Bitdb.build (Lazy.force dev))
+
+let test_bitstream_basics () =
+  let bs = Bitstream.create ~nbits:100 in
+  Alcotest.(check int) "length" 100 (Bitstream.length bs);
+  Alcotest.(check bool) "starts 0" false (Bitstream.get bs 42);
+  Bitstream.set bs 42 true;
+  Alcotest.(check bool) "set" true (Bitstream.get bs 42);
+  Bitstream.flip bs 42;
+  Alcotest.(check bool) "flip back" false (Bitstream.get bs 42);
+  Bitstream.set bs 0 true;
+  Bitstream.set bs 99 true;
+  Alcotest.(check int) "popcount" 2 (Bitstream.popcount bs);
+  let bs2 = Bitstream.copy bs in
+  Bitstream.flip bs2 7;
+  Alcotest.(check (list int)) "diff" [ 7 ] (Bitstream.diff bs bs2);
+  Alcotest.check_raises "oob" (Invalid_argument "Bitstream: address 100 out of 100")
+    (fun () -> ignore (Bitstream.get bs 100))
+
+let qcheck_hex_roundtrip =
+  QCheck.Test.make ~count:50 ~name:"bitstream hex roundtrip"
+    (QCheck.make
+       (QCheck.Gen.pair (QCheck.Gen.int_range 1 200)
+          (QCheck.Gen.list_size (QCheck.Gen.return 30) (QCheck.Gen.int_bound 1000))))
+    (fun (nbits, sets) ->
+      let bs = Bitstream.create ~nbits in
+      List.iter (fun v -> Bitstream.set bs (v mod nbits) true) sets;
+      match Bitstream.of_hex ~nbits (Bitstream.to_hex bs) with
+      | Ok bs2 -> Bitstream.diff bs bs2 = []
+      | Error _ -> false)
+
+let test_save_load () =
+  let bs = Bitstream.create ~nbits:1000 in
+  Bitstream.set bs 5 true;
+  Bitstream.set bs 999 true;
+  let path = Filename.temp_file "tmr" ".bits" in
+  Bitstream.save bs path;
+  (match Bitstream.load path with
+  | Ok bs2 ->
+      Alcotest.(check int) "size" 1000 (Bitstream.length bs2);
+      Alcotest.(check (list int)) "same content" [] (Bitstream.diff bs bs2)
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+let test_hex_rejects_garbage () =
+  (match Bitstream.of_hex ~nbits:16 "zz00" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad hex accepted");
+  match Bitstream.of_hex ~nbits:16 "00" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short hex accepted"
+
+let test_bitdb_reverse_lookups () =
+  let d = Lazy.force dev and database = Lazy.force db in
+  let rng = Srand.create 3 in
+  for _ = 1 to 200 do
+    let p = Srand.int rng d.Device.npips in
+    (match Bitdb.resource database (Bitdb.pip_bit database p) with
+    | Bitdb.Pip p' -> Alcotest.(check int) "pip roundtrip" p p'
+    | _ -> Alcotest.fail "pip bit maps elsewhere");
+    let b = Srand.int rng d.Device.nbels in
+    (match Bitdb.resource database (Bitdb.lut_bit database ~bel:b ~idx:7) with
+    | Bitdb.Lut_bit (b', 7) -> Alcotest.(check int) "lut roundtrip" b b'
+    | _ -> Alcotest.fail "lut bit maps elsewhere");
+    (match Bitdb.resource database (Bitdb.ff_init_bit database ~bel:b) with
+    | Bitdb.Ff_init b' -> Alcotest.(check int) "ff roundtrip" b b'
+    | _ -> Alcotest.fail "ff bit maps elsewhere");
+    match Bitdb.resource database (Bitdb.in_inv_bit database ~bel:b ~pin:2) with
+    | Bitdb.In_inv (b', 2) -> Alcotest.(check int) "inv roundtrip" b b'
+    | _ -> Alcotest.fail "inv bit maps elsewhere"
+  done
+
+let test_bitdb_class_counts () =
+  let database = Lazy.force db in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 (Bitdb.class_counts database) in
+  Alcotest.(check int) "classes cover all bits" (Bitdb.num_bits database) total;
+  let d = Lazy.force dev in
+  let routing = List.assoc Bitdb.Class_routing (Bitdb.class_counts database) in
+  Alcotest.(check int) "routing = pips" d.Device.npips routing;
+  Alcotest.(check bool) "frames cover bits" true
+    (Bitdb.num_frames database * Bitdb.frame_bits database >= Bitdb.num_bits database)
+
+let test_device_geometry () =
+  let d = Lazy.force dev in
+  let p = d.Device.params in
+  Alcotest.(check int) "bels" (Arch.num_bels p) d.Device.nbels;
+  (* spans *)
+  let count_kind k =
+    Array.fold_left (fun acc wk -> if wk = k then acc + 1 else acc) 0 d.Device.wkind
+  in
+  Alcotest.(check int) "h singles"
+    ((p.Arch.rows + 1) * p.Arch.cols * p.Arch.ch_singles)
+    (count_kind Device.HSingle);
+  Alcotest.(check int) "bel pins"
+    (Arch.num_bels p * (p.Arch.lut_inputs + 1))
+    (count_kind Device.BelIn + count_kind Device.BelOut);
+  (* pip_other is an involution on endpoints *)
+  let rng = Srand.create 8 in
+  for _ = 1 to 100 do
+    let pip = Srand.int rng d.Device.npips in
+    let s = d.Device.pip_src.(pip) in
+    Alcotest.(check int) "other(other(w))" s
+      (Device.pip_other d pip (Device.pip_other d pip s))
+  done;
+  let ins = Device.input_pads d and outs = Device.output_pads d in
+  Alcotest.(check int) "pads split evenly" (Array.length ins) (Array.length outs);
+  Alcotest.(check int) "all pads" d.Device.npads
+    (Array.length ins + Array.length outs)
+
+let test_scaled_params () =
+  let p = Arch.scaled Arch.small ~rows:4 ~cols:5 in
+  Alcotest.(check int) "rows" 4 p.Arch.rows;
+  Alcotest.(check int) "cols" 5 p.Arch.cols;
+  Alcotest.(check int) "channels preserved" Arch.small.Arch.ch_singles
+    p.Arch.ch_singles;
+  let d = Device.build p in
+  match Device.check_invariants d with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (List.hd es)
+
+let () =
+  Alcotest.run "tmr_arch"
+    [
+      ( "bitstream",
+        [
+          Alcotest.test_case "basics" `Quick test_bitstream_basics;
+          QCheck_alcotest.to_alcotest qcheck_hex_roundtrip;
+          Alcotest.test_case "save/load" `Quick test_save_load;
+          Alcotest.test_case "bad hex rejected" `Quick test_hex_rejects_garbage;
+        ] );
+      ( "bitdb",
+        [
+          Alcotest.test_case "reverse lookups" `Quick test_bitdb_reverse_lookups;
+          Alcotest.test_case "class counts" `Quick test_bitdb_class_counts;
+        ] );
+      ( "device",
+        [
+          Alcotest.test_case "geometry" `Quick test_device_geometry;
+          Alcotest.test_case "scaled params" `Quick test_scaled_params;
+        ] );
+    ]

@@ -1,0 +1,128 @@
+(* End-to-end smoke tests of the experiment layer at reduced scale. *)
+
+module Context = Tmr_experiments.Context
+module Runs = Tmr_experiments.Runs
+module Tables = Tmr_experiments.Tables
+module Figures = Tmr_experiments.Figures
+module Reports = Tmr_experiments.Reports
+module Ablation = Tmr_experiments.Ablation
+module Partition = Tmr_core.Partition
+module Campaign = Tmr_inject.Campaign
+
+let ctx =
+  lazy (Context.create ~scale:Context.Reduced ~seed:2 ~faults_per_design:120 ())
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_reports () =
+  let c = Lazy.force ctx in
+  let dr = Reports.device_report c in
+  Alcotest.(check bool) "device report mentions frames" true
+    (contains dr "frames");
+  Alcotest.(check bool) "device report cites the paper value" true
+    (contains dr "1,442,016");
+  let mr = Reports.memory_report c in
+  Alcotest.(check bool) "memory report has routing row" true
+    (contains mr "routing");
+  Alcotest.(check bool) "memory report cites 82.9" true (contains mr "82.9")
+
+let runs =
+  lazy
+    (let c = Lazy.force ctx in
+     List.map
+       (fun s -> Runs.campaign_design c (Runs.implement_design c s))
+       [ Partition.Unprotected; Partition.Medium_partition ])
+
+let test_table2_table3 () =
+  let rs = Lazy.force runs in
+  let t2 = Tables.table2 rs in
+  Alcotest.(check bool) "table2 lists standard" true
+    (contains t2 "Standard Filter");
+  Alcotest.(check bool) "table2 lists p2" true (contains t2 "TMR_p2");
+  let t3 = Tables.table3 rs in
+  Alcotest.(check bool) "table3 cites the paper's 0.98" true
+    (contains t3 "0.98");
+  (* standard must be far more sensitive than TMR in the campaign *)
+  let pct name =
+    let run =
+      List.find (fun r -> Partition.name r.Runs.strategy = name) rs
+    in
+    match run.Runs.campaign with
+    | Some c -> Campaign.wrong_percent c
+    | None -> Alcotest.fail "campaign missing"
+  in
+  Alcotest.(check bool) "standard >> tmr_p2" true
+    (pct "standard" > 4.0 *. pct "tmr_p2")
+
+let test_table4 () =
+  let rs = Lazy.force runs in
+  let t4 = Tables.table4 rs in
+  Alcotest.(check bool) "table4 has bridge row" true (contains t4 "Bridge");
+  Alcotest.(check bool) "table4 has totals" true (contains t4 "Total")
+
+let test_fig2 () =
+  let c = Lazy.force ctx in
+  let s = Figures.fig2 c in
+  (* the voted variant must report zero output errors after both upsets *)
+  Alcotest.(check bool) "fig2 voted row present" true (contains s "voted (fig 2)");
+  Alcotest.(check bool) "fig2 explains recovery" true
+    (contains s "re-converge")
+
+let test_fig4_and_wire_domains () =
+  let rs = Lazy.force runs in
+  let f4 = Figures.fig4 rs in
+  Alcotest.(check bool) "fig4 lists voter stages" true
+    (contains f4 "voter stages");
+  (* wire_domains: every routed wire of the TMR design belongs to a domain
+     or -1; unused wires are -2 *)
+  let tmr = List.nth rs 1 in
+  let domains = Figures.wire_domains tmr in
+  let used = ref 0 in
+  Array.iter
+    (fun d ->
+      Alcotest.(check bool) "domain in range" true (d >= -2 && d <= 2);
+      if d >= -1 then incr used)
+    domains;
+  Alcotest.(check bool) "some wires used" true (!used > 0)
+
+let test_short_experiment_direction () =
+  let c = Lazy.force ctx in
+  let nv = Runs.implement_design c Partition.Min_partition_nv in
+  let i_same, w_same = Figures.short_experiment c nv ~same_domain:true ~n:60 in
+  let i_diff, w_diff = Figures.short_experiment c nv ~same_domain:false ~n:60 in
+  Alcotest.(check bool) "candidates exist" true (i_same > 0 && i_diff > 0);
+  let pct w i = float_of_int w /. float_of_int (max i 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "inter-domain shorts (%d/%d) worse than intra (%d/%d)"
+       w_diff i_diff w_same i_same)
+    true
+    (pct w_diff i_diff > pct w_same i_same)
+
+let test_ablation_renders () =
+  let c =
+    Context.create ~scale:Context.Reduced ~seed:2 ~faults_per_design:60 ()
+  in
+  let fp = Ablation.floorplan c Partition.Medium_partition in
+  Alcotest.(check bool) "floorplan table" true (contains fp "per-domain");
+  let sc = Ablation.scrub c in
+  Alcotest.(check bool) "scrub table" true (contains sc "upsets")
+
+let () =
+  Alcotest.run "tmr_experiments"
+    [
+      ( "experiments",
+        [
+          Alcotest.test_case "SS2/SS4 reports" `Quick test_reports;
+          Alcotest.test_case "tables 2 and 3" `Quick test_table2_table3;
+          Alcotest.test_case "table 4" `Quick test_table4;
+          Alcotest.test_case "fig 2" `Quick test_fig2;
+          Alcotest.test_case "fig 4 + wire domains" `Quick
+            test_fig4_and_wire_domains;
+          Alcotest.test_case "fig 1/3 short experiments" `Quick
+            test_short_experiment_direction;
+          Alcotest.test_case "ablations render" `Quick test_ablation_renders;
+        ] );
+    ]

@@ -1,0 +1,139 @@
+module Netlist = Tmr_netlist.Netlist
+module Netsim = Tmr_netlist.Netsim
+module Check = Tmr_netlist.Check
+module Fir = Tmr_filter.Fir
+module Golden = Tmr_filter.Golden
+module Designs = Tmr_filter.Designs
+module Partition = Tmr_core.Partition
+
+let run_netlist params inputs =
+  let nl = Fir.build params in
+  let sim = Netsim.create nl in
+  Netsim.reset sim;
+  Array.map
+    (fun x ->
+      Netsim.set_input sim "x" x;
+      Netsim.eval sim;
+      let y = Netsim.output_int sim "y" in
+      Netsim.clock sim;
+      match y with
+      | Some v -> v
+      | None -> Alcotest.fail "filter output X")
+    inputs
+
+let signed_gen width =
+  QCheck.Gen.map
+    (fun v -> v - (1 lsl (width - 1)))
+    (QCheck.Gen.int_bound ((1 lsl width) - 1))
+
+let qcheck_netlist_matches_golden_tiny =
+  QCheck.Test.make ~count:40 ~name:"tiny FIR netlist == golden model"
+    (QCheck.make
+       (QCheck.Gen.array_size (QCheck.Gen.return 12) (signed_gen 5)))
+    (fun inputs ->
+      run_netlist Fir.tiny_params inputs = Golden.run Fir.tiny_params inputs)
+
+let test_paper_filter_matches_golden () =
+  let inputs = Fir.stimulus ~cycles:30 ~seed:3 Fir.paper_params in
+  Alcotest.(check (array int))
+    "paper filter netlist == golden"
+    (Golden.run Fir.paper_params inputs)
+    (run_netlist Fir.paper_params inputs)
+
+let test_impulse_response_is_coefficients () =
+  let p = Fir.paper_params in
+  let taps = Array.length p.Fir.coeffs in
+  let inputs = Array.make (taps + 2) 0 in
+  inputs.(0) <- 1;
+  let out = Golden.run p inputs in
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int) (Printf.sprintf "h[%d]" i) c out.(i))
+    p.Fir.coeffs;
+  Alcotest.(check int) "tail zero" 0 out.(taps)
+
+let test_paper_structure () =
+  let nl = Fir.build Fir.paper_params in
+  Check.run_exn nl;
+  (* 11 multipliers, 10 adders, 10 registers in the component labels *)
+  let comps = Hashtbl.create 64 in
+  Netlist.iter_cells nl (fun c -> Hashtbl.replace comps (Netlist.comp nl c) ());
+  let count suffix =
+    Hashtbl.fold
+      (fun comp () acc ->
+        let n = String.length comp and m = String.length suffix in
+        if n >= m && String.sub comp (n - m) m = suffix then acc + 1 else acc)
+      comps 0
+  in
+  (* the two x1 coefficients synthesize to plain wiring (no cells), so 9 of
+     the paper's 11 multipliers materialize as logic *)
+  Alcotest.(check int) "9 non-trivial multipliers" 9 (count "/mult");
+  Alcotest.(check int) "10 adders" 10 (count "/add");
+  Alcotest.(check int) "10 registers" 10 (count "/reg");
+  (* 10 x 9-bit delay registers *)
+  let ffs = (Tmr_netlist.Stats.compute nl).Tmr_netlist.Stats.ffs in
+  Alcotest.(check int) "90 flip-flops" 90 ffs
+
+let test_coefficients_symmetric () =
+  let c = Fir.paper_params.Fir.coeffs in
+  let n = Array.length c in
+  Alcotest.(check int) "11 taps" 11 n;
+  for i = 0 to n - 1 do
+    Alcotest.(check int) "symmetric" c.(i) c.(n - 1 - i)
+  done;
+  Alcotest.(check (list int)) "paper values" [ 1; -1; -9; 6; 73; 120 ]
+    (Array.to_list (Array.sub c 0 6))
+
+let test_stimulus_deterministic_and_in_range () =
+  let p = Fir.paper_params in
+  let s1 = Fir.stimulus ~cycles:40 ~seed:9 p in
+  let s2 = Fir.stimulus ~cycles:40 ~seed:9 p in
+  Alcotest.(check (array int)) "deterministic" s1 s2;
+  let amplitude = (1 lsl (p.Fir.input_width - 1)) - 1 in
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "in range" true (v >= -amplitude && v <= amplitude))
+    s1;
+  let s3 = Fir.stimulus ~cycles:40 ~seed:10 p in
+  Alcotest.(check bool) "seed changes tail" true (s1 <> s3)
+
+let test_designs_build_and_check () =
+  List.iter
+    (fun strategy ->
+      let nl = Designs.build ~params:Fir.tiny_params strategy in
+      match Check.run nl with
+      | Ok () -> ()
+      | Error es ->
+          Alcotest.failf "%s: %s" (Partition.name strategy) (List.hd es))
+    Partition.all_paper_designs
+
+let test_descriptions_distinct () =
+  let ds = List.map Designs.description Partition.all_paper_designs in
+  Alcotest.(check int) "all distinct" (List.length ds)
+    (List.length (List.sort_uniq compare ds))
+
+let () =
+  Alcotest.run "tmr_filter"
+    [
+      ( "fir",
+        [
+          QCheck_alcotest.to_alcotest qcheck_netlist_matches_golden_tiny;
+          Alcotest.test_case "paper filter matches golden" `Quick
+            test_paper_filter_matches_golden;
+          Alcotest.test_case "impulse response = coefficients" `Quick
+            test_impulse_response_is_coefficients;
+          Alcotest.test_case "paper structure (11/10/10)" `Quick
+            test_paper_structure;
+          Alcotest.test_case "coefficients symmetric" `Quick
+            test_coefficients_symmetric;
+          Alcotest.test_case "stimulus deterministic" `Quick
+            test_stimulus_deterministic_and_in_range;
+        ] );
+      ( "designs",
+        [
+          Alcotest.test_case "all versions build and check" `Quick
+            test_designs_build_and_check;
+          Alcotest.test_case "descriptions distinct" `Quick
+            test_descriptions_distinct;
+        ] );
+    ]

@@ -1,0 +1,158 @@
+module Logic = Tmr_logic.Logic
+module Netlist = Tmr_netlist.Netlist
+module Word = Tmr_netlist.Word
+module Netsim = Tmr_netlist.Netsim
+module Check = Tmr_netlist.Check
+module Stats = Tmr_netlist.Stats
+module Techmap = Tmr_techmap.Techmap
+
+let signed_gen width =
+  QCheck.Gen.map
+    (fun v -> v - (1 lsl (width - 1)))
+    (QCheck.Gen.int_bound ((1 lsl width) - 1))
+
+(* Build a representative datapath: r = reg ((a + b) * 6 - a). *)
+let build_datapath () =
+  let nl = Netlist.create () in
+  let a = Word.input nl "a" ~width:8 in
+  let b = Word.input nl "b" ~width:8 in
+  let s = Word.add nl a b in
+  let p = Word.mul_const nl s 6 ~width:8 in
+  let d = Word.sub nl p a in
+  let r = Word.reg nl d in
+  Word.output nl "r" r;
+  nl
+
+let run_seq nl stimulus =
+  let sim = Netsim.create nl in
+  Netsim.reset sim;
+  List.map
+    (fun (a, b) ->
+      Netsim.set_input sim "a" a;
+      Netsim.set_input sim "b" b;
+      Netsim.step sim;
+      Netsim.output_int sim "r")
+    stimulus
+
+let qcheck_mapping_preserves_behaviour =
+  QCheck.Test.make ~count:60 ~name:"mapped netlist is sequentially equivalent"
+    (QCheck.make
+       (QCheck.Gen.list_size (QCheck.Gen.return 6)
+          (QCheck.Gen.pair (signed_gen 8) (signed_gen 8))))
+    (fun stimulus ->
+      let nl = build_datapath () in
+      let { Techmap.mapped; _ } = Techmap.run nl in
+      run_seq nl stimulus = run_seq mapped stimulus)
+
+let test_only_mapped_kinds () =
+  let nl = build_datapath () in
+  let { Techmap.mapped; _ } = Techmap.run nl in
+  Alcotest.(check bool) "pre-map has gates" false
+    (Techmap.check_only_mapped_kinds nl);
+  Alcotest.(check bool) "post-map pure" true
+    (Techmap.check_only_mapped_kinds mapped);
+  Check.run_exn mapped
+
+let test_mapping_reduces_cells () =
+  let nl = build_datapath () in
+  let { Techmap.mapped; _ } = Techmap.run nl in
+  let before = (Stats.compute nl).Stats.gates in
+  let after = (Stats.compute mapped).Stats.gates in
+  Alcotest.(check bool)
+    (Printf.sprintf "LUTs (%d) < gates (%d)" after before)
+    true (after < before)
+
+let test_lut_arity_bound () =
+  let nl = build_datapath () in
+  let { Techmap.mapped; _ } = Techmap.run nl in
+  Netlist.iter_cells mapped (fun c ->
+      match Netlist.kind mapped c with
+      | Netlist.Lut { arity; _ } ->
+          Alcotest.(check bool) "arity in 1..4" true (arity >= 1 && arity <= 4)
+      | _ -> ())
+
+let test_voter_survives_as_maj_lut () =
+  let nl = Netlist.create () in
+  let mk d = Netlist.add_cell nl ~domain:d Netlist.Input ~fanins:[||] in
+  let a = mk 0 and b = mk 1 and c = mk 2 in
+  (* Some upstream logic in domain 0 that feeds the voter. *)
+  let g = Netlist.add_cell nl ~domain:0 Netlist.Not ~fanins:[| a |] in
+  let g2 = Netlist.add_cell nl ~domain:0 Netlist.Not ~fanins:[| g |] in
+  let v =
+    Netlist.add_cell nl ~domain:0 ~voter:true Netlist.Maj3
+      ~fanins:[| g2; b; c |]
+  in
+  let out = Netlist.add_cell nl ~domain:0 Netlist.Output ~fanins:[| v |] in
+  Netlist.add_output_port nl "o" [| out |];
+  let { Techmap.mapped; cell_map } = Techmap.run nl in
+  let v' = cell_map.(v) in
+  Alcotest.(check bool) "voter mapped" true (v' >= 0);
+  Alcotest.(check bool) "still a voter" true (Netlist.is_voter mapped v');
+  (match Netlist.kind mapped v' with
+  | Netlist.Lut { arity = 3; _ } -> ()
+  | k -> Alcotest.failf "voter mapped to %a" Netlist.pp_kind k);
+  (* Upstream double-inverter must not have been folded through the voter:
+     the voter's support is exactly its three domain copies. *)
+  Check.run_exn mapped
+
+let test_constant_folding () =
+  let nl = Netlist.create () in
+  let a = Netlist.add_cell nl Netlist.Input ~fanins:[||] in
+  let zero = Netlist.add_cell nl (Netlist.Const Logic.Zero) ~fanins:[||] in
+  let g = Netlist.add_cell nl Netlist.And2 ~fanins:[| a; zero |] in
+  let out = Netlist.add_cell nl Netlist.Output ~fanins:[| g |] in
+  Netlist.add_output_port nl "o" [| out |];
+  Netlist.add_input_port nl "a" [| a |];
+  let { Techmap.mapped; _ } = Techmap.run nl in
+  let sim = Netsim.create mapped in
+  Netsim.reset sim;
+  Netsim.set_input sim "a" 1;
+  Netsim.eval sim;
+  Alcotest.(check (option int)) "a AND 0 = 0" (Some 0)
+    (Netsim.output_int sim "o")
+
+let test_ports_preserved () =
+  let nl = build_datapath () in
+  let { Techmap.mapped; _ } = Techmap.run nl in
+  let names l = List.map fst l in
+  Alcotest.(check (list string)) "inputs" (names (Netlist.input_ports nl))
+    (names (Netlist.input_ports mapped));
+  Alcotest.(check (list string)) "outputs" (names (Netlist.output_ports nl))
+    (names (Netlist.output_ports mapped))
+
+let test_fanout_gate_not_duplicated () =
+  (* A gate read twice must become a shared LUT, not be duplicated. *)
+  let nl = Netlist.create () in
+  let a = Netlist.add_cell nl Netlist.Input ~fanins:[||] in
+  let b = Netlist.add_cell nl Netlist.Input ~fanins:[||] in
+  let shared = Netlist.add_cell nl Netlist.Xor2 ~fanins:[| a; b |] in
+  let u = Netlist.add_cell nl Netlist.Not ~fanins:[| shared |] in
+  let v = Netlist.add_cell nl Netlist.And2 ~fanins:[| shared; a |] in
+  let o1 = Netlist.add_cell nl Netlist.Output ~fanins:[| u |] in
+  let o2 = Netlist.add_cell nl Netlist.Output ~fanins:[| v |] in
+  Netlist.add_output_port nl "o1" [| o1 |];
+  Netlist.add_output_port nl "o2" [| o2 |];
+  let { Techmap.mapped; cell_map } = Techmap.run nl in
+  Alcotest.(check bool) "shared survives" true (cell_map.(shared) >= 0);
+  let st = Stats.compute mapped in
+  Alcotest.(check int) "three LUTs" 3 st.Stats.luts
+
+let () =
+  Alcotest.run "tmr_techmap"
+    [
+      ( "techmap",
+        [
+          QCheck_alcotest.to_alcotest qcheck_mapping_preserves_behaviour;
+          Alcotest.test_case "only mapped kinds remain" `Quick
+            test_only_mapped_kinds;
+          Alcotest.test_case "mapping reduces cell count" `Quick
+            test_mapping_reduces_cells;
+          Alcotest.test_case "LUT arity bounded" `Quick test_lut_arity_bound;
+          Alcotest.test_case "voter survives as majority LUT" `Quick
+            test_voter_survives_as_maj_lut;
+          Alcotest.test_case "constants folded" `Quick test_constant_folding;
+          Alcotest.test_case "ports preserved" `Quick test_ports_preserved;
+          Alcotest.test_case "shared gates not duplicated" `Quick
+            test_fanout_gate_not_duplicated;
+        ] );
+    ]
