@@ -7,7 +7,8 @@
      dune exec bench/main.exe -- quick           # everything, reduced scale
      dune exec bench/main.exe -- micro           # Bechamel micro-benchmarks
 
-   TMR_FAULTS=<n> overrides the faults-per-design sample size. *)
+   TMR_FAULTS=<n> overrides the faults-per-design sample size.
+   TMR_JOBS=<n> overrides the campaign worker-domain count. *)
 
 module Context = Tmr_experiments.Context
 module Runs = Tmr_experiments.Runs
@@ -17,6 +18,18 @@ module Reports = Tmr_experiments.Reports
 module Partition = Tmr_core.Partition
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+let int_env name =
+  match Sys.getenv_opt name with
+  | None -> None
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some n -> Some n
+      | None ->
+          Printf.eprintf "bench: %s must be an integer, got %S\n" name v;
+          exit 2)
+
+let jobs () = int_env "TMR_JOBS"
 
 let time name f =
   let t0 = Unix.gettimeofday () in
@@ -99,16 +112,17 @@ let run_experiments w ~faults ~seed =
     end;
     if needs_runs w then begin
       let last_design = ref "" in
+      (* the pool already rate-limits the callback; print every tick *)
       let progress name done_ total =
         if name <> !last_design then begin
           say "campaign %s: %d faults..." name total;
           last_design := name
         end;
-        if done_ > 0 && done_ mod 1000 = 0 then say "  %s: %d/%d" name done_ total
+        say "  %s: %d/%d" name done_ total
       in
       let runs =
         time "fault-injection campaigns" (fun () ->
-            List.map (Runs.campaign_design ~progress ctx) impls)
+            List.map (Runs.campaign_design ~progress ?workers:(jobs ()) ctx) impls)
       in
       if w.t3 then begin
         print_string (Tables.table3 runs);
@@ -120,6 +134,86 @@ let run_experiments w ~faults ~seed =
       end
     end
   end
+
+(* ------------------------------------------------------------------ *)
+(* Parallel-campaign throughput: BENCH_campaign.json *)
+
+let campaign_bench () =
+  let module Campaign = Tmr_inject.Campaign in
+  let faults =
+    match int_env "TMR_FAULTS" with Some n -> n | None -> 1000
+  in
+  let parallel_workers = match jobs () with Some j -> j | None -> 4 in
+  say "campaign throughput (paper-scale FIR, %s, %d faults):"
+    (Partition.name Partition.Medium_partition)
+    faults;
+  let ctx = Context.create ~scale:Context.Paper ~seed:1 ~faults_per_design:faults () in
+  let run =
+    time "implement" (fun () ->
+        Runs.implement_design ctx Partition.Medium_partition)
+  in
+  let measure ~workers ~cone_skip =
+    let t0 = Unix.gettimeofday () in
+    let r = Runs.campaign_design ~workers ~cone_skip ctx run in
+    let dt = Unix.gettimeofday () -. t0 in
+    let c = Option.get r.Runs.campaign in
+    let fps = float_of_int c.Campaign.injected /. dt in
+    say
+      "  workers=%d cone_skip=%b: %.2fs, %.1f faults/s (skipped %d, patched \
+       %d, rerouted %d, rebuilt %d)"
+      workers cone_skip dt fps c.Campaign.stats.Campaign.skipped
+      c.Campaign.stats.Campaign.patched c.Campaign.stats.Campaign.rerouted
+      c.Campaign.stats.Campaign.rebuilt;
+    (c, dt, fps)
+  in
+  let base_c, base_dt, base_fps = measure ~workers:1 ~cone_skip:false in
+  let par_c, par_dt, par_fps =
+    measure ~workers:parallel_workers ~cone_skip:true
+  in
+  let identical = base_c.Campaign.results = par_c.Campaign.results in
+  let speedup = par_fps /. base_fps in
+  let skip_rate =
+    float_of_int par_c.Campaign.stats.Campaign.skipped
+    /. float_of_int (max 1 par_c.Campaign.injected)
+  in
+  say "  speedup %.2fx, skip-rate %.1f%%, identical results: %b" speedup
+    (100. *. skip_rate) identical;
+  let row name cone_skip (c : Campaign.t) dt fps =
+    Printf.sprintf
+      "    { \"name\": %S, \"workers\": %d, \"cone_skip\": %b, \"seconds\": \
+       %.3f, \"faults_per_sec\": %.2f,\n\
+      \      \"skipped\": %d, \"patched\": %d, \"rerouted\": %d, \"rebuilt\": \
+       %d, \"wrong_percent\": %.3f }"
+      name c.Campaign.workers cone_skip dt fps c.Campaign.stats.Campaign.skipped
+      c.Campaign.stats.Campaign.patched c.Campaign.stats.Campaign.rerouted
+      c.Campaign.stats.Campaign.rebuilt
+      (Campaign.wrong_percent c)
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"fault-injection campaign\",\n\
+      \  \"design\": %S,\n\
+      \  \"scale\": \"paper\",\n\
+      \  \"faults\": %d,\n\
+      \  \"rows\": [\n\
+       %s,\n\
+       %s\n\
+      \  ],\n\
+      \  \"speedup\": %.3f,\n\
+      \  \"skip_rate\": %.4f,\n\
+      \  \"identical_results\": %b\n\
+       }\n"
+      (Partition.name Partition.Medium_partition)
+      faults
+      (row "sequential-rebuild" false base_c base_dt base_fps)
+      (row "parallel-cone-aware" true par_c par_dt par_fps)
+      speedup skip_rate identical
+  in
+  let oc = open_out "BENCH_campaign.json" in
+  output_string oc json;
+  close_out oc;
+  say "  wrote BENCH_campaign.json"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the flow stages *)
@@ -194,7 +288,8 @@ let micro () =
           | Some [ est ] -> say "%-28s %12.0f ns/run" name est
           | Some _ | None -> say "%-28s (no estimate)" name)
         results)
-    tests
+    tests;
+  campaign_bench ()
 
 (* ------------------------------------------------------------------ *)
 
@@ -242,8 +337,8 @@ let () =
             exit 2)
       args;
   let faults =
-    match Sys.getenv_opt "TMR_FAULTS" with
-    | Some v -> int_of_string v
+    match int_env "TMR_FAULTS" with
+    | Some n -> n
     | None -> if w.scale = Context.Paper then 1500 else 400
   in
   if w.device || w.memory || needs_impls w || w.f2 then

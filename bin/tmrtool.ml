@@ -62,6 +62,17 @@ let design_t =
 let mk_ctx scale seed faults =
   Context.create ~scale ~seed ~faults_per_design:faults ()
 
+(* Campaign worker-domain count; default picked by Campaign. *)
+let jobs () =
+  match Sys.getenv_opt "TMR_JOBS" with
+  | None -> None
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some n -> Some n
+      | None ->
+          Printf.eprintf "tmrtool: TMR_JOBS must be an integer, got %S\n" v;
+          exit 2)
+
 (* --- report --- *)
 
 let report_cmd =
@@ -115,11 +126,11 @@ let inject_cmd =
   let run scale seed faults design =
     let ctx = mk_ctx scale seed faults in
     let r = Runs.implement_design ctx design in
+    (* the pool already rate-limits the callback; print every tick *)
     let progress name done_ total =
-      if done_ mod 500 = 0 then
-        Printf.eprintf "%s: %d/%d\r%!" name done_ total
+      Printf.eprintf "%s: %d/%d\r%!" name done_ total
     in
-    let r = Runs.campaign_design ~progress ctx r in
+    let r = Runs.campaign_design ~progress ?workers:(jobs ()) ctx r in
     match r.Runs.campaign with
     | None -> assert false
     | Some c ->
@@ -207,7 +218,7 @@ let tables_cmd =
     in
     print_string (Tables.table2 impls);
     print_newline ();
-    let runs = List.map (Runs.campaign_design ctx) impls in
+    let runs = List.map (Runs.campaign_design ?workers:(jobs ()) ctx) impls in
     print_string (Tables.table3 runs);
     print_newline ();
     print_string (Tables.table4 runs)

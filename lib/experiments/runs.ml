@@ -19,7 +19,7 @@ let implement_design (ctx : Context.t) strategy =
   in
   { strategy; nl; impl; faultlist = Faultlist.of_impl impl; campaign = None }
 
-let campaign_design ?progress (ctx : Context.t) run =
+let campaign_design ?progress ?workers ?cone_skip (ctx : Context.t) run =
   let name = Partition.name run.strategy in
   let faults =
     Faultlist.sample run.faultlist ~seed:ctx.Context.seed
@@ -29,12 +29,14 @@ let campaign_design ?progress (ctx : Context.t) run =
     Option.map (fun f done_ total -> f name done_ total) progress
   in
   let campaign =
-    Campaign.run ?progress:progress_cb ~name ~impl:run.impl
-      ~golden:ctx.Context.golden_nl ~stimulus:ctx.Context.stimulus ~faults ()
+    Campaign.run ?progress:progress_cb ?workers ?cone_skip ~name
+      ~impl:run.impl ~golden:ctx.Context.golden_nl
+      ~stimulus:ctx.Context.stimulus ~faults ()
   in
   { run with campaign = Some campaign }
 
-let run_all ?progress ctx =
+let run_all ?progress ?workers ctx =
   List.map
-    (fun strategy -> campaign_design ?progress ctx (implement_design ctx strategy))
+    (fun strategy ->
+      campaign_design ?progress ?workers ctx (implement_design ctx strategy))
     Partition.all_paper_designs

@@ -15,14 +15,18 @@ val implement_design :
 
 val campaign_design :
   ?progress:(string -> int -> int -> unit) ->
+  ?workers:int ->
+  ?cone_skip:bool ->
   Context.t ->
   design_run ->
   design_run
 (** Add the fault-injection campaign ([Context.faults_per_design] random
-    DUT bits). *)
+    DUT bits).  [workers]/[cone_skip] are forwarded to
+    {!Tmr_inject.Campaign.run}. *)
 
 val run_all :
   ?progress:(string -> int -> int -> unit) ->
+  ?workers:int ->
   Context.t ->
   design_run list
 (** The five paper designs, implemented and injected. *)

@@ -56,7 +56,37 @@ let create dev db bs =
   done;
   t
 
+let copy t =
+  {
+    dev = t.dev;
+    db = t.db;
+    bs = Bitstream.copy t.bs;
+    drivers = Array.copy t.drivers;
+    links = Array.copy t.links;
+    lut_tables = Array.copy t.lut_tables;
+    out_sels = Array.copy t.out_sels;
+    ce_invs = Array.copy t.ce_invs;
+    sr_invs = Array.copy t.sr_invs;
+    ff_inits = Array.copy t.ff_inits;
+    in_invs = Array.copy t.in_invs;
+    pad_enables = Array.copy t.pad_enables;
+  }
+
 let device t = t.dev
+let database t = t.db
+let bit_is_set t a = Bitstream.get t.bs a
+
+let fanouts t w =
+  (* ON buffered pips out of [w], as destination wires *)
+  let out = t.dev.Device.wire_out.(w) in
+  let acc = ref [] in
+  Array.iter
+    (fun p ->
+      if (not t.dev.Device.pip_bidir.(p)) && t.dev.Device.pip_src.(p) = w then
+        if Bitstream.get t.bs (Bitdb.pip_bit t.db p) then
+          acc := t.dev.Device.pip_dst.(p) :: !acc)
+    out;
+  !acc
 
 let apply_bit_flip t a =
   Bitstream.flip t.bs a;

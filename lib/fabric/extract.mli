@@ -14,7 +14,21 @@ val create : Tmr_arch.Device.t -> Tmr_arch.Bitdb.t -> Tmr_arch.Bitstream.t -> t
 (** Scans the whole image once.  The bitstream is captured by reference and
     mutated by {!apply_bit_flip}. *)
 
+val copy : t -> t
+(** Snapshot of the derived state, including a private copy of the
+    bitstream — orders of magnitude cheaper than re-scanning the image
+    with {!create}.  Campaign workers clone one golden extract each. *)
+
 val device : t -> Tmr_arch.Device.t
+val database : t -> Tmr_arch.Bitdb.t
+
+val bit_is_set : t -> int -> bool
+(** Current state of one configuration bit in the captured image. *)
+
+val fanouts : t -> int -> int list
+(** Destination wires of ON buffered pips leaving the given wire — the
+    forward counterpart of {!drivers}, computed on demand from the device
+    adjacency. *)
 
 val apply_bit_flip : t -> int -> unit
 (** Flip one configuration bit and update the derived state. *)

@@ -1,5 +1,6 @@
 module Logic = Tmr_logic.Logic
 module Device = Tmr_arch.Device
+module Bitdb = Tmr_arch.Bitdb
 
 (* Node kinds, encoded for tight loops. *)
 let k_constx = 0
@@ -7,6 +8,54 @@ let k_pad = 1
 let k_bel_comb = 2
 let k_bel_reg = 3
 let k_resolve = 4
+
+(* Node 0 is always the constant-X node (first allocation in [build]). *)
+let x_node_id = 0
+
+(* Scratch arrays for the SCC pass, reused across invocations so the
+   per-fault path stays allocation-free (minor-GC barriers are
+   stop-the-world across every domain). *)
+type scc_scratch = {
+  mutable sc_cap : int;  (* node capacity of the arrays below *)
+  mutable sc_index : int array;
+  mutable sc_low : int array;
+  mutable sc_onstack : Bytes.t;
+  mutable sc_sstack : int array;  (* Tarjan value stack *)
+  mutable sc_cnode : int array;  (* DFS call stack: node *)
+  mutable sc_ci : int array;  (* DFS call stack: next child index *)
+  mutable sc_off : int array;  (* nsccs+1 offsets into sc_nodes *)
+  mutable sc_nodes : int array;  (* SCC members, evaluation order *)
+  mutable sc_cyclic : Bytes.t;  (* per SCC: '\001' when cyclic *)
+}
+
+let make_scc_scratch () =
+  {
+    sc_cap = 0;
+    sc_index = [||];
+    sc_low = [||];
+    sc_onstack = Bytes.empty;
+    sc_sstack = [||];
+    sc_cnode = [||];
+    sc_ci = [||];
+    sc_off = [||];
+    sc_nodes = [||];
+    sc_cyclic = Bytes.empty;
+  }
+
+let scc_ensure s n =
+  if s.sc_cap < n then begin
+    let cap = max n (max 256 (2 * s.sc_cap)) in
+    s.sc_cap <- cap;
+    s.sc_index <- Array.make cap 0;
+    s.sc_low <- Array.make cap 0;
+    s.sc_onstack <- Bytes.make cap '\000';
+    s.sc_sstack <- Array.make cap 0;
+    s.sc_cnode <- Array.make cap 0;
+    s.sc_ci <- Array.make cap 0;
+    s.sc_off <- Array.make (cap + 1) 0;
+    s.sc_nodes <- Array.make cap 0;
+    s.sc_cyclic <- Bytes.make cap '\000'
+  end
 
 type workspace = {
   ws_dev : Device.t;
@@ -18,6 +67,7 @@ type workspace = {
   ing_stamp : int array;  (* wire -> epoch when in-progress *)
   bel_node_stamp : int array;
   bel_node_id : int array;
+  ws_scc : scc_scratch;
 }
 
 let make_workspace dev =
@@ -31,12 +81,16 @@ let make_workspace dev =
     ing_stamp = Array.make dev.Device.nwires 0;
     bel_node_stamp = Array.make dev.Device.nbels 0;
     bel_node_id = Array.make dev.Device.nbels 0;
+    ws_scc = make_scc_scratch ();
   }
 
 type t = {
   nnodes : int;
   kind : int array;
   inputs : int array array;  (* resolve inputs; bel pin nodes (len 4, -1 unused) *)
+  res_wires : int array array;
+      (* resolve nodes: the driver wire behind each input — lets a fault
+         re-derive the inputs when routing changes upstream *)
   table : int array;  (* bel nodes: LUT table *)
   inv : int array;  (* bel nodes: pin inversion mask *)
   ce_frozen : bool array;  (* bel nodes: clock-enable inverted *)
@@ -46,8 +100,10 @@ type t = {
   last : Logic.t array;
       (* settled value of each node at the end of the previous cycle; used
          by the drive-conflict glitch rule on shorted nodes *)
-  sccs : int array array;  (* evaluation order *)
-  scc_cyclic : bool array;
+  nsccs : int;
+  scc_off : int array;  (* nsccs+1 offsets into scc_nodes (may have slack) *)
+  scc_nodes : int array;  (* flat SCC members, evaluation order *)
+  scc_cyclic : Bytes.t;  (* per SCC *)
   pad_node : (int, int) Hashtbl.t;  (* PadIn wire -> node *)
   watch_node : (int, int) Hashtbl.t;  (* PadOut wire -> node *)
   has_loop : bool;
@@ -103,6 +159,90 @@ let builder_alloc b k ~table ~inv ~ce ~qi =
   b.n <- id + 1;
   id
 
+(* SCC decomposition of the combinational graph (iterative Tarjan).
+   Combinational dependencies: resolve -> inputs; comb bel -> pins.
+   Registered bels, pads and constants are sources.  Tarjan emits an SCC
+   only after everything it depends on has been emitted, so the emission
+   order written to [sc_nodes] is already inputs-first.  Works entirely in
+   [scratch]; returns [(nsccs, has_loop)]. *)
+let rec self_dep deps node i =
+  i < Array.length deps && (deps.(i) = node || self_dep deps node (i + 1))
+
+let compute_sccs ~scratch:s ~nnodes:n ~kind ~inputs =
+  scc_ensure s n;
+  let index = s.sc_index and low = s.sc_low and onstack = s.sc_onstack in
+  Array.fill index 0 n (-1);
+  Bytes.fill onstack 0 n '\000';
+  let dep node =
+    let k = kind.(node) in
+    if k = k_resolve || k = k_bel_comb then inputs.(node) else [||]
+  in
+  let counter = ref 0 in
+  let sp = ref 0 in (* Tarjan value stack top *)
+  let nsccs = ref 0 in
+  let out = ref 0 in (* write position in sc_nodes *)
+  let has_loop = ref false in
+  for root = 0 to n - 1 do
+    if index.(root) < 0 then begin
+      let csp = ref 0 in
+      let push v =
+        index.(v) <- !counter;
+        low.(v) <- !counter;
+        incr counter;
+        s.sc_sstack.(!sp) <- v;
+        incr sp;
+        Bytes.set onstack v '\001';
+        s.sc_cnode.(!csp) <- v;
+        s.sc_ci.(!csp) <- 0;
+        incr csp
+      in
+      push root;
+      while !csp > 0 do
+        let node = s.sc_cnode.(!csp - 1) in
+        let i = s.sc_ci.(!csp - 1) in
+        let deps = dep node in
+        if i < Array.length deps then begin
+          s.sc_ci.(!csp - 1) <- i + 1;
+          let child = deps.(i) in
+          if child >= 0 then begin
+            if index.(child) < 0 then push child
+            else if Bytes.get onstack child <> '\000' then
+              low.(node) <- min low.(node) index.(child)
+          end
+        end
+        else begin
+          decr csp;
+          if !csp > 0 then begin
+            let parent = s.sc_cnode.(!csp - 1) in
+            low.(parent) <- min low.(parent) low.(node)
+          end;
+          if low.(node) = index.(node) then begin
+            let start = !out in
+            let continue = ref true in
+            while !continue do
+              decr sp;
+              let w = s.sc_sstack.(!sp) in
+              Bytes.set onstack w '\000';
+              s.sc_nodes.(!out) <- w;
+              incr out;
+              if w = node then continue := false
+            done;
+            let cyc =
+              !out - start > 1
+              || self_dep (dep s.sc_nodes.(start)) s.sc_nodes.(start) 0
+            in
+            s.sc_off.(!nsccs) <- start;
+            Bytes.set s.sc_cyclic !nsccs (if cyc then '\001' else '\000');
+            if cyc then has_loop := true;
+            incr nsccs
+          end
+        end
+      done
+    end
+  done;
+  s.sc_off.(!nsccs) <- !out;
+  (!nsccs, !has_loop)
+
 let build ?ws ex ~watch_outputs =
   let dev = Extract.device ex in
   let ws =
@@ -128,8 +268,8 @@ let build ?ws ex ~watch_outputs =
   let visit_bel b =
     if ws.bel_mark.(b) <> ep then begin
       ws.bel_mark.(b) <- ep;
-      bel_list := b :: !bel_list;
       let mask = support_mask (Extract.lut_table ex b) in
+      bel_list := (b, mask) :: !bel_list;
       Array.iteri
         (fun j pinw -> if (mask lsr j) land 1 = 1 then push_wire pinw)
         dev.Device.bel_in.(b)
@@ -155,7 +295,7 @@ let build ?ws ex ~watch_outputs =
   let alloc = builder_alloc bld in
   let x_node = alloc k_constx ~table:0 ~inv:0 ~ce:false ~qi:Logic.X in
   List.iter
-    (fun b ->
+    (fun (b, _mask) ->
       let registered = Extract.out_sel ex b in
       let id =
         alloc
@@ -170,6 +310,7 @@ let build ?ws ex ~watch_outputs =
     !bel_list;
   let pad_node = Hashtbl.create 64 in
   let resolve_inputs = Hashtbl.create 64 in
+  let resolve_wires = Hashtbl.create 64 in
   let set_resolved w n =
     ws.res_stamp.(w) <- ep;
     ws.res_node.(w) <- n
@@ -232,6 +373,7 @@ let build ?ws ex ~watch_outputs =
               (* register before resolving inputs so cycles hit the node,
                  not infinite recursion *)
               ignore (finish n);
+              Hashtbl.replace resolve_wires n (Array.of_list us);
               Hashtbl.replace resolve_inputs n
                 (Array.of_list (List.map wire_node us));
               n)
@@ -240,8 +382,7 @@ let build ?ws ex ~watch_outputs =
   (* bel pins *)
   let bel_pins = Hashtbl.create 256 in
   List.iter
-    (fun b ->
-      let mask = support_mask (Extract.lut_table ex b) in
+    (fun (b, mask) ->
       let pins =
         Array.init 4 (fun j ->
             if (mask lsr j) land 1 = 1 then wire_node dev.Device.bel_in.(b).(j)
@@ -266,102 +407,35 @@ let build ?ws ex ~watch_outputs =
   let ce_frozen = Array.sub bld.b_ce 0 n in
   let q_init = Array.sub bld.b_qi 0 n in
   let inputs = Array.make n [||] in
+  let res_wires = Array.make n [||] in
   Hashtbl.iter (fun node ins -> inputs.(node) <- ins) resolve_inputs;
+  Hashtbl.iter (fun node ws_ -> res_wires.(node) <- ws_) resolve_wires;
   Hashtbl.iter (fun node pins -> inputs.(node) <- pins) bel_pins;
-  (* ---- Phase 3: SCC decomposition of the combinational graph ----
-     Combinational dependencies: resolve -> inputs; comb bel -> pins.
-     Registered bels, pads and constants are sources. *)
-  let dep node =
-    if kind.(node) = k_resolve then inputs.(node)
-    else if kind.(node) = k_bel_comb then inputs.(node)
-    else [||]
+  (* ---- Phase 3: evaluation order ---- *)
+  let nsccs, has_loop =
+    compute_sccs ~scratch:ws.ws_scc ~nnodes:n ~kind ~inputs
   in
-  (* Tarjan, iterative *)
-  let index = Array.make n (-1) in
-  let low = Array.make n 0 in
-  let on_stack = Array.make n false in
-  let scc_stack = ref [] in
-  let counter = ref 0 in
-  let sccs = ref [] in
-  let strongconnect v =
-    let call_stack = ref [ (v, 0) ] in
-    index.(v) <- !counter;
-    low.(v) <- !counter;
-    incr counter;
-    scc_stack := v :: !scc_stack;
-    on_stack.(v) <- true;
-    while !call_stack <> [] do
-      match !call_stack with
-      | [] -> ()
-      | (node, i) :: rest ->
-          let deps = dep node in
-          if i < Array.length deps then begin
-            call_stack := (node, i + 1) :: rest;
-            let child = deps.(i) in
-            if child >= 0 then begin
-              if index.(child) < 0 then begin
-                index.(child) <- !counter;
-                low.(child) <- !counter;
-                incr counter;
-                scc_stack := child :: !scc_stack;
-                on_stack.(child) <- true;
-                call_stack := (child, 0) :: !call_stack
-              end
-              else if on_stack.(child) then
-                low.(node) <- min low.(node) index.(child)
-            end
-          end
-          else begin
-            call_stack := rest;
-            (match rest with
-            | (parent, _) :: _ -> low.(parent) <- min low.(parent) low.(node)
-            | [] -> ());
-            if low.(node) = index.(node) then begin
-              let comp = ref [] in
-              let continue = ref true in
-              while !continue do
-                match !scc_stack with
-                | [] -> continue := false
-                | w :: tl ->
-                    scc_stack := tl;
-                    on_stack.(w) <- false;
-                    comp := w :: !comp;
-                    if w = node then continue := false
-              done;
-              sccs := Array.of_list !comp :: !sccs
-            end
-          end
-    done
-  in
-  for v = 0 to n - 1 do
-    if index.(v) < 0 then strongconnect v
-  done;
-  (* Tarjan emits an SCC only after everything it depends on has been
-     emitted, so the emission order is already inputs-first; accumulation
-     with [::] reversed it, so reverse back. *)
-  let sccs = Array.of_list (List.rev !sccs) in
-  let has_self_loop comp =
-    Array.length comp > 1
-    || (let node = comp.(0) in
-        Array.exists (fun d -> d = node) (dep node))
-  in
-  let scc_cyclic = Array.map has_self_loop sccs in
+  (* copy exact-size out of the workspace scratch: this simulator must
+     survive later builds/reroutes that reuse the same workspace *)
   {
     nnodes = n;
     kind;
     inputs;
+    res_wires;
     table;
     inv;
     ce_frozen;
     q_init;
-    q = Array.map (fun v -> v) q_init;
+    q = Array.copy q_init;
     values = Array.make n Logic.X;
     last = Array.make n Logic.X;
-    sccs;
-    scc_cyclic;
+    nsccs;
+    scc_off = Array.sub ws.ws_scc.sc_off 0 (nsccs + 1);
+    scc_nodes = Array.sub ws.ws_scc.sc_nodes 0 n;
+    scc_cyclic = Bytes.sub ws.ws_scc.sc_cyclic 0 nsccs;
     pad_node;
     watch_node;
-    has_loop = Array.exists (fun c -> c) scc_cyclic;
+    has_loop;
   }
 
 let num_nodes t = t.nnodes
@@ -377,51 +451,57 @@ let set_pad t wire v =
   | Some n -> t.values.(n) <- v
   | None -> ()
 
-(* LUT evaluation on node values with inversion mask; X-aware. *)
+(* LUT evaluation on node values with inversion mask; X-aware.
+
+   This is the simulator's innermost loop (every comb node per [eval],
+   every reg node per [clock]), so it must not allocate: closures or refs
+   here dominate the minor-GC rate, and under multiple domains every
+   minor collection is a stop-the-world barrier.  All helpers are
+   top-level functions threading plain integers. *)
+
+(* Scan the four pins, packing the LUT index of the defined pins into
+   bits 0-3 of the accumulator and a mask of X pins into bits 4-7. *)
+let rec lut_scan values pins inv j acc =
+  if j >= 4 then acc
+  else
+    let p = pins.(j) in
+    if p < 0 then lut_scan values pins inv (j + 1) acc
+    else
+      let acc =
+        match values.(p) with
+        | Logic.Zero -> acc lor (((inv lsr j) land 1) lsl j)
+        | Logic.One -> acc lor ((1 - ((inv lsr j) land 1)) lsl j)
+        | Logic.X -> acc lor (1 lsl (j + 4))
+      in
+      lut_scan values pins inv (j + 1) acc
+
+(* Is the table bit equal to [first] for every completion of the X pins?
+   [s] walks the submasks of [xmask] via (s - 1) land xmask. *)
+let rec lut_x_const table idx xmask s first =
+  if (table lsr (idx lor s)) land 1 <> first then false
+  else if s = 0 then true
+  else lut_x_const table idx xmask ((s - 1) land xmask) first
+
 let lut_eval t node =
   let pins = t.inputs.(node) in
   let table = t.table.(node) in
-  let inv = t.inv.(node) in
-  (* fast path: all defined *)
-  let rec fast j idx =
-    if j >= 4 then Some idx
-    else
-      let p = pins.(j) in
-      if p < 0 then fast (j + 1) idx
-      else
-        match t.values.(p) with
-        | Logic.Zero ->
-            let bit = (inv lsr j) land 1 in
-            fast (j + 1) (idx lor (bit lsl j))
-        | Logic.One ->
-            let bit = 1 - ((inv lsr j) land 1) in
-            fast (j + 1) (idx lor (bit lsl j))
-        | Logic.X -> None
-  in
-  match fast 0 0 with
-  | Some idx -> Logic.of_bool ((table lsr idx) land 1 = 1)
-  | None ->
-      (* enumerate completions of X pins *)
-      let rec scan j idx =
-        if j >= 4 then Logic.of_bool ((table lsr idx) land 1 = 1)
-        else
-          let p = pins.(j) in
-          if p < 0 then scan (j + 1) idx
-          else
-            let continue v =
-              let bit =
-                if v then 1 - ((inv lsr j) land 1) else (inv lsr j) land 1
-              in
-              scan (j + 1) (idx lor (bit lsl j))
-            in
-            match t.values.(p) with
-            | Logic.Zero -> continue false
-            | Logic.One -> continue true
-            | Logic.X ->
-                let a = continue false and b = continue true in
-                if Logic.equal a b then a else Logic.X
-      in
-      scan 0 0
+  let acc = lut_scan t.values pins t.inv.(node) 0 0 in
+  let idx = acc land 0xf and xmask = acc lsr 4 in
+  let first = (table lsr idx) land 1 in
+  if xmask = 0 then Logic.of_bool (first = 1)
+  else if lut_x_const table idx xmask xmask first then Logic.of_bool (first = 1)
+  else Logic.X
+
+let rec resolve_settle values ins i len v =
+  if i >= len then v
+  else resolve_settle values ins (i + 1) len (Logic.resolve v values.(ins.(i)))
+
+(* Pessimistic skew rule: a settled fight still reads X this cycle if any
+   driver transitioned (its [last] differs from the agreement). *)
+let rec resolve_glitch last ins i len v =
+  if i >= len then v
+  else if not (Logic.equal last.(ins.(i)) v) then Logic.X
+  else resolve_glitch last ins (i + 1) len v
 
 let eval_node t node =
   let k = t.kind.(node) in
@@ -434,19 +514,11 @@ let eval_node t node =
     let ins = t.inputs.(node) in
     let len = Array.length ins in
     if len = 0 then Logic.X
-    else begin
-      let v = ref t.values.(ins.(0)) in
-      for i = 1 to len - 1 do
-        v := Logic.resolve !v t.values.(ins.(i))
-      done;
-      (match !v with
-      | Logic.X -> ()
-      | Logic.Zero | Logic.One ->
-          for i = 0 to len - 1 do
-            if not (Logic.equal t.last.(ins.(i)) !v) then v := Logic.X
-          done);
-      !v
-    end
+    else
+      let v = resolve_settle t.values ins 1 len t.values.(ins.(0)) in
+      match v with
+      | Logic.X -> Logic.X
+      | Logic.Zero | Logic.One -> resolve_glitch t.last ins 0 len v
   end
   else if k = k_bel_comb then lut_eval t node
   else if k = k_bel_reg then t.q.(node)
@@ -454,36 +526,40 @@ let eval_node t node =
   else (* k_pad *) t.values.(node)
 
 let eval t =
-  Array.iteri
-    (fun ci comp ->
-      if not t.scc_cyclic.(ci) then begin
-        let node = comp.(0) in
-        t.values.(node) <- eval_node t node
-      end
-      else begin
-        (* Kleene iteration from X *)
-        Array.iter (fun node -> t.values.(node) <- Logic.X) comp;
-        let changed = ref true in
-        let guard = ref ((3 * Array.length comp) + 4) in
-        while !changed && !guard > 0 do
-          changed := false;
-          decr guard;
-          Array.iter
-            (fun node ->
-              let v = eval_node t node in
-              if not (Logic.equal v t.values.(node)) then begin
-                t.values.(node) <- v;
-                changed := true
-              end)
-            comp
+  let off = t.scc_off and nodes = t.scc_nodes in
+  for si = 0 to t.nsccs - 1 do
+    if Bytes.get t.scc_cyclic si = '\000' then begin
+      let node = nodes.(off.(si)) in
+      t.values.(node) <- eval_node t node
+    end
+    else begin
+      (* Kleene iteration from X *)
+      let lo = off.(si) and hi = off.(si + 1) in
+      for i = lo to hi - 1 do
+        t.values.(nodes.(i)) <- Logic.X
+      done;
+      let changed = ref true in
+      let guard = ref ((3 * (hi - lo)) + 4) in
+      while !changed && !guard > 0 do
+        changed := false;
+        decr guard;
+        for i = lo to hi - 1 do
+          let node = nodes.(i) in
+          let v = eval_node t node in
+          if not (Logic.equal v t.values.(node)) then begin
+            t.values.(node) <- v;
+            changed := true
+          end
         done
-      end)
-    t.sccs
+      done
+    end
+  done
 
 let clock t =
+  (* Only registered bels ever read [q]; combinational bels re-evaluate
+     from their pins on every [eval]. *)
   for node = 0 to t.nnodes - 1 do
-    let k = t.kind.(node) in
-    if k = k_bel_reg || k = k_bel_comb then
+    if t.kind.(node) = k_bel_reg then
       if not t.ce_frozen.(node) then t.q.(node) <- lut_eval t node
   done;
   Array.blit t.values 0 t.last 0 t.nnodes
@@ -497,3 +573,570 @@ let read t wire =
   match Hashtbl.find_opt t.watch_node wire with
   | Some n -> t.values.(n)
   | None -> invalid_arg "Fsim.read: wire is not watched"
+
+(* Node-id access: resolving wires to node ids once per simulator keeps
+   the per-cycle IO loop free of hash lookups (and their option cells). *)
+
+let watch_nodes t wires =
+  Array.map
+    (fun w ->
+      match Hashtbl.find_opt t.watch_node w with
+      | Some n -> n
+      | None -> invalid_arg "Fsim.watch_nodes: wire is not watched")
+    wires
+
+let pad_nodes t wires =
+  Array.map
+    (fun w ->
+      match Hashtbl.find_opt t.pad_node w with Some n -> n | None -> -1)
+    wires
+
+let node_value t n = t.values.(n)
+let set_node t n v = if n >= 0 then t.values.(n) <- v
+
+(* ------------------------------------------------------------------ *)
+(* Cone snapshot: what the last [build] in a workspace observed.       *)
+
+type cone = {
+  c_dev : Device.t;
+  c_marked : Bytes.t;  (* wire -> '\001' when in the observable cone *)
+  c_wire_node : int array;  (* wire -> node id, -1 when unresolved *)
+  c_bels : int array;  (* cone bels *)
+  c_bel_node : int array;  (* bel -> node id, -1 outside the cone *)
+}
+
+let snapshot_cone ws =
+  let dev = ws.ws_dev in
+  let ep = ws.epoch in
+  let nw = dev.Device.nwires in
+  let marked = Bytes.make nw '\000' in
+  let wire_node = Array.make nw (-1) in
+  for w = 0 to nw - 1 do
+    if ws.wire_mark.(w) = ep then Bytes.set marked w '\001';
+    if ws.res_stamp.(w) = ep then wire_node.(w) <- ws.res_node.(w)
+  done;
+  let bels = ref [] in
+  let bel_node = Array.make dev.Device.nbels (-1) in
+  for b = dev.Device.nbels - 1 downto 0 do
+    if ws.bel_node_stamp.(b) = ep then begin
+      bel_node.(b) <- ws.bel_node_id.(b);
+      bels := b :: !bels
+    end
+  done;
+  {
+    c_dev = dev;
+    c_marked = marked;
+    c_wire_node = wire_node;
+    c_bels = Array.of_list !bels;
+    c_bel_node = bel_node;
+  }
+
+let cone_marked c w = Bytes.get c.c_marked w <> '\000'
+
+let cone_wire_count c =
+  let n = ref 0 in
+  Bytes.iter (fun ch -> if ch <> '\000' then incr n) c.c_marked;
+  !n
+
+let cone_bel_count c = Array.length c.c_bels
+
+let cone_touches_bit c ex bit =
+  let dev = Extract.device ex in
+  let db = Extract.database ex in
+  match Bitdb.resource db bit with
+  | Bitdb.Pip p ->
+      cone_marked c dev.Device.pip_src.(p)
+      || cone_marked c dev.Device.pip_dst.(p)
+  | Bitdb.Lut_bit (b, _)
+  | Bitdb.Ff_init b
+  | Bitdb.Out_sel b
+  | Bitdb.Ce_inv b
+  | Bitdb.Sr_inv b
+  | Bitdb.In_inv (b, _) ->
+      c.c_bel_node.(b) >= 0
+  | Bitdb.Pad_enable pad -> cone_marked c dev.Device.pad_wire.(pad)
+  | Bitdb.Pad_cfg _ -> false
+
+let cone_frames c ex =
+  let db = Extract.database ex in
+  let frames = Array.make (Bitdb.num_frames db) false in
+  for bit = 0 to Bitdb.num_bits db - 1 do
+    if cone_touches_bit c ex bit then frames.(Bitdb.frame_of_bit db bit) <- true
+  done;
+  frames
+
+(* ------------------------------------------------------------------ *)
+(* Per-fault planning: how cheaply can one bit flip be simulated?      *)
+
+type fault_path = Path_silent | Path_patch | Path_reroute | Path_rebuild
+
+let path_name = function
+  | Path_silent -> "silent"
+  | Path_patch -> "patch"
+  | Path_reroute -> "reroute"
+  | Path_rebuild -> "rebuild"
+
+(* Decide, against the *golden* (un-flipped) extract state, how the flip
+   of [bit] can be handled.  Every branch below is exact: [Path_silent]
+   means a full rebuild would produce a simulator with identical watched
+   behaviour, [Path_patch] means the change is a pure cell-content edit of
+   an existing node, [Path_reroute] means only wire-component structure
+   changes.  Anything unprovable falls back to [Path_rebuild]. *)
+let plan_fault c ex bit =
+  let dev = Extract.device ex in
+  let db = Extract.database ex in
+  let marked w = cone_marked c w in
+  match Bitdb.resource db bit with
+  | Bitdb.Pad_cfg _ -> Path_silent  (* electrically benign *)
+  | Bitdb.Pad_enable pad ->
+      if marked dev.Device.pad_wire.(pad) then Path_rebuild else Path_silent
+  | Bitdb.Lut_bit (b, idx) ->
+      if c.c_bel_node.(b) < 0 then Path_silent
+      else
+        let old_t = Extract.lut_table ex b in
+        let new_t = old_t lxor (1 lsl idx) in
+        (* a shrinking support keeps every wired pin valid (the table just
+           ignores it); a growing support needs pins the cone never wired,
+           which [reroute] resolves incrementally *)
+        if support_mask new_t land lnot (support_mask old_t) = 0 then
+          Path_patch
+        else Path_reroute
+  | Bitdb.In_inv (b, _) ->
+      if c.c_bel_node.(b) < 0 then Path_silent else Path_patch
+  | Bitdb.Ff_init b | Bitdb.Sr_inv b | Bitdb.Ce_inv b ->
+      if c.c_bel_node.(b) < 0 then Path_silent
+      else if Extract.out_sel ex b then Path_patch
+      else Path_silent (* flip-flop state is never read on a comb bel *)
+  | Bitdb.Out_sel b ->
+      (* comb <-> reg retargets one node's kind; the wiring (pins are
+         collected independently of registered-ness) is untouched *)
+      if c.c_bel_node.(b) < 0 then Path_silent else Path_reroute
+  | Bitdb.Pip p ->
+      let s = dev.Device.pip_src.(p) and d = dev.Device.pip_dst.(p) in
+      let on = Extract.bit_is_set ex bit in
+      if dev.Device.pip_bidir.(p) then
+        if on then
+          (* removing a short *)
+          if marked s || marked d then Path_reroute else Path_silent
+        else begin
+          (* adding a short *)
+          match (marked s, marked d) with
+          | false, false -> Path_silent
+          | true, true -> Path_reroute
+          | ms, _ ->
+              (* antenna: shorting an isolated floating wire onto a cone
+                 wire adds a driverless member to its component — the
+                 resolved node is unchanged and nothing in the cone reads
+                 the floating side *)
+              let u = if ms then d else s in
+              if Extract.drivers ex u = [] && Extract.links ex u = [] then
+                Path_silent
+              else Path_reroute
+        end
+      else if marked d then Path_reroute
+      else Path_silent (* only [drivers dst] changes, and the cone never
+                          reads it *)
+
+(* Apply a bel-content fault in place on [base], run [f], undo.  The bit
+   must already be flipped in [ex]; [plan_fault] must have said
+   [Path_patch]. *)
+let with_patch c base ex bit f =
+  let db = Extract.database ex in
+  let patch_cell arr node v =
+    let old = arr.(node) in
+    arr.(node) <- v;
+    Fun.protect ~finally:(fun () -> arr.(node) <- old) (fun () -> f base)
+  in
+  match Bitdb.resource db bit with
+  | Bitdb.Lut_bit (b, _) ->
+      patch_cell base.table c.c_bel_node.(b) (Extract.lut_table ex b)
+  | Bitdb.In_inv (b, _) ->
+      patch_cell base.inv c.c_bel_node.(b) (Extract.in_inv_mask ex b)
+  | Bitdb.Ff_init b | Bitdb.Sr_inv b ->
+      patch_cell base.q_init c.c_bel_node.(b) (Extract.ff_init ex b)
+  | Bitdb.Ce_inv b ->
+      patch_cell base.ce_frozen c.c_bel_node.(b) (Extract.ce_inv ex b)
+  | _ -> invalid_arg "Fsim.with_patch: not a patchable bit"
+
+(* ------------------------------------------------------------------ *)
+(* Reroute: derive a fault simulator from [base] without a full rebuild.
+   The flipped bit is already applied to [ex].  For a routing bit only
+   the electrical components containing the pip endpoints changed: we
+   re-resolve those components, remap every reader whose resolution
+   passed through them, and re-run the SCC pass on the (slightly grown)
+   node graph.  A support-widening LUT bit or an out_sel flip changes no
+   wiring at all — just one cell's pins/kind — but still needs the
+   incremental resolution and SCC machinery, so it lands here too.
+   Returns [None] when the change reaches outside what the base cone
+   knows (new bels, live out-of-cone nets, driver loops) — the caller
+   falls back to a full rebuild.
+
+   With [?scratch], all large per-call arrays live in the caller-owned
+   scratch and are reused: the returned simulator is valid only until the
+   next [reroute] with the same scratch.  This keeps the per-fault
+   allocation near zero, which matters under multiple domains: every
+   minor collection is a stop-the-world rendezvous. *)
+
+exception Too_hard
+
+type scratch = {
+  s_scc : scc_scratch;
+  mutable s_cap : int;
+  mutable s_kind : int array;
+  mutable s_table : int array;
+  mutable s_inv : int array;
+  mutable s_ce : bool array;
+  mutable s_qi : Logic.t array;
+  mutable s_q : Logic.t array;
+  mutable s_values : Logic.t array;
+  mutable s_last : Logic.t array;
+  mutable s_inputs : int array array;
+  mutable s_res_wires : int array array;
+  (* Epoch-stamped per-wire and per-node maps replacing what would
+     otherwise be six fresh hashtables per fault. *)
+  mutable s_epoch : int;
+  mutable s_wcap : int;
+  mutable s_wn_stamp : int array;  (* wire -> epoch of s_wn validity *)
+  mutable s_wn : int array;  (* wire -> resolved node (memo + override) *)
+  mutable s_wc_stamp : int array;  (* wire -> epoch of s_wc validity *)
+  mutable s_wc : int array;  (* wire -> affected component index *)
+  mutable s_ing : int array;  (* wire -> epoch when resolution in progress *)
+  mutable s_orph_cap : int;
+  mutable s_orph : int array;  (* old node id -> epoch when orphaned *)
+}
+
+let make_scratch () =
+  {
+    s_scc = make_scc_scratch ();
+    s_cap = 0;
+    s_kind = [||];
+    s_table = [||];
+    s_inv = [||];
+    s_ce = [||];
+    s_qi = [||];
+    s_q = [||];
+    s_values = [||];
+    s_last = [||];
+    s_inputs = [||];
+    s_res_wires = [||];
+    s_epoch = 0;
+    s_wcap = 0;
+    s_wn_stamp = [||];
+    s_wn = [||];
+    s_wc_stamp = [||];
+    s_wc = [||];
+    s_ing = [||];
+    s_orph_cap = 0;
+    s_orph = [||];
+  }
+
+let scratch_ensure s n =
+  if s.s_cap < n then begin
+    let cap = max n (max 1024 (2 * s.s_cap)) in
+    s.s_cap <- cap;
+    s.s_kind <- Array.make cap 0;
+    s.s_table <- Array.make cap 0;
+    s.s_inv <- Array.make cap 0;
+    s.s_ce <- Array.make cap false;
+    s.s_qi <- Array.make cap Logic.X;
+    s.s_q <- Array.make cap Logic.X;
+    s.s_values <- Array.make cap Logic.X;
+    s.s_last <- Array.make cap Logic.X;
+    s.s_inputs <- Array.make cap [||];
+    s.s_res_wires <- Array.make cap [||]
+  end
+
+let scratch_wires_ensure s nw =
+  if s.s_wcap < nw then begin
+    s.s_wcap <- nw;
+    s.s_wn_stamp <- Array.make nw 0;
+    s.s_wn <- Array.make nw 0;
+    s.s_wc_stamp <- Array.make nw 0;
+    s.s_wc <- Array.make nw 0;
+    s.s_ing <- Array.make nw 0
+  end
+
+let scratch_orph_ensure s n =
+  if s.s_orph_cap < n then begin
+    s.s_orph_cap <- max n (2 * s.s_orph_cap);
+    s.s_orph <- Array.make s.s_orph_cap 0
+  end
+
+let reroute ~scratch:s c base ex bit =
+  let dev = Extract.device ex in
+  let db = Extract.database ex in
+  if dev != c.c_dev then invalid_arg "Fsim.reroute: cone from another device";
+  let seeds, cell =
+    match Bitdb.resource db bit with
+    | Bitdb.Pip p ->
+        let sw = dev.Device.pip_src.(p) and dw = dev.Device.pip_dst.(p) in
+        ((if dev.Device.pip_bidir.(p) then [ sw; dw ] else [ dw ]), `None)
+    | Bitdb.Lut_bit (b, _) -> ([], `Lut b)
+    | Bitdb.Out_sel b -> ([], `Out b)
+    | _ -> invalid_arg "Fsim.reroute: bit is not reroutable"
+  in
+  scratch_wires_ensure s dev.Device.nwires;
+  scratch_orph_ensure s base.nnodes;
+  s.s_epoch <- s.s_epoch + 1;
+  let ep = s.s_epoch in
+  try
+    (* Phase A: the affected components under the post-flip extract *)
+    let comps = ref [] in
+    let ncomps = ref 0 in
+    let add_comp seed =
+      if s.s_wc_stamp.(seed) <> ep then begin
+        let members = ref [] in
+        let rec collect u =
+          if s.s_wc_stamp.(u) <> ep then begin
+            s.s_wc_stamp.(u) <- ep;
+            s.s_wc.(u) <- !ncomps;
+            members := u :: !members;
+            List.iter collect (Extract.links ex u)
+          end
+        in
+        collect seed;
+        let members = List.rev !members in
+        let drivers = List.concat_map (fun u -> Extract.drivers ex u) members in
+        comps := (members, drivers) :: !comps;
+        incr ncomps
+      end
+    in
+    List.iter add_comp seeds;
+    let comp_arr = Array.of_list (List.rev !comps) in
+    (* Old node ids whose wire->node association may now be stale: every
+       reader that resolved through an affected component got that
+       component's old node id (single-driver chains collapse onto it). *)
+    let norph = ref 0 in
+    Array.iter
+      (fun (members, _) ->
+        List.iter
+          (fun w ->
+            let n = c.c_wire_node.(w) in
+            if n >= 0 && s.s_orph.(n) <> ep then begin
+              s.s_orph.(n) <- ep;
+              incr norph
+            end)
+          members)
+      comp_arr;
+    let orphaned n = n < base.nnodes && s.s_orph.(n) = ep in
+    (* New resolve nodes appended past the base graph *)
+    let n_extra = ref 0 in
+    let extras = Hashtbl.create 8 in (* id -> (driver wires, inputs ref) *)
+    let reserve_resolve us =
+      let id = base.nnodes + !n_extra in
+      incr n_extra;
+      Hashtbl.replace extras id (us, ref [||]);
+      id
+    in
+    let set_node w n =
+      s.s_wn_stamp.(w) <- ep;
+      s.s_wn.(w) <- n
+    in
+    let comp_state = Array.make (Array.length comp_arr) 0 in
+    let rec node_of w =
+      if s.s_wn_stamp.(w) = ep then s.s_wn.(w) (* memo and overrides *)
+      else if s.s_wc_stamp.(w) = ep then begin
+        process_comp s.s_wc.(w);
+        s.s_wn.(w)
+      end
+      else begin
+        if s.s_ing.(w) = ep then raise Too_hard;
+        s.s_ing.(w) <- ep;
+        let n =
+          match dev.Device.wkind.(w) with
+          | Device.PadIn ->
+              let old = c.c_wire_node.(w) in
+              if old >= 0 then old
+              else
+                let pad = dev.Device.wire_pad.(w) in
+                if pad >= 0 && Extract.pad_enabled ex pad then
+                  raise Too_hard (* live pad the base never saw *)
+                else x_node_id
+          | Device.BelOut ->
+              let b = dev.Device.wire_bel.(w) in
+              let bn = c.c_bel_node.(b) in
+              if bn >= 0 then bn
+              else raise Too_hard (* bel outside the base cone *)
+          | Device.HSingle | Device.VSingle | Device.HDouble | Device.VDouble
+          | Device.HLong | Device.VLong | Device.BelIn | Device.PadOut -> (
+              let old = c.c_wire_node.(w) in
+              if old >= 0 && not (orphaned old) then old
+              else begin
+                (* this component's own structure is unchanged (it
+                   contains no pip endpoint), but its resolution may pass
+                   through affected ones *)
+                let members = ref [] in
+                let rec collect u =
+                  if not (List.mem u !members) then begin
+                    members := u :: !members;
+                    List.iter collect (Extract.links ex u)
+                  end
+                in
+                collect w;
+                let drvs =
+                  List.concat_map (fun u -> Extract.drivers ex u) !members
+                in
+                match drvs with
+                | [] -> x_node_id
+                | [ u ] -> node_of u
+                | _ ->
+                    (* multi-driven: its private resolve node still stands
+                       (inputs are fixed by the global remap below) *)
+                    if old >= 0 then old else raise Too_hard
+              end)
+        in
+        set_node w n;
+        n
+      end
+    and process_comp ci =
+      if comp_state.(ci) = 1 then raise Too_hard (* pure driver loop *)
+      else if comp_state.(ci) = 0 then begin
+        comp_state.(ci) <- 1;
+        let members, drvs = comp_arr.(ci) in
+        (match drvs with
+        | [] ->
+            List.iter (fun u -> set_node u x_node_id) members;
+            comp_state.(ci) <- 2
+        | [ u ] ->
+            let n = node_of u in
+            List.iter (fun m -> set_node m n) members;
+            comp_state.(ci) <- 2
+        | us ->
+            (* register the node first so combinational cycles through the
+               component terminate on it, as in [build] *)
+            let us = Array.of_list us in
+            let id = reserve_resolve us in
+            List.iter (fun m -> set_node m id) members;
+            comp_state.(ci) <- 2;
+            let _, ins = Hashtbl.find extras id in
+            ins := Array.map node_of us)
+      end
+    in
+    for ci = 0 to Array.length comp_arr - 1 do
+      process_comp ci
+    done;
+    (* Resolve the cell override (may raise Too_hard, may touch memo but
+       never allocates extras) while [n_extra] is still growing — after
+       this point the node count is final. *)
+    let cell =
+      match cell with
+      | `None -> `None
+      | `Lut b ->
+          let table = Extract.lut_table ex b in (* post-flip *)
+          let mask = support_mask table in
+          let row =
+            Array.init 4 (fun j ->
+                if (mask lsr j) land 1 = 1 then
+                  node_of dev.Device.bel_in.(b).(j)
+                else -1)
+          in
+          `Lut (c.c_bel_node.(b), table, row)
+      | `Out b ->
+          `Out (c.c_bel_node.(b), Extract.out_sel ex b)
+    in
+    (* Phase B/C: size the derived arrays (scratch-backed when given),
+       then remap every reader whose resolution went stale. *)
+    let n = base.nnodes + !n_extra in
+    scratch_ensure s n;
+    Array.blit base.kind 0 s.s_kind 0 base.nnodes;
+    Array.fill s.s_kind base.nnodes (n - base.nnodes) k_resolve;
+    Array.blit base.table 0 s.s_table 0 base.nnodes;
+    Array.blit base.inv 0 s.s_inv 0 base.nnodes;
+    Array.blit base.ce_frozen 0 s.s_ce 0 base.nnodes;
+    Array.blit base.q_init 0 s.s_qi 0 base.nnodes;
+    Array.fill s.s_qi base.nnodes (n - base.nnodes) Logic.X;
+    Array.blit base.inputs 0 s.s_inputs 0 base.nnodes;
+    Array.blit base.res_wires 0 s.s_res_wires 0 base.nnodes;
+    let kind, table, inv, ce_frozen, q_init, q, values, last, inputs', res_wires,
+        scc =
+      ( s.s_kind, s.s_table, s.s_inv, s.s_ce, s.s_qi, s.s_q, s.s_values,
+        s.s_last, s.s_inputs, s.s_res_wires, s.s_scc )
+    in
+    for id = base.nnodes to n - 1 do
+      let us, ins = Hashtbl.find extras id in
+      inputs'.(id) <- !ins;
+      res_wires.(id) <- us
+    done;
+    let have_orphans = !norph > 0 in
+    let stale row =
+      let st = ref false in
+      Array.iter (fun nd -> if nd >= 0 && orphaned nd then st := true) row;
+      !st
+    in
+    if have_orphans then begin
+      Array.iteri
+        (fun node wires ->
+          if Array.length wires > 0 && stale base.inputs.(node) then
+            inputs'.(node) <- Array.map node_of wires)
+        base.res_wires;
+      Array.iter
+        (fun b ->
+          let node = c.c_bel_node.(b) in
+          let pins = base.inputs.(node) in
+          if stale pins then
+            inputs'.(node) <-
+              Array.mapi
+                (fun j p ->
+                  if p < 0 then -1 else node_of dev.Device.bel_in.(b).(j))
+                pins)
+        c.c_bels
+    end;
+    (match cell with
+    | `None -> ()
+    | `Lut (node, t', row) ->
+        table.(node) <- t';
+        inputs'.(node) <- row
+    | `Out (node, registered) ->
+        kind.(node) <- (if registered then k_bel_reg else k_bel_comb));
+    let watch_node =
+      let needs_remap =
+        have_orphans
+        && Hashtbl.fold
+             (fun _ nd acc -> acc || orphaned nd)
+             base.watch_node false
+      in
+      if not needs_remap then base.watch_node
+      else begin
+        let tbl = Hashtbl.create (Hashtbl.length base.watch_node) in
+        Hashtbl.iter
+          (fun w nd ->
+            let nd' =
+              if not (orphaned nd) then nd
+              else
+                let pad = dev.Device.wire_pad.(w) in
+                if pad >= 0 && not (Extract.pad_enabled ex pad) then x_node_id
+                else node_of w
+            in
+            Hashtbl.replace tbl w nd')
+          base.watch_node;
+        tbl
+      end
+    in
+    let nsccs, has_loop =
+      compute_sccs ~scratch:scc ~nnodes:n ~kind ~inputs:inputs'
+    in
+    Array.blit q_init 0 q 0 n;
+    Array.fill values 0 n Logic.X;
+    Array.fill last 0 n Logic.X;
+    Some
+      {
+        nnodes = n;
+        kind;
+        inputs = inputs';
+        res_wires;
+        table;
+        inv;
+        ce_frozen;
+        q_init;
+        q;
+        values;
+        last;
+        nsccs;
+        scc_off = scc.sc_off;
+        scc_nodes = scc.sc_nodes;
+        scc_cyclic = scc.sc_cyclic;
+        pad_node = base.pad_node;
+        watch_node;
+        has_loop;
+      }
+  with Too_hard -> None

@@ -40,9 +40,92 @@ val step : t -> unit
 val read : t -> int -> Tmr_logic.Logic.t
 (** Value of a watched PadOut wire after the latest {!eval}/{!step}. *)
 
+val watch_nodes : t -> int array -> int array
+(** Node ids of watched PadOut wires.  Resolving once per simulator keeps
+    the per-cycle IO loop free of hash lookups; read with {!node_value}. *)
+
+val pad_nodes : t -> int array -> int array
+(** Node ids of PadIn wires; [-1] when the cone does not observe a pad
+    (driving it with {!set_node} is then a no-op, like {!set_pad}). *)
+
+val node_value : t -> int -> Tmr_logic.Logic.t
+(** Value of a node from {!watch_nodes} after the latest {!eval}. *)
+
+val set_node : t -> int -> Tmr_logic.Logic.t -> unit
+(** Drive a node from {!pad_nodes}; ignored when the id is [-1]. *)
+
 val num_nodes : t -> int
 (** Size of the collapsed simulation graph (diagnostics). *)
 
 val has_comb_loop : t -> bool
 (** True when the configuration contains a fault-induced combinational
     cycle (diagnostics for effect classification). *)
+
+(** {1 Cone-aware fault fast paths}
+
+    A fault-injection campaign builds one golden simulator, snapshots the
+    observable cone it covered, and then uses {!plan_fault} to decide per
+    fault bit whether a full rebuild is needed at all.  Every fast path is
+    exact: it produces the same watched behaviour a rebuild would. *)
+
+type cone
+(** Snapshot of what the last {!build} through a workspace observed: the
+    marked wires, the wire->node resolution, and the cone bels.  Valid for
+    the simulator returned by that build; later builds reusing the same
+    workspace do not invalidate an already-taken snapshot. *)
+
+val snapshot_cone : workspace -> cone
+(** Capture the cone of the most recent {!build} run with this workspace. *)
+
+val cone_wire_count : cone -> int
+val cone_bel_count : cone -> int
+
+val cone_touches_bit : cone -> Extract.t -> int -> bool
+(** Whether a configuration bit controls a resource adjacent to the cone
+    (a pip with a cone endpoint, a cone bel's cell, a cone pad). *)
+
+val cone_frames : cone -> Extract.t -> bool array
+(** Per configuration frame: true when the frame holds at least one bit
+    the cone reads ({!cone_touches_bit}).  One entry per {!Tmr_arch.Bitdb}
+    frame. *)
+
+type fault_path =
+  | Path_silent
+      (** the flip provably cannot change any watched output: classify
+          without building or simulating *)
+  | Path_patch
+      (** cell-content change of an existing node: mutate the base
+          simulator in place ({!with_patch}) *)
+  | Path_reroute
+      (** local graph repair: derive a simulator from the base one
+          ({!reroute}) instead of rebuilding — routing changes,
+          support-widening LUT bits, out_sel flips *)
+  | Path_rebuild  (** anything unprovable: full {!build} *)
+
+val path_name : fault_path -> string
+
+val plan_fault : cone -> Extract.t -> int -> fault_path
+(** Decide against the golden (un-flipped) extract state how the flip of
+    one bit can be handled. *)
+
+val with_patch : cone -> t -> Extract.t -> int -> (t -> 'a) -> 'a
+(** [with_patch cone base ex bit f] applies a [Path_patch] fault (already
+    flipped in [ex]) to the base simulator in place, runs [f], and undoes
+    the patch — also on exception. *)
+
+type scratch
+(** Caller-owned buffers for {!reroute}: one per worker lets every derived
+    simulator reuse the same arrays, so the steady-state fault loop
+    allocates almost nothing (under multiple domains every minor
+    collection is a stop-the-world rendezvous). *)
+
+val make_scratch : unit -> scratch
+
+val reroute : scratch:scratch -> cone -> t -> Extract.t -> int -> t option
+(** [reroute ~scratch cone base ex bit] derives the fault simulator for a
+    [Path_reroute] bit (already flipped in [ex]): the affected electrical
+    components are re-resolved and stale readers remapped on a copy of the
+    base node graph, skipping the full cone walk.  [None] when the fault
+    reaches resources the base cone never saw — fall back to {!build}.
+    The returned simulator aliases the scratch buffers and is only valid
+    until the next [reroute] with the same scratch. *)

@@ -22,12 +22,33 @@ type fault_result = {
   first_error_cycle : int;
 }
 
+type engine_stats = {
+  skipped : int;
+  patched : int;
+  rerouted : int;
+  rebuilt : int;
+}
+
 type t = {
   design : string;
   injected : int;
   wrong : int;
   results : fault_result array;
+  workers : int;
+  stats : engine_stats;
 }
+
+let no_stats = { skipped = 0; patched = 0; rerouted = 0; rebuilt = 0 }
+
+let add_stats a b =
+  {
+    skipped = a.skipped + b.skipped;
+    patched = a.patched + b.patched;
+    rerouted = a.rerouted + b.rerouted;
+    rebuilt = a.rebuilt + b.rebuilt;
+  }
+
+let default_workers () = max 1 (Domain.recommended_domain_count () - 1)
 
 let golden_outputs nl stimulus =
   List.iter
@@ -84,56 +105,77 @@ let dut_output_wires impl port =
   let bits = Netlist.find_output_port impl.Impl.mapped port in
   Array.init (Array.length bits) (Impl.output_pad_wire impl port)
 
-let run ?progress ~name ~impl ~golden ~stimulus ~faults () =
+let run ?progress ?workers ?(cone_skip = true) ~name ~impl ~golden ~stimulus
+    ~faults () =
+  let workers =
+    match workers with Some w -> max 1 w | None -> default_workers ()
+  in
   let golden_ref = golden_outputs golden stimulus in
-  (* physical IO map *)
+  (* physical IO map — shared read-only across workers *)
   let input_map =
     List.map
       (fun (port, samples) -> (dut_input_wires impl port, samples))
       stimulus.inputs
   in
   let output_map =
-    List.map (fun (port, matrix) -> (dut_output_wires impl port, matrix)) golden_ref
+    List.map
+      (fun (port, matrix) -> (port, dut_output_wires impl port, matrix))
+      golden_ref
   in
   let watch_outputs =
-    Array.concat (List.map (fun (wires, _) -> wires) output_map)
+    Array.concat (List.map (fun (_, wires, _) -> wires) output_map)
   in
-  let ex =
-    Extract.create impl.Impl.dev impl.Impl.db
-      (Bitstream.copy impl.Impl.bitgen.Tmr_pnr.Bitgen.bitstream)
-  in
+  let dev = impl.Impl.dev and db = impl.Impl.db in
+  let golden_bits = impl.Impl.bitgen.Tmr_pnr.Bitgen.bitstream in
+  (* Scan the image once; workers clone the derived state ({!Extract.copy})
+     instead of re-extracting 1.4M bits each. *)
+  let golden_ex = Extract.create dev db (Bitstream.copy golden_bits) in
+  let new_extract () = Extract.copy golden_ex in
   (* Run the DUT through the stimulus; return the first cycle where any
-     output bit disagrees with the golden reference, or -1. *)
+     output bit disagrees with the golden reference, or -1.  Wire->node
+     resolution happens once per simulator so the cycle loop itself does
+     no hashing and no allocation. *)
   let run_dut sim =
     Fsim.reset sim;
+    let in_nodes =
+      List.map
+        (fun (wire_sets, samples) ->
+          (List.map (Fsim.pad_nodes sim) wire_sets, samples))
+        input_map
+    in
+    let out_nodes =
+      List.map
+        (fun (_, wires, matrix) -> (Fsim.watch_nodes sim wires, matrix))
+        output_map
+    in
     let error_cycle = ref (-1) in
     let cycle = ref 0 in
     while !error_cycle < 0 && !cycle < stimulus.cycles do
       let c = !cycle in
       List.iter
-        (fun (wire_sets, samples) ->
+        (fun (node_sets, samples) ->
           let v = samples.(c) in
           List.iter
-            (fun wires ->
+            (fun nodes ->
               Array.iteri
-                (fun i w ->
-                  Fsim.set_pad sim w (Logic.of_bool ((v asr i) land 1 = 1)))
-                wires)
-            wire_sets)
-        input_map;
+                (fun i n ->
+                  Fsim.set_node sim n (Logic.of_bool ((v asr i) land 1 = 1)))
+                nodes)
+            node_sets)
+        in_nodes;
       Fsim.eval sim;
       let ok =
         List.for_all
-          (fun (wires, matrix) ->
+          (fun (nodes, matrix) ->
             let expected = matrix.(c) in
-            let n = Array.length wires in
+            let n = Array.length nodes in
             let rec check i =
               i >= n
-              || (Logic.equal (Fsim.read sim wires.(i)) expected.(i)
+              || (Logic.equal (Fsim.node_value sim nodes.(i)) expected.(i)
                   && check (i + 1))
             in
             check 0)
-          output_map
+          out_nodes
       in
       if not ok then error_cycle := c
       else begin
@@ -143,39 +185,109 @@ let run ?progress ~name ~impl ~golden ~stimulus ~faults () =
     done;
     !error_cycle
   in
-  let ws = Fsim.make_workspace impl.Impl.dev in
   (* baseline: the un-faulted DUT must match the golden device *)
-  let baseline = Fsim.build ~ws ex ~watch_outputs in
-  (match run_dut baseline with
-  | -1 -> ()
-  | c ->
-      failwith
-        (Printf.sprintf
-           "Campaign %s: fault-free DUT disagrees with golden device at cycle %d"
-           name c));
-  let total = Array.length faults in
-  let results =
-    Array.mapi
-      (fun i bit ->
-        (match progress with Some f -> f i total | None -> ());
-        Extract.apply_bit_flip ex bit;
-        let sim = Fsim.build ~ws ex ~watch_outputs in
-        let error_cycle = run_dut sim in
-        Extract.apply_bit_flip ex bit;
-        {
-          bit;
-          outcome = (if error_cycle >= 0 then Wrong_answer else Silent);
-          effect = Classify.classify impl bit;
-          first_error_cycle = error_cycle;
-        })
-      faults
+  let check_baseline sim =
+    match run_dut sim with
+    | -1 -> ()
+    | c ->
+        (* pinpoint the first disagreeing output bit for the message *)
+        let detail =
+          List.find_map
+            (fun (port, wires, matrix) ->
+              let expected = matrix.(c) in
+              let n = Array.length wires in
+              let rec scan i =
+                if i >= n then None
+                else
+                  let got = Fsim.read sim wires.(i) in
+                  if not (Logic.equal got expected.(i)) then
+                    Some
+                      (Printf.sprintf "port %S bit %d: expected %c, got %c"
+                         port i
+                         (Logic.to_char expected.(i))
+                         (Logic.to_char got))
+                  else scan (i + 1)
+              in
+              scan 0)
+            output_map
+        in
+        failwith
+          (Printf.sprintf
+             "Campaign %s: fault-free DUT disagrees with golden device at \
+              cycle %d (%s)"
+             name c
+             (Option.value detail ~default:"no differing bit re-found"))
   in
+  let total = Array.length faults in
+  let dummy =
+    { bit = -1; outcome = Silent; effect = Classify.Other_effect;
+      first_error_cycle = -1 }
+  in
+  let results = Array.make total dummy in
+  let stats_per_worker = Array.make workers no_stats in
+  let worker wid =
+    (* worker-local simulator state: own bitstream copy, own extract, own
+       workspace, plus the golden cone snapshot for the fast paths *)
+    let ex = new_extract () in
+    let ws = Fsim.make_workspace dev in
+    let scratch = Fsim.make_scratch () in
+    let base = Fsim.build ~ws ex ~watch_outputs in
+    let cone = Fsim.snapshot_cone ws in
+    if wid = 0 then check_baseline base;
+    let bump f = stats_per_worker.(wid) <- f stats_per_worker.(wid) in
+    let finish bit error_cycle =
+      {
+        bit;
+        outcome = (if error_cycle >= 0 then Wrong_answer else Silent);
+        effect = Classify.classify impl bit;
+        first_error_cycle = error_cycle;
+      }
+    in
+    let inject bit =
+      let plan =
+        if cone_skip then Fsim.plan_fault cone ex bit else Fsim.Path_rebuild
+      in
+      match plan with
+      | Fsim.Path_silent ->
+          bump (fun s -> { s with skipped = s.skipped + 1 });
+          finish bit (-1)
+      | Fsim.Path_patch ->
+          bump (fun s -> { s with patched = s.patched + 1 });
+          Extract.apply_bit_flip ex bit;
+          Fun.protect
+            ~finally:(fun () -> Extract.apply_bit_flip ex bit)
+            (fun () -> finish bit (Fsim.with_patch cone base ex bit run_dut))
+      | Fsim.Path_reroute | Fsim.Path_rebuild ->
+          Extract.apply_bit_flip ex bit;
+          Fun.protect
+            ~finally:(fun () -> Extract.apply_bit_flip ex bit)
+            (fun () ->
+              let sim =
+                match plan with
+                | Fsim.Path_reroute -> Fsim.reroute ~scratch cone base ex bit
+                | _ -> None
+              in
+              let sim =
+                match sim with
+                | Some sim ->
+                    bump (fun s -> { s with rerouted = s.rerouted + 1 });
+                    sim
+                | None ->
+                    bump (fun s -> { s with rebuilt = s.rebuilt + 1 });
+                    Fsim.build ~ws ex ~watch_outputs
+              in
+              finish bit (run_dut sim))
+    in
+    fun i -> results.(i) <- inject faults.(i)
+  in
+  Pool.run ?progress ~workers ~total worker;
+  let stats = Array.fold_left add_stats no_stats stats_per_worker in
   let wrong =
     Array.fold_left
       (fun acc r -> if r.outcome = Wrong_answer then acc + 1 else acc)
       0 results
   in
-  { design = name; injected = total; wrong; results }
+  { design = name; injected = total; wrong; results; workers; stats }
 
 let wrong_percent t =
   if t.injected = 0 then 0.0

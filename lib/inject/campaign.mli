@@ -6,7 +6,16 @@
     device (a netlist-level simulation of the unprotected design).  Any
     difference — including an unknown value — classifies the fault as a
     Wrong Answer; the fault is then reverted (scrubbing) and the next one
-    is injected. *)
+    is injected.
+
+    Campaigns run on a {!Pool} of OCaml domains: each worker owns a
+    private bitstream copy, extractor and simulator workspace, and writes
+    its results into the shared array by fault index, so the result is
+    byte-identical to a sequential run regardless of scheduling.  Inside
+    each worker, cone-aware fast paths ({!Tmr_fabric.Fsim.plan_fault})
+    skip, patch or locally reroute faults instead of rebuilding the
+    simulator per fault; the fast paths are exact, so they change only the
+    throughput, never the results. *)
 
 type stimulus = {
   cycles : int;
@@ -26,12 +35,24 @@ type fault_result = {
   first_error_cycle : int;  (** -1 when silent *)
 }
 
+type engine_stats = {
+  skipped : int;  (** classified [Silent] without building or simulating *)
+  patched : int;  (** simulated by patching the base simulator in place *)
+  rerouted : int;  (** simulated on a locally rewired copy of the base *)
+  rebuilt : int;  (** full per-fault simulator rebuild *)
+}
+
 type t = {
   design : string;
   injected : int;
   wrong : int;
   results : fault_result array;
+  workers : int;  (** worker count the campaign actually used *)
+  stats : engine_stats;
 }
+
+val default_workers : unit -> int
+(** [Domain.recommended_domain_count () - 1], at least 1. *)
 
 val dut_input_wires : Tmr_pnr.Impl.t -> string -> int array list
 (** Physical PadIn wires for a base input port: one wire set on an
@@ -48,6 +69,8 @@ val golden_outputs :
 
 val run :
   ?progress:(int -> int -> unit) ->
+  ?workers:int ->
+  ?cone_skip:bool ->
   name:string ->
   impl:Tmr_pnr.Impl.t ->
   golden:Tmr_netlist.Netlist.t ->
@@ -55,7 +78,15 @@ val run :
   faults:int array ->
   unit ->
   t
-(** Raises [Failure] if the un-faulted DUT does not match the golden
-    device (an implementation-flow bug, not a fault). *)
+(** [workers] defaults to {!default_workers}; [cone_skip] (default [true])
+    enables the cone-aware fast paths — disabling it forces a full rebuild
+    per fault (the legacy engine, useful as a differential oracle).
+
+    [progress] is called as [f completed total] from worker domains,
+    serialized and rate-limited by the pool.
+
+    Raises [Failure] if the un-faulted DUT does not match the golden
+    device (an implementation-flow bug, not a fault); the message names
+    the first disagreeing port, bit and expected/actual values. *)
 
 val wrong_percent : t -> float

@@ -1,0 +1,115 @@
+(* Fixed-size Domain worker pool with chunked work distribution.
+
+   Work items are the integers [0, total).  Workers claim contiguous
+   chunks from a shared cursor under a mutex, so distribution is dynamic
+   (a worker stuck on expensive items claims fewer chunks) while the
+   per-item bookkeeping stays O(total / chunk).
+
+   A worker exception cancels the pool: the remaining items are abandoned,
+   every domain is joined, and the first exception is re-raised in the
+   caller with its original backtrace — the caller never deadlocks and
+   never sees a half-torn-down pool. *)
+
+type shared = {
+  mutex : Mutex.t;
+  mutable next : int;  (* first unclaimed item *)
+  mutable completed : int;
+  mutable reported : int;  (* last progress milestone reported *)
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+  total : int;
+  chunk : int;
+  milestone : int;  (* report progress at most every this many items *)
+  progress : (int -> int -> unit) option;
+}
+
+let locked s f =
+  Mutex.lock s.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.mutex) f
+
+(* Claim the next chunk, or None when done/cancelled. *)
+let claim s =
+  locked s (fun () ->
+      if s.failure <> None || s.next >= s.total then None
+      else begin
+        let lo = s.next in
+        let hi = min s.total (lo + s.chunk) in
+        s.next <- hi;
+        Some (lo, hi)
+      end)
+
+let complete s n =
+  locked s (fun () ->
+      s.completed <- s.completed + n;
+      match s.progress with
+      | Some f when s.completed - s.reported >= s.milestone ->
+          s.reported <- s.completed;
+          (* called under the mutex: serialized, and rate-limited to one
+             call per milestone across all workers *)
+          f s.completed s.total
+      | _ -> ())
+
+let fail s exn bt =
+  locked s (fun () -> if s.failure = None then s.failure <- Some (exn, bt))
+
+let worker_loop s body =
+  let continue = ref true in
+  while !continue do
+    match claim s with
+    | None -> continue := false
+    | Some (lo, hi) -> (
+        match
+          for i = lo to hi - 1 do
+            body i
+          done
+        with
+        | () -> complete s (hi - lo)
+        | exception exn ->
+            fail s exn (Printexc.get_raw_backtrace ());
+            continue := false)
+  done
+
+let run ?progress ?(chunk = 16) ~workers ~total body =
+  if total < 0 then invalid_arg "Pool.run: negative total";
+  if workers < 1 then invalid_arg "Pool.run: needs at least one worker";
+  if chunk < 1 then invalid_arg "Pool.run: chunk must be positive";
+  let s =
+    {
+      mutex = Mutex.create ();
+      next = 0;
+      completed = 0;
+      reported = 0;
+      failure = None;
+      total;
+      chunk;
+      milestone = max 1 (min chunk (total / 100));
+      progress;
+    }
+  in
+  if workers = 1 || total <= chunk then
+    (* inline: no domains for sequential runs or trivially small batches *)
+    worker_loop s (body 0)
+  else begin
+    let domains =
+      Array.init workers (fun wid ->
+          Domain.spawn (fun () ->
+              (* Minor collections are a stop-the-world rendezvous across
+                 all domains; when workers outnumber cores, a descheduled
+                 domain stalls every collection for a scheduler timeslice.
+                 A larger domain-local minor heap makes collections rare
+                 enough that the rendezvous cost stays negligible. *)
+              Gc.set { (Gc.get ()) with Gc.minor_heap_size = 32 * 1024 * 1024 };
+              match body wid with
+              | handler -> worker_loop s handler
+              | exception exn ->
+                  (* per-worker init failed *)
+                  fail s exn (Printexc.get_raw_backtrace ())))
+    in
+    Array.iter Domain.join domains
+  end;
+  match s.failure with
+  | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+  | None ->
+      (* final progress tick so callers always see 100% *)
+      (match progress with
+      | Some f when s.reported < total -> f total total
+      | _ -> ())
