@@ -167,9 +167,13 @@ let campaign_bench () =
     (c, dt, fps)
   in
   let base_c, base_dt, base_fps = measure ~workers:1 ~cone_skip:false in
+  (* isolate the parallel run's telemetry so the embedded snapshot holds
+     the cone-aware engine's distributions, not the oracle's *)
+  Tmr_obs.Metrics.reset ();
   let par_c, par_dt, par_fps =
     measure ~workers:parallel_workers ~cone_skip:true
   in
+  let metrics_snap = Tmr_obs.Metrics.snapshot () in
   let identical = base_c.Campaign.results = par_c.Campaign.results in
   let speedup = par_fps /. base_fps in
   let skip_rate =
@@ -183,11 +187,18 @@ let campaign_bench () =
       "    { \"name\": %S, \"workers\": %d, \"cone_skip\": %b, \"seconds\": \
        %.3f, \"faults_per_sec\": %.2f,\n\
       \      \"skipped\": %d, \"patched\": %d, \"rerouted\": %d, \"rebuilt\": \
-       %d, \"wrong_percent\": %.3f }"
+       %d, \"wrong_percent\": %.3f, \"worker_utilization\": %.3f }"
       name c.Campaign.workers cone_skip dt fps c.Campaign.stats.Campaign.skipped
       c.Campaign.stats.Campaign.patched c.Campaign.stats.Campaign.rerouted
       c.Campaign.stats.Campaign.rebuilt
       (Campaign.wrong_percent c)
+      (Campaign.utilization c)
+  in
+  (* nest the snapshot under the top-level object's 2-space indent *)
+  let metrics_json =
+    String.concat "\n  "
+      (String.split_on_char '\n'
+         (String.trim (Tmr_obs.Metrics.to_json_string metrics_snap)))
   in
   let json =
     Printf.sprintf
@@ -202,13 +213,14 @@ let campaign_bench () =
       \  ],\n\
       \  \"speedup\": %.3f,\n\
       \  \"skip_rate\": %.4f,\n\
-      \  \"identical_results\": %b\n\
+      \  \"identical_results\": %b,\n\
+      \  \"metrics\": %s\n\
        }\n"
       (Partition.name Partition.Medium_partition)
       faults
       (row "sequential-rebuild" false base_c base_dt base_fps)
       (row "parallel-cone-aware" true par_c par_dt par_fps)
-      speedup skip_rate identical
+      speedup skip_rate identical metrics_json
   in
   let oc = open_out "BENCH_campaign.json" in
   output_string oc json;

@@ -15,6 +15,9 @@ module Reports = Tmr_experiments.Reports
 module Partition = Tmr_core.Partition
 module Impl = Tmr_pnr.Impl
 module Campaign = Tmr_inject.Campaign
+module Metrics = Tmr_obs.Metrics
+module Trace = Tmr_obs.Trace
+module Progress = Tmr_obs.Progress
 
 let scale_conv =
   let parse = function
@@ -62,6 +65,77 @@ let design_t =
 let mk_ctx scale seed faults =
   Context.create ~scale ~seed ~faults_per_design:faults ()
 
+(* --- telemetry (global options, every subcommand) --- *)
+
+let trace_file_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write Chrome-trace-event JSONL spans (CAD phases, campaigns, \
+           per-fault injections) to $(docv).  Open with ui.perfetto.dev, or \
+           wrap into an array for chrome://tracing.")
+
+let metrics_file_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON metrics snapshot (counters, gauges, latency \
+           histogram percentiles) to $(docv) on exit.")
+
+let telemetry_t =
+  Term.(const (fun trace metrics -> (trace, metrics)) $ trace_file_t $ metrics_file_t)
+
+(* Install the trace sink before the work and always flush both files
+   after — also when the command raises, so a crashed run still leaves
+   its telemetry behind. *)
+let with_telemetry (trace, metrics) f =
+  Option.iter Trace.to_file trace;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.close ();
+      Option.iter Metrics.write_file metrics)
+    f
+
+(* engine-summary pretty-printing *)
+
+let dur_pp ns =
+  if ns < 1e3 then Printf.sprintf "%.0fns" ns
+  else if ns < 1e6 then Printf.sprintf "%.1fµs" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%.1fms" (ns /. 1e6)
+  else Printf.sprintf "%.2fs" (ns /. 1e9)
+
+let engine_summary (c : Campaign.t) =
+  let s = c.Campaign.stats in
+  Printf.printf "engine: %d workers, wall %s, worker utilization %.0f%%\n"
+    c.Campaign.workers
+    (dur_pp (float_of_int c.Campaign.wall_ns))
+    (100.0 *. Campaign.utilization c);
+  let pct n = 100.0 *. float_of_int n /. float_of_int (max 1 c.Campaign.injected) in
+  Printf.printf
+    "  plan paths: silent %d (%.1f%%), patched %d (%.1f%%), rerouted %d \
+     (%.1f%%), rebuilt %d (%.1f%%)\n"
+    s.Campaign.skipped (pct s.Campaign.skipped) s.Campaign.patched
+    (pct s.Campaign.patched) s.Campaign.rerouted (pct s.Campaign.rerouted)
+    s.Campaign.rebuilt (pct s.Campaign.rebuilt);
+  let snap = Metrics.snapshot () in
+  Printf.printf "  %-18s %8s %9s %9s %9s\n" "fault latency" "count" "p50"
+    "p95" "p99";
+  List.iter
+    (fun path ->
+      match
+        List.assoc_opt ("campaign.fault_ns." ^ path) snap.Metrics.histograms
+      with
+      | Some h when h.Metrics.count > 0 ->
+          Printf.printf "  %-18s %8d %9s %9s %9s\n" ("  " ^ path)
+            h.Metrics.count (dur_pp h.Metrics.p50) (dur_pp h.Metrics.p95)
+            (dur_pp h.Metrics.p99)
+      | _ -> ())
+    [ "silent"; "patch"; "reroute"; "rebuild" ]
+
 (* Campaign worker-domain count; default picked by Campaign. *)
 let jobs () =
   match Sys.getenv_opt "TMR_JOBS" with
@@ -81,7 +155,8 @@ let report_cmd =
       value & pos 0 string "device"
       & info [] ~docv:"WHAT" ~doc:"device or memory")
   in
-  let run scale seed what =
+  let run telem scale seed what =
+    with_telemetry telem @@ fun () ->
     let ctx = mk_ctx scale seed 0 in
     match what with
     | "device" -> print_string (Reports.device_report ctx)
@@ -91,12 +166,13 @@ let report_cmd =
         exit 2
   in
   Cmd.v (Cmd.info "report" ~doc:"device / memory composition reports")
-    Term.(const run $ scale_t $ seed_t $ what)
+    Term.(const run $ telemetry_t $ scale_t $ seed_t $ what)
 
 (* --- implement --- *)
 
 let implement_cmd =
-  let run scale seed design =
+  let run telem scale seed design =
+    with_telemetry telem @@ fun () ->
     let ctx = mk_ctx scale seed 0 in
     let r = Runs.implement_design ctx design in
     let impl = r.Runs.impl in
@@ -118,23 +194,21 @@ let implement_cmd =
   in
   Cmd.v
     (Cmd.info "implement" ~doc:"map, place and route one filter version")
-    Term.(const run $ scale_t $ seed_t $ design_t)
+    Term.(const run $ telemetry_t $ scale_t $ seed_t $ design_t)
 
 (* --- inject --- *)
 
 let inject_cmd =
-  let run scale seed faults design =
+  let run telem scale seed faults design =
+    with_telemetry telem @@ fun () ->
     let ctx = mk_ctx scale seed faults in
     let r = Runs.implement_design ctx design in
-    (* the pool already rate-limits the callback; print every tick *)
-    let progress name done_ total =
-      Printf.eprintf "%s: %d/%d\r%!" name done_ total
-    in
+    let progress = Progress.callback () in
     let r = Runs.campaign_design ~progress ?workers:(jobs ()) ctx r in
     match r.Runs.campaign with
     | None -> assert false
     | Some c ->
-        Printf.printf "\n%s: injected %d, wrong answers %d (%.2f%%)\n"
+        Printf.printf "%s: injected %d, wrong answers %d (%.2f%%)\n"
           (Partition.paper_name design) c.Campaign.injected c.Campaign.wrong
           (Campaign.wrong_percent c);
         List.iter
@@ -151,16 +225,18 @@ let inject_cmd =
             in
             if n > 0 then
               Printf.printf "  %-14s %d\n" (Tmr_inject.Classify.name eff) n)
-          Tmr_inject.Classify.all
+          Tmr_inject.Classify.all;
+        engine_summary c
   in
   Cmd.v
     (Cmd.info "inject" ~doc:"fault-injection campaign on one design")
-    Term.(const run $ scale_t $ seed_t $ faults_t $ design_t)
+    Term.(const run $ telemetry_t $ scale_t $ seed_t $ faults_t $ design_t)
 
 (* --- congestion --- *)
 
 let congestion_cmd =
-  let run scale seed design =
+  let run telem scale seed design =
+    with_telemetry telem @@ fun () ->
     let ctx = mk_ctx scale seed 0 in
     let r = Runs.implement_design ctx design in
     let impl = r.Runs.impl in
@@ -178,7 +254,7 @@ let congestion_cmd =
   Cmd.v
     (Cmd.info "congestion"
        ~doc:"routing utilization and domain-mix heatmaps for one design")
-    Term.(const run $ scale_t $ seed_t $ design_t)
+    Term.(const run $ telemetry_t $ scale_t $ seed_t $ design_t)
 
 (* --- export --- *)
 
@@ -189,8 +265,9 @@ let export_cmd =
   let mapped_t =
     Arg.(value & flag & info [ "mapped" ] ~doc:"export the post-techmap netlist")
   in
-  let run scale design mapped out =
-    let ctx = mk_ctx scale 1 0 in
+  let run telem scale seed design mapped out =
+    with_telemetry telem @@ fun () ->
+    let ctx = mk_ctx scale seed 0 in
     let nl = Tmr_filter.Designs.build ~params:ctx.Context.params design in
     let nl =
       if mapped then (Tmr_techmap.Techmap.run nl).Tmr_techmap.Techmap.mapped
@@ -206,26 +283,30 @@ let export_cmd =
   in
   Cmd.v
     (Cmd.info "export" ~doc:"dump a design netlist in the text interchange format")
-    Term.(const run $ scale_t $ design_t $ mapped_t $ out_t)
+    Term.(const run $ telemetry_t $ scale_t $ seed_t $ design_t $ mapped_t $ out_t)
 
 (* --- tables --- *)
 
 let tables_cmd =
-  let run scale seed faults =
+  let run telem scale seed faults =
+    with_telemetry telem @@ fun () ->
     let ctx = mk_ctx scale seed faults in
     let impls =
       List.map (Runs.implement_design ctx) Partition.all_paper_designs
     in
     print_string (Tables.table2 impls);
     print_newline ();
-    let runs = List.map (Runs.campaign_design ?workers:(jobs ()) ctx) impls in
+    let progress = Progress.callback () in
+    let runs =
+      List.map (Runs.campaign_design ~progress ?workers:(jobs ()) ctx) impls
+    in
     print_string (Tables.table3 runs);
     print_newline ();
     print_string (Tables.table4 runs)
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"regenerate the paper's Tables 2, 3 and 4")
-    Term.(const run $ scale_t $ seed_t $ faults_t)
+    Term.(const run $ telemetry_t $ scale_t $ seed_t $ faults_t)
 
 let () =
   let doc = "optimal TMR voter partitioning on an SRAM FPGA (DATE'05 reproduction)" in

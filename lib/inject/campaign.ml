@@ -36,9 +36,34 @@ type t = {
   results : fault_result array;
   workers : int;
   stats : engine_stats;
+  wall_ns : int;
+  busy_ns : int array;
 }
 
 let no_stats = { skipped = 0; patched = 0; rerouted = 0; rebuilt = 0 }
+
+let utilization t =
+  if t.wall_ns <= 0 || t.workers <= 0 then 0.0
+  else
+    float_of_int (Array.fold_left ( + ) 0 t.busy_ns)
+    /. (float_of_int t.workers *. float_of_int t.wall_ns)
+
+(* Per-plan-path fault latency: the four distributions are the engine's
+   cost model (silent ≈ ns, patch ≈ µs, reroute ≈ 10µs, rebuild ≈ ms) and
+   drift in any of them is a perf regression even when the mean hides it. *)
+let m_fault_silent = Tmr_obs.Metrics.histogram "campaign.fault_ns.silent"
+let m_fault_patch = Tmr_obs.Metrics.histogram "campaign.fault_ns.patch"
+let m_fault_reroute = Tmr_obs.Metrics.histogram "campaign.fault_ns.reroute"
+let m_fault_rebuild = Tmr_obs.Metrics.histogram "campaign.fault_ns.rebuild"
+let m_busy = Tmr_obs.Metrics.counter "campaign.worker_busy_ns"
+let m_wall = Tmr_obs.Metrics.gauge "campaign.wall_ns"
+let m_util = Tmr_obs.Metrics.gauge "campaign.worker_utilization"
+
+let fault_hist = function
+  | Fsim.Path_silent -> m_fault_silent
+  | Fsim.Path_patch -> m_fault_patch
+  | Fsim.Path_reroute -> m_fault_reroute
+  | Fsim.Path_rebuild -> m_fault_rebuild
 
 let add_stats a b =
   {
@@ -110,7 +135,9 @@ let run ?progress ?workers ?(cone_skip = true) ~name ~impl ~golden ~stimulus
   let workers =
     match workers with Some w -> max 1 w | None -> default_workers ()
   in
-  let golden_ref = golden_outputs golden stimulus in
+  let golden_ref =
+    Tmr_obs.Trace.with_span "golden" (fun () -> golden_outputs golden stimulus)
+  in
   (* physical IO map — shared read-only across workers *)
   let input_map =
     List.map
@@ -129,7 +156,10 @@ let run ?progress ?workers ?(cone_skip = true) ~name ~impl ~golden ~stimulus
   let golden_bits = impl.Impl.bitgen.Tmr_pnr.Bitgen.bitstream in
   (* Scan the image once; workers clone the derived state ({!Extract.copy})
      instead of re-extracting 1.4M bits each. *)
-  let golden_ex = Extract.create dev db (Bitstream.copy golden_bits) in
+  let golden_ex =
+    Tmr_obs.Trace.with_span "extract" (fun () ->
+        Extract.create dev db (Bitstream.copy golden_bits))
+  in
   let new_extract () = Extract.copy golden_ex in
   (* Run the DUT through the stimulus; return the first cycle where any
      output bit disagrees with the golden reference, or -1.  Wire->node
@@ -225,6 +255,9 @@ let run ?progress ?workers ?(cone_skip = true) ~name ~impl ~golden ~stimulus
   in
   let results = Array.make total dummy in
   let stats_per_worker = Array.make workers no_stats in
+  (* per-worker injection time; each cell is written by its owner only,
+     and Domain.join publishes it to the caller *)
+  let busy_ns = Array.make workers 0 in
   let worker wid =
     (* worker-local simulator state: own bitstream copy, own extract, own
        workspace, plus the golden cone snapshot for the fast paths *)
@@ -243,6 +276,8 @@ let run ?progress ?workers ?(cone_skip = true) ~name ~impl ~golden ~stimulus
         first_error_cycle = error_cycle;
       }
     in
+    (* returns the result and the path the engine actually took (a failed
+       reroute executes as a rebuild and is reported as one) *)
     let inject bit =
       let plan =
         if cone_skip then Fsim.plan_fault cone ex bit else Fsim.Path_rebuild
@@ -250,13 +285,15 @@ let run ?progress ?workers ?(cone_skip = true) ~name ~impl ~golden ~stimulus
       match plan with
       | Fsim.Path_silent ->
           bump (fun s -> { s with skipped = s.skipped + 1 });
-          finish bit (-1)
+          (finish bit (-1), Fsim.Path_silent)
       | Fsim.Path_patch ->
           bump (fun s -> { s with patched = s.patched + 1 });
           Extract.apply_bit_flip ex bit;
           Fun.protect
             ~finally:(fun () -> Extract.apply_bit_flip ex bit)
-            (fun () -> finish bit (Fsim.with_patch cone base ex bit run_dut))
+            (fun () ->
+              ( finish bit (Fsim.with_patch cone base ex bit run_dut),
+                Fsim.Path_patch ))
       | Fsim.Path_reroute | Fsim.Path_rebuild ->
           Extract.apply_bit_flip ex bit;
           Fun.protect
@@ -267,27 +304,57 @@ let run ?progress ?workers ?(cone_skip = true) ~name ~impl ~golden ~stimulus
                 | Fsim.Path_reroute -> Fsim.reroute ~scratch cone base ex bit
                 | _ -> None
               in
-              let sim =
+              let sim, path =
                 match sim with
                 | Some sim ->
                     bump (fun s -> { s with rerouted = s.rerouted + 1 });
-                    sim
+                    (sim, Fsim.Path_reroute)
                 | None ->
                     bump (fun s -> { s with rebuilt = s.rebuilt + 1 });
-                    Fsim.build ~ws ex ~watch_outputs
+                    (Fsim.build ~ws ex ~watch_outputs, Fsim.Path_rebuild)
               in
-              finish bit (run_dut sim))
+              (finish bit (run_dut sim), path))
     in
-    fun i -> results.(i) <- inject faults.(i)
+    fun i ->
+      let bit = faults.(i) in
+      let t0 = Tmr_obs.Clock.now_ns () in
+      let r, path = inject bit in
+      let dt = Tmr_obs.Clock.now_ns () - t0 in
+      busy_ns.(wid) <- busy_ns.(wid) + dt;
+      Tmr_obs.Metrics.observe (fault_hist path) dt;
+      if Tmr_obs.Trace.enabled () then
+        Tmr_obs.Trace.emit_complete
+          ~args:
+            [ ("bit", string_of_int bit); ("path", Fsim.path_name path) ]
+          ~name:"fault" ~start_ns:t0 ~dur_ns:dt ();
+      results.(i) <- r
   in
-  Pool.run ?progress ~workers ~total worker;
+  let t_start = Tmr_obs.Clock.now_ns () in
+  Tmr_obs.Trace.with_span
+    ~args:
+      [
+        ("design", name);
+        ("workers", string_of_int workers);
+        ("faults", string_of_int total);
+      ]
+    "campaign"
+    (fun () -> Pool.run ?progress ~workers ~total worker);
+  let wall_ns = Tmr_obs.Clock.now_ns () - t_start in
+  let busy_total = Array.fold_left ( + ) 0 busy_ns in
+  Tmr_obs.Metrics.incr ~by:busy_total m_busy;
+  Tmr_obs.Metrics.set m_wall (float_of_int wall_ns);
+  Tmr_obs.Metrics.set m_util
+    (if wall_ns > 0 then
+       float_of_int busy_total /. (float_of_int workers *. float_of_int wall_ns)
+     else 0.0);
   let stats = Array.fold_left add_stats no_stats stats_per_worker in
   let wrong =
     Array.fold_left
       (fun acc r -> if r.outcome = Wrong_answer then acc + 1 else acc)
       0 results
   in
-  { design = name; injected = total; wrong; results; workers; stats }
+  { design = name; injected = total; wrong; results; workers; stats;
+    wall_ns; busy_ns }
 
 let wrong_percent t =
   if t.injected = 0 then 0.0

@@ -49,7 +49,15 @@ type t = {
   results : fault_result array;
   workers : int;  (** worker count the campaign actually used *)
   stats : engine_stats;
+  wall_ns : int;  (** wall-clock time of the injection loop *)
+  busy_ns : int array;
+      (** per-worker time spent injecting (length [workers]); the gap to
+          [workers * wall_ns] is claim contention plus pool ramp-down *)
 }
+
+val utilization : t -> float
+(** [sum busy_ns / (workers * wall_ns)] in [0,1] — how busy the average
+    worker was while the campaign ran. *)
 
 val default_workers : unit -> int
 (** [Domain.recommended_domain_count () - 1], at least 1. *)

@@ -26,16 +26,29 @@ let locked s f =
   Mutex.lock s.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock s.mutex) f
 
+(* Time from wanting a chunk to holding it: the cursor mutex is the only
+   shared point of the pool, so this histogram is the direct measure of
+   worker contention (it also absorbs the progress callback running under
+   the same mutex in another worker). *)
+let m_claim_wait = Tmr_obs.Metrics.histogram "pool.claim_wait_ns"
+let m_chunks = Tmr_obs.Metrics.counter "pool.chunks"
+
 (* Claim the next chunk, or None when done/cancelled. *)
 let claim s =
-  locked s (fun () ->
-      if s.failure <> None || s.next >= s.total then None
-      else begin
-        let lo = s.next in
-        let hi = min s.total (lo + s.chunk) in
-        s.next <- hi;
-        Some (lo, hi)
-      end)
+  let t0 = Tmr_obs.Clock.now_ns () in
+  let r =
+    locked s (fun () ->
+        if s.failure <> None || s.next >= s.total then None
+        else begin
+          let lo = s.next in
+          let hi = min s.total (lo + s.chunk) in
+          s.next <- hi;
+          Some (lo, hi)
+        end)
+  in
+  Tmr_obs.Metrics.observe m_claim_wait (Tmr_obs.Clock.now_ns () - t0);
+  if r <> None then Tmr_obs.Metrics.incr m_chunks;
+  r
 
 let complete s n =
   locked s (fun () ->

@@ -1,0 +1,11 @@
+(** Monotonic clock shared by every telemetry layer.
+
+    Wall-clock time ([Unix.gettimeofday]) can jump under NTP adjustment,
+    which would corrupt latency histograms and produce negative span
+    durations; everything in {!Tmr_obs} therefore timestamps with the
+    kernel monotonic clock. *)
+
+val now_ns : unit -> int
+(** Nanoseconds from an arbitrary (boot-time) origin.  Only differences
+    are meaningful.  A 63-bit int holds ~292 years of nanoseconds, so
+    the value never wraps in practice. *)

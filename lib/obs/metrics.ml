@@ -1,0 +1,283 @@
+(* Sharded instruments: one atomic cell (or bucket array) per shard, shard
+   picked by domain id.  Recorders therefore never share a cache line with
+   another domain in the common case, and even on a slot collision
+   [Atomic.fetch_and_add] keeps the totals exact.  The shard count is a
+   power of two so the slot computation is a mask, not a division. *)
+
+let nshards = 32
+
+let slot () = (Domain.self () :> int) land (nshards - 1)
+
+(* --- log buckets ----------------------------------------------------- *)
+
+(* Geometric buckets with ratio 2^(1/3) (~1.26).  128 buckets cover
+   [1, 2^43) ns — about 2.4 hours — before the catch-all last bucket.
+   Small bounds are deduplicated by bumping (1,2,3,4,5,6,8,10,13,...). *)
+
+let nbuckets = 128
+
+let bounds =
+  let b = Array.make nbuckets 0 in
+  let prev = ref 0 in
+  for i = 0 to nbuckets - 1 do
+    let v = Float.to_int (Float.round (Float.pow 2.0 (float_of_int (i + 1) /. 3.0))) in
+    let v = if v <= !prev then !prev + 1 else v in
+    b.(i) <- v;
+    prev := v
+  done;
+  b.(nbuckets - 1) <- max_int;
+  b
+
+(* smallest bucket whose upper bound is >= v *)
+let bucket_of v =
+  if v <= bounds.(0) then 0
+  else begin
+    let lo = ref 0 and hi = ref (nbuckets - 1) in
+    (* invariant: bounds.(lo) < v <= bounds.(hi) *)
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if bounds.(mid) < v then lo := mid else hi := mid
+    done;
+    !hi
+  end
+
+(* --- instruments ----------------------------------------------------- *)
+
+type counter = { c_shards : int Atomic.t array }
+type gauge = { g_cell : float Atomic.t }
+
+type histogram = {
+  h_buckets : int Atomic.t array array;  (* shard -> bucket -> count *)
+  h_count : int Atomic.t array;  (* shard *)
+  h_sum : int Atomic.t array;  (* shard *)
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 32
+let registry_mutex = Mutex.create ()
+
+let intern name make =
+  Mutex.lock registry_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_mutex)
+    (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some i -> i
+      | None ->
+          let i = make () in
+          Hashtbl.replace registry name i;
+          i)
+
+let atomic_row n = Array.init n (fun _ -> Atomic.make 0)
+
+let counter name =
+  match intern name (fun () -> Counter { c_shards = atomic_row nshards }) with
+  | Counter c -> c
+  | _ -> invalid_arg (Printf.sprintf "Metrics: %S is not a counter" name)
+
+let gauge name =
+  match intern name (fun () -> Gauge { g_cell = Atomic.make 0.0 }) with
+  | Gauge g -> g
+  | _ -> invalid_arg (Printf.sprintf "Metrics: %S is not a gauge" name)
+
+let histogram name =
+  match
+    intern name (fun () ->
+        Histogram
+          {
+            h_buckets = Array.init nshards (fun _ -> atomic_row nbuckets);
+            h_count = atomic_row nshards;
+            h_sum = atomic_row nshards;
+          })
+  with
+  | Histogram h -> h
+  | _ -> invalid_arg (Printf.sprintf "Metrics: %S is not a histogram" name)
+
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.c_shards.(slot ()) by)
+let set g v = Atomic.set g.g_cell v
+
+let observe h v =
+  let s = slot () in
+  ignore (Atomic.fetch_and_add h.h_buckets.(s).(bucket_of v) 1);
+  ignore (Atomic.fetch_and_add h.h_count.(s) 1);
+  ignore (Atomic.fetch_and_add h.h_sum.(s) (max 0 v))
+
+(* --- snapshots ------------------------------------------------------- *)
+
+type hist_summary = {
+  count : int;
+  sum : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist_summary) list;
+}
+
+let sum_row row = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 row
+
+let merge_buckets h =
+  let merged = Array.make nbuckets 0 in
+  Array.iter
+    (fun shard ->
+      Array.iteri (fun i a -> merged.(i) <- merged.(i) + Atomic.get a) shard)
+    h.h_buckets;
+  merged
+
+(* q-th percentile as the upper bound of the bucket holding the q-rank
+   sample (nearest-rank definition: rank = ceil (q * count), >= 1). *)
+let percentile_of_buckets merged total q =
+  if total = 0 then 0.0
+  else begin
+    let rank = max 1 (min total (Float.to_int (Float.ceil (q *. float_of_int total)))) in
+    let i = ref 0 and acc = ref 0 in
+    while !acc + merged.(!i) < rank do
+      acc := !acc + merged.(!i);
+      i := !i + 1
+    done;
+    (* the last bucket is a catch-all; report the largest finite bound *)
+    float_of_int (if !i = nbuckets - 1 then bounds.(nbuckets - 2) else bounds.(!i))
+  end
+
+let summarize h =
+  let merged = merge_buckets h in
+  let count = sum_row h.h_count in
+  let sum = sum_row h.h_sum in
+  {
+    count;
+    sum;
+    mean = (if count = 0 then 0.0 else float_of_int sum /. float_of_int count);
+    p50 = percentile_of_buckets merged count 0.50;
+    p95 = percentile_of_buckets merged count 0.95;
+    p99 = percentile_of_buckets merged count 0.99;
+  }
+
+let percentile h q =
+  let merged = merge_buckets h in
+  percentile_of_buckets merged (Array.fold_left ( + ) 0 merged) q
+
+let snapshot () =
+  let items =
+    Mutex.lock registry_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock registry_mutex)
+      (fun () -> Hashtbl.fold (fun name i acc -> (name, i) :: acc) registry [])
+  in
+  let items = List.sort (fun (a, _) (b, _) -> compare a b) items in
+  List.fold_right
+    (fun (name, i) acc ->
+      match i with
+      | Counter c -> { acc with counters = (name, sum_row c.c_shards) :: acc.counters }
+      | Gauge g -> { acc with gauges = (name, Atomic.get g.g_cell) :: acc.gauges }
+      | Histogram h ->
+          { acc with histograms = (name, summarize h) :: acc.histograms })
+    items
+    { counters = []; gauges = []; histograms = [] }
+
+let reset () =
+  Mutex.lock registry_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_mutex)
+    (fun () ->
+      Hashtbl.iter
+        (fun _ i ->
+          match i with
+          | Counter c -> Array.iter (fun a -> Atomic.set a 0) c.c_shards
+          | Gauge g -> Atomic.set g.g_cell 0.0
+          | Histogram h ->
+              Array.iter (fun a -> Atomic.set a 0) h.h_count;
+              Array.iter (fun a -> Atomic.set a 0) h.h_sum;
+              Array.iter (Array.iter (fun a -> Atomic.set a 0)) h.h_buckets)
+        registry)
+
+(* --- JSON ------------------------------------------------------------ *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+let to_json_string ?(indent = 2) snap =
+  let b = Buffer.create 1024 in
+  let pad n = String.make (n * indent) ' ' in
+  let obj level fields =
+    if fields = [] then Buffer.add_string b "{}"
+    else begin
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, emit) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b (pad (level + 1));
+          Buffer.add_string b ("\"" ^ escape k ^ "\": ");
+          emit ())
+        fields;
+      Buffer.add_char b '\n';
+      Buffer.add_string b (pad level);
+      Buffer.add_char b '}'
+    end
+  in
+  let summary_fields level (s : hist_summary) =
+    obj level
+      [
+        ("count", fun () -> Buffer.add_string b (string_of_int s.count));
+        ("sum", fun () -> Buffer.add_string b (string_of_int s.sum));
+        ("mean", fun () -> Buffer.add_string b (json_float s.mean));
+        ("p50", fun () -> Buffer.add_string b (json_float s.p50));
+        ("p95", fun () -> Buffer.add_string b (json_float s.p95));
+        ("p99", fun () -> Buffer.add_string b (json_float s.p99));
+      ]
+  in
+  obj 0
+    [
+      ( "counters",
+        fun () ->
+          obj 1
+            (List.map
+               (fun (k, v) ->
+                 (k, fun () -> Buffer.add_string b (string_of_int v)))
+               snap.counters) );
+      ( "gauges",
+        fun () ->
+          obj 1
+            (List.map
+               (fun (k, v) -> (k, fun () -> Buffer.add_string b (json_float v)))
+               snap.gauges) );
+      ( "histograms",
+        fun () ->
+          obj 1
+            (List.map
+               (fun (k, s) -> (k, fun () -> summary_fields 2 s))
+               snap.histograms) );
+    ];
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let write_file path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json_string (snapshot ())))

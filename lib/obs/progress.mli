@@ -1,0 +1,27 @@
+(** TTY-aware progress rendering with rate and ETA.
+
+    On a terminal the renderer redraws one line in place (carriage
+    return, no scrollback spam) at most every ~100 ms; on a pipe or CI
+    log it prints one full line per ~10% step instead.  Rate and ETA
+    come from the monotonic clock. *)
+
+type t
+
+val create : ?out:out_channel -> label:string -> total:int -> unit -> t
+(** [out] defaults to [stderr]. *)
+
+val update : t -> int -> unit
+(** [update t done_] renders [done_]/total.  Monotone in [done_];
+    rate-limited internally, so callers may invoke it as often as they
+    like. *)
+
+val finish : t -> unit
+(** Render the final state and release the line (newline on a TTY).
+    Idempotent. *)
+
+val callback : ?out:out_channel -> unit -> string -> int -> int -> unit
+(** A labelled progress callback compatible with
+    [Tmr_experiments.Runs.campaign_design ~progress].  Renders one bar
+    per label; when the label changes (the next campaign of a multi-run
+    starts) the previous bar is finished first, and a bar is finished as
+    soon as its count reaches its total. *)

@@ -1,0 +1,38 @@
+(** Span tracing in Chrome trace-event format, one JSON object per line.
+
+    A span is a named interval on the calling domain's timeline.  With no
+    sink registered every entry point is a cheap no-op — {!with_span}
+    costs one atomic load and does not even read the clock — so
+    instrumentation can stay in hot paths permanently.  With a sink
+    ({!to_file}), each completed span is emitted as one self-contained
+    [ph:"X"] (complete) event line: [ts]/[dur] in microseconds on the
+    monotonic clock, [tid] the OCaml domain id, so spans from worker
+    domains land on separate tracks and nest correctly per track.
+
+    The output is plain JSONL.  Perfetto ({{:https://ui.perfetto.dev}ui.perfetto.dev})
+    opens it directly; for the legacy [chrome://tracing] viewer wrap it
+    into an array first ([jq -s . t.jsonl > t.json]). *)
+
+val to_file : string -> unit
+(** Open [path] (truncating) and start emitting spans to it.  Replaces
+    any previously registered sink (which is flushed and closed). *)
+
+val close : unit -> unit
+(** Flush and close the sink; subsequent spans are no-ops again.
+    Safe to call when no sink is registered. *)
+
+val enabled : unit -> bool
+(** True when a sink is registered.  Lets instrumentation skip building
+    span arguments entirely when tracing is off. *)
+
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] and, when tracing is enabled, emits the
+    span covering its execution — also when [f] raises.  [args] become
+    the event's [args] object (string values). *)
+
+val emit_complete :
+  ?args:(string * string) list -> name:string -> start_ns:int -> dur_ns:int ->
+  unit -> unit
+(** Low-level emission for callers that already measured the interval
+    (avoids a closure allocation per event in per-fault loops).  No-op
+    when tracing is off.  [start_ns] must come from {!Clock.now_ns}. *)

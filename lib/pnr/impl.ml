@@ -15,25 +15,55 @@ type t = {
   seed : int;
 }
 
+(* Per-CAD-phase wall time: one histogram per phase (so repeated
+   implementations accumulate a distribution) plus a trace span each, all
+   under an enclosing "implement" span. *)
+let m_phase =
+  List.map
+    (fun p -> (p, Tmr_obs.Metrics.histogram ("impl.phase_ns." ^ p)))
+    [ "techmap"; "pack"; "place"; "route"; "bitgen"; "timing" ]
+
+let phase name f =
+  let h = List.assoc name m_phase in
+  Tmr_obs.Trace.with_span name (fun () ->
+      let t0 = Tmr_obs.Clock.now_ns () in
+      let r = f () in
+      Tmr_obs.Metrics.observe h (Tmr_obs.Clock.now_ns () - t0);
+      r)
+
 let implement ?(seed = 1) ?moves_per_site ?floorplan ?max_route_iters dev db nl =
+  Tmr_obs.Trace.with_span ~args:[ ("seed", string_of_int seed) ] "implement"
+  @@ fun () ->
   match Tmr_netlist.Check.run nl with
   | Error es -> Error ("design check failed: " ^ String.concat "; " es)
   | Ok () ->
-      let { Tmr_techmap.Techmap.mapped; _ } = Tmr_techmap.Techmap.run nl in
+      let { Tmr_techmap.Techmap.mapped; _ } =
+        phase "techmap" (fun () -> Tmr_techmap.Techmap.run nl)
+      in
       (match Tmr_netlist.Check.run mapped with
       | Error es -> Error ("mapped check failed: " ^ String.concat "; " es)
       | Ok () -> (
-          let pack = Pack.run mapped in
+          let pack = phase "pack" (fun () -> Pack.run mapped) in
           match
-            Place.run ~seed ?moves_per_site ?floorplan dev pack mapped
+            phase "place" (fun () ->
+                Place.run ~seed ?moves_per_site ?floorplan dev pack mapped)
           with
           | exception Failure msg -> Error msg
           | place -> (
-              match Route.run ?max_iters:max_route_iters dev pack place with
+              match
+                phase "route" (fun () ->
+                    Route.run ?max_iters:max_route_iters dev pack place)
+              with
               | Error msg -> Error ("route: " ^ msg)
               | Ok route ->
-                  let bitgen = Bitgen.run dev db pack place route mapped in
-                  let timing = Timing.analyze dev pack place route mapped in
+                  let bitgen =
+                    phase "bitgen" (fun () ->
+                        Bitgen.run dev db pack place route mapped)
+                  in
+                  let timing =
+                    phase "timing" (fun () ->
+                        Timing.analyze dev pack place route mapped)
+                  in
                   Ok
                     {
                       source = nl;
