@@ -152,53 +152,76 @@ let campaign_bench () =
     time "implement" (fun () ->
         Runs.implement_design ctx Partition.Medium_partition)
   in
-  let measure ~workers ~cone_skip =
+  let measure ~workers ~cone_skip ~diff =
+    (* level the field between rows: the sequential oracle leaves a major
+       heap full of dead simulators that would slow later rows' GC *)
+    Gc.compact ();
     let t0 = Unix.gettimeofday () in
-    let r = Runs.campaign_design ~workers ~cone_skip ctx run in
+    let r = Runs.campaign_design ~workers ~cone_skip ~diff ctx run in
     let dt = Unix.gettimeofday () -. t0 in
     let c = Option.get r.Runs.campaign in
     let fps = float_of_int c.Campaign.injected /. dt in
     say
-      "  workers=%d cone_skip=%b: %.2fs, %.1f faults/s (skipped %d, patched \
-       %d, rerouted %d, rebuilt %d)"
-      workers cone_skip dt fps c.Campaign.stats.Campaign.skipped
+      "  workers=%d cone_skip=%b diff=%b: %.2fs, %.1f faults/s (skipped %d, \
+       patched %d, rerouted %d, rebuilt %d, diffed %d, converged %d)"
+      workers cone_skip diff dt fps c.Campaign.stats.Campaign.skipped
       c.Campaign.stats.Campaign.patched c.Campaign.stats.Campaign.rerouted
-      c.Campaign.stats.Campaign.rebuilt;
+      c.Campaign.stats.Campaign.rebuilt c.Campaign.stats.Campaign.diffed
+      c.Campaign.stats.Campaign.converged;
     (c, dt, fps)
   in
-  let base_c, base_dt, base_fps = measure ~workers:1 ~cone_skip:false in
-  (* isolate the parallel run's telemetry so the embedded snapshot holds
-     the cone-aware engine's distributions, not the oracle's *)
+  let base_c, base_dt, base_fps =
+    measure ~workers:1 ~cone_skip:false ~diff:false
+  in
+  (* isolate each parallel run's telemetry so its snapshot holds only that
+     engine's distributions, not the oracle's (or the other engine's) *)
   Tmr_obs.Metrics.reset ();
   let par_c, par_dt, par_fps =
-    measure ~workers:parallel_workers ~cone_skip:true
+    measure ~workers:parallel_workers ~cone_skip:true ~diff:false
   in
   let metrics_snap = Tmr_obs.Metrics.snapshot () in
-  let identical = base_c.Campaign.results = par_c.Campaign.results in
+  Tmr_obs.Metrics.reset ();
+  let diff_c, diff_dt, diff_fps =
+    measure ~workers:parallel_workers ~cone_skip:true ~diff:true
+  in
+  let diff_snap = Tmr_obs.Metrics.snapshot () in
+  let identical =
+    base_c.Campaign.results = par_c.Campaign.results
+    && base_c.Campaign.results = diff_c.Campaign.results
+  in
   let speedup = par_fps /. base_fps in
+  let diff_speedup = diff_fps /. par_fps in
   let skip_rate =
     float_of_int par_c.Campaign.stats.Campaign.skipped
     /. float_of_int (max 1 par_c.Campaign.injected)
   in
-  say "  speedup %.2fx, skip-rate %.1f%%, identical results: %b" speedup
-    (100. *. skip_rate) identical;
-  let row name cone_skip (c : Campaign.t) dt fps =
+  let converge_rate =
+    float_of_int diff_c.Campaign.stats.Campaign.converged
+    /. float_of_int (max 1 diff_c.Campaign.stats.Campaign.diffed)
+  in
+  say
+    "  speedup %.2fx, diff speedup %.2fx over cone-aware, skip-rate %.1f%%, \
+     converge-rate %.1f%%, identical results: %b"
+    speedup diff_speedup (100. *. skip_rate) (100. *. converge_rate) identical;
+  let row name cone_skip diff (c : Campaign.t) dt fps =
     Printf.sprintf
-      "    { \"name\": %S, \"workers\": %d, \"cone_skip\": %b, \"seconds\": \
-       %.3f, \"faults_per_sec\": %.2f,\n\
+      "    { \"name\": %S, \"workers\": %d, \"cone_skip\": %b, \"diff\": %b, \
+       \"seconds\": %.3f, \"faults_per_sec\": %.2f,\n\
       \      \"skipped\": %d, \"patched\": %d, \"rerouted\": %d, \"rebuilt\": \
-       %d, \"wrong_percent\": %.3f, \"worker_utilization\": %.3f }"
-      name c.Campaign.workers cone_skip dt fps c.Campaign.stats.Campaign.skipped
-      c.Campaign.stats.Campaign.patched c.Campaign.stats.Campaign.rerouted
-      c.Campaign.stats.Campaign.rebuilt
+       %d, \"diffed\": %d, \"converged\": %d,\n\
+      \      \"wrong_percent\": %.3f, \"worker_utilization\": %.3f }"
+      name c.Campaign.workers cone_skip diff dt fps
+      c.Campaign.stats.Campaign.skipped c.Campaign.stats.Campaign.patched
+      c.Campaign.stats.Campaign.rerouted c.Campaign.stats.Campaign.rebuilt
+      c.Campaign.stats.Campaign.diffed c.Campaign.stats.Campaign.converged
       (Campaign.wrong_percent c)
       (Campaign.utilization c)
   in
-  (* nest the snapshot under the top-level object's 2-space indent *)
-  let metrics_json =
+  (* nest the snapshots under the top-level object's 2-space indent *)
+  let indent_json snap =
     String.concat "\n  "
       (String.split_on_char '\n'
-         (String.trim (Tmr_obs.Metrics.to_json_string metrics_snap)))
+         (String.trim (Tmr_obs.Metrics.to_json_string snap)))
   in
   let json =
     Printf.sprintf
@@ -209,18 +232,24 @@ let campaign_bench () =
       \  \"faults\": %d,\n\
       \  \"rows\": [\n\
        %s,\n\
+       %s,\n\
        %s\n\
       \  ],\n\
       \  \"speedup\": %.3f,\n\
+      \  \"diff_speedup\": %.3f,\n\
       \  \"skip_rate\": %.4f,\n\
+      \  \"converge_rate\": %.4f,\n\
       \  \"identical_results\": %b,\n\
-      \  \"metrics\": %s\n\
+      \  \"metrics\": %s,\n\
+      \  \"metrics_diff\": %s\n\
        }\n"
       (Partition.name Partition.Medium_partition)
       faults
-      (row "sequential-rebuild" false base_c base_dt base_fps)
-      (row "parallel-cone-aware" true par_c par_dt par_fps)
-      speedup skip_rate identical metrics_json
+      (row "sequential-rebuild" false false base_c base_dt base_fps)
+      (row "parallel-cone-aware" true false par_c par_dt par_fps)
+      (row "parallel-diff" true true diff_c diff_dt diff_fps)
+      speedup diff_speedup skip_rate converge_rate identical
+      (indent_json metrics_snap) (indent_json diff_snap)
   in
   let oc = open_out "BENCH_campaign.json" in
   output_string oc json;

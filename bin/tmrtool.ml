@@ -62,6 +62,16 @@ let design_t =
     & opt design_conv Partition.Medium_partition
     & info [ "design" ] ~doc:"filter version (standard|tmr_p1|tmr_p2|tmr_p3|tmr_p3_nv)")
 
+let no_diff_t =
+  Arg.(
+    value & flag
+    & info [ "no-diff" ]
+        ~doc:
+          "Disable the differential fault-simulation engine (baseline tape \
+           + cone-restricted event-driven evaluation + convergence \
+           early-exit); every patch/reroute fault then replays the full \
+           DUT.  Results are bit-identical either way.")
+
 let mk_ctx scale seed faults =
   Context.create ~scale ~seed ~faults_per_design:faults ()
 
@@ -122,6 +132,25 @@ let engine_summary (c : Campaign.t) =
     (pct s.Campaign.patched) s.Campaign.rerouted (pct s.Campaign.rerouted)
     s.Campaign.rebuilt (pct s.Campaign.rebuilt);
   let snap = Metrics.snapshot () in
+  if s.Campaign.diffed > 0 then begin
+    let conv_pct =
+      100.0
+      *. float_of_int s.Campaign.converged
+      /. float_of_int (max 1 s.Campaign.diffed)
+    in
+    match
+      List.assoc_opt "campaign.diff_converge_cycle" snap.Metrics.histograms
+    with
+    | Some h when h.Metrics.count > 0 ->
+        Printf.printf
+          "  diff engine: %d differential, %d converged early (%.1f%%), \
+           median convergence cycle %.0f\n"
+          s.Campaign.diffed s.Campaign.converged conv_pct h.Metrics.p50
+    | _ ->
+        Printf.printf
+          "  diff engine: %d differential, %d converged early (%.1f%%)\n"
+          s.Campaign.diffed s.Campaign.converged conv_pct
+  end;
   Printf.printf "  %-18s %8s %9s %9s %9s\n" "fault latency" "count" "p50"
     "p95" "p99";
   List.iter
@@ -134,7 +163,7 @@ let engine_summary (c : Campaign.t) =
             h.Metrics.count (dur_pp h.Metrics.p50) (dur_pp h.Metrics.p95)
             (dur_pp h.Metrics.p99)
       | _ -> ())
-    [ "silent"; "patch"; "reroute"; "rebuild" ]
+    [ "silent"; "patch"; "reroute"; "rebuild"; "diff" ]
 
 (* Campaign worker-domain count; default picked by Campaign. *)
 let jobs () =
@@ -199,12 +228,15 @@ let implement_cmd =
 (* --- inject --- *)
 
 let inject_cmd =
-  let run telem scale seed faults design =
+  let run telem scale seed faults design no_diff =
     with_telemetry telem @@ fun () ->
     let ctx = mk_ctx scale seed faults in
     let r = Runs.implement_design ctx design in
     let progress = Progress.callback () in
-    let r = Runs.campaign_design ~progress ?workers:(jobs ()) ctx r in
+    let r =
+      Runs.campaign_design ~progress ?workers:(jobs ()) ~diff:(not no_diff)
+        ctx r
+    in
     match r.Runs.campaign with
     | None -> assert false
     | Some c ->
@@ -230,7 +262,9 @@ let inject_cmd =
   in
   Cmd.v
     (Cmd.info "inject" ~doc:"fault-injection campaign on one design")
-    Term.(const run $ telemetry_t $ scale_t $ seed_t $ faults_t $ design_t)
+    Term.(
+      const run $ telemetry_t $ scale_t $ seed_t $ faults_t $ design_t
+      $ no_diff_t)
 
 (* --- congestion --- *)
 
@@ -288,7 +322,7 @@ let export_cmd =
 (* --- tables --- *)
 
 let tables_cmd =
-  let run telem scale seed faults =
+  let run telem scale seed faults no_diff =
     with_telemetry telem @@ fun () ->
     let ctx = mk_ctx scale seed faults in
     let impls =
@@ -298,7 +332,10 @@ let tables_cmd =
     print_newline ();
     let progress = Progress.callback () in
     let runs =
-      List.map (Runs.campaign_design ~progress ?workers:(jobs ()) ctx) impls
+      List.map
+        (Runs.campaign_design ~progress ?workers:(jobs ())
+           ~diff:(not no_diff) ctx)
+        impls
     in
     print_string (Tables.table3 runs);
     print_newline ();
@@ -306,7 +343,7 @@ let tables_cmd =
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"regenerate the paper's Tables 2, 3 and 4")
-    Term.(const run $ telemetry_t $ scale_t $ seed_t $ faults_t)
+    Term.(const run $ telemetry_t $ scale_t $ seed_t $ faults_t $ no_diff_t)
 
 let () =
   let doc = "optimal TMR voter partitioning on an SRAM FPGA (DATE'05 reproduction)" in

@@ -17,11 +17,12 @@ val campaign_design :
   ?progress:(string -> int -> int -> unit) ->
   ?workers:int ->
   ?cone_skip:bool ->
+  ?diff:bool ->
   Context.t ->
   design_run ->
   design_run
 (** Add the fault-injection campaign ([Context.faults_per_design] random
-    DUT bits).  [workers]/[cone_skip] are forwarded to
+    DUT bits).  [workers]/[cone_skip]/[diff] are forwarded to
     {!Tmr_inject.Campaign.run}. *)
 
 val run_all :

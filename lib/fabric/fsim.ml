@@ -104,10 +104,29 @@ type t = {
   scc_off : int array;  (* nsccs+1 offsets into scc_nodes (may have slack) *)
   scc_nodes : int array;  (* flat SCC members, evaluation order *)
   scc_cyclic : Bytes.t;  (* per SCC *)
+  reg_nodes : int array;  (* node ids with kind = k_bel_reg, ascending *)
   pad_node : (int, int) Hashtbl.t;  (* PadIn wire -> node *)
   watch_node : (int, int) Hashtbl.t;  (* PadOut wire -> node *)
   has_loop : bool;
 }
+
+(* The registered-bel index: [clock] used to scan every node testing
+   [kind = k_bel_reg] each cycle; the membership is fixed at build time
+   (only an Out_sel fault moves it, handled by [reroute]). *)
+let collect_reg_nodes kind n =
+  let c = ref 0 in
+  for node = 0 to n - 1 do
+    if kind.(node) = k_bel_reg then incr c
+  done;
+  let regs = Array.make !c 0 in
+  let i = ref 0 in
+  for node = 0 to n - 1 do
+    if kind.(node) = k_bel_reg then begin
+      regs.(!i) <- node;
+      incr i
+    end
+  done;
+  regs
 
 let support_mask table =
   let m = ref 0 in
@@ -433,6 +452,7 @@ let build ?ws ex ~watch_outputs =
     scc_off = Array.sub ws.ws_scc.sc_off 0 (nsccs + 1);
     scc_nodes = Array.sub ws.ws_scc.sc_nodes 0 n;
     scc_cyclic = Bytes.sub ws.ws_scc.sc_cyclic 0 nsccs;
+    reg_nodes = collect_reg_nodes kind n;
     pad_node;
     watch_node;
     has_loop;
@@ -558,9 +578,10 @@ let eval t =
 let clock t =
   (* Only registered bels ever read [q]; combinational bels re-evaluate
      from their pins on every [eval]. *)
-  for node = 0 to t.nnodes - 1 do
-    if t.kind.(node) = k_bel_reg then
-      if not t.ce_frozen.(node) then t.q.(node) <- lut_eval t node
+  let regs = t.reg_nodes in
+  for i = 0 to Array.length regs - 1 do
+    let node = regs.(i) in
+    if not t.ce_frozen.(node) then t.q.(node) <- lut_eval t node
   done;
   Array.blit t.values 0 t.last 0 t.nnodes
 
@@ -668,13 +689,21 @@ let cone_frames c ex =
 (* ------------------------------------------------------------------ *)
 (* Per-fault planning: how cheaply can one bit flip be simulated?      *)
 
-type fault_path = Path_silent | Path_patch | Path_reroute | Path_rebuild
+type fault_path =
+  | Path_silent
+  | Path_patch
+  | Path_reroute
+  | Path_rebuild
+  | Path_diff
+      (* execution outcome, never returned by [plan_fault]: a patch or
+         reroute fault that ran on the differential engine *)
 
 let path_name = function
   | Path_silent -> "silent"
   | Path_patch -> "patch"
   | Path_reroute -> "reroute"
   | Path_rebuild -> "rebuild"
+  | Path_diff -> "diff"
 
 (* Decide, against the *golden* (un-flipped) extract state, how the flip
    of [bit] can be handled.  Every branch below is exact: [Path_silent]
@@ -757,6 +786,21 @@ let with_patch c base ex bit f =
   | Bitdb.Ce_inv b ->
       patch_cell base.ce_frozen c.c_bel_node.(b) (Extract.ce_inv ex b)
   | _ -> invalid_arg "Fsim.with_patch: not a patchable bit"
+
+(* The single node whose cell content a [Path_patch] fault edits — the
+   differential engine seeds its fanout cone from it. *)
+let patch_node c ex bit =
+  let db = Extract.database ex in
+  match Bitdb.resource db bit with
+  | Bitdb.Lut_bit (b, _)
+  | Bitdb.In_inv (b, _)
+  | Bitdb.Ff_init b
+  | Bitdb.Sr_inv b
+  | Bitdb.Ce_inv b ->
+      let n = c.c_bel_node.(b) in
+      if n < 0 then invalid_arg "Fsim.patch_node: bel outside the cone";
+      n
+  | _ -> invalid_arg "Fsim.patch_node: not a patchable bit"
 
 (* ------------------------------------------------------------------ *)
 (* Reroute: derive a fault simulator from [base] without a full rebuild.
@@ -1115,6 +1159,13 @@ let reroute ~scratch:s c base ex bit =
     let nsccs, has_loop =
       compute_sccs ~scratch:scc ~nnodes:n ~kind ~inputs:inputs'
     in
+    let reg_nodes =
+      (* extras are resolve nodes; only an Out_sel cell flip can move the
+         registered-bel membership *)
+      match cell with
+      | `Out _ -> collect_reg_nodes kind n
+      | `None | `Lut _ -> base.reg_nodes
+    in
     Array.blit q_init 0 q 0 n;
     Array.fill values 0 n Logic.X;
     Array.fill last 0 n Logic.X;
@@ -1135,11 +1186,691 @@ let reroute ~scratch:s c base ex bit =
         scc_off = scc.sc_off;
         scc_nodes = scc.sc_nodes;
         scc_cyclic = scc.sc_cyclic;
+        reg_nodes;
         pad_node = base.pad_node;
         watch_node;
         has_loop;
       }
   with Too_hard -> None
+
+(* A derived simulator shares [base]'s pad/watch wire->node tables
+   physically unless [reroute] had to remap an orphaned watch node. *)
+let same_io a b = a.pad_node == b.pad_node && a.watch_node == b.watch_node
+
+(* ------------------------------------------------------------------ *)
+(* Baseline tape: the fault-free per-cycle value of every node, packed
+   2 bits per three-valued logic value.  One tape per worker amortises
+   the single fault-free run over every fault the worker executes. *)
+
+type tape = {
+  tp_nnodes : int;
+  tp_cycles : int;
+  tp_stride : int;  (* bytes per cycle *)
+  tp_data : Bytes.t;
+}
+
+let logic_code = function Logic.Zero -> 0 | Logic.One -> 1 | Logic.X -> 2
+let code_logic c = if c = 0 then Logic.Zero else if c = 1 then Logic.One else Logic.X
+
+let tape_create ~nnodes ~cycles =
+  if nnodes < 0 || cycles < 0 then invalid_arg "Fsim.tape_create";
+  let stride = (nnodes + 3) / 4 in
+  {
+    tp_nnodes = nnodes;
+    tp_cycles = cycles;
+    tp_stride = stride;
+    tp_data = Bytes.make (max 1 (stride * cycles)) '\000';
+  }
+
+let tape_nnodes tp = tp.tp_nnodes
+let tape_cycles tp = tp.tp_cycles
+
+let tape_set tp ~cycle ~node v =
+  if cycle < 0 || cycle >= tp.tp_cycles || node < 0 || node >= tp.tp_nnodes
+  then invalid_arg "Fsim.tape_set";
+  let i = (tp.tp_stride * cycle) + (node lsr 2) in
+  let sh = (node land 3) * 2 in
+  let b = Char.code (Bytes.get tp.tp_data i) in
+  Bytes.set tp.tp_data i
+    (Char.chr ((b land lnot (3 lsl sh)) lor (logic_code v lsl sh)))
+
+(* Unchecked read for the per-cycle hot loops below; bounds are
+   established once per fault. *)
+let tape_get_u tp cycle node =
+  let b =
+    Char.code
+      (Bytes.unsafe_get tp.tp_data ((tp.tp_stride * cycle) + (node lsr 2)))
+  in
+  code_logic ((b lsr ((node land 3) * 2)) land 3)
+
+let tape_get tp ~cycle ~node =
+  if cycle < 0 || cycle >= tp.tp_cycles || node < 0 || node >= tp.tp_nnodes
+  then invalid_arg "Fsim.tape_get";
+  tape_get_u tp cycle node
+
+let tape_record tp t ~cycle =
+  if t.nnodes <> tp.tp_nnodes then
+    invalid_arg "Fsim.tape_record: tape sized for another simulator";
+  if cycle < 0 || cycle >= tp.tp_cycles then invalid_arg "Fsim.tape_record";
+  let base = tp.tp_stride * cycle in
+  let n = t.nnodes in
+  let v = t.values in
+  let node = ref 0 in
+  let i = ref 0 in
+  while !node < n do
+    let lim = min 4 (n - !node) in
+    let b = ref 0 in
+    for j = 0 to lim - 1 do
+      b := !b lor (logic_code v.(!node + j) lsl (j * 2))
+    done;
+    Bytes.set tp.tp_data (base + !i) (Char.chr !b);
+    incr i;
+    node := !node + 4
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Differential fault simulation.
+
+   A fault disturbs only the static fanout cone of its seed nodes: the
+   transitive closure over graph successors (reverse edges of [inputs],
+   which covers resolve inputs, comb pins *and* register pins, so the
+   closure crosses register boundaries).  The engine simulates only the
+   cone; any input read from outside it comes from the baseline tape.
+   Within the cone a dirty-stamp event scheme skips nodes whose inputs
+   did not change this cycle, and a convergence check at each cycle
+   boundary abandons the fault early once it provably can no longer
+   diverge from the baseline.
+
+   Convergence needs care because the fault is *persistent* (the flipped
+   configuration bit stays flipped): cone state equal to the baseline at
+   cycle c does not by itself imply equality forever — a flipped LUT row
+   may first be exercised at a later cycle.  The sound rule used here is
+   state equality (cone values and cone register state match the tape at
+   the boundary) *plus* a seed replay: only the seed nodes are evaluated
+   against pure tape inputs for every remaining cycle, and each old-node
+   seed must reproduce its taped value.  If so, every non-seed cone node
+   keeps seeing baseline inputs and the whole cone provably tracks the
+   tape; the fault's outcome is decided.  The replay is skipped (no
+   early exit) when a seed sits in a cyclic SCC, where single-node
+   re-evaluation is not the fixpoint the full engine computes. *)
+
+type dscratch = {
+  mutable dd_csr_for : t option;  (* simulator the CSR below was built for *)
+  mutable dd_ncap : int;  (* node capacity *)
+  mutable dd_off : int array;  (* CSR row offsets, nnodes+1 *)
+  mutable dd_cursor : int array;
+  mutable dd_ecap : int;
+  mutable dd_succ : int array;  (* CSR successor lists *)
+  mutable dd_mark : Bytes.t;  (* '\001' = cone member *)
+  mutable dd_fmark : Bytes.t;  (* '\001' = frontier member *)
+  mutable dd_smark : Bytes.t;  (* '\001' = seed *)
+  mutable dd_cone : int array;  (* cone nodes, evaluation order *)
+  mutable dd_ncone : int;
+  mutable dd_grp : int array;  (* group starts into dd_cone, dd_ngrp+1 *)
+  mutable dd_gcyc : Bytes.t;  (* per group: cyclic SCC *)
+  mutable dd_ngrp : int;
+  mutable dd_regs : int array;  (* cone registers *)
+  mutable dd_nregs : int;
+  mutable dd_frontier : int array;  (* non-cone inputs of cone nodes *)
+  mutable dd_nfrontier : int;
+  mutable dd_seeds : int array;  (* seeds, evaluation order *)
+  mutable dd_nseeds : int;
+  mutable dd_suspect : int array;  (* watch indices that can differ *)
+  mutable dd_scap : int;
+  mutable dd_nsuspect : int;
+  mutable dd_dirty : int array;  (* per node: tick stamp of dirtiness *)
+  mutable dd_rdirty : int array;  (* per register: tick stamp *)
+  mutable dd_tick : int;  (* monotone across faults *)
+  mutable dd_old : Logic.t array;  (* cyclic-group pre-eval values *)
+  mutable dd_rv : Logic.t array;  (* replay overlay: value *)
+  mutable dd_rvl : Logic.t array;  (* replay overlay: last *)
+  mutable dd_rq : Logic.t array;  (* replay overlay: register state *)
+}
+
+let make_dscratch () =
+  {
+    dd_csr_for = None;
+    dd_ncap = 0;
+    dd_off = [||];
+    dd_cursor = [||];
+    dd_ecap = 0;
+    dd_succ = [||];
+    dd_mark = Bytes.empty;
+    dd_fmark = Bytes.empty;
+    dd_smark = Bytes.empty;
+    dd_cone = [||];
+    dd_ncone = 0;
+    dd_grp = [||];
+    dd_gcyc = Bytes.empty;
+    dd_ngrp = 0;
+    dd_regs = [||];
+    dd_nregs = 0;
+    dd_frontier = [||];
+    dd_nfrontier = 0;
+    dd_seeds = [||];
+    dd_nseeds = 0;
+    dd_suspect = [||];
+    dd_scap = 0;
+    dd_nsuspect = 0;
+    dd_dirty = [||];
+    dd_rdirty = [||];
+    dd_tick = 0;
+    dd_old = [||];
+    dd_rv = [||];
+    dd_rvl = [||];
+    dd_rq = [||];
+  }
+
+let dscratch_ensure d n =
+  if d.dd_ncap < n then begin
+    let cap = max n (max 1024 (2 * d.dd_ncap)) in
+    d.dd_ncap <- cap;
+    d.dd_off <- Array.make (cap + 1) 0;
+    d.dd_cursor <- Array.make (cap + 1) 0;
+    d.dd_mark <- Bytes.make cap '\000';
+    d.dd_fmark <- Bytes.make cap '\000';
+    d.dd_smark <- Bytes.make cap '\000';
+    d.dd_cone <- Array.make cap 0;
+    d.dd_grp <- Array.make (cap + 1) 0;
+    d.dd_gcyc <- Bytes.make cap '\000';
+    d.dd_regs <- Array.make cap 0;
+    d.dd_frontier <- Array.make cap 0;
+    d.dd_seeds <- Array.make cap 0;
+    (* fresh stamp arrays start at 0 < any live tick: never stale-dirty *)
+    d.dd_dirty <- Array.make cap 0;
+    d.dd_rdirty <- Array.make cap 0;
+    d.dd_old <- Array.make cap Logic.X;
+    d.dd_rv <- Array.make cap Logic.X;
+    d.dd_rvl <- Array.make cap Logic.X;
+    d.dd_rq <- Array.make cap Logic.X;
+    d.dd_csr_for <- None
+  end
+
+let dscratch_suspect_ensure d n =
+  if d.dd_scap < n then begin
+    d.dd_scap <- max n (2 * d.dd_scap);
+    d.dd_suspect <- Array.make d.dd_scap 0
+  end
+
+(* Reverse CSR over [inputs]: successors of each node.  Cached while the
+   physical simulator is unchanged — cell-content patches ([with_patch])
+   never alter the edge set, so the base simulator's CSR survives a whole
+   campaign; derived reroute simulators get a rebuild. *)
+let build_csr d sim =
+  let n = sim.nnodes in
+  let off = d.dd_off in
+  Array.fill off 0 (n + 1) 0;
+  for node = 0 to n - 1 do
+    let ins = sim.inputs.(node) in
+    for j = 0 to Array.length ins - 1 do
+      let p = ins.(j) in
+      if p >= 0 then off.(p + 1) <- off.(p + 1) + 1
+    done
+  done;
+  for i = 1 to n do
+    off.(i) <- off.(i) + off.(i - 1)
+  done;
+  let e = off.(n) in
+  if d.dd_ecap < e then begin
+    d.dd_ecap <- max e (2 * d.dd_ecap);
+    d.dd_succ <- Array.make d.dd_ecap 0
+  end;
+  Array.blit off 0 d.dd_cursor 0 (n + 1);
+  for node = 0 to n - 1 do
+    let ins = sim.inputs.(node) in
+    for j = 0 to Array.length ins - 1 do
+      let p = ins.(j) in
+      if p >= 0 then begin
+        d.dd_succ.(d.dd_cursor.(p)) <- node;
+        d.dd_cursor.(p) <- d.dd_cursor.(p) + 1
+      end
+    done
+  done
+
+(* Allocation-free LUT evaluation over an arbitrary pin-value reader,
+   for the seed replay (values come from overlays or the tape). *)
+let replay_lut t node rv0 rv1 rv2 rv3 =
+  let table = t.table.(node) in
+  let inv = t.inv.(node) in
+  let pins = t.inputs.(node) in
+  let acc = ref 0 in
+  for j = 0 to 3 do
+    if pins.(j) >= 0 then begin
+      let v = if j = 0 then rv0 else if j = 1 then rv1 else if j = 2 then rv2 else rv3 in
+      (match v with
+      | Logic.Zero -> acc := !acc lor (((inv lsr j) land 1) lsl j)
+      | Logic.One -> acc := !acc lor ((1 - ((inv lsr j) land 1)) lsl j)
+      | Logic.X -> acc := !acc lor (1 lsl (j + 4)))
+    end
+  done;
+  let idx = !acc land 0xf and xmask = !acc lsr 4 in
+  let first = (table lsr idx) land 1 in
+  if xmask = 0 then Logic.of_bool (first = 1)
+  else if lut_x_const table idx xmask xmask first then Logic.of_bool (first = 1)
+  else Logic.X
+
+type dseeds = Seed_node of int | Seed_derived
+
+let diff_run ~scratch:d ~tape:tp ~base ~sim ~seeds ~watch ~base_watch
+    ~expected =
+  let n = sim.nnodes in
+  let cycles = tp.tp_cycles in
+  if tp.tp_nnodes <> base.nnodes then
+    invalid_arg "Fsim.diff_run: tape recorded for another simulator";
+  if Array.length expected <> cycles then
+    invalid_arg "Fsim.diff_run: expected matrix / tape cycle mismatch";
+  if Array.length watch <> Array.length base_watch then
+    invalid_arg "Fsim.diff_run: watch array length mismatch";
+  dscratch_ensure d n;
+  dscratch_suspect_ensure d (Array.length watch);
+  (match d.dd_csr_for with
+  | Some s when s == sim -> ()  (* content patches keep the edge set *)
+  | _ ->
+      build_csr d sim;
+      d.dd_csr_for <- Some sim);
+  Bytes.fill d.dd_mark 0 n '\000';
+  Bytes.fill d.dd_fmark 0 n '\000';
+  Bytes.fill d.dd_smark 0 n '\000';
+  (* ---- seeds and cone closure (BFS over the CSR) ---- *)
+  let qtail = ref 0 in
+  let queue = d.dd_cone in (* BFS visit list; rebuilt in eval order below *)
+  let push v =
+    if Bytes.get d.dd_mark v = '\000' then begin
+      Bytes.set d.dd_mark v '\001';
+      queue.(!qtail) <- v;
+      incr qtail
+    end
+  in
+  let seed v =
+    if Bytes.get d.dd_smark v = '\000' then begin
+      Bytes.set d.dd_smark v '\001';
+      push v
+    end
+  in
+  (match seeds with
+  | Seed_node s -> seed s
+  | Seed_derived ->
+      (* every node whose cell content or pin wiring differs from the
+         base, plus every appended node *)
+      let bn = base.nnodes in
+      for node = 0 to bn - 1 do
+        if
+          sim.kind.(node) <> base.kind.(node)
+          || sim.table.(node) <> base.table.(node)
+          || sim.inv.(node) <> base.inv.(node)
+          || sim.ce_frozen.(node) <> base.ce_frozen.(node)
+          || (not (Logic.equal sim.q_init.(node) base.q_init.(node)))
+          || sim.inputs.(node) != base.inputs.(node)
+             && sim.inputs.(node) <> base.inputs.(node)
+        then seed node
+      done;
+      for node = bn to n - 1 do
+        seed node
+      done);
+  let qhead = ref 0 in
+  while !qhead < !qtail do
+    let v = queue.(!qhead) in
+    incr qhead;
+    for e = d.dd_off.(v) to d.dd_off.(v + 1) - 1 do
+      push d.dd_succ.(e)
+    done
+  done;
+  (* ---- cone in evaluation order, grouped by the simulator's SCCs.
+     SCC edges are a subset of CSR edges, so reaching one member of a
+     cyclic SCC reaches them all: groups are never split. ---- *)
+  d.dd_ncone <- 0;
+  d.dd_ngrp <- 0;
+  d.dd_nregs <- 0;
+  d.dd_nseeds <- 0;
+  let no_replay = ref false in
+  let off = sim.scc_off and snodes = sim.scc_nodes in
+  for si = 0 to sim.nsccs - 1 do
+    let lo = off.(si) and hi = off.(si + 1) in
+    let any = ref false in
+    for i = lo to hi - 1 do
+      if Bytes.get d.dd_mark snodes.(i) <> '\000' then any := true
+    done;
+    if !any then begin
+      let cyc = Bytes.get sim.scc_cyclic si <> '\000' in
+      d.dd_grp.(d.dd_ngrp) <- d.dd_ncone;
+      Bytes.set d.dd_gcyc d.dd_ngrp (if cyc then '\001' else '\000');
+      d.dd_ngrp <- d.dd_ngrp + 1;
+      for i = lo to hi - 1 do
+        let node = snodes.(i) in
+        d.dd_cone.(d.dd_ncone) <- node;
+        d.dd_ncone <- d.dd_ncone + 1;
+        if sim.kind.(node) = k_bel_reg then begin
+          d.dd_regs.(d.dd_nregs) <- node;
+          d.dd_nregs <- d.dd_nregs + 1
+        end;
+        if Bytes.get d.dd_smark node <> '\000' then begin
+          d.dd_seeds.(d.dd_nseeds) <- node;
+          d.dd_nseeds <- d.dd_nseeds + 1;
+          if cyc then no_replay := true
+        end
+      done
+    end
+  done;
+  d.dd_grp.(d.dd_ngrp) <- d.dd_ncone;
+  (* ---- frontier: non-cone inputs of cone nodes ---- *)
+  d.dd_nfrontier <- 0;
+  for i = 0 to d.dd_ncone - 1 do
+    let ins = sim.inputs.(d.dd_cone.(i)) in
+    for j = 0 to Array.length ins - 1 do
+      let p = ins.(j) in
+      if
+        p >= 0
+        && Bytes.get d.dd_mark p = '\000'
+        && Bytes.get d.dd_fmark p = '\000'
+      then begin
+        Bytes.set d.dd_fmark p '\001';
+        d.dd_frontier.(d.dd_nfrontier) <- p;
+        d.dd_nfrontier <- d.dd_nfrontier + 1
+      end
+    done
+  done;
+  (* ---- suspect watch indices: remapped by [reroute] or inside the
+     cone; every other watched node provably reads its taped value ---- *)
+  d.dd_nsuspect <- 0;
+  let remapped_old = ref false and remapped_extra = ref false in
+  for i = 0 to Array.length watch - 1 do
+    let w = watch.(i) in
+    let rm = w <> base_watch.(i) in
+    if rm || Bytes.get d.dd_mark w <> '\000' then begin
+      d.dd_suspect.(d.dd_nsuspect) <- i;
+      d.dd_nsuspect <- d.dd_nsuspect + 1;
+      if rm then
+        if w >= tp.tp_nnodes then remapped_extra := true
+        else remapped_old := true
+    end
+  done;
+  (* ---- initial state: X values, q_init registers, fresh dirty ticks
+     (everything in the cone is dirty at cycle 0) ---- *)
+  let values = sim.values and last = sim.last and q = sim.q in
+  for i = 0 to d.dd_ncone - 1 do
+    let node = d.dd_cone.(i) in
+    values.(node) <- Logic.X;
+    last.(node) <- Logic.X
+  done;
+  for i = 0 to d.dd_nfrontier - 1 do
+    let f = d.dd_frontier.(i) in
+    values.(f) <- Logic.X;
+    last.(f) <- Logic.X
+  done;
+  for i = 0 to d.dd_nregs - 1 do
+    let r = d.dd_regs.(i) in
+    q.(r) <- sim.q_init.(r)
+  done;
+  let tick0 = d.dd_tick + 1 in
+  d.dd_tick <- tick0 + cycles + 2;
+  for i = 0 to d.dd_ncone - 1 do
+    d.dd_dirty.(d.dd_cone.(i)) <- tick0
+  done;
+  for i = 0 to d.dd_nregs - 1 do
+    d.dd_rdirty.(d.dd_regs.(i)) <- tick0
+  done;
+  (* A node's settled value changed at [tick]: schedule its readers.
+     Registers re-latch at this cycle's clock; resolve readers also
+     re-evaluate next cycle because the glitch rule reads [last]. *)
+  let mark_readers node tick =
+    for e = d.dd_off.(node) to d.dd_off.(node + 1) - 1 do
+      let s = d.dd_succ.(e) in
+      if Bytes.get d.dd_mark s <> '\000' then begin
+        let k = sim.kind.(s) in
+        if k = k_bel_reg then begin
+          if d.dd_rdirty.(s) < tick then d.dd_rdirty.(s) <- tick
+        end
+        else begin
+          let target = if k = k_resolve then tick + 1 else tick in
+          if d.dd_dirty.(s) < target then d.dd_dirty.(s) <- target
+        end
+      end
+    done
+  in
+  (* Seed replay: from a boundary where the cone state equals the tape,
+     evaluate only the seeds against taped inputs for every remaining
+     cycle.  Old-node seeds must reproduce their taped values; then no
+     non-seed cone node can ever see a non-baseline input again. *)
+  let rv = d.dd_rv and rvl = d.dd_rvl and rq = d.dd_rq in
+  let getv cy p =
+    if Bytes.get d.dd_smark p <> '\000' then rv.(p) else tape_get_u tp cy p
+  in
+  let getl cy p =
+    if Bytes.get d.dd_smark p <> '\000' then rvl.(p)
+    else tape_get_u tp (cy - 1) p
+  in
+  let replay_eval cy s =
+    let k = sim.kind.(s) in
+    if k = k_bel_reg then rq.(s)
+    else if k = k_bel_comb then begin
+      let pins = sim.inputs.(s) in
+      let pv j = if pins.(j) < 0 then Logic.X else getv cy pins.(j) in
+      replay_lut sim s (pv 0) (pv 1) (pv 2) (pv 3)
+    end
+    else if k = k_resolve then begin
+      let ins = sim.inputs.(s) in
+      let len = Array.length ins in
+      if len = 0 then Logic.X
+      else begin
+        let v = ref (getv cy ins.(0)) in
+        for i = 1 to len - 1 do
+          v := Logic.resolve !v (getv cy ins.(i))
+        done;
+        match !v with
+        | Logic.X -> Logic.X
+        | (Logic.Zero | Logic.One) as sv ->
+            let glitch = ref false in
+            for i = 0 to len - 1 do
+              if not (Logic.equal (getl cy ins.(i)) sv) then glitch := true
+            done;
+            if !glitch then Logic.X else sv
+      end
+    end
+    else Logic.X (* constx; pads and constants are never seeds *)
+  in
+  let replay_converges cy =
+    for i = 0 to d.dd_nseeds - 1 do
+      let s = d.dd_seeds.(i) in
+      rv.(s) <- values.(s);
+      rvl.(s) <- last.(s);
+      if sim.kind.(s) = k_bel_reg then rq.(s) <- q.(s)
+    done;
+    let ok = ref true in
+    let cy' = ref (cy + 1) in
+    while !ok && !cy' < cycles do
+      let cc = !cy' in
+      let i = ref 0 in
+      while !ok && !i < d.dd_nseeds do
+        let s = d.dd_seeds.(!i) in
+        let v = replay_eval cc s in
+        rv.(s) <- v;
+        if s < tp.tp_nnodes && not (Logic.equal v (tape_get_u tp cc s)) then
+          ok := false;
+        incr i
+      done;
+      if !ok then begin
+        for i = 0 to d.dd_nseeds - 1 do
+          let s = d.dd_seeds.(i) in
+          if sim.kind.(s) = k_bel_reg && not sim.ce_frozen.(s) then begin
+            let pins = sim.inputs.(s) in
+            let pv j = if pins.(j) < 0 then Logic.X else getv cc pins.(j) in
+            rq.(s) <- replay_lut sim s (pv 0) (pv 1) (pv 2) (pv 3)
+          end
+        done;
+        for i = 0 to d.dd_nseeds - 1 do
+          let s = d.dd_seeds.(i) in
+          rvl.(s) <- rv.(s)
+        done
+      end;
+      incr cy'
+    done;
+    !ok
+  in
+  let state_matches cy =
+    let bn = tp.tp_nnodes in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < d.dd_ncone do
+      let node = d.dd_cone.(!i) in
+      if node < bn && not (Logic.equal values.(node) (tape_get_u tp cy node))
+      then ok := false;
+      incr i
+    done;
+    let i = ref 0 in
+    while !ok && !i < d.dd_nregs do
+      let r = d.dd_regs.(!i) in
+      (* cone registers are base nodes; the tape holds the baseline's q
+         at the *next* boundary via its settled value then *)
+      if not (Logic.equal q.(r) (tape_get_u tp (cy + 1) r)) then ok := false;
+      incr i
+    done;
+    !ok
+  in
+  (* ---- the per-cycle loop ---- *)
+  let error_cycle = ref (-1) in
+  let converge_cycle = ref (-1) in
+  let cy = ref 0 in
+  while !error_cycle < 0 && !converge_cycle < 0 && !cy < cycles do
+    let c = !cy in
+    let tick = tick0 + c in
+    (* frontier values come from the tape; a change schedules readers *)
+    for i = 0 to d.dd_nfrontier - 1 do
+      let f = d.dd_frontier.(i) in
+      let v = tape_get_u tp c f in
+      if not (Logic.equal v values.(f)) then begin
+        values.(f) <- v;
+        mark_readers f tick
+      end
+    done;
+    (* event-driven cone evaluation in SCC order *)
+    for g = 0 to d.dd_ngrp - 1 do
+      let lo = d.dd_grp.(g) and hi = d.dd_grp.(g + 1) in
+      if Bytes.get d.dd_gcyc g = '\000' then begin
+        let node = d.dd_cone.(lo) in
+        if d.dd_dirty.(node) >= tick then begin
+          let v = eval_node sim node in
+          if not (Logic.equal v values.(node)) then begin
+            values.(node) <- v;
+            mark_readers node tick
+          end
+        end
+      end
+      else begin
+        let dirty = ref false in
+        for i = lo to hi - 1 do
+          if d.dd_dirty.(d.dd_cone.(i)) >= tick then dirty := true
+        done;
+        if !dirty then begin
+          for i = lo to hi - 1 do
+            let node = d.dd_cone.(i) in
+            d.dd_old.(node) <- values.(node);
+            values.(node) <- Logic.X
+          done;
+          let changed = ref true in
+          let guard = ref ((3 * (hi - lo)) + 4) in
+          while !changed && !guard > 0 do
+            changed := false;
+            decr guard;
+            for i = lo to hi - 1 do
+              let node = d.dd_cone.(i) in
+              let v = eval_node sim node in
+              if not (Logic.equal v values.(node)) then begin
+                values.(node) <- v;
+                changed := true
+              end
+            done
+          done;
+          for i = lo to hi - 1 do
+            let node = d.dd_cone.(i) in
+            if not (Logic.equal values.(node) d.dd_old.(node)) then
+              mark_readers node tick
+          done
+        end
+      end
+    done;
+    (* cone-aware output check: only suspects can differ from golden *)
+    let exp = expected.(c) in
+    let i = ref 0 in
+    while !error_cycle < 0 && !i < d.dd_nsuspect do
+      let wi = d.dd_suspect.(!i) in
+      let w = watch.(wi) in
+      let v =
+        if Bytes.get d.dd_mark w <> '\000' then values.(w)
+        else tape_get_u tp c w
+      in
+      if not (Logic.equal v exp.(wi)) then error_cycle := c;
+      incr i
+    done;
+    if !error_cycle < 0 then begin
+      (* clock the cone registers; a q change dirties readers next cycle *)
+      for i = 0 to d.dd_nregs - 1 do
+        let r = d.dd_regs.(i) in
+        if d.dd_rdirty.(r) >= tick && not sim.ce_frozen.(r) then begin
+          let nq = lut_eval sim r in
+          if not (Logic.equal nq q.(r)) then begin
+            q.(r) <- nq;
+            if d.dd_dirty.(r) < tick + 1 then d.dd_dirty.(r) <- tick + 1
+          end
+        end
+      done;
+      for i = 0 to d.dd_ncone - 1 do
+        let node = d.dd_cone.(i) in
+        last.(node) <- values.(node)
+      done;
+      for i = 0 to d.dd_nfrontier - 1 do
+        let f = d.dd_frontier.(i) in
+        last.(f) <- values.(f)
+      done;
+      (* convergence early-exit *)
+      if
+        c < cycles - 1
+        && (not !no_replay)
+        && (not !remapped_extra)
+        && state_matches c
+        && replay_converges c
+      then begin
+        converge_cycle := c;
+        (* a remapped watch keeps reading a different (old) node than
+           the baseline run compared: scan its taped values over the
+           skipped cycles *)
+        if !remapped_old then begin
+          let c' = ref (c + 1) in
+          while !error_cycle < 0 && !c' < cycles do
+            let exp = expected.(!c') in
+            let si = ref 0 in
+            while !error_cycle < 0 && !si < d.dd_nsuspect do
+              let wi = d.dd_suspect.(!si) in
+              let w = watch.(wi) in
+              if
+                w <> base_watch.(wi)
+                && not (Logic.equal (tape_get_u tp !c' w) exp.(wi))
+              then error_cycle := !c';
+              incr si
+            done;
+            incr c'
+          done
+        end
+      end
+    end;
+    incr cy
+  done;
+  (!error_cycle, !converge_cycle)
+
+(* Test hooks: the cone computed by the last [diff_run]. *)
+let diff_cone d = Array.sub d.dd_cone 0 d.dd_ncone
+
+let diff_cone_is_closed d sim =
+  let ok = ref true in
+  for node = 0 to sim.nnodes - 1 do
+    if Bytes.get d.dd_mark node = '\000' then begin
+      let ins = sim.inputs.(node) in
+      for j = 0 to Array.length ins - 1 do
+        let p = ins.(j) in
+        if p >= 0 && Bytes.get d.dd_mark p <> '\000' then ok := false
+      done
+    end
+  done;
+  !ok
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry: shadowing wrappers so every caller is measured.  The

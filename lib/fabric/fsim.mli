@@ -101,6 +101,10 @@ type fault_path =
           ({!reroute}) instead of rebuilding — routing changes,
           support-widening LUT bits, out_sel flips *)
   | Path_rebuild  (** anything unprovable: full {!build} *)
+  | Path_diff
+      (** execution outcome only (never returned by {!plan_fault}): a
+          patch or reroute fault that ran on the differential engine
+          ({!diff_run}) instead of a full DUT replay *)
 
 val path_name : fault_path -> string
 
@@ -129,3 +133,77 @@ val reroute : scratch:scratch -> cone -> t -> Extract.t -> int -> t option
     reaches resources the base cone never saw — fall back to {!build}.
     The returned simulator aliases the scratch buffers and is only valid
     until the next [reroute] with the same scratch. *)
+
+val patch_node : cone -> Extract.t -> int -> int
+(** The node whose cell content a [Path_patch] bit edits — the seed of
+    its fanout cone for {!diff_run}. *)
+
+val same_io : t -> t -> bool
+(** Whether two simulators share their pad and watch wire->node tables
+    physically (true for the base and any derived simulator {!reroute}
+    did not watch-remap) — resolved pad/watch node arrays can then be
+    reused as-is. *)
+
+(** {1 Differential fault simulation}
+
+    Run the fault-free DUT once per worker, recording every node's
+    per-cycle value on a {e baseline tape}; then simulate each fault
+    only inside the static fanout cone of its faulted nodes, reading
+    non-cone inputs from the tape, skipping cone nodes whose inputs did
+    not change (event-driven), and abandoning the fault at the first
+    cycle boundary where it provably converged back to the baseline. *)
+
+type tape
+(** Per-cycle values of every node of one simulator, 2-bit packed. *)
+
+val tape_create : nnodes:int -> cycles:int -> tape
+(** All values start as [Zero] (code 0); record or set before reading. *)
+
+val tape_nnodes : tape -> int
+val tape_cycles : tape -> int
+val tape_set : tape -> cycle:int -> node:int -> Tmr_logic.Logic.t -> unit
+val tape_get : tape -> cycle:int -> node:int -> Tmr_logic.Logic.t
+
+val tape_record : tape -> t -> cycle:int -> unit
+(** Pack the simulator's current post-{!eval} values as [cycle]. *)
+
+type dscratch
+(** Caller-owned buffers for {!diff_run} (cone closure, successor CSR,
+    dirty stamps, replay overlays): one per worker. *)
+
+val make_dscratch : unit -> dscratch
+
+type dseeds =
+  | Seed_node of int  (** a [Path_patch] fault: {!patch_node} *)
+  | Seed_derived
+      (** a {!reroute}d simulator: seeds are every node whose cell
+          content or pin wiring differs from the base, plus every
+          appended node *)
+
+val diff_run :
+  scratch:dscratch ->
+  tape:tape ->
+  base:t ->
+  sim:t ->
+  seeds:dseeds ->
+  watch:int array ->
+  base_watch:int array ->
+  expected:Tmr_logic.Logic.t array array ->
+  int * int
+(** [diff_run ~scratch ~tape ~base ~sim ~seeds ~watch ~base_watch
+    ~expected] simulates the fault differentially against the baseline
+    [tape] (recorded from [base], which must already match the golden
+    [expected] watch matrix — [expected.(cycle).(i)] for watch node
+    [watch.(i)], with [base_watch] the base simulator's resolution of
+    the same wires).  [sim] is [base] itself under {!with_patch} or a
+    {!reroute}d derivation.  Returns [(first_error_cycle, converge_cycle)],
+    each [-1] when absent; the result is bit-identical to a full DUT
+    replay of [sim].  Scribbles over [sim]'s value/state arrays. *)
+
+val diff_cone : dscratch -> int array
+(** The cone (faulted nodes' fanout closure) computed by the last
+    {!diff_run} with this scratch, in evaluation order (test hook). *)
+
+val diff_cone_is_closed : dscratch -> t -> bool
+(** Whether no node outside the last computed cone reads a cone node —
+    the closure property the engine's soundness rests on (test hook). *)

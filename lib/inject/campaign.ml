@@ -27,6 +27,8 @@ type engine_stats = {
   patched : int;
   rerouted : int;
   rebuilt : int;
+  diffed : int;
+  converged : int;
 }
 
 type t = {
@@ -40,7 +42,15 @@ type t = {
   busy_ns : int array;
 }
 
-let no_stats = { skipped = 0; patched = 0; rerouted = 0; rebuilt = 0 }
+let no_stats =
+  {
+    skipped = 0;
+    patched = 0;
+    rerouted = 0;
+    rebuilt = 0;
+    diffed = 0;
+    converged = 0;
+  }
 
 let utilization t =
   if t.wall_ns <= 0 || t.workers <= 0 then 0.0
@@ -55,6 +65,12 @@ let m_fault_silent = Tmr_obs.Metrics.histogram "campaign.fault_ns.silent"
 let m_fault_patch = Tmr_obs.Metrics.histogram "campaign.fault_ns.patch"
 let m_fault_reroute = Tmr_obs.Metrics.histogram "campaign.fault_ns.reroute"
 let m_fault_rebuild = Tmr_obs.Metrics.histogram "campaign.fault_ns.rebuild"
+let m_fault_diff = Tmr_obs.Metrics.histogram "campaign.fault_ns.diff"
+
+(* Cycle at which a differentially-simulated fault provably converged
+   back to the baseline; the distribution shows how much of the stimulus
+   the early exit saves. *)
+let m_converge = Tmr_obs.Metrics.histogram "campaign.diff_converge_cycle"
 let m_busy = Tmr_obs.Metrics.counter "campaign.worker_busy_ns"
 let m_wall = Tmr_obs.Metrics.gauge "campaign.wall_ns"
 let m_util = Tmr_obs.Metrics.gauge "campaign.worker_utilization"
@@ -64,6 +80,7 @@ let fault_hist = function
   | Fsim.Path_patch -> m_fault_patch
   | Fsim.Path_reroute -> m_fault_reroute
   | Fsim.Path_rebuild -> m_fault_rebuild
+  | Fsim.Path_diff -> m_fault_diff
 
 let add_stats a b =
   {
@@ -71,6 +88,8 @@ let add_stats a b =
     patched = a.patched + b.patched;
     rerouted = a.rerouted + b.rerouted;
     rebuilt = a.rebuilt + b.rebuilt;
+    diffed = a.diffed + b.diffed;
+    converged = a.converged + b.converged;
   }
 
 let default_workers () = max 1 (Domain.recommended_domain_count () - 1)
@@ -130,8 +149,17 @@ let dut_output_wires impl port =
   let bits = Netlist.find_output_port impl.Impl.mapped port in
   Array.init (Array.length bits) (Impl.output_pad_wire impl port)
 
-let run ?progress ?workers ?(cone_skip = true) ~name ~impl ~golden ~stimulus
-    ~faults () =
+(* Resolved physical IO of one simulator: pad-node sets per input port,
+   (watch nodes, golden matrix) per output port.  Resolving once per
+   simulator — instead of once per fault, as [run_dut] used to — keeps
+   hash lookups out of the steady-state fault loop entirely. *)
+type io = {
+  io_ins : (int array list * int array) list;
+  io_outs : (int array * Logic.t array array) list;
+}
+
+let run ?progress ?workers ?(cone_skip = true) ?(diff = true) ~name ~impl
+    ~golden ~stimulus ~faults () =
   let workers =
     match workers with Some w -> max 1 w | None -> default_workers ()
   in
@@ -161,38 +189,41 @@ let run ?progress ?workers ?(cone_skip = true) ~name ~impl ~golden ~stimulus
         Extract.create dev db (Bitstream.copy golden_bits))
   in
   let new_extract () = Extract.copy golden_ex in
+  let resolve_io sim =
+    {
+      io_ins =
+        List.map
+          (fun (wire_sets, samples) ->
+            (List.map (Fsim.pad_nodes sim) wire_sets, samples))
+          input_map;
+      io_outs =
+        List.map
+          (fun (_, wires, matrix) -> (Fsim.watch_nodes sim wires, matrix))
+          output_map;
+    }
+  in
+  let drive sim io c =
+    List.iter
+      (fun (node_sets, samples) ->
+        let v = samples.(c) in
+        List.iter
+          (fun nodes ->
+            Array.iteri
+              (fun i n ->
+                Fsim.set_node sim n (Logic.of_bool ((v asr i) land 1 = 1)))
+              nodes)
+          node_sets)
+      io.io_ins
+  in
   (* Run the DUT through the stimulus; return the first cycle where any
-     output bit disagrees with the golden reference, or -1.  Wire->node
-     resolution happens once per simulator so the cycle loop itself does
-     no hashing and no allocation. *)
-  let run_dut sim =
+     output bit disagrees with the golden reference, or -1. *)
+  let run_dut sim io =
     Fsim.reset sim;
-    let in_nodes =
-      List.map
-        (fun (wire_sets, samples) ->
-          (List.map (Fsim.pad_nodes sim) wire_sets, samples))
-        input_map
-    in
-    let out_nodes =
-      List.map
-        (fun (_, wires, matrix) -> (Fsim.watch_nodes sim wires, matrix))
-        output_map
-    in
     let error_cycle = ref (-1) in
     let cycle = ref 0 in
     while !error_cycle < 0 && !cycle < stimulus.cycles do
       let c = !cycle in
-      List.iter
-        (fun (node_sets, samples) ->
-          let v = samples.(c) in
-          List.iter
-            (fun nodes ->
-              Array.iteri
-                (fun i n ->
-                  Fsim.set_node sim n (Logic.of_bool ((v asr i) land 1 = 1)))
-                nodes)
-            node_sets)
-        in_nodes;
+      drive sim io c;
       Fsim.eval sim;
       let ok =
         List.for_all
@@ -205,7 +236,7 @@ let run ?progress ?workers ?(cone_skip = true) ~name ~impl ~golden ~stimulus
                   && check (i + 1))
             in
             check 0)
-          out_nodes
+          io.io_outs
       in
       if not ok then error_cycle := c
       else begin
@@ -215,9 +246,31 @@ let run ?progress ?workers ?(cone_skip = true) ~name ~impl ~golden ~stimulus
     done;
     !error_cycle
   in
+  (* The fault-free per-cycle value of every node, for the differential
+     engine: recorded once per worker, amortised over all its faults. *)
+  let record_tape sim io =
+    let tape =
+      Fsim.tape_create ~nnodes:(Fsim.num_nodes sim) ~cycles:stimulus.cycles
+    in
+    Fsim.reset sim;
+    for c = 0 to stimulus.cycles - 1 do
+      drive sim io c;
+      Fsim.eval sim;
+      Fsim.tape_record tape sim ~cycle:c;
+      Fsim.clock sim
+    done;
+    tape
+  in
+  (* Golden output matrix flattened per cycle, in [watch_outputs] order:
+     the differential engine's cone-aware output check indexes it by
+     flat watch position. *)
+  let expected_flat =
+    Array.init stimulus.cycles (fun c ->
+        Array.concat (List.map (fun (_, _, m) -> m.(c)) output_map))
+  in
   (* baseline: the un-faulted DUT must match the golden device *)
-  let check_baseline sim =
-    match run_dut sim with
+  let check_baseline sim io =
+    match run_dut sim io with
     | -1 -> ()
     | c ->
         (* pinpoint the first disagreeing output bit for the message *)
@@ -266,8 +319,28 @@ let run ?progress ?workers ?(cone_skip = true) ~name ~impl ~golden ~stimulus
     let scratch = Fsim.make_scratch () in
     let base = Fsim.build ~ws ex ~watch_outputs in
     let cone = Fsim.snapshot_cone ws in
-    if wid = 0 then check_baseline base;
+    let base_io = resolve_io base in
+    if wid = 0 then check_baseline base base_io;
+    (* a derived simulator that kept the base IO tables resolves to the
+       same node arrays — reuse them without re-hashing *)
+    let io_for sim =
+      if sim == base || Fsim.same_io base sim then base_io
+      else resolve_io sim
+    in
+    let tape = if diff then Some (record_tape base base_io) else None in
+    (* separate diff scratches per plan path: patch faults run on [base]
+       whose successor CSR is then cached across the whole campaign,
+       instead of being evicted by every interleaved reroute *)
+    let dsc_patch = Fsim.make_dscratch () in
+    let dsc_reroute = Fsim.make_dscratch () in
+    let base_watch = Array.concat (List.map fst base_io.io_outs) in
     let bump f = stats_per_worker.(wid) <- f stats_per_worker.(wid) in
+    let note_converge cv =
+      if cv >= 0 then begin
+        bump (fun s -> { s with converged = s.converged + 1 });
+        Tmr_obs.Metrics.observe m_converge cv
+      end
+    in
     let finish bit error_cycle =
       {
         bit;
@@ -286,14 +359,30 @@ let run ?progress ?workers ?(cone_skip = true) ~name ~impl ~golden ~stimulus
       | Fsim.Path_silent ->
           bump (fun s -> { s with skipped = s.skipped + 1 });
           (finish bit (-1), Fsim.Path_silent)
+      | Fsim.Path_diff -> assert false (* never planned *)
       | Fsim.Path_patch ->
           bump (fun s -> { s with patched = s.patched + 1 });
           Extract.apply_bit_flip ex bit;
           Fun.protect
             ~finally:(fun () -> Extract.apply_bit_flip ex bit)
             (fun () ->
-              ( finish bit (Fsim.with_patch cone base ex bit run_dut),
-                Fsim.Path_patch ))
+              match tape with
+              | Some tape ->
+                  bump (fun s -> { s with diffed = s.diffed + 1 });
+                  let seed = Fsim.patch_node cone ex bit in
+                  let err, cv =
+                    Fsim.with_patch cone base ex bit (fun sim ->
+                        Fsim.diff_run ~scratch:dsc_patch ~tape ~base ~sim
+                          ~seeds:(Fsim.Seed_node seed) ~watch:base_watch
+                          ~base_watch ~expected:expected_flat)
+                  in
+                  note_converge cv;
+                  (finish bit err, Fsim.Path_diff)
+              | None ->
+                  ( finish bit
+                      (Fsim.with_patch cone base ex bit (fun sim ->
+                           run_dut sim base_io)),
+                    Fsim.Path_patch ))
       | Fsim.Path_reroute | Fsim.Path_rebuild ->
           Extract.apply_bit_flip ex bit;
           Fun.protect
@@ -304,16 +393,29 @@ let run ?progress ?workers ?(cone_skip = true) ~name ~impl ~golden ~stimulus
                 | Fsim.Path_reroute -> Fsim.reroute ~scratch cone base ex bit
                 | _ -> None
               in
-              let sim, path =
-                match sim with
-                | Some sim ->
-                    bump (fun s -> { s with rerouted = s.rerouted + 1 });
-                    (sim, Fsim.Path_reroute)
-                | None ->
-                    bump (fun s -> { s with rebuilt = s.rebuilt + 1 });
-                    (Fsim.build ~ws ex ~watch_outputs, Fsim.Path_rebuild)
-              in
-              (finish bit (run_dut sim), path))
+              match sim with
+              | Some sim -> (
+                  bump (fun s -> { s with rerouted = s.rerouted + 1 });
+                  match tape with
+                  | Some tape ->
+                      bump (fun s -> { s with diffed = s.diffed + 1 });
+                      let watch =
+                        if Fsim.same_io base sim then base_watch
+                        else Fsim.watch_nodes sim watch_outputs
+                      in
+                      let err, cv =
+                        Fsim.diff_run ~scratch:dsc_reroute ~tape ~base ~sim
+                          ~seeds:Fsim.Seed_derived ~watch ~base_watch
+                          ~expected:expected_flat
+                      in
+                      note_converge cv;
+                      (finish bit err, Fsim.Path_diff)
+                  | None ->
+                      (finish bit (run_dut sim (io_for sim)), Fsim.Path_reroute))
+              | None ->
+                  bump (fun s -> { s with rebuilt = s.rebuilt + 1 });
+                  let sim = Fsim.build ~ws ex ~watch_outputs in
+                  (finish bit (run_dut sim (resolve_io sim)), Fsim.Path_rebuild))
     in
     fun i ->
       let bit = faults.(i) in

@@ -15,7 +15,16 @@
     each worker, cone-aware fast paths ({!Tmr_fabric.Fsim.plan_fault})
     skip, patch or locally reroute faults instead of rebuilding the
     simulator per fault; the fast paths are exact, so they change only the
-    throughput, never the results. *)
+    throughput, never the results.
+
+    On top of the fast paths, the differential engine (default) records
+    one fault-free baseline tape per worker and then simulates each patch
+    or reroute fault only inside the fanout cone of its faulted nodes
+    ({!Tmr_fabric.Fsim.diff_run}): non-cone inputs are replayed from the
+    tape, unchanged cone nodes are skipped event-driven, and a fault is
+    abandoned at the first cycle boundary where it provably converged
+    back to the baseline.  Also exact — bit-identical results, only
+    faster. *)
 
 type stimulus = {
   cycles : int;
@@ -40,6 +49,12 @@ type engine_stats = {
   patched : int;  (** simulated by patching the base simulator in place *)
   rerouted : int;  (** simulated on a locally rewired copy of the base *)
   rebuilt : int;  (** full per-fault simulator rebuild *)
+  diffed : int;
+      (** patch/reroute faults executed on the differential engine
+          (subset of [patched + rerouted]) *)
+  converged : int;
+      (** differential faults abandoned early after provably converging
+          back to the baseline (subset of [diffed]) *)
 }
 
 type t = {
@@ -79,6 +94,7 @@ val run :
   ?progress:(int -> int -> unit) ->
   ?workers:int ->
   ?cone_skip:bool ->
+  ?diff:bool ->
   name:string ->
   impl:Tmr_pnr.Impl.t ->
   golden:Tmr_netlist.Netlist.t ->
@@ -89,6 +105,9 @@ val run :
 (** [workers] defaults to {!default_workers}; [cone_skip] (default [true])
     enables the cone-aware fast paths — disabling it forces a full rebuild
     per fault (the legacy engine, useful as a differential oracle).
+    [diff] (default [true]) runs patch/reroute faults on the differential
+    engine (baseline tape + cone-restricted event-driven evaluation +
+    convergence early-exit); disabling it replays the full DUT per fault.
 
     [progress] is called as [f completed total] from worker domains,
     serialized and rate-limited by the pool.

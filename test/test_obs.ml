@@ -336,7 +336,7 @@ let test_trace_jsonl () =
   List.iter
     (fun p ->
       Alcotest.(check bool) "path tag valid" true
-        (List.mem p [ "silent"; "patch"; "reroute"; "rebuild" ]))
+        (List.mem p [ "silent"; "patch"; "reroute"; "rebuild"; "diff" ]))
     fault_paths;
   let s = campaign.Campaign.stats in
   Alcotest.(check int) "rebuild tags match engine stats"
@@ -396,7 +396,7 @@ let test_trace_jsonl () =
         | Some h -> acc + h.Metrics.count
         | None -> acc)
       0
-      [ "silent"; "patch"; "reroute"; "rebuild" ]
+      [ "silent"; "patch"; "reroute"; "rebuild"; "diff" ]
   in
   Alcotest.(check bool) "per-path latency histograms cover every fault" true
     (total_latency >= campaign.Campaign.injected)
