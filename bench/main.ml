@@ -152,12 +152,14 @@ let campaign_bench () =
     time "implement" (fun () ->
         Runs.implement_design ctx Partition.Medium_partition)
   in
-  let measure ~workers ~cone_skip ~diff =
+  let measure ?(forensics = false) ~workers ~cone_skip ~diff () =
     (* level the field between rows: the sequential oracle leaves a major
        heap full of dead simulators that would slow later rows' GC *)
     Gc.compact ();
     let t0 = Unix.gettimeofday () in
-    let r = Runs.campaign_design ~workers ~cone_skip ~diff ctx run in
+    let r =
+      Runs.campaign_design ~workers ~cone_skip ~diff ~forensics ctx run
+    in
     let dt = Unix.gettimeofday () -. t0 in
     let c = Option.get r.Runs.campaign in
     let fps = float_of_int c.Campaign.injected /. dt in
@@ -171,23 +173,32 @@ let campaign_bench () =
     (c, dt, fps)
   in
   let base_c, base_dt, base_fps =
-    measure ~workers:1 ~cone_skip:false ~diff:false
+    measure ~workers:1 ~cone_skip:false ~diff:false ()
   in
   (* isolate each parallel run's telemetry so its snapshot holds only that
      engine's distributions, not the oracle's (or the other engine's) *)
   Tmr_obs.Metrics.reset ();
   let par_c, par_dt, par_fps =
-    measure ~workers:parallel_workers ~cone_skip:true ~diff:false
+    measure ~workers:parallel_workers ~cone_skip:true ~diff:false ()
   in
   let metrics_snap = Tmr_obs.Metrics.snapshot () in
   Tmr_obs.Metrics.reset ();
   let diff_c, diff_dt, diff_fps =
-    measure ~workers:parallel_workers ~cone_skip:true ~diff:true
+    measure ~workers:parallel_workers ~cone_skip:true ~diff:true ()
   in
   let diff_snap = Tmr_obs.Metrics.snapshot () in
+  Tmr_obs.Metrics.reset ();
+  let for_c, for_dt, for_fps =
+    measure ~forensics:true ~workers:parallel_workers ~cone_skip:true
+      ~diff:true ()
+  in
+  let strip (r : Campaign.fault_result) =
+    { r with Campaign.forensics = None }
+  in
   let identical =
     base_c.Campaign.results = par_c.Campaign.results
     && base_c.Campaign.results = diff_c.Campaign.results
+    && base_c.Campaign.results = Array.map strip for_c.Campaign.results
   in
   let speedup = par_fps /. base_fps in
   let diff_speedup = diff_fps /. par_fps in
@@ -199,10 +210,17 @@ let campaign_bench () =
     float_of_int diff_c.Campaign.stats.Campaign.converged
     /. float_of_int (max 1 diff_c.Campaign.stats.Campaign.diffed)
   in
+  let forensics_overhead = for_dt /. diff_dt in
+  let fs = Option.get (Campaign.forensic_summary for_c) in
   say
     "  speedup %.2fx, diff speedup %.2fx over cone-aware, skip-rate %.1f%%, \
      converge-rate %.1f%%, identical results: %b"
     speedup diff_speedup (100. *. skip_rate) (100. *. converge_rate) identical;
+  say
+    "  forensics: %.2fx overhead (%.1f faults/s), cross-domain %d, \
+     voter-masked %d of %d silent-diverged"
+    forensics_overhead for_fps fs.Campaign.fs_cross fs.Campaign.fs_voter_masked
+    fs.Campaign.fs_silent_diverged;
   let row name cone_skip diff (c : Campaign.t) dt fps =
     Printf.sprintf
       "    { \"name\": %S, \"workers\": %d, \"cone_skip\": %b, \"diff\": %b, \
@@ -233,6 +251,7 @@ let campaign_bench () =
       \  \"rows\": [\n\
        %s,\n\
        %s,\n\
+       %s,\n\
        %s\n\
       \  ],\n\
       \  \"speedup\": %.3f,\n\
@@ -240,6 +259,10 @@ let campaign_bench () =
       \  \"skip_rate\": %.4f,\n\
       \  \"converge_rate\": %.4f,\n\
       \  \"identical_results\": %b,\n\
+      \  \"forensics\": { \"overhead\": %.3f, \"faults\": %d, \
+       \"cross_domain\": %d, \"cross_domain_wrong\": %d, \
+       \"multi_partition\": %d, \"voter_touch\": %d, \"diverged\": %d, \
+       \"silent_diverged\": %d, \"voter_masked\": %d },\n\
       \  \"metrics\": %s,\n\
       \  \"metrics_diff\": %s\n\
        }\n"
@@ -248,7 +271,12 @@ let campaign_bench () =
       (row "sequential-rebuild" false false base_c base_dt base_fps)
       (row "parallel-cone-aware" true false par_c par_dt par_fps)
       (row "parallel-diff" true true diff_c diff_dt diff_fps)
+      (row "parallel-diff-forensics" true true for_c for_dt for_fps)
       speedup diff_speedup skip_rate converge_rate identical
+      forensics_overhead fs.Campaign.fs_faults fs.Campaign.fs_cross
+      fs.Campaign.fs_cross_wrong fs.Campaign.fs_multi_part
+      fs.Campaign.fs_voter_touch fs.Campaign.fs_diverged
+      fs.Campaign.fs_silent_diverged fs.Campaign.fs_voter_masked
       (indent_json metrics_snap) (indent_json diff_snap)
   in
   let oc = open_out "BENCH_campaign.json" in

@@ -4,7 +4,8 @@
      report     device / configuration-memory composition
      implement  run one filter version through the CAD flow
      inject     fault-injection campaign on one design
-     tables     regenerate the paper's Tables 2/3/4 *)
+     explain    forensic deep-dive of one fault bit
+     tables     regenerate the paper's Tables 2/3/4 (+ forensics) *)
 
 open Cmdliner
 
@@ -15,9 +16,18 @@ module Reports = Tmr_experiments.Reports
 module Partition = Tmr_core.Partition
 module Impl = Tmr_pnr.Impl
 module Campaign = Tmr_inject.Campaign
+module Classify = Tmr_inject.Classify
+module Forensics = Tmr_inject.Forensics
 module Metrics = Tmr_obs.Metrics
 module Trace = Tmr_obs.Trace
 module Progress = Tmr_obs.Progress
+module Fsim = Tmr_fabric.Fsim
+module Extract = Tmr_fabric.Extract
+module Footprint = Tmr_fabric.Footprint
+module Bitdb = Tmr_arch.Bitdb
+module Bitstream = Tmr_arch.Bitstream
+module Logic = Tmr_logic.Logic
+module Vcd = Tmr_netlist.Vcd
 
 let scale_conv =
   let parse = function
@@ -74,6 +84,24 @@ let no_diff_t =
 
 let mk_ctx scale seed faults =
   Context.create ~scale ~seed ~faults_per_design:faults ()
+
+let forensics_file_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "forensics" ] ~docv:"FILE"
+        ~doc:
+          "Stream one JSON object per injected fault to $(docv): domain \
+           attribution (which redundancy domains and voter partitions the \
+           fault touches, cross-domain flag), divergence trace \
+           (first-divergence node/cycle, propagation depth) and the \
+           masked-at-voter verdict.  Enables forensic collection; campaign \
+           results are bit-identical either way.")
+
+(* Install the forensic sink around the work, flushing also on crash. *)
+let with_forensics file f =
+  Option.iter Forensics.to_file file;
+  Fun.protect ~finally:Forensics.close f
 
 (* --- telemetry (global options, every subcommand) --- *)
 
@@ -227,9 +255,18 @@ let implement_cmd =
 
 (* --- inject --- *)
 
+let json_t =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Print the campaign summary as one JSON object on stdout instead \
+           of the human-readable text (progress still goes to stderr).")
+
 let inject_cmd =
-  let run telem scale seed faults design no_diff =
+  let run telem forensics scale seed faults design no_diff json =
     with_telemetry telem @@ fun () ->
+    with_forensics forensics @@ fun () ->
     let ctx = mk_ctx scale seed faults in
     let r = Runs.implement_design ctx design in
     let progress = Progress.callback () in
@@ -240,31 +277,333 @@ let inject_cmd =
     match r.Runs.campaign with
     | None -> assert false
     | Some c ->
-        Printf.printf "%s: injected %d, wrong answers %d (%.2f%%)\n"
-          (Partition.paper_name design) c.Campaign.injected c.Campaign.wrong
-          (Campaign.wrong_percent c);
-        List.iter
-          (fun eff ->
-            let n =
-              Array.fold_left
-                (fun acc fr ->
-                  if
-                    fr.Campaign.outcome = Campaign.Wrong_answer
-                    && fr.Campaign.effect = eff
-                  then acc + 1
-                  else acc)
-                0 c.Campaign.results
-            in
-            if n > 0 then
-              Printf.printf "  %-14s %d\n" (Tmr_inject.Classify.name eff) n)
-          Tmr_inject.Classify.all;
-        engine_summary c
+        if json then print_endline (Campaign.summary_json c)
+        else begin
+          Printf.printf "%s: injected %d, wrong answers %d (%.2f%%)\n"
+            (Partition.paper_name design) c.Campaign.injected c.Campaign.wrong
+            (Campaign.wrong_percent c);
+          List.iter
+            (fun eff ->
+              let n =
+                Array.fold_left
+                  (fun acc fr ->
+                    if
+                      fr.Campaign.outcome = Campaign.Wrong_answer
+                      && fr.Campaign.effect = eff
+                    then acc + 1
+                    else acc)
+                  0 c.Campaign.results
+              in
+              if n > 0 then
+                Printf.printf "  %-14s %d\n" (Classify.name eff) n)
+            Classify.all;
+          engine_summary c
+        end
   in
   Cmd.v
     (Cmd.info "inject" ~doc:"fault-injection campaign on one design")
     Term.(
-      const run $ telemetry_t $ scale_t $ seed_t $ faults_t $ design_t
-      $ no_diff_t)
+      const run $ telemetry_t $ forensics_file_t $ scale_t $ seed_t $ faults_t
+      $ design_t $ no_diff_t $ json_t)
+
+(* --- explain --- *)
+
+let explain_cmd =
+  let bit_t =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "bit" ] ~docv:"N" ~doc:"configuration bit address to explain")
+  in
+  let vcd_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "vcd" ] ~docv:"FILE"
+          ~doc:
+            "Write the faulty run's output waveforms to $(docv) in VCD \
+             format, one signal per output port plus its golden reference.")
+  in
+  let run telem scale seed design bit vcd_out =
+    with_telemetry telem @@ fun () ->
+    let ctx = mk_ctx scale seed 0 in
+    let r = Runs.implement_design ctx design in
+    let impl = r.Runs.impl in
+    let dev = impl.Impl.dev and db = impl.Impl.db in
+    if bit < 0 || bit >= Bitdb.num_bits db then begin
+      Printf.eprintf "tmrtool: bit %d out of range (device has %d bits)\n" bit
+        (Bitdb.num_bits db);
+      exit 2
+    end;
+    Printf.printf "bit %d on %s (seed %d)\n" bit
+      (Partition.paper_name design) seed;
+    Printf.printf "  class        %s\n"
+      (Bitdb.class_name (Bitdb.class_of_bit db bit));
+    let fp = Footprint.of_bit dev db bit in
+    Printf.printf "  footprint    %s\n" (Footprint.describe dev fp);
+    if
+      not
+        (Array.exists
+           (Int.equal bit)
+           r.Runs.faultlist.Tmr_inject.Faultlist.bits)
+    then
+      print_endline
+        "  note         bit is outside the DUT fault list (unused resource)";
+    Printf.printf "  effect       %s\n" (Classify.name (Classify.classify impl bit));
+    (* structural attribution: domains / partitions the footprint touches *)
+    let a = Forensics.attrib_of_impl impl in
+    let st = Forensics.structural a bit in
+    let domains =
+      List.filter
+        (fun d -> st.Forensics.domain_mask land (1 lsl d) <> 0)
+        [ 0; 1; 2 ]
+    in
+    Printf.printf "  domains      %s%s\n"
+      (if domains = [] then "none (unused or domain-neutral resources)"
+       else String.concat "," (List.map string_of_int domains))
+      (if st.Forensics.cross_domain then
+         "   <- cross-domain: bridges redundancy domains, the vote cannot fix it"
+       else "");
+    Printf.printf "  partitions   %s\n"
+      (if Array.length st.Forensics.partitions = 0 then "-"
+       else
+         String.concat ", "
+           (Array.to_list
+              (Array.map (Forensics.part_name a) st.Forensics.partitions)));
+    if st.Forensics.voter_touch then
+      print_endline "  voter        footprint touches voter logic or a voter net";
+    (* build the fabric simulators and plan the fault *)
+    let stim = ctx.Context.stimulus in
+    let cycles = stim.Campaign.cycles in
+    let golden =
+      Campaign.golden_outputs ctx.Context.golden_nl stim
+    in
+    let ex =
+      Extract.create dev db
+        (Bitstream.copy impl.Impl.bitgen.Tmr_pnr.Bitgen.bitstream)
+    in
+    let ws = Fsim.make_workspace dev in
+    let watch_outputs =
+      Array.concat
+        (List.map (fun (port, _) -> Campaign.dut_output_wires impl port) golden)
+    in
+    let base = Fsim.build ~ws ex ~watch_outputs in
+    let cone = Fsim.snapshot_cone ws in
+    let plan = Fsim.plan_fault cone ex bit in
+    Printf.printf "  plan path    %s\n" (Fsim.path_name plan);
+    let io_ins sim =
+      List.map
+        (fun (port, samples) ->
+          ( List.map (Fsim.pad_nodes sim) (Campaign.dut_input_wires impl port),
+            samples ))
+        stim.Campaign.inputs
+    in
+    let drive sim ins c =
+      List.iter
+        (fun (node_sets, samples) ->
+          let v = samples.(c) in
+          List.iter
+            (fun nodes ->
+              Array.iteri
+                (fun i n ->
+                  Fsim.set_node sim n (Logic.of_bool ((v asr i) land 1 = 1)))
+                nodes)
+            node_sets)
+        ins
+    in
+    Extract.apply_bit_flip ex bit;
+    (* differential divergence trace (patch / reroute faults only) *)
+    let diffinfo =
+      match plan with
+      | Fsim.Path_patch | Fsim.Path_reroute -> (
+          let ins = io_ins base in
+          let tape =
+            Fsim.tape_create ~nnodes:(Fsim.num_nodes base) ~cycles
+          in
+          Fsim.reset base;
+          for c = 0 to cycles - 1 do
+            drive base ins c;
+            Fsim.eval base;
+            Fsim.tape_record tape base ~cycle:c;
+            Fsim.clock base
+          done;
+          let base_watch = Fsim.watch_nodes base watch_outputs in
+          let expected =
+            Array.init cycles (fun c ->
+                Array.concat (List.map (fun (_, m) -> m.(c)) golden))
+          in
+          let dsc = Fsim.make_dscratch () in
+          let run_diff sim seeds =
+            let watch =
+              if sim == base then base_watch
+              else Fsim.watch_nodes sim watch_outputs
+            in
+            Fsim.diff_run ~forensics:true ~scratch:dsc ~tape ~base ~sim ~seeds
+              ~watch ~base_watch ~expected
+          in
+          match plan with
+          | Fsim.Path_patch ->
+              let seed = Fsim.patch_node cone ex bit in
+              let res =
+                Fsim.with_patch cone base ex bit (fun sim ->
+                    run_diff sim (Fsim.Seed_node seed))
+              in
+              Some (dsc, res)
+          | Fsim.Path_reroute -> (
+              let scratch = Fsim.make_scratch () in
+              match Fsim.reroute ~scratch cone base ex bit with
+              | Some sim -> Some (dsc, run_diff sim Fsim.Seed_derived)
+              | None -> None)
+          | _ -> None)
+      | _ -> None
+    in
+    (* ground truth: full rebuild of the faulted fabric, replayed end to
+       end (also feeds the waveform) *)
+    let fsim = Fsim.build ex ~watch_outputs in
+    let ins = io_ins fsim in
+    let outs =
+      List.map
+        (fun (port, matrix) ->
+          (port, Fsim.watch_nodes fsim (Campaign.dut_output_wires impl port),
+           matrix))
+        golden
+    in
+    let vcd = Option.map (fun _ -> Vcd.writer ()) vcd_out in
+    let vcd_sigs =
+      match vcd with
+      | None -> []
+      | Some w ->
+          List.map
+            (fun (port, _, matrix) ->
+              let width = Array.length matrix.(0) in
+              ( Vcd.add_signal w ~label:port ~width,
+                Vcd.add_signal w ~label:(port ^ ".golden") ~width ))
+            outs
+    in
+    Fsim.reset fsim;
+    let first_err = ref (-1) in
+    let err_detail = ref None in
+    for c = 0 to cycles - 1 do
+      drive fsim ins c;
+      Fsim.eval fsim;
+      List.iter
+        (fun (port, nodes, matrix) ->
+          Array.iteri
+            (fun i n ->
+              if not (Logic.equal (Fsim.node_value fsim n) matrix.(c).(i))
+              then begin
+                if !first_err < 0 then begin
+                  first_err := c;
+                  err_detail := Some (port, i)
+                end
+              end)
+            nodes)
+        outs;
+      (match vcd with
+      | Some w ->
+          List.iter2
+            (fun (fs, gs) (_, nodes, matrix) ->
+              Vcd.set w fs (Array.map (Fsim.node_value fsim) nodes);
+              Vcd.set w gs matrix.(c))
+            vcd_sigs outs;
+          Vcd.tick w
+      | None -> ());
+      Fsim.clock fsim
+    done;
+    (match !first_err with
+    | -1 -> print_endline "  outcome      silent (all outputs match golden)"
+    | c ->
+        let port, i = Option.get !err_detail in
+        Printf.printf
+          "  outcome      WRONG ANSWER, first at cycle %d (port %S bit %d)\n"
+          c port i);
+    (match diffinfo with
+    | None -> (
+        match plan with
+        | Fsim.Path_silent ->
+            print_endline
+              "  divergence   none: the bit is outside the DUT's active \
+               fabric (cone-silent)"
+        | _ ->
+            print_endline
+              "  divergence   n/a: the fault restructures the netlist \
+               (rebuild path), no differential trace")
+    | Some (dsc, (derr, conv)) ->
+        let d = Fsim.diff_forensics dsc in
+        Printf.printf "  cone         %d nodes, %d seeds, frontier %d\n"
+          d.Fsim.df_cone d.Fsim.df_seeds d.Fsim.df_frontier;
+        if d.Fsim.df_diverged = 0 then
+          print_endline
+            (if !first_err >= 0 then
+               "  divergence   confined to rewired/appended nodes (no \
+                baseline-comparable node diverged)"
+             else
+               "  divergence   cone never left the baseline (masked at the \
+                fault site)")
+        else begin
+          Printf.printf
+            "  divergence   %d cone nodes diverged; first at cycle %d, \
+             propagation depth %d\n"
+            d.Fsim.df_diverged d.Fsim.df_first_cycle d.Fsim.df_depth;
+          (* describe the first diverging node via its bel, if it has one *)
+          let node = d.Fsim.df_first_node in
+          let bel = ref (-1) in
+          for b = 0 to dev.Tmr_arch.Device.nbels - 1 do
+            if !bel < 0 && Fsim.cone_node_of_bel cone b = node then bel := b
+          done;
+          if !bel >= 0 then
+            Printf.printf
+              "  first node   %d = bel %d (domain %d, partition %s%s)\n" node
+              !bel
+              a.Forensics.bel_domain.(!bel)
+              (Forensics.part_name a a.Forensics.bel_part.(!bel))
+              (if a.Forensics.bel_voter.(!bel) then ", voter" else "")
+          else Printf.printf "  first node   %d (routing/pad node)\n" node;
+          (* voter masking: silent overall, yet some voter in the cone
+             held its baseline value every cycle *)
+          if derr < 0 then begin
+            let nn = Fsim.num_nodes base in
+            let voter_nodes = Bytes.make nn '\000' in
+            Array.iteri
+              (fun b isv ->
+                if isv then begin
+                  let n = Fsim.cone_node_of_bel cone b in
+                  if n >= 0 && n < nn then Bytes.set voter_nodes n '\001'
+                end)
+              a.Forensics.bel_voter;
+            let masked =
+              Array.exists
+                (fun n ->
+                  n < nn
+                  && Bytes.get voter_nodes n <> '\000'
+                  && not (Fsim.diff_node_diverged dsc n))
+                (Fsim.diff_cone dsc)
+            in
+            if masked then
+              print_endline
+                "  verdict      masked at a voter: internal corruption \
+                 stopped at (or before) a majority vote"
+            else
+              print_endline
+                "  verdict      silent but diverged; no voter in the cone \
+                 held its baseline (logic masking)"
+          end
+        end;
+        if conv >= 0 then
+          Printf.printf
+            "  convergence  faulty state rejoined the baseline at cycle %d\n"
+            conv);
+    match (vcd, vcd_out) with
+    | Some w, Some path ->
+        Vcd.writer_save w path;
+        Printf.printf "  waveform     wrote %s (%d cycles)\n" path cycles
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"forensic deep-dive of one configuration bit on one design")
+    Term.(
+      const run $ telemetry_t $ scale_t $ seed_t $ design_t $ bit_t $ vcd_t)
 
 (* --- congestion --- *)
 
@@ -322,8 +661,9 @@ let export_cmd =
 (* --- tables --- *)
 
 let tables_cmd =
-  let run telem scale seed faults no_diff =
+  let run telem forensics scale seed faults no_diff =
     with_telemetry telem @@ fun () ->
+    with_forensics forensics @@ fun () ->
     let ctx = mk_ctx scale seed faults in
     let impls =
       List.map (Runs.implement_design ctx) Partition.all_paper_designs
@@ -334,20 +674,25 @@ let tables_cmd =
     let runs =
       List.map
         (Runs.campaign_design ~progress ?workers:(jobs ())
-           ~diff:(not no_diff) ctx)
+           ~diff:(not no_diff) ~forensics:true ctx)
         impls
     in
     print_string (Tables.table3 runs);
     print_newline ();
-    print_string (Tables.table4 runs)
+    print_string (Tables.table4 runs);
+    print_newline ();
+    print_string (Tables.table_forensics runs)
   in
   Cmd.v
-    (Cmd.info "tables" ~doc:"regenerate the paper's Tables 2, 3 and 4")
-    Term.(const run $ telemetry_t $ scale_t $ seed_t $ faults_t $ no_diff_t)
+    (Cmd.info "tables"
+       ~doc:"regenerate the paper's Tables 2, 3 and 4 plus fault forensics")
+    Term.(
+      const run $ telemetry_t $ forensics_file_t $ scale_t $ seed_t $ faults_t
+      $ no_diff_t)
 
 let () =
   let doc = "optimal TMR voter partitioning on an SRAM FPGA (DATE'05 reproduction)" in
   let info = Cmd.info "tmrtool" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ report_cmd; implement_cmd; inject_cmd; congestion_cmd; export_cmd;
-         tables_cmd ]))
+       [ report_cmd; implement_cmd; inject_cmd; explain_cmd; congestion_cmd;
+         export_cmd; tables_cmd ]))

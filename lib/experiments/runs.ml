@@ -19,8 +19,8 @@ let implement_design (ctx : Context.t) strategy =
   in
   { strategy; nl; impl; faultlist = Faultlist.of_impl impl; campaign = None }
 
-let campaign_design ?progress ?workers ?cone_skip ?diff (ctx : Context.t) run
-    =
+let campaign_design ?progress ?workers ?cone_skip ?diff ?forensics
+    (ctx : Context.t) run =
   let name = Partition.name run.strategy in
   let faults =
     Faultlist.sample run.faultlist ~seed:ctx.Context.seed
@@ -30,14 +30,15 @@ let campaign_design ?progress ?workers ?cone_skip ?diff (ctx : Context.t) run
     Option.map (fun f done_ total -> f name done_ total) progress
   in
   let campaign =
-    Campaign.run ?progress:progress_cb ?workers ?cone_skip ?diff ~name
-      ~impl:run.impl ~golden:ctx.Context.golden_nl
+    Campaign.run ?progress:progress_cb ?workers ?cone_skip ?diff ?forensics
+      ~name ~impl:run.impl ~golden:ctx.Context.golden_nl
       ~stimulus:ctx.Context.stimulus ~faults ()
   in
   { run with campaign = Some campaign }
 
-let run_all ?progress ?workers ctx =
+let run_all ?progress ?workers ?forensics ctx =
   List.map
     (fun strategy ->
-      campaign_design ?progress ?workers ctx (implement_design ctx strategy))
+      campaign_design ?progress ?workers ?forensics ctx
+        (implement_design ctx strategy))
     Partition.all_paper_designs

@@ -18,16 +18,18 @@ val campaign_design :
   ?workers:int ->
   ?cone_skip:bool ->
   ?diff:bool ->
+  ?forensics:bool ->
   Context.t ->
   design_run ->
   design_run
 (** Add the fault-injection campaign ([Context.faults_per_design] random
-    DUT bits).  [workers]/[cone_skip]/[diff] are forwarded to
+    DUT bits).  [workers]/[cone_skip]/[diff]/[forensics] are forwarded to
     {!Tmr_inject.Campaign.run}. *)
 
 val run_all :
   ?progress:(string -> int -> int -> unit) ->
   ?workers:int ->
+  ?forensics:bool ->
   Context.t ->
   design_run list
 (** The five paper designs, implemented and injected. *)

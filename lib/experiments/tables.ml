@@ -269,3 +269,51 @@ let table4 runs =
   in
   Texttab.add_row t totals;
   Texttab.render t
+
+(* ------------------------------------------------------------------ *)
+(* Forensics: why the campaigns rank the way they do.  Cross-domain
+   faults (a footprint bridging two redundancy domains) are the upsets a
+   vote cannot fix, and their share tracks the inter-domain wiring each
+   partitioning adds; the voter-masking rate shows how often the vote —
+   rather than plain logic masking — absorbed a real internal upset. *)
+
+let pct num den =
+  if den <= 0 then "-"
+  else Printf.sprintf "%.2f" (100.0 *. float_of_int num /. float_of_int den)
+
+let table_forensics runs =
+  let t =
+    Texttab.create
+      ~title:
+        "Forensics: cross-domain faults and voter masking (explains Table \
+         3's ordering)"
+      ~header:
+        [ "Design"; "Injected"; "Cross-domain"; "[%]"; "Cross of wrong [%]";
+          "Multi-partition"; "Silent+diverged"; "Voter-masked"; "[%]" ]
+      [ Texttab.Left; Texttab.Right; Texttab.Right; Texttab.Right;
+        Texttab.Right; Texttab.Right; Texttab.Right; Texttab.Right;
+        Texttab.Right ]
+  in
+  List.iter
+    (fun (run : Runs.design_run) ->
+      match run.Runs.campaign with
+      | None -> ()
+      | Some c -> (
+          match Campaign.forensic_summary c with
+          | None -> ()
+          | Some s ->
+              let wrong = c.Campaign.wrong in
+              Texttab.add_row t
+                [
+                  Partition.paper_name run.Runs.strategy;
+                  string_of_int c.Campaign.injected;
+                  string_of_int s.Campaign.fs_cross;
+                  pct s.Campaign.fs_cross s.Campaign.fs_faults;
+                  pct s.Campaign.fs_cross_wrong wrong;
+                  string_of_int s.Campaign.fs_multi_part;
+                  string_of_int s.Campaign.fs_silent_diverged;
+                  string_of_int s.Campaign.fs_voter_masked;
+                  pct s.Campaign.fs_voter_masked s.Campaign.fs_silent_diverged;
+                ]))
+    runs;
+  Texttab.render t

@@ -21,6 +21,13 @@ val table4 : Runs.design_run list -> string
 (** Classification of the effects of the upsets that caused a wrong
     answer. *)
 
+val table_forensics : Runs.design_run list -> string
+(** Aggregate fault forensics per design: cross-domain fault share (the
+    upsets no vote can fix, tracking each partitioning's inter-domain
+    wiring), multi-partition faults, and the voter-masking rate among
+    silent-but-internally-divergent faults.  Designs whose campaigns ran
+    without forensics are omitted. *)
+
 val paper_table2 : (string * (int * int * int * int * int)) list
 (** The paper's Table 2 rows: design -> (slices, routing bits, LUT bits,
     FF bits, MHz). *)

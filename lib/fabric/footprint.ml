@@ -1,0 +1,48 @@
+module Device = Tmr_arch.Device
+module Bitdb = Tmr_arch.Bitdb
+
+type t = { fp_wires : int array; fp_bels : int array; fp_pads : int array }
+
+let of_bit dev db bit =
+  match Bitdb.resource db bit with
+  | Bitdb.Pip p ->
+      {
+        fp_wires = [| dev.Device.pip_src.(p); dev.Device.pip_dst.(p) |];
+        fp_bels = [||];
+        fp_pads = [||];
+      }
+  | Bitdb.Lut_bit (b, _)
+  | Bitdb.Ff_init b
+  | Bitdb.Out_sel b
+  | Bitdb.Ce_inv b
+  | Bitdb.Sr_inv b
+  | Bitdb.In_inv (b, _) ->
+      { fp_wires = [||]; fp_bels = [| b |]; fp_pads = [||] }
+  | Bitdb.Pad_enable pad ->
+      {
+        fp_wires = [| dev.Device.pad_wire.(pad) |];
+        fp_bels = [||];
+        fp_pads = [| pad |];
+      }
+  | Bitdb.Pad_cfg (pad, _) ->
+      { fp_wires = [||]; fp_bels = [||]; fp_pads = [| pad |] }
+
+let describe dev fp =
+  let b = Buffer.create 64 in
+  let sep () = if Buffer.length b > 0 then Buffer.add_string b ", " in
+  Array.iter
+    (fun w ->
+      sep ();
+      Buffer.add_string b (Device.describe_wire dev w))
+    fp.fp_wires;
+  Array.iter
+    (fun bel ->
+      sep ();
+      Buffer.add_string b (Printf.sprintf "bel %d" bel))
+    fp.fp_bels;
+  Array.iter
+    (fun pad ->
+      sep ();
+      Buffer.add_string b (Printf.sprintf "pad %d" pad))
+    fp.fp_pads;
+  if Buffer.length b = 0 then "(no fabric resource)" else Buffer.contents b

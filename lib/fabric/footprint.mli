@@ -1,0 +1,21 @@
+(** Structural footprint of one configuration bit: the device resources
+    (wires, bels, pads) a flip of that bit electrically touches,
+    independent of any netlist knowledge.  The forensics layer maps this
+    footprint onto TMR domains and voter partitions to attribute each
+    fault to the redundancy structure it corrupts. *)
+
+type t = {
+  fp_wires : int array;  (** device wires touched (pip endpoints, pad wires) *)
+  fp_bels : int array;  (** device bels whose cell configuration is edited *)
+  fp_pads : int array;  (** device pads whose IO configuration is edited *)
+}
+
+val of_bit : Tmr_arch.Device.t -> Tmr_arch.Bitdb.t -> int -> t
+(** Decode the bit's resource into its footprint.  A pip bit touches both
+    endpoints (for a buffered pip the destination gains/loses the source
+    as driver; for a pass pip the two wires are shorted/split), a bel
+    cell bit touches exactly its bel, a pad bit touches the pad and its
+    fabric wire. *)
+
+val describe : Tmr_arch.Device.t -> t -> string
+(** Human-readable one-line rendering ([explain] output). *)

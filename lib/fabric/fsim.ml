@@ -653,6 +653,7 @@ let snapshot_cone ws =
   }
 
 let cone_marked c w = Bytes.get c.c_marked w <> '\000'
+let cone_node_of_bel c b = c.c_bel_node.(b)
 
 let cone_wire_count c =
   let n = ref 0 in
@@ -1325,6 +1326,14 @@ type dscratch = {
   mutable dd_rv : Logic.t array;  (* replay overlay: value *)
   mutable dd_rvl : Logic.t array;  (* replay overlay: last *)
   mutable dd_rq : Logic.t array;  (* replay overlay: register state *)
+  mutable dd_depth : int array;  (* per node: BFS depth from the seeds *)
+  mutable dd_divmark : Bytes.t;  (* '\001' = diverged from the tape *)
+  (* forensic summary of the last forensics-enabled [diff_run] *)
+  mutable dd_fcollect : bool;
+  mutable dd_fdiverged : int;
+  mutable dd_ffirst_node : int;
+  mutable dd_ffirst_cycle : int;
+  mutable dd_fdepth : int;
 }
 
 let make_dscratch () =
@@ -1359,6 +1368,13 @@ let make_dscratch () =
     dd_rv = [||];
     dd_rvl = [||];
     dd_rq = [||];
+    dd_depth = [||];
+    dd_divmark = Bytes.empty;
+    dd_fcollect = false;
+    dd_fdiverged = 0;
+    dd_ffirst_node = -1;
+    dd_ffirst_cycle = -1;
+    dd_fdepth = -1;
   }
 
 let dscratch_ensure d n =
@@ -1383,6 +1399,8 @@ let dscratch_ensure d n =
     d.dd_rv <- Array.make cap Logic.X;
     d.dd_rvl <- Array.make cap Logic.X;
     d.dd_rq <- Array.make cap Logic.X;
+    d.dd_depth <- Array.make cap 0;
+    d.dd_divmark <- Bytes.make cap '\000';
     d.dd_csr_for <- None
   end
 
@@ -1451,8 +1469,8 @@ let replay_lut t node rv0 rv1 rv2 rv3 =
 
 type dseeds = Seed_node of int | Seed_derived
 
-let diff_run ~scratch:d ~tape:tp ~base ~sim ~seeds ~watch ~base_watch
-    ~expected =
+let diff_run ~forensics ~scratch:d ~tape:tp ~base ~sim ~seeds ~watch
+    ~base_watch ~expected =
   let n = sim.nnodes in
   let cycles = tp.tp_cycles in
   if tp.tp_nnodes <> base.nnodes then
@@ -1471,12 +1489,23 @@ let diff_run ~scratch:d ~tape:tp ~base ~sim ~seeds ~watch ~base_watch
   Bytes.fill d.dd_mark 0 n '\000';
   Bytes.fill d.dd_fmark 0 n '\000';
   Bytes.fill d.dd_smark 0 n '\000';
-  (* ---- seeds and cone closure (BFS over the CSR) ---- *)
+  d.dd_fcollect <- forensics;
+  if forensics then begin
+    Bytes.fill d.dd_divmark 0 n '\000';
+    d.dd_fdiverged <- 0;
+    d.dd_ffirst_node <- -1;
+    d.dd_ffirst_cycle <- -1;
+    d.dd_fdepth <- -1
+  end;
+  (* ---- seeds and cone closure (BFS over the CSR).  The queue is
+     emptied in FIFO order, so the depth recorded at first visit is the
+     BFS distance from the seed set. ---- *)
   let qtail = ref 0 in
   let queue = d.dd_cone in (* BFS visit list; rebuilt in eval order below *)
-  let push v =
+  let push v dep =
     if Bytes.get d.dd_mark v = '\000' then begin
       Bytes.set d.dd_mark v '\001';
+      d.dd_depth.(v) <- dep;
       queue.(!qtail) <- v;
       incr qtail
     end
@@ -1484,7 +1513,7 @@ let diff_run ~scratch:d ~tape:tp ~base ~sim ~seeds ~watch ~base_watch
   let seed v =
     if Bytes.get d.dd_smark v = '\000' then begin
       Bytes.set d.dd_smark v '\001';
-      push v
+      push v 0
     end
   in
   (match seeds with
@@ -1511,8 +1540,9 @@ let diff_run ~scratch:d ~tape:tp ~base ~sim ~seeds ~watch ~base_watch
   while !qhead < !qtail do
     let v = queue.(!qhead) in
     incr qhead;
+    let dep = d.dd_depth.(v) + 1 in
     for e = d.dd_off.(v) to d.dd_off.(v + 1) - 1 do
-      push d.dd_succ.(e)
+      push d.dd_succ.(e) dep
     done
   done;
   (* ---- cone in evaluation order, grouped by the simulator's SCCs.
@@ -1788,6 +1818,31 @@ let diff_run ~scratch:d ~tape:tp ~base ~sim ~seeds ~watch ~base_watch
         end
       end
     done;
+    (* forensic divergence scan: compare the settled cone against the
+       baseline tape.  Read-only with respect to the simulation state, so
+       results are bit-identical whether or not it runs. *)
+    if forensics then begin
+      let bn = tp.tp_nnodes in
+      for i = 0 to d.dd_ncone - 1 do
+        let node = d.dd_cone.(i) in
+        if
+          node < bn
+          && Bytes.get d.dd_divmark node = '\000'
+          && not (Logic.equal values.(node) (tape_get_u tp c node))
+        then begin
+          Bytes.set d.dd_divmark node '\001';
+          d.dd_fdiverged <- d.dd_fdiverged + 1;
+          if d.dd_ffirst_node < 0 then begin
+            (* dd_cone is in evaluation order: the first hit on the first
+               diverging cycle is the topologically-first divergence *)
+            d.dd_ffirst_node <- node;
+            d.dd_ffirst_cycle <- c
+          end;
+          if d.dd_depth.(node) > d.dd_fdepth then
+            d.dd_fdepth <- d.dd_depth.(node)
+        end
+      done
+    end;
     (* cone-aware output check: only suspects can differ from golden *)
     let exp = expected.(c) in
     let i = ref 0 in
@@ -1855,6 +1910,35 @@ let diff_run ~scratch:d ~tape:tp ~base ~sim ~seeds ~watch ~base_watch
     incr cy
   done;
   (!error_cycle, !converge_cycle)
+
+(* Forensic view of the last [diff_run]. *)
+type diff_forensics = {
+  df_collected : bool;
+  df_cone : int;
+  df_seeds : int;
+  df_frontier : int;
+  df_diverged : int;
+  df_first_node : int;
+  df_first_cycle : int;
+  df_depth : int;
+}
+
+let diff_forensics d =
+  {
+    df_collected = d.dd_fcollect;
+    df_cone = d.dd_ncone;
+    df_seeds = d.dd_nseeds;
+    df_frontier = d.dd_nfrontier;
+    df_diverged = (if d.dd_fcollect then d.dd_fdiverged else -1);
+    df_first_node = (if d.dd_fcollect then d.dd_ffirst_node else -1);
+    df_first_cycle = (if d.dd_fcollect then d.dd_ffirst_cycle else -1);
+    df_depth = (if d.dd_fcollect then d.dd_fdepth else -1);
+  }
+
+let diff_node_diverged d node =
+  d.dd_fcollect
+  && node < Bytes.length d.dd_divmark
+  && Bytes.get d.dd_divmark node <> '\000'
 
 (* Test hooks: the cone computed by the last [diff_run]. *)
 let diff_cone d = Array.sub d.dd_cone 0 d.dd_ncone

@@ -80,6 +80,11 @@ val snapshot_cone : workspace -> cone
 val cone_wire_count : cone -> int
 val cone_bel_count : cone -> int
 
+val cone_node_of_bel : cone -> int -> int
+(** Node id the cone assigned to a device bel, [-1] when the bel is
+    outside the cone.  Lets a campaign map structural attributes (TMR
+    domain, voter-ness) computed per bel onto simulation nodes. *)
+
 val cone_touches_bit : cone -> Extract.t -> int -> bool
 (** Whether a configuration bit controls a resource adjacent to the cone
     (a pip with a cone endpoint, a cone bel's cell, a cone pad). *)
@@ -181,6 +186,7 @@ type dseeds =
           appended node *)
 
 val diff_run :
+  forensics:bool ->
   scratch:dscratch ->
   tape:tape ->
   base:t ->
@@ -198,7 +204,38 @@ val diff_run :
     the same wires).  [sim] is [base] itself under {!with_patch} or a
     {!reroute}d derivation.  Returns [(first_error_cycle, converge_cycle)],
     each [-1] when absent; the result is bit-identical to a full DUT
-    replay of [sim].  Scribbles over [sim]'s value/state arrays. *)
+    replay of [sim].  Scribbles over [sim]'s value/state arrays.
+
+    With [~forensics:true] it additionally compares the settled
+    cone against the tape every cycle, recording which nodes diverged
+    from the baseline ({!diff_forensics}, {!diff_node_diverged}).  The
+    scan is read-only with respect to simulation state: the returned
+    cycles are bit-identical with forensics on or off. *)
+
+(** {2 Divergence forensics} *)
+
+type diff_forensics = {
+  df_collected : bool;  (** last run had [~forensics:true] *)
+  df_cone : int;  (** cone size (valid regardless of [df_collected]) *)
+  df_seeds : int;
+  df_frontier : int;
+  df_diverged : int;  (** distinct cone nodes that left the baseline *)
+  df_first_node : int;
+      (** topologically-first diverging node on the first diverging
+          cycle; [-1] when the fault never visibly diverged *)
+  df_first_cycle : int;
+  df_depth : int;
+      (** max BFS distance (from the seed set) of any diverged node —
+          how deep the corruption propagated structurally *)
+}
+(** Counters are [-1] when the last run did not collect forensics. *)
+
+val diff_forensics : dscratch -> diff_forensics
+(** Forensic summary of the last {!diff_run} with this scratch. *)
+
+val diff_node_diverged : dscratch -> int -> bool
+(** Whether a node diverged from the baseline during the last
+    forensics-enabled {!diff_run} (false when forensics was off). *)
 
 val diff_cone : dscratch -> int array
 (** The cone (faulted nodes' fanout closure) computed by the last

@@ -20,6 +20,7 @@ type fault_result = {
   outcome : outcome;
   effect : Classify.effect;
   first_error_cycle : int;
+  forensics : Forensics.t option;  (** None when collection was off *)
 }
 
 type engine_stats = {
@@ -71,6 +72,10 @@ let m_fault_diff = Tmr_obs.Metrics.histogram "campaign.fault_ns.diff"
    back to the baseline; the distribution shows how much of the stimulus
    the early exit saves. *)
 let m_converge = Tmr_obs.Metrics.histogram "campaign.diff_converge_cycle"
+
+(* Latency-to-error distribution: at which stimulus cycle wrong-answer
+   faults first disagree with the golden reference. *)
+let m_first_error = Tmr_obs.Metrics.histogram "campaign.first_error_cycle"
 let m_busy = Tmr_obs.Metrics.counter "campaign.worker_busy_ns"
 let m_wall = Tmr_obs.Metrics.gauge "campaign.wall_ns"
 let m_util = Tmr_obs.Metrics.gauge "campaign.worker_utilization"
@@ -158,10 +163,19 @@ type io = {
   io_outs : (int array * Logic.t array array) list;
 }
 
-let run ?progress ?workers ?(cone_skip = true) ?(diff = true) ~name ~impl
-    ~golden ~stimulus ~faults () =
+let run ?progress ?workers ?(cone_skip = true) ?(diff = true)
+    ?(forensics = false) ~name ~impl ~golden ~stimulus ~faults () =
   let workers =
     match workers with Some w -> max 1 w | None -> default_workers ()
+  in
+  (* a registered forensics sink implies collection, like tracing *)
+  let forensics = forensics || Forensics.enabled () in
+  let fattr =
+    if forensics then
+      Some
+        (Tmr_obs.Trace.with_span "forensics_attrib" (fun () ->
+             Forensics.attrib_of_impl impl))
+    else None
   in
   let golden_ref =
     Tmr_obs.Trace.with_span "golden" (fun () -> golden_outputs golden stimulus)
@@ -304,7 +318,7 @@ let run ?progress ?workers ?(cone_skip = true) ?(diff = true) ~name ~impl
   let total = Array.length faults in
   let dummy =
     { bit = -1; outcome = Silent; effect = Classify.Other_effect;
-      first_error_cycle = -1 }
+      first_error_cycle = -1; forensics = None }
   in
   let results = Array.make total dummy in
   let stats_per_worker = Array.make workers no_stats in
@@ -334,6 +348,22 @@ let run ?progress ?workers ?(cone_skip = true) ?(diff = true) ~name ~impl
     let dsc_patch = Fsim.make_dscratch () in
     let dsc_reroute = Fsim.make_dscratch () in
     let base_watch = Array.concat (List.map fst base_io.io_outs) in
+    (* voter bels of the golden cone as simulation nodes, for the
+       masked-at-voter verdict *)
+    let voter_nodes =
+      match fattr with
+      | None -> Bytes.empty
+      | Some a ->
+          let nb = Bytes.make (Fsim.num_nodes base) '\000' in
+          Array.iteri
+            (fun bel isv ->
+              if isv then begin
+                let n = Fsim.cone_node_of_bel cone bel in
+                if n >= 0 && n < Bytes.length nb then Bytes.set nb n '\001'
+              end)
+            a.Forensics.bel_voter;
+          nb
+    in
     let bump f = stats_per_worker.(wid) <- f stats_per_worker.(wid) in
     let note_converge cv =
       if cv >= 0 then begin
@@ -341,12 +371,55 @@ let run ?progress ?workers ?(cone_skip = true) ?(diff = true) ~name ~impl
         Tmr_obs.Metrics.observe m_converge cv
       end
     in
-    let finish bit error_cycle =
+    (* The forensic record: structural attribution on every plan path;
+       divergence fields from the diff scratch when the fault ran
+       differentially.  [masked_at_voter]: the fault corrupted cone
+       state yet stayed silent, and some voter in its fanout cone never
+       left the baseline — the corruption was out-voted (as opposed to
+       logically masked before reaching any voter). *)
+    let forensic_of bit error_cycle dsc_opt =
+      match fattr with
+      | None -> None
+      | Some a ->
+          let f = Forensics.structural a bit in
+          let f =
+            match dsc_opt with
+            | None -> f
+            | Some dsc ->
+                let d = Fsim.diff_forensics dsc in
+                if not d.Fsim.df_collected then f
+                else begin
+                  let masked =
+                    error_cycle < 0
+                    && d.Fsim.df_diverged > 0
+                    && Array.exists
+                         (fun n ->
+                           n < Bytes.length voter_nodes
+                           && Bytes.get voter_nodes n <> '\000'
+                           && not (Fsim.diff_node_diverged dsc n))
+                         (Fsim.diff_cone dsc)
+                  in
+                  {
+                    f with
+                    Forensics.masked_at_voter = masked;
+                    diverged = d.Fsim.df_diverged;
+                    first_diverged_node = d.Fsim.df_first_node;
+                    diverge_cycle = d.Fsim.df_first_cycle;
+                    depth = d.Fsim.df_depth;
+                    cone_nodes = d.Fsim.df_cone;
+                  }
+                end
+          in
+          Some f
+    in
+    let finish ?dsc bit error_cycle =
+      if error_cycle >= 0 then Tmr_obs.Metrics.observe m_first_error error_cycle;
       {
         bit;
         outcome = (if error_cycle >= 0 then Wrong_answer else Silent);
         effect = Classify.classify impl bit;
         first_error_cycle = error_cycle;
+        forensics = forensic_of bit error_cycle dsc;
       }
     in
     (* returns the result and the path the engine actually took (a failed
@@ -372,12 +445,13 @@ let run ?progress ?workers ?(cone_skip = true) ?(diff = true) ~name ~impl
                   let seed = Fsim.patch_node cone ex bit in
                   let err, cv =
                     Fsim.with_patch cone base ex bit (fun sim ->
-                        Fsim.diff_run ~scratch:dsc_patch ~tape ~base ~sim
-                          ~seeds:(Fsim.Seed_node seed) ~watch:base_watch
-                          ~base_watch ~expected:expected_flat)
+                        Fsim.diff_run ~forensics ~scratch:dsc_patch ~tape
+                          ~base ~sim ~seeds:(Fsim.Seed_node seed)
+                          ~watch:base_watch ~base_watch
+                          ~expected:expected_flat)
                   in
                   note_converge cv;
-                  (finish bit err, Fsim.Path_diff)
+                  (finish ~dsc:dsc_patch bit err, Fsim.Path_diff)
               | None ->
                   ( finish bit
                       (Fsim.with_patch cone base ex bit (fun sim ->
@@ -404,12 +478,12 @@ let run ?progress ?workers ?(cone_skip = true) ?(diff = true) ~name ~impl
                         else Fsim.watch_nodes sim watch_outputs
                       in
                       let err, cv =
-                        Fsim.diff_run ~scratch:dsc_reroute ~tape ~base ~sim
-                          ~seeds:Fsim.Seed_derived ~watch ~base_watch
-                          ~expected:expected_flat
+                        Fsim.diff_run ~forensics ~scratch:dsc_reroute ~tape
+                          ~base ~sim ~seeds:Fsim.Seed_derived ~watch
+                          ~base_watch ~expected:expected_flat
                       in
                       note_converge cv;
-                      (finish bit err, Fsim.Path_diff)
+                      (finish ~dsc:dsc_reroute bit err, Fsim.Path_diff)
                   | None ->
                       (finish bit (run_dut sim (io_for sim)), Fsim.Path_reroute))
               | None ->
@@ -455,9 +529,126 @@ let run ?progress ?workers ?(cone_skip = true) ?(diff = true) ~name ~impl
       (fun acc r -> if r.outcome = Wrong_answer then acc + 1 else acc)
       0 results
   in
+  (* stream the forensic records post-hoc in fault-index order: workers
+     never write the sink, so the file is deterministic for a fixed
+     fault list regardless of worker count or scheduling *)
+  (match fattr with
+  | Some a when Forensics.enabled () ->
+      Array.iter
+        (fun r ->
+          match r.forensics with
+          | Some f ->
+              Forensics.emit ~design:name ~bit:r.bit
+                ~effect:(Classify.name r.effect)
+                ~wrong:(r.outcome = Wrong_answer)
+                ~first_error_cycle:r.first_error_cycle a f
+          | None -> ())
+        results
+  | _ -> ());
   { design = name; injected = total; wrong; results; workers; stats;
     wall_ns; busy_ns }
 
 let wrong_percent t =
   if t.injected = 0 then 0.0
   else 100.0 *. float_of_int t.wrong /. float_of_int t.injected
+
+(* ------------------------------------------------------------------ *)
+(* Forensic aggregation: the per-design numbers that explain Table 2's
+   ordering — how many faults straddle redundancy domains, and how often
+   the vote (rather than plain logic masking) absorbed a real upset. *)
+
+type forensic_summary = {
+  fs_faults : int;  (* faults carrying a forensic record *)
+  fs_cross : int;  (* cross-domain faults *)
+  fs_cross_wrong : int;  (* cross-domain among wrong answers *)
+  fs_multi_part : int;  (* faults touching >= 2 voter partitions *)
+  fs_voter_touch : int;  (* faults touching voter logic or voter nets *)
+  fs_diverged : int;  (* faults with observed internal divergence *)
+  fs_silent_diverged : int;  (* diverged yet silent *)
+  fs_voter_masked : int;  (* silent-diverged absorbed at a voter *)
+}
+
+let forensic_summary t =
+  let s =
+    Array.fold_left
+      (fun acc r ->
+        match r.forensics with
+        | None -> acc
+        | Some f ->
+            let wrong = r.outcome = Wrong_answer in
+            {
+              fs_faults = acc.fs_faults + 1;
+              fs_cross = (acc.fs_cross + if f.Forensics.cross_domain then 1 else 0);
+              fs_cross_wrong =
+                (acc.fs_cross_wrong
+                + if wrong && f.Forensics.cross_domain then 1 else 0);
+              fs_multi_part =
+                (acc.fs_multi_part
+                + if Array.length f.Forensics.partitions >= 2 then 1 else 0);
+              fs_voter_touch =
+                (acc.fs_voter_touch + if f.Forensics.voter_touch then 1 else 0);
+              fs_diverged =
+                (acc.fs_diverged + if f.Forensics.diverged > 0 then 1 else 0);
+              fs_silent_diverged =
+                (acc.fs_silent_diverged
+                + if (not wrong) && f.Forensics.diverged > 0 then 1 else 0);
+              fs_voter_masked =
+                (acc.fs_voter_masked
+                + if f.Forensics.masked_at_voter then 1 else 0);
+            })
+      {
+        fs_faults = 0;
+        fs_cross = 0;
+        fs_cross_wrong = 0;
+        fs_multi_part = 0;
+        fs_voter_touch = 0;
+        fs_diverged = 0;
+        fs_silent_diverged = 0;
+        fs_voter_masked = 0;
+      }
+      t.results
+  in
+  if s.fs_faults = 0 then None else Some s
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable engine summary (tmrtool inject --json). *)
+
+let summary_json t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"design\":\"%s\",\"injected\":%d,\"wrong\":%d,\"wrong_percent\":%.4f,\"workers\":%d,\"wall_ns\":%d,\"utilization\":%.4f"
+       (Tmr_obs.Jsonl.escape t.design)
+       t.injected t.wrong (wrong_percent t) t.workers t.wall_ns
+       (utilization t));
+  Buffer.add_string b
+    (Printf.sprintf
+       ",\"plan_paths\":{\"silent\":%d,\"patched\":%d,\"rerouted\":%d,\"rebuilt\":%d,\"diffed\":%d,\"converged\":%d}"
+       t.stats.skipped t.stats.patched t.stats.rerouted t.stats.rebuilt
+       t.stats.diffed t.stats.converged);
+  (* wrong answers per structural effect class, Table 4 row order *)
+  Buffer.add_string b ",\"wrong_by_effect\":{";
+  List.iteri
+    (fun i e ->
+      let n =
+        Array.fold_left
+          (fun acc r ->
+            if r.effect = e && r.outcome = Wrong_answer then acc + 1 else acc)
+          0 t.results
+      in
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\"%s\":%d" (Tmr_obs.Jsonl.escape (Classify.name e)) n))
+    Classify.all;
+  Buffer.add_char b '}';
+  (match forensic_summary t with
+  | None -> Buffer.add_string b ",\"forensics\":null"
+  | Some s ->
+      Buffer.add_string b
+        (Printf.sprintf
+           ",\"forensics\":{\"faults\":%d,\"cross_domain\":%d,\"cross_domain_wrong\":%d,\"multi_partition\":%d,\"voter_touch\":%d,\"diverged\":%d,\"silent_diverged\":%d,\"voter_masked\":%d}"
+           s.fs_faults s.fs_cross s.fs_cross_wrong s.fs_multi_part
+           s.fs_voter_touch s.fs_diverged s.fs_silent_diverged
+           s.fs_voter_masked));
+  Buffer.add_char b '}';
+  Buffer.contents b

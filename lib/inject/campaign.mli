@@ -42,6 +42,10 @@ type fault_result = {
   outcome : outcome;
   effect : Classify.effect;
   first_error_cycle : int;  (** -1 when silent *)
+  forensics : Forensics.t option;
+      (** per-fault forensic record; [None] when collection was off.
+          Collection never changes [bit]/[outcome]/[effect]/
+          [first_error_cycle] — results are bit-identical either way. *)
 }
 
 type engine_stats = {
@@ -95,6 +99,7 @@ val run :
   ?workers:int ->
   ?cone_skip:bool ->
   ?diff:bool ->
+  ?forensics:bool ->
   name:string ->
   impl:Tmr_pnr.Impl.t ->
   golden:Tmr_netlist.Netlist.t ->
@@ -109,6 +114,15 @@ val run :
     engine (baseline tape + cone-restricted event-driven evaluation +
     convergence early-exit); disabling it replays the full DUT per fault.
 
+    [forensics] (default [false]) attaches a {!Forensics.t} record to
+    every result: structural domain/partition attribution on all plan
+    paths, divergence observations on differentially-executed faults.  A
+    registered {!Forensics} sink implies collection; the records are then
+    also streamed as JSONL, in fault-index order, after the injection
+    loop finishes (so the file is deterministic for a fixed fault list).
+    Collection is read-only: outcomes are bit-identical with it on or
+    off.
+
     [progress] is called as [f completed total] from worker domains,
     serialized and rate-limited by the pool.
 
@@ -117,3 +131,25 @@ val run :
     the first disagreeing port, bit and expected/actual values. *)
 
 val wrong_percent : t -> float
+
+(** {1 Forensic aggregation} *)
+
+type forensic_summary = {
+  fs_faults : int;  (** faults carrying a forensic record *)
+  fs_cross : int;  (** cross-domain faults (footprint spans >= 2 domains) *)
+  fs_cross_wrong : int;  (** cross-domain among wrong answers *)
+  fs_multi_part : int;  (** faults touching >= 2 voter partitions *)
+  fs_voter_touch : int;  (** faults touching voter logic or voter nets *)
+  fs_diverged : int;  (** faults with observed internal divergence *)
+  fs_silent_diverged : int;  (** diverged internally yet stayed silent *)
+  fs_voter_masked : int;  (** silent-diverged faults absorbed at a voter *)
+}
+
+val forensic_summary : t -> forensic_summary option
+(** Aggregate over the campaign's forensic records; [None] when the
+    campaign ran without forensics. *)
+
+val summary_json : t -> string
+(** One-line JSON engine summary: injected/wrong/wrong_percent, worker
+    utilization, plan-path breakdown, wrong answers per effect class and
+    the forensic aggregate (or [null]) — [tmrtool inject --json]. *)

@@ -1,0 +1,80 @@
+(** Fault forensics: attribute every injected fault to the TMR structure
+    it corrupts.
+
+    The paper's explanation of Table 2 — more voters mean more
+    inter-domain wiring, and routing upsets bridging two redundancy
+    domains defeat the vote — is invisible in a Silent/Wrong_answer
+    verdict.  This module maps each fault's structural footprint
+    ({!Tmr_fabric.Footprint}) onto the TMR domains and voter partitions
+    of the implemented design, and folds in the differential engine's
+    divergence observations, producing one explainable record per fault.
+
+    Collection is read-only with respect to the simulation: campaign
+    results are bit-identical with forensics on or off (like tracing). *)
+
+(** {1 Structural attribution} *)
+
+type attrib = {
+  dev : Tmr_arch.Device.t;
+  db : Tmr_arch.Bitdb.t;
+  wire_domain : int array;  (** device wire -> TMR domain, -1 unrouted/shared *)
+  wire_part : int array;  (** device wire -> partition id, -1 none *)
+  wire_voter : bool array;  (** wire carries a voter's output net *)
+  bel_domain : int array;  (** device bel -> TMR domain of the site's cells *)
+  bel_part : int array;
+  bel_voter : bool array;  (** bel realises a majority-voter cell *)
+  part_names : string array;  (** partition id -> component label *)
+}
+(** Domain/partition tags of every device resource the implementation
+    uses, derived once per campaign from the netlist attributes
+    ([Netlist.domain]/[comp]/[is_voter]) through the pack/place/route
+    artefacts.  Unused resources stay [-1]. *)
+
+val attrib_of_impl : Tmr_pnr.Impl.t -> attrib
+
+val part_name : attrib -> int -> string
+(** Label of a partition id ("?" when out of range). *)
+
+(** {1 Per-fault record} *)
+
+type t = {
+  domain_mask : int;  (** bit [d] set when the fault touches domain [d] *)
+  cross_domain : bool;  (** touches two or more redundancy domains *)
+  partitions : int array;  (** sorted distinct partition ids touched *)
+  voter_touch : bool;  (** footprint includes voter logic or a voter net *)
+  masked_at_voter : bool;
+      (** the fault visibly corrupted cone state, stayed silent, and at
+          least one voter in its fanout cone held its baseline value —
+          the divergence was stopped at (or before) a vote *)
+  diverged : int;  (** cone nodes that left the baseline; -1 not diffed *)
+  first_diverged_node : int;  (** topologically-first divergence, -1 none *)
+  diverge_cycle : int;
+  depth : int;  (** max BFS propagation depth of the divergence, -1 *)
+  cone_nodes : int;  (** fanout-cone size; -1 when not diffed *)
+}
+
+val structural : attrib -> int -> t
+(** Attribution of one configuration bit from its footprint alone: the
+    divergence fields are unknown ([-1]/[false]) until a differential
+    run fills them in.  Valid on every plan path. *)
+
+(** {1 JSONL sink}
+
+    [Tmr_obs]-style process-global sink: when registered, campaigns
+    stream one JSON object per fault (written post-hoc in fault-index
+    order, so the file is deterministic for a fixed fault list). *)
+
+val to_file : string -> unit
+val close : unit -> unit
+val enabled : unit -> bool
+
+val emit :
+  design:string ->
+  bit:int ->
+  effect:string ->
+  wrong:bool ->
+  first_error_cycle:int ->
+  attrib ->
+  t ->
+  unit
+(** Emit one record.  No-op when no sink is registered. *)

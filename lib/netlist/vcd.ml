@@ -1,20 +1,5 @@
 module Logic = Tmr_logic.Logic
 
-type signal = {
-  label : string;
-  code : string;
-  cells : Netlist.id array;  (* LSB first *)
-  mutable last : string option;
-}
-
-type t = {
-  sim : Netsim.t;
-  mutable signals : signal list;  (* reversed *)
-  mutable next_code : int;
-  mutable cycles : string list;  (* rendered change blocks, reversed *)
-  mutable sampled : bool;
-}
-
 (* VCD identifier codes: printable characters '!'..'~' in a varint-like
    scheme. *)
 let code_of_int n =
@@ -26,48 +11,6 @@ let code_of_int n =
   in
   go n ""
 
-let create sim nl =
-  let t = { sim; signals = []; next_code = 0; cycles = []; sampled = false } in
-  let add label cells =
-    let code = code_of_int t.next_code in
-    t.next_code <- t.next_code + 1;
-    t.signals <- { label; code; cells; last = None } :: t.signals
-  in
-  List.iter (fun (port, bits) -> add port bits) (Netlist.input_ports nl);
-  List.iter (fun (port, bits) -> add port bits) (Netlist.output_ports nl);
-  t
-
-let watch_cell t ~label cell =
-  if t.sampled then invalid_arg "Vcd.watch_cell: sampling already started";
-  let code = code_of_int t.next_code in
-  t.next_code <- t.next_code + 1;
-  t.signals <- { label; code; cells = [| cell |]; last = None } :: t.signals
-
-let value_string t signal =
-  (* VCD bit strings are MSB first *)
-  let n = Array.length signal.cells in
-  String.init n (fun i ->
-      match Netsim.value t.sim signal.cells.(n - 1 - i) with
-      | Logic.Zero -> '0'
-      | Logic.One -> '1'
-      | Logic.X -> 'x')
-
-let sample t =
-  t.sampled <- true;
-  let buf = Buffer.create 128 in
-  Buffer.add_string buf (Printf.sprintf "#%d\n" (List.length t.cycles));
-  List.iter
-    (fun signal ->
-      let v = value_string t signal in
-      if signal.last <> Some v then begin
-        signal.last <- Some v;
-        if Array.length signal.cells = 1 then
-          Buffer.add_string buf (Printf.sprintf "%s%s\n" v signal.code)
-        else Buffer.add_string buf (Printf.sprintf "b%s %s\n" v signal.code)
-      end)
-    (List.rev t.signals);
-  t.cycles <- Buffer.contents buf :: t.cycles
-
 let sanitize label =
   String.map
     (fun c ->
@@ -76,23 +19,135 @@ let sanitize label =
       | _ -> '_')
     label
 
-let to_string t =
+(* ------------------------------------------------------------------ *)
+(* Generic writer: signals hold caller-supplied Logic values; [tick]
+   renders the change block of one cycle.  The Netsim-backed tracer below
+   and fabric-level waveform dumps (tmrtool explain) both sit on top. *)
+
+type sig_id = int
+
+type wsignal = {
+  w_label : string;
+  w_code : string;
+  w_cur : Logic.t array;  (* LSB first *)
+  mutable w_last : string option;
+}
+
+type writer = {
+  mutable w_signals : wsignal list;  (* reversed *)
+  mutable w_next : int;
+  mutable w_cycles : string list;  (* rendered change blocks, reversed *)
+  mutable w_nticks : int;
+  mutable w_started : bool;
+}
+
+let writer () =
+  { w_signals = []; w_next = 0; w_cycles = []; w_nticks = 0; w_started = false }
+
+let add_signal w ~label ~width =
+  if w.w_started then invalid_arg "Vcd.add_signal: sampling already started";
+  if width <= 0 then invalid_arg "Vcd.add_signal: width must be positive";
+  let code = code_of_int w.w_next in
+  w.w_next <- w.w_next + 1;
+  w.w_signals <-
+    { w_label = label; w_code = code; w_cur = Array.make width Logic.X;
+      w_last = None }
+    :: w.w_signals;
+  List.length w.w_signals - 1
+
+let nth_signal w id =
+  let n = List.length w.w_signals in
+  if id < 0 || id >= n then invalid_arg "Vcd: unknown signal";
+  List.nth w.w_signals (n - 1 - id)
+
+let set w id values =
+  let s = nth_signal w id in
+  if Array.length values <> Array.length s.w_cur then
+    invalid_arg "Vcd.set: width mismatch";
+  Array.blit values 0 s.w_cur 0 (Array.length values)
+
+let set_bit w id i v =
+  let s = nth_signal w id in
+  s.w_cur.(i) <- v
+
+let value_string s =
+  (* VCD bit strings are MSB first *)
+  let n = Array.length s.w_cur in
+  String.init n (fun i ->
+      match s.w_cur.(n - 1 - i) with
+      | Logic.Zero -> '0'
+      | Logic.One -> '1'
+      | Logic.X -> 'x')
+
+let tick w =
+  w.w_started <- true;
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "#%d\n" w.w_nticks);
+  w.w_nticks <- w.w_nticks + 1;
+  List.iter
+    (fun s ->
+      let v = value_string s in
+      if s.w_last <> Some v then begin
+        s.w_last <- Some v;
+        if Array.length s.w_cur = 1 then
+          Buffer.add_string buf (Printf.sprintf "%s%s\n" v s.w_code)
+        else Buffer.add_string buf (Printf.sprintf "b%s %s\n" v s.w_code)
+      end)
+    (List.rev w.w_signals);
+  w.w_cycles <- Buffer.contents buf :: w.w_cycles
+
+let writer_to_string w =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "$date reproduction run $end\n";
   Buffer.add_string buf "$version tmr-fpga Vcd $end\n";
   Buffer.add_string buf "$timescale 1 ns $end\n";
   Buffer.add_string buf "$scope module dut $end\n";
   List.iter
-    (fun signal ->
+    (fun s ->
       Buffer.add_string buf
         (Printf.sprintf "$var wire %d %s %s $end\n"
-           (Array.length signal.cells) signal.code (sanitize signal.label)))
-    (List.rev t.signals);
+           (Array.length s.w_cur) s.w_code (sanitize s.w_label)))
+    (List.rev w.w_signals);
   Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
-  List.iter (Buffer.add_string buf) (List.rev t.cycles);
+  List.iter (Buffer.add_string buf) (List.rev w.w_cycles);
   Buffer.contents buf
 
-let save t path =
+let writer_save w path =
   let oc = open_out path in
-  output_string oc (to_string t);
+  output_string oc (writer_to_string w);
   close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Netsim-backed tracer *)
+
+type t = {
+  sim : Netsim.t;
+  w : writer;
+  mutable cells : (sig_id * Netlist.id array) list;  (* reversed *)
+}
+
+let create sim nl =
+  let t = { sim; w = writer (); cells = [] } in
+  let add label cells =
+    let id = add_signal t.w ~label ~width:(Array.length cells) in
+    t.cells <- (id, cells) :: t.cells
+  in
+  List.iter (fun (port, bits) -> add port bits) (Netlist.input_ports nl);
+  List.iter (fun (port, bits) -> add port bits) (Netlist.output_ports nl);
+  t
+
+let watch_cell t ~label cell =
+  let id = add_signal t.w ~label ~width:1 in
+  t.cells <- (id, [| cell |]) :: t.cells
+
+let sample t =
+  List.iter
+    (fun (id, cells) ->
+      Array.iteri
+        (fun i c -> set_bit t.w id i (Netsim.value t.sim c))
+        cells)
+    t.cells;
+  tick t.w
+
+let to_string t = writer_to_string t.w
+let save t path = writer_save t.w path

@@ -1,8 +1,35 @@
-(** Value-change-dump (VCD) trace writer for netlist simulations.
+(** Value-change-dump (VCD) trace writer.
 
-    Records the port values of a {!Netsim} run so waveforms can be viewed
-    in GTKWave & co.  One timescale unit per clock cycle; X values are
-    emitted as VCD [x]. *)
+    One timescale unit per clock cycle; X values are emitted as VCD [x].
+    Two layers: a generic {!writer} fed arbitrary {!Tmr_logic.Logic}
+    values (used by [tmrtool explain] to dump fabric-level faulty-run
+    waveforms), and a {!Netsim}-backed tracer on top that records the
+    port values of a netlist simulation for GTKWave & co. *)
+
+(** {1 Generic writer} *)
+
+type writer
+type sig_id
+
+val writer : unit -> writer
+
+val add_signal : writer -> label:string -> width:int -> sig_id
+(** Declare one signal (bit order LSB first).  Must precede the first
+    {!tick}. *)
+
+val set : writer -> sig_id -> Tmr_logic.Logic.t array -> unit
+(** Set the signal's current value (length must match the width). *)
+
+val set_bit : writer -> sig_id -> int -> Tmr_logic.Logic.t -> unit
+
+val tick : writer -> unit
+(** Close the current cycle: emit the change block of every signal whose
+    value differs from the previously emitted one. *)
+
+val writer_to_string : writer -> string
+val writer_save : writer -> string -> unit
+
+(** {1 Netlist-simulation tracer} *)
 
 type t
 

@@ -1,0 +1,51 @@
+type sink = { oc : out_channel; mutex : Mutex.t }
+type t = sink option Atomic.t
+
+let make () : t = Atomic.make None
+
+let close (t : t) =
+  match Atomic.exchange t None with
+  | None -> ()
+  | Some s ->
+      Mutex.lock s.mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock s.mutex)
+        (fun () -> close_out s.oc)
+
+let to_file t path =
+  let oc = open_out path in
+  close t;
+  Atomic.set t (Some { oc; mutex = Mutex.create () })
+
+let enabled t = Atomic.get t <> None
+
+let emit t line =
+  match Atomic.get t with
+  | None -> ()
+  | Some s ->
+      Mutex.lock s.mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock s.mutex)
+        (fun () ->
+          (* the sink may have been swapped/closed since the atomic
+             read — a write to the stale channel then raises *)
+          try
+            output_string s.oc line;
+            output_char s.oc '\n'
+          with Sys_error _ -> ())
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b

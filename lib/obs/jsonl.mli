@@ -1,0 +1,31 @@
+(** Line-oriented JSON sinks shared by the observability emitters.
+
+    A sink is an atomically-swappable output channel plus a mutex; with
+    none registered every emission is one atomic load.  {!Trace} (span
+    events) and the fault-forensics stream ([Tmr_inject.Forensics]) are
+    both instances: each owns one {!t} and renders its own line format,
+    while registration, locking, escaping and teardown live here. *)
+
+type t
+
+val make : unit -> t
+(** A sink handle with no destination registered. *)
+
+val to_file : t -> string -> unit
+(** Open [path] (truncating) and direct subsequent emissions to it.
+    Replaces any previously registered destination (flushed, closed). *)
+
+val close : t -> unit
+(** Flush and close; emissions become no-ops again.  Safe when no
+    destination is registered. *)
+
+val enabled : t -> bool
+
+val emit : t -> string -> unit
+(** Write one line ([line] must not contain the trailing newline) under
+    the sink mutex; whole-line writes keep concurrent emitters from
+    interleaving.  No-op without a destination; a destination closed
+    concurrently is ignored. *)
+
+val escape : string -> string
+(** JSON string-content escaping (no surrounding quotes). *)

@@ -1,76 +1,36 @@
-type sink = { oc : out_channel; mutex : Mutex.t }
-
-let sink : sink option Atomic.t = Atomic.make None
-
+let sink = Jsonl.make ()
 let pid = lazy (Unix.getpid ())
-
-let close () =
-  match Atomic.exchange sink None with
-  | None -> ()
-  | Some s ->
-      Mutex.lock s.mutex;
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock s.mutex)
-        (fun () -> close_out s.oc)
-
-let to_file path =
-  let oc = open_out path in
-  close ();
-  Atomic.set sink (Some { oc; mutex = Mutex.create () })
-
-let enabled () = Atomic.get sink <> None
-
-let escape s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let close () = Jsonl.close sink
+let to_file path = Jsonl.to_file sink path
+let enabled () = Jsonl.enabled sink
+let escape = Jsonl.escape
 
 let emit_complete ?(args = []) ~name ~start_ns ~dur_ns () =
-  match Atomic.get sink with
-  | None -> ()
-  | Some s ->
-      (* format outside the lock; write the whole line in one call *)
-      let b = Buffer.create 160 in
-      Buffer.add_string b
-        (Printf.sprintf
-           "{\"name\":\"%s\",\"cat\":\"tmr\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d"
-           (escape name)
-           (float_of_int start_ns /. 1e3)
-           (float_of_int (max 0 dur_ns) /. 1e3)
-           (Lazy.force pid)
-           ((Domain.self () :> int)));
-      if args <> [] then begin
-        Buffer.add_string b ",\"args\":{";
-        List.iteri
-          (fun i (k, v) ->
-            if i > 0 then Buffer.add_char b ',';
-            Buffer.add_string b
-              (Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)))
-          args;
-        Buffer.add_char b '}'
-      end;
-      Buffer.add_string b "}\n";
-      let line = Buffer.contents b in
-      Mutex.lock s.mutex;
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock s.mutex)
-        (fun () ->
-          (* the sink may have been swapped/closed since the atomic read;
-             the old channel object is still valid to write to only if
-             open — guard with the registered check *)
-          try output_string s.oc line
-          with Sys_error _ -> ())
+  if Jsonl.enabled sink then begin
+    (* format outside the lock; the sink writes the whole line in one
+       call so worker domains never interleave *)
+    let b = Buffer.create 160 in
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"name\":\"%s\",\"cat\":\"tmr\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d"
+         (escape name)
+         (float_of_int start_ns /. 1e3)
+         (float_of_int (max 0 dur_ns) /. 1e3)
+         (Lazy.force pid)
+         ((Domain.self () :> int)));
+    if args <> [] then begin
+      Buffer.add_string b ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)))
+        args;
+      Buffer.add_char b '}'
+    end;
+    Buffer.add_char b '}';
+    Jsonl.emit sink (Buffer.contents b)
+  end
 
 let with_span ?args name f =
   if not (enabled ()) then f ()

@@ -158,7 +158,7 @@ let test_patch_diff_matches_oracle () =
           let seed = Fsim.patch_node cone ex bit in
           let derr, _cv =
             Fsim.with_patch cone base ex bit (fun sim ->
-                Fsim.diff_run ~scratch:dsc ~tape ~base ~sim
+                Fsim.diff_run ~forensics:false ~scratch:dsc ~tape ~base ~sim
                   ~seeds:(Fsim.Seed_node seed) ~watch ~base_watch:watch
                   ~expected)
           in

@@ -86,6 +86,57 @@ let test_classify_invariants () =
             (Classify.name eff = "MUX" || Classify.name eff = "Others"))
     fl.Faultlist.bits
 
+let test_classify_antenna_and_conflict () =
+  (* a routed design must expose both "new driver onto a used node" cases:
+     antennas (floating source) and conflicts (second used source) — and
+     every such verdict must re-derive from the golden configuration *)
+  let d = Lazy.force dev and database = Lazy.force db in
+  let antennas = ref 0 and conflicts = ref 0 in
+  List.iter
+    (fun impl ->
+      let bg = impl.Impl.bitgen in
+      let used = bg.Tmr_pnr.Bitgen.used_wires in
+      let fl = Faultlist.of_impl impl in
+      Array.iter
+        (fun bit ->
+          let off_pip () =
+            Alcotest.(check bool) "pip bit is off in the golden image" false
+              (Bitstream.get bg.Tmr_pnr.Bitgen.bitstream bit);
+            match Bitdb.resource database bit with
+            | Bitdb.Pip p -> p
+            | _ -> Alcotest.fail "antenna/conflict must be a pip bit"
+          in
+          match Classify.classify impl bit with
+          | Classify.Antenna_effect ->
+              incr antennas;
+              let p = off_pip () in
+              let s = d.Device.pip_src.(p) and dst = d.Device.pip_dst.(p) in
+              if d.Device.pip_bidir.(p) then
+                Alcotest.(check bool) "pass antenna: exactly one end used"
+                  true
+                  (used.(s) <> used.(dst))
+              else begin
+                Alcotest.(check bool) "buffered antenna: destination used"
+                  true used.(dst);
+                Alcotest.(check bool) "buffered antenna: source floating"
+                  false used.(s)
+              end
+          | Classify.Conflict_effect ->
+              incr conflicts;
+              let p = off_pip () in
+              let s = d.Device.pip_src.(p) and dst = d.Device.pip_dst.(p) in
+              Alcotest.(check bool) "conflict pip is buffered" false
+                d.Device.pip_bidir.(p);
+              Alcotest.(check bool) "conflict: both ends used" true
+                (used.(s) && used.(dst))
+          | _ -> ())
+        fl.Faultlist.bits)
+    [ Lazy.force standard_impl; Lazy.force tmr_impl ];
+  Alcotest.(check bool) "classification produces antenna bits" true
+    (!antennas > 0);
+  Alcotest.(check bool) "classification produces conflict bits" true
+    (!conflicts > 0)
+
 let test_campaign_standard_vs_tmr () =
   let stim = stimulus 20 in
   let run impl =
@@ -214,7 +265,11 @@ let () =
             test_faultlist_sample_deterministic;
         ] );
       ( "classify",
-        [ Alcotest.test_case "class invariants" `Quick test_classify_invariants ] );
+        [
+          Alcotest.test_case "class invariants" `Quick test_classify_invariants;
+          Alcotest.test_case "antenna and conflict bits arise and re-derive"
+            `Quick test_classify_antenna_and_conflict;
+        ] );
       ( "campaign",
         [
           Alcotest.test_case "standard vs TMR" `Quick
