@@ -16,6 +16,8 @@ module Tables = Tmr_experiments.Tables
 module Figures = Tmr_experiments.Figures
 module Reports = Tmr_experiments.Reports
 module Partition = Tmr_core.Partition
+module Campaign = Tmr_inject.Campaign
+module Stats = Tmr_obs.Stats
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
 
@@ -113,12 +115,13 @@ let run_experiments w ~faults ~seed =
     if needs_runs w then begin
       let last_design = ref "" in
       (* the pool already rate-limits the callback; print every tick *)
-      let progress name done_ total =
+      let progress name (p : Campaign.progress) =
         if name <> !last_design then begin
-          say "campaign %s: %d faults..." name total;
+          say "campaign %s: %d faults..." name p.Campaign.p_total;
           last_design := name
         end;
-        say "  %s: %d/%d" name done_ total
+        say "  %s: %d/%d (%d wrong)" name p.Campaign.p_completed
+          p.Campaign.p_total p.Campaign.p_wrong
       in
       let runs =
         time "fault-injection campaigns" (fun () ->
@@ -138,8 +141,70 @@ let run_experiments w ~faults ~seed =
 (* ------------------------------------------------------------------ *)
 (* Parallel-campaign throughput: BENCH_campaign.json *)
 
+(* One measured campaign configuration.  Every row of the throughput
+   table runs through [measure_row], so the five rows stay comparable:
+   same GC leveling, same telemetry isolation, same console line. *)
+type crow = {
+  cr_name : string;
+  cr_cone_skip : bool;
+  cr_diff : bool;
+  cr_c : Campaign.t;
+  cr_dt : float;
+  cr_fps : float;
+  cr_snap : Tmr_obs.Metrics.snapshot;
+}
+
+let measure_row ?(forensics = false) ?stop_at_ci ~name ~workers ~cone_skip
+    ~diff ctx run =
+  (* level the field between rows: the sequential oracle leaves a major
+     heap full of dead simulators that would slow later rows' GC; the
+     telemetry reset isolates each row's snapshot to its own engine *)
+  Gc.compact ();
+  Tmr_obs.Metrics.reset ();
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Runs.campaign_design ~workers ~cone_skip ~diff ~forensics ?stop_at_ci ctx
+      run
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  let snap = Tmr_obs.Metrics.snapshot () in
+  let c = Option.get r.Runs.campaign in
+  let fps = float_of_int c.Campaign.injected /. dt in
+  say
+    "  %-24s workers=%d cone_skip=%b diff=%b: %.2fs, %.1f faults/s (skipped \
+     %d, patched %d, rerouted %d, rebuilt %d, diffed %d, converged %d)"
+    name workers cone_skip diff dt fps c.Campaign.stats.Campaign.skipped
+    c.Campaign.stats.Campaign.patched c.Campaign.stats.Campaign.rerouted
+    c.Campaign.stats.Campaign.rebuilt c.Campaign.stats.Campaign.diffed
+    c.Campaign.stats.Campaign.converged;
+  {
+    cr_name = name;
+    cr_cone_skip = cone_skip;
+    cr_diff = diff;
+    cr_c = c;
+    cr_dt = dt;
+    cr_fps = fps;
+    cr_snap = snap;
+  }
+
+let row_json r =
+  let c = r.cr_c in
+  Printf.sprintf
+    "    { \"name\": %S, \"workers\": %d, \"cone_skip\": %b, \"diff\": %b, \
+     \"seconds\": %.3f, \"faults_per_sec\": %.2f,\n\
+    \      \"requested\": %d, \"injected\": %d, \"skipped\": %d, \"patched\": \
+     %d, \"rerouted\": %d, \"rebuilt\": %d, \"diffed\": %d, \"converged\": \
+     %d,\n\
+    \      \"wrong_percent\": %.3f, \"worker_utilization\": %.3f }"
+    r.cr_name c.Campaign.workers r.cr_cone_skip r.cr_diff r.cr_dt r.cr_fps
+    c.Campaign.requested c.Campaign.injected c.Campaign.stats.Campaign.skipped
+    c.Campaign.stats.Campaign.patched c.Campaign.stats.Campaign.rerouted
+    c.Campaign.stats.Campaign.rebuilt c.Campaign.stats.Campaign.diffed
+    c.Campaign.stats.Campaign.converged
+    (Campaign.wrong_percent c)
+    (Campaign.utilization c)
+
 let campaign_bench () =
-  let module Campaign = Tmr_inject.Campaign in
   let faults =
     match int_env "TMR_FAULTS" with Some n -> n | None -> 1000
   in
@@ -152,66 +217,63 @@ let campaign_bench () =
     time "implement" (fun () ->
         Runs.implement_design ctx Partition.Medium_partition)
   in
-  let measure ?(forensics = false) ~workers ~cone_skip ~diff () =
-    (* level the field between rows: the sequential oracle leaves a major
-       heap full of dead simulators that would slow later rows' GC *)
-    Gc.compact ();
-    let t0 = Unix.gettimeofday () in
-    let r =
-      Runs.campaign_design ~workers ~cone_skip ~diff ~forensics ctx run
-    in
-    let dt = Unix.gettimeofday () -. t0 in
-    let c = Option.get r.Runs.campaign in
-    let fps = float_of_int c.Campaign.injected /. dt in
-    say
-      "  workers=%d cone_skip=%b diff=%b: %.2fs, %.1f faults/s (skipped %d, \
-       patched %d, rerouted %d, rebuilt %d, diffed %d, converged %d)"
-      workers cone_skip diff dt fps c.Campaign.stats.Campaign.skipped
-      c.Campaign.stats.Campaign.patched c.Campaign.stats.Campaign.rerouted
-      c.Campaign.stats.Campaign.rebuilt c.Campaign.stats.Campaign.diffed
-      c.Campaign.stats.Campaign.converged;
-    (c, dt, fps)
+  let measure = measure_row ctx run in
+  let base = measure ~name:"sequential-rebuild" ~workers:1 ~cone_skip:false ~diff:false in
+  let par =
+    measure ~name:"parallel-cone-aware" ~workers:parallel_workers
+      ~cone_skip:true ~diff:false
   in
-  let base_c, base_dt, base_fps =
-    measure ~workers:1 ~cone_skip:false ~diff:false ()
+  let diff =
+    measure ~name:"parallel-diff" ~workers:parallel_workers ~cone_skip:true
+      ~diff:true
   in
-  (* isolate each parallel run's telemetry so its snapshot holds only that
-     engine's distributions, not the oracle's (or the other engine's) *)
-  Tmr_obs.Metrics.reset ();
-  let par_c, par_dt, par_fps =
-    measure ~workers:parallel_workers ~cone_skip:true ~diff:false ()
+  let forn =
+    measure_row ~forensics:true ~name:"parallel-diff-forensics"
+      ~workers:parallel_workers ~cone_skip:true ~diff:true ctx run
   in
-  let metrics_snap = Tmr_obs.Metrics.snapshot () in
-  Tmr_obs.Metrics.reset ();
-  let diff_c, diff_dt, diff_fps =
-    measure ~workers:parallel_workers ~cone_skip:true ~diff:true ()
-  in
-  let diff_snap = Tmr_obs.Metrics.snapshot () in
-  Tmr_obs.Metrics.reset ();
-  let for_c, for_dt, for_fps =
-    measure ~forensics:true ~workers:parallel_workers ~cone_skip:true
-      ~diff:true ()
+  (* sequential stopping: same fault list, stop once the Wilson CI of the
+     wrong-answer rate narrows to ±1.5 percentage points *)
+  let stop_rule = Stats.stop_rule ~half_width:0.015 ~min_n:100 () in
+  let cstop =
+    measure_row ~stop_at_ci:stop_rule ~name:"ci-stop" ~workers:parallel_workers
+      ~cone_skip:true ~diff:true ctx run
   in
   let strip (r : Campaign.fault_result) =
     { r with Campaign.forensics = None }
   in
   let identical =
-    base_c.Campaign.results = par_c.Campaign.results
-    && base_c.Campaign.results = diff_c.Campaign.results
-    && base_c.Campaign.results = Array.map strip for_c.Campaign.results
+    base.cr_c.Campaign.results = par.cr_c.Campaign.results
+    && base.cr_c.Campaign.results = diff.cr_c.Campaign.results
+    && base.cr_c.Campaign.results
+       = Array.map strip forn.cr_c.Campaign.results
   in
-  let speedup = par_fps /. base_fps in
-  let diff_speedup = diff_fps /. par_fps in
+  let ci_c = cstop.cr_c in
+  let ci_prefix_identical =
+    ci_c.Campaign.injected <= Array.length base.cr_c.Campaign.results
+    && ci_c.Campaign.results
+       = Array.sub base.cr_c.Campaign.results 0 ci_c.Campaign.injected
+  in
+  let ci = Campaign.ci ci_c in
+  let paper_rate =
+    match List.assoc_opt "tmr_p2" Tables.paper_table3 with
+    | Some (injected, wrong, _) -> float_of_int wrong /. float_of_int injected
+    | None -> nan
+  in
+  let paper_in_ci =
+    paper_rate >= ci.Stats.lo && paper_rate <= ci.Stats.hi
+  in
+  let speedup = par.cr_fps /. base.cr_fps in
+  let diff_speedup = diff.cr_fps /. par.cr_fps in
   let skip_rate =
-    float_of_int par_c.Campaign.stats.Campaign.skipped
-    /. float_of_int (max 1 par_c.Campaign.injected)
+    float_of_int par.cr_c.Campaign.stats.Campaign.skipped
+    /. float_of_int (max 1 par.cr_c.Campaign.injected)
   in
   let converge_rate =
-    float_of_int diff_c.Campaign.stats.Campaign.converged
-    /. float_of_int (max 1 diff_c.Campaign.stats.Campaign.diffed)
+    float_of_int diff.cr_c.Campaign.stats.Campaign.converged
+    /. float_of_int (max 1 diff.cr_c.Campaign.stats.Campaign.diffed)
   in
-  let forensics_overhead = for_dt /. diff_dt in
-  let fs = Option.get (Campaign.forensic_summary for_c) in
+  let forensics_overhead = forn.cr_dt /. diff.cr_dt in
+  let fs = Option.get (Campaign.forensic_summary forn.cr_c) in
   say
     "  speedup %.2fx, diff speedup %.2fx over cone-aware, skip-rate %.1f%%, \
      converge-rate %.1f%%, identical results: %b"
@@ -219,22 +281,15 @@ let campaign_bench () =
   say
     "  forensics: %.2fx overhead (%.1f faults/s), cross-domain %d, \
      voter-masked %d of %d silent-diverged"
-    forensics_overhead for_fps fs.Campaign.fs_cross fs.Campaign.fs_voter_masked
-    fs.Campaign.fs_silent_diverged;
-  let row name cone_skip diff (c : Campaign.t) dt fps =
-    Printf.sprintf
-      "    { \"name\": %S, \"workers\": %d, \"cone_skip\": %b, \"diff\": %b, \
-       \"seconds\": %.3f, \"faults_per_sec\": %.2f,\n\
-      \      \"skipped\": %d, \"patched\": %d, \"rerouted\": %d, \"rebuilt\": \
-       %d, \"diffed\": %d, \"converged\": %d,\n\
-      \      \"wrong_percent\": %.3f, \"worker_utilization\": %.3f }"
-      name c.Campaign.workers cone_skip diff dt fps
-      c.Campaign.stats.Campaign.skipped c.Campaign.stats.Campaign.patched
-      c.Campaign.stats.Campaign.rerouted c.Campaign.stats.Campaign.rebuilt
-      c.Campaign.stats.Campaign.diffed c.Campaign.stats.Campaign.converged
-      (Campaign.wrong_percent c)
-      (Campaign.utilization c)
-  in
+    forensics_overhead forn.cr_fps fs.Campaign.fs_cross
+    fs.Campaign.fs_voter_masked fs.Campaign.fs_silent_diverged;
+  say
+    "  ci-stop: %d of %d faults, rate %.2f%% CI [%.2f%%, %.2f%%], paper \
+     tmr_p2 %.2f%% in CI: %b, prefix-identical: %b"
+    ci_c.Campaign.injected ci_c.Campaign.requested
+    (Campaign.wrong_percent ci_c)
+    (100. *. ci.Stats.lo) (100. *. ci.Stats.hi) (100. *. paper_rate)
+    paper_in_ci ci_prefix_identical;
   (* nest the snapshots under the top-level object's 2-space indent *)
   let indent_json snap =
     String.concat "\n  "
@@ -252,6 +307,7 @@ let campaign_bench () =
        %s,\n\
        %s,\n\
        %s,\n\
+       %s,\n\
        %s\n\
       \  ],\n\
       \  \"speedup\": %.3f,\n\
@@ -259,6 +315,10 @@ let campaign_bench () =
       \  \"skip_rate\": %.4f,\n\
       \  \"converge_rate\": %.4f,\n\
       \  \"identical_results\": %b,\n\
+      \  \"ci_stop\": { \"half_width\": %.4f, \"min_n\": %d, \"requested\": \
+       %d, \"injected\": %d, \"rate\": %.6f, \"ci_lo\": %.6f, \"ci_hi\": \
+       %.6f, \"paper_rate\": %.6f, \"paper_rate_in_ci\": %b, \
+       \"prefix_identical\": %b },\n\
       \  \"forensics\": { \"overhead\": %.3f, \"faults\": %d, \
        \"cross_domain\": %d, \"cross_domain_wrong\": %d, \
        \"multi_partition\": %d, \"voter_touch\": %d, \"diverged\": %d, \
@@ -267,17 +327,17 @@ let campaign_bench () =
       \  \"metrics_diff\": %s\n\
        }\n"
       (Partition.name Partition.Medium_partition)
-      faults
-      (row "sequential-rebuild" false false base_c base_dt base_fps)
-      (row "parallel-cone-aware" true false par_c par_dt par_fps)
-      (row "parallel-diff" true true diff_c diff_dt diff_fps)
-      (row "parallel-diff-forensics" true true for_c for_dt for_fps)
-      speedup diff_speedup skip_rate converge_rate identical
+      faults (row_json base) (row_json par) (row_json diff) (row_json forn)
+      (row_json cstop) speedup diff_speedup skip_rate converge_rate identical
+      stop_rule.Stats.sr_half_width stop_rule.Stats.sr_min_n
+      ci_c.Campaign.requested ci_c.Campaign.injected
+      (Campaign.wrong_percent ci_c /. 100.)
+      ci.Stats.lo ci.Stats.hi paper_rate paper_in_ci ci_prefix_identical
       forensics_overhead fs.Campaign.fs_faults fs.Campaign.fs_cross
       fs.Campaign.fs_cross_wrong fs.Campaign.fs_multi_part
       fs.Campaign.fs_voter_touch fs.Campaign.fs_diverged
       fs.Campaign.fs_silent_diverged fs.Campaign.fs_voter_masked
-      (indent_json metrics_snap) (indent_json diff_snap)
+      (indent_json par.cr_snap) (indent_json diff.cr_snap)
   in
   let oc = open_out "BENCH_campaign.json" in
   output_string oc json;

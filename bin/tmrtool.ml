@@ -1,7 +1,7 @@
 (* tmrtool — command-line driver for the TMR voter-partition study.
 
    Subcommands:
-     report     device / configuration-memory composition
+     report     device / memory composition; campaign regression report
      implement  run one filter version through the CAD flow
      inject     fault-injection campaign on one design
      explain    forensic deep-dive of one fault bit
@@ -13,12 +13,15 @@ module Context = Tmr_experiments.Context
 module Runs = Tmr_experiments.Runs
 module Tables = Tmr_experiments.Tables
 module Reports = Tmr_experiments.Reports
+module Store = Tmr_experiments.Store
 module Partition = Tmr_core.Partition
 module Impl = Tmr_pnr.Impl
 module Campaign = Tmr_inject.Campaign
 module Classify = Tmr_inject.Classify
 module Forensics = Tmr_inject.Forensics
+module Coverage = Tmr_inject.Coverage
 module Metrics = Tmr_obs.Metrics
+module Stats = Tmr_obs.Stats
 module Trace = Tmr_obs.Trace
 module Progress = Tmr_obs.Progress
 module Fsim = Tmr_fabric.Fsim
@@ -193,6 +196,70 @@ let engine_summary (c : Campaign.t) =
       | _ -> ())
     [ "silent"; "patch"; "reroute"; "rebuild"; "diff" ]
 
+(* --- campaign statistics options --- *)
+
+let confidence_t =
+  Arg.(
+    value & opt float 0.95
+    & info [ "confidence" ] ~docv:"LEVEL"
+        ~doc:
+          "Confidence level for every interval and compatibility test \
+           (0 < LEVEL < 1).")
+
+let stop_ci_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "stop-ci" ] ~docv:"PTS"
+        ~doc:
+          "Stop each campaign as soon as the wrong-answer rate is known to \
+           ±$(docv) percentage points (Wilson CI half-width at the chosen \
+           confidence, evaluated over the completed fault prefix).  The \
+           kept results are bit-identical to the full campaign truncated \
+           at the stop index.")
+
+let stop_min_t =
+  Arg.(
+    value & opt int 100
+    & info [ "stop-min" ] ~docv:"N"
+        ~doc:"Never CI-stop before $(docv) faults (guards tiny-n flukes).")
+
+let stop_rule_of ~confidence ~stop_min = function
+  | None -> None
+  | Some pts when pts > 0.0 ->
+      Some
+        (Stats.stop_rule ~confidence ~min_n:stop_min ~half_width:(pts /. 100.)
+           ())
+  | Some pts ->
+      Printf.eprintf "tmrtool: --stop-ci must be positive, got %g\n" pts;
+      exit 2
+
+(* Progress with the running wrong-answer rate ± CI in the bar.  Returns
+   the callback (for [Runs.campaign_design ~progress]) and a flush to
+   close the bar of a CI-stopped campaign (which never reaches 100%). *)
+let ci_progress ~confidence () =
+  let cb, flush = Progress.callback_note () in
+  let progress name (p : Campaign.progress) =
+    let note =
+      if p.Campaign.p_completed <= 0 then ""
+      else begin
+        let n = p.Campaign.p_completed and k = p.Campaign.p_wrong in
+        let i = Stats.wilson ~confidence ~n ~k () in
+        Printf.sprintf "wrong %.2f%% ±%.2f%%"
+          (100.0 *. float_of_int k /. float_of_int n)
+          (50.0 *. (i.Stats.hi -. i.Stats.lo))
+      end
+    in
+    cb name note p.Campaign.p_completed p.Campaign.p_total
+  in
+  (progress, flush)
+
+let rate_ci_line ~confidence (c : Campaign.t) =
+  let i = Campaign.ci ~confidence c in
+  Printf.sprintf "%.2f%% [%.2f%%, %.2f%%] at %.0f%% confidence"
+    (Campaign.wrong_percent c)
+    (100.0 *. i.Stats.lo) (100.0 *. i.Stats.hi) (100.0 *. confidence)
+
 (* Campaign worker-domain count; default picked by Campaign. *)
 let jobs () =
   match Sys.getenv_opt "TMR_JOBS" with
@@ -206,24 +273,97 @@ let jobs () =
 
 (* --- report --- *)
 
+let store_t =
+  Arg.(
+    value & opt string ".tmr-runs"
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Run-store directory: one JSON manifest per campaign.  History \
+           found there becomes the regression baseline; the current run is \
+           appended after the comparison.")
+
+let report_campaign ~ctx ~confidence ~stop ~store ~out ~heatmap =
+  let progress, flush = ci_progress ~confidence () in
+  let runs = Runs.run_all ~progress ?workers:(jobs ()) ?stop_at_ci:stop ctx in
+  flush ();
+  (* history first: the freshly-saved manifests must not be their own
+     baseline *)
+  let history = Store.load_dir ~dir:store in
+  let manifests =
+    List.map (fun r -> Store.of_run ~confidence ?stop ctx r) runs
+  in
+  let report = Store.report_markdown ~confidence ~history manifests in
+  List.iter
+    (fun m -> Printf.eprintf "stored %s\n" (Store.save ~dir:store m))
+    manifests;
+  (match out with
+  | None -> print_string report
+  | Some path ->
+      let oc = open_out path in
+      output_string oc report;
+      close_out oc;
+      Printf.eprintf "wrote %s\n" path);
+  match heatmap with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      List.iter
+        (fun (r : Runs.design_run) ->
+          match Runs.coverage_of r with
+          | None -> ()
+          | Some cov ->
+              output_string oc (Partition.name r.Runs.strategy ^ "\n");
+              output_string oc (Coverage.heatmap cov);
+              output_char oc '\n')
+        runs;
+      close_out oc;
+      Printf.eprintf "wrote %s\n" path
+
 let report_cmd =
   let what =
     Arg.(
       value & pos 0 string "device"
-      & info [] ~docv:"WHAT" ~doc:"device or memory")
+      & info [] ~docv:"WHAT" ~doc:"device, memory or campaign")
   in
-  let run telem scale seed what =
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"write the campaign markdown report to $(docv) instead of stdout")
+  in
+  let heatmap_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "heatmap" ] ~docv:"FILE"
+          ~doc:
+            "write the per-design ASCII injection-coverage heatmaps \
+             (frame × offset device grid) to $(docv)")
+  in
+  let run telem scale seed faults what store out heatmap confidence stop_ci
+      stop_min =
     with_telemetry telem @@ fun () ->
-    let ctx = mk_ctx scale seed 0 in
     match what with
-    | "device" -> print_string (Reports.device_report ctx)
-    | "memory" -> print_string (Reports.memory_report ctx)
+    | "device" -> print_string (Reports.device_report (mk_ctx scale seed 0))
+    | "memory" -> print_string (Reports.memory_report (mk_ctx scale seed 0))
+    | "campaign" ->
+        let ctx = mk_ctx scale seed faults in
+        let stop = stop_rule_of ~confidence ~stop_min stop_ci in
+        report_campaign ~ctx ~confidence ~stop ~store ~out ~heatmap
     | other ->
-        Printf.eprintf "unknown report %S (device|memory)\n" other;
+        Printf.eprintf "unknown report %S (device|memory|campaign)\n" other;
         exit 2
   in
-  Cmd.v (Cmd.info "report" ~doc:"device / memory composition reports")
-    Term.(const run $ telemetry_t $ scale_t $ seed_t $ what)
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "device / memory composition reports; campaign regression report \
+          (all five designs vs. the stored history, with CIs, coverage and \
+          throughput checks)")
+    Term.(
+      const run $ telemetry_t $ scale_t $ seed_t $ faults_t $ what $ store_t
+      $ out_t $ heatmap_t $ confidence_t $ stop_ci_t $ stop_min_t)
 
 (* --- implement --- *)
 
@@ -264,24 +404,46 @@ let json_t =
            of the human-readable text (progress still goes to stderr).")
 
 let inject_cmd =
-  let run telem forensics scale seed faults design no_diff json =
+  let inject_store_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:"append this campaign's manifest to the run store at $(docv)")
+  in
+  let run telem forensics scale seed faults design no_diff json confidence
+      stop_ci stop_min store =
     with_telemetry telem @@ fun () ->
     with_forensics forensics @@ fun () ->
     let ctx = mk_ctx scale seed faults in
     let r = Runs.implement_design ctx design in
-    let progress = Progress.callback () in
+    let stop = stop_rule_of ~confidence ~stop_min stop_ci in
+    let progress, flush = ci_progress ~confidence () in
     let r =
       Runs.campaign_design ~progress ?workers:(jobs ()) ~diff:(not no_diff)
-        ctx r
+        ?stop_at_ci:stop ctx r
     in
+    flush ();
     match r.Runs.campaign with
     | None -> assert false
     | Some c ->
+        Option.iter
+          (fun dir ->
+            let m =
+              Store.of_run ~confidence ~diff:(not no_diff)
+                ~forensics:(forensics <> None) ?stop ctx r
+            in
+            Printf.eprintf "stored %s\n" (Store.save ~dir m))
+          store;
         if json then print_endline (Campaign.summary_json c)
         else begin
-          Printf.printf "%s: injected %d, wrong answers %d (%.2f%%)\n"
-            (Partition.paper_name design) c.Campaign.injected c.Campaign.wrong
-            (Campaign.wrong_percent c);
+          Printf.printf "%s: injected %d%s, wrong answers %d (%s)\n"
+            (Partition.paper_name design) c.Campaign.injected
+            (if c.Campaign.injected < c.Campaign.requested then
+               Printf.sprintf " of %d requested (CI stop)" c.Campaign.requested
+             else "")
+            c.Campaign.wrong
+            (rate_ci_line ~confidence c);
           List.iter
             (fun eff ->
               let n =
@@ -304,7 +466,8 @@ let inject_cmd =
     (Cmd.info "inject" ~doc:"fault-injection campaign on one design")
     Term.(
       const run $ telemetry_t $ forensics_file_t $ scale_t $ seed_t $ faults_t
-      $ design_t $ no_diff_t $ json_t)
+      $ design_t $ no_diff_t $ json_t $ confidence_t $ stop_ci_t $ stop_min_t
+      $ inject_store_t)
 
 (* --- explain --- *)
 
@@ -661,34 +824,50 @@ let export_cmd =
 (* --- tables --- *)
 
 let tables_cmd =
-  let run telem forensics scale seed faults no_diff =
+  let tables_json_t =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print one JSON object on stdout instead of the text tables: \
+             per design, the same engine-summary schema as $(b,inject \
+             --json) extended with slices, MHz, DUT bits by class, the \
+             paper's Table 3 row and the injection-coverage record.")
+  in
+  let run telem forensics scale seed faults no_diff json =
     with_telemetry telem @@ fun () ->
     with_forensics forensics @@ fun () ->
     let ctx = mk_ctx scale seed faults in
     let impls =
       List.map (Runs.implement_design ctx) Partition.all_paper_designs
     in
-    print_string (Tables.table2 impls);
-    print_newline ();
-    let progress = Progress.callback () in
+    if not json then begin
+      print_string (Tables.table2 impls);
+      print_newline ()
+    end;
+    let progress, flush = ci_progress ~confidence:0.95 () in
     let runs =
       List.map
         (Runs.campaign_design ~progress ?workers:(jobs ())
            ~diff:(not no_diff) ~forensics:true ctx)
         impls
     in
-    print_string (Tables.table3 runs);
-    print_newline ();
-    print_string (Tables.table4 runs);
-    print_newline ();
-    print_string (Tables.table_forensics runs)
+    flush ();
+    if json then print_endline (Tables.tables_json ctx runs)
+    else begin
+      print_string (Tables.table3 runs);
+      print_newline ();
+      print_string (Tables.table4 runs);
+      print_newline ();
+      print_string (Tables.table_forensics runs)
+    end
   in
   Cmd.v
     (Cmd.info "tables"
        ~doc:"regenerate the paper's Tables 2, 3 and 4 plus fault forensics")
     Term.(
       const run $ telemetry_t $ forensics_file_t $ scale_t $ seed_t $ faults_t
-      $ no_diff_t)
+      $ no_diff_t $ tables_json_t)
 
 let () =
   let doc = "optimal TMR voter partitioning on an SRAM FPGA (DATE'05 reproduction)" in

@@ -19,26 +19,33 @@ let implement_design (ctx : Context.t) strategy =
   in
   { strategy; nl; impl; faultlist = Faultlist.of_impl impl; campaign = None }
 
-let campaign_design ?progress ?workers ?cone_skip ?diff ?forensics
+let campaign_design ?progress ?workers ?cone_skip ?diff ?forensics ?stop_at_ci
     (ctx : Context.t) run =
   let name = Partition.name run.strategy in
   let faults =
     Faultlist.sample run.faultlist ~seed:ctx.Context.seed
       ~count:ctx.Context.faults_per_design
   in
-  let progress_cb =
-    Option.map (fun f done_ total -> f name done_ total) progress
-  in
+  let progress_cb = Option.map (fun f p -> f name p) progress in
   let campaign =
     Campaign.run ?progress:progress_cb ?workers ?cone_skip ?diff ?forensics
-      ~name ~impl:run.impl ~golden:ctx.Context.golden_nl
+      ?stop_at_ci ~name ~impl:run.impl ~golden:ctx.Context.golden_nl
       ~stimulus:ctx.Context.stimulus ~faults ()
   in
   { run with campaign = Some campaign }
 
-let run_all ?progress ?workers ?forensics ctx =
+let run_all ?progress ?workers ?forensics ?stop_at_ci ctx =
   List.map
     (fun strategy ->
-      campaign_design ?progress ?workers ?forensics ctx
+      campaign_design ?progress ?workers ?forensics ?stop_at_ci ctx
         (implement_design ctx strategy))
     Partition.all_paper_designs
+
+let coverage_of run =
+  match run.campaign with
+  | None -> None
+  | Some c ->
+      let faults = Array.map (fun r -> r.Campaign.bit) c.Campaign.results in
+      Some
+        (Tmr_inject.Coverage.of_faults ~db:run.impl.Impl.db
+           ~faultlist:run.faultlist ~faults)

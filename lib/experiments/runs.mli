@@ -14,22 +14,29 @@ val implement_design :
 (** Build, map, place, route; no fault injection. *)
 
 val campaign_design :
-  ?progress:(string -> int -> int -> unit) ->
+  ?progress:(string -> Tmr_inject.Campaign.progress -> unit) ->
   ?workers:int ->
   ?cone_skip:bool ->
   ?diff:bool ->
   ?forensics:bool ->
+  ?stop_at_ci:Tmr_obs.Stats.stop_rule ->
   Context.t ->
   design_run ->
   design_run
 (** Add the fault-injection campaign ([Context.faults_per_design] random
-    DUT bits).  [workers]/[cone_skip]/[diff]/[forensics] are forwarded to
-    {!Tmr_inject.Campaign.run}. *)
+    DUT bits).  [progress] receives the design name plus the campaign's
+    progress snapshot (completed / total / running wrong count); the
+    engine options are forwarded to {!Tmr_inject.Campaign.run}. *)
 
 val run_all :
-  ?progress:(string -> int -> int -> unit) ->
+  ?progress:(string -> Tmr_inject.Campaign.progress -> unit) ->
   ?workers:int ->
   ?forensics:bool ->
+  ?stop_at_ci:Tmr_obs.Stats.stop_rule ->
   Context.t ->
   design_run list
 (** The five paper designs, implemented and injected. *)
+
+val coverage_of : design_run -> Tmr_inject.Coverage.t option
+(** Injection coverage of the run's campaign against its fault list;
+    [None] when only implemented. *)

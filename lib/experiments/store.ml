@@ -1,0 +1,392 @@
+module Campaign = Tmr_inject.Campaign
+module Stats = Tmr_obs.Stats
+module Json = Tmr_obs.Json
+
+type manifest = {
+  m_design : string;
+  m_scale : string;
+  m_seed : int;
+  m_created : float;
+  m_workers : int;
+  m_cone_skip : bool;
+  m_diff : bool;
+  m_forensics : bool;
+  m_stop : Stats.stop_rule option;
+  m_requested : int;
+  m_injected : int;
+  m_wrong : int;
+  m_confidence : float;
+  m_rate : float;
+  m_ci_lo : float;
+  m_ci_hi : float;
+  m_faults_per_sec : float;
+  m_wall_ns : int;
+  m_utilization : float;
+  m_coverage : Json.t;
+  m_metrics_digest : string;
+}
+
+let scale_name = function
+  | Context.Paper -> "paper"
+  | Context.Reduced -> "reduced"
+
+let of_run ?(confidence = 0.95) ?(cone_skip = true) ?(diff = true)
+    ?(forensics = false) ?stop (ctx : Context.t) (run : Runs.design_run) =
+  let c =
+    match run.Runs.campaign with
+    | Some c -> c
+    | None -> invalid_arg "Store.of_run: design run has no campaign"
+  in
+  let ci = Campaign.ci ~confidence c in
+  let coverage =
+    match Runs.coverage_of run with
+    | Some cov -> Tmr_inject.Coverage.to_json cov
+    | None -> Json.Null
+  in
+  let digest =
+    Digest.to_hex
+      (Digest.string
+         (Tmr_obs.Metrics.to_json_string (Tmr_obs.Metrics.snapshot ())))
+  in
+  {
+    m_design = c.Campaign.design;
+    m_scale = scale_name ctx.Context.scale;
+    m_seed = ctx.Context.seed;
+    m_created = Unix.gettimeofday ();
+    m_workers = c.Campaign.workers;
+    m_cone_skip = cone_skip;
+    m_diff = diff;
+    m_forensics = forensics;
+    m_stop = stop;
+    m_requested = c.Campaign.requested;
+    m_injected = c.Campaign.injected;
+    m_wrong = c.Campaign.wrong;
+    m_confidence = confidence;
+    m_rate =
+      (if c.Campaign.injected = 0 then 0.
+       else float_of_int c.Campaign.wrong /. float_of_int c.Campaign.injected);
+    m_ci_lo = ci.Stats.lo;
+    m_ci_hi = ci.Stats.hi;
+    m_faults_per_sec =
+      (if c.Campaign.wall_ns <= 0 then 0.
+       else
+         float_of_int c.Campaign.injected
+         /. (float_of_int c.Campaign.wall_ns /. 1e9));
+    m_wall_ns = c.Campaign.wall_ns;
+    m_utilization = Campaign.utilization c;
+    m_coverage = coverage;
+    m_metrics_digest = digest;
+  }
+
+(* ---- JSON round trip ------------------------------------------------ *)
+
+let to_json m =
+  let num f = Json.Num f in
+  let int i = Json.Num (float_of_int i) in
+  Json.Obj
+    [
+      ("design", Json.Str m.m_design);
+      ("scale", Json.Str m.m_scale);
+      ("seed", int m.m_seed);
+      ("created", num m.m_created);
+      ("workers", int m.m_workers);
+      ("cone_skip", Json.Bool m.m_cone_skip);
+      ("diff", Json.Bool m.m_diff);
+      ("forensics", Json.Bool m.m_forensics);
+      ( "stop",
+        match m.m_stop with
+        | None -> Json.Null
+        | Some r ->
+            Json.Obj
+              [
+                ("confidence", num r.Stats.sr_confidence);
+                ("half_width", num r.Stats.sr_half_width);
+                ("min_n", int r.Stats.sr_min_n);
+              ] );
+      ("requested", int m.m_requested);
+      ("injected", int m.m_injected);
+      ("wrong", int m.m_wrong);
+      ("confidence", num m.m_confidence);
+      ("rate", num m.m_rate);
+      ("ci_lo", num m.m_ci_lo);
+      ("ci_hi", num m.m_ci_hi);
+      ("faults_per_sec", num m.m_faults_per_sec);
+      ("wall_ns", int m.m_wall_ns);
+      ("utilization", num m.m_utilization);
+      ("coverage", m.m_coverage);
+      ("metrics_digest", Json.Str m.m_metrics_digest);
+    ]
+
+let of_json j =
+  let str key = Option.bind (Json.member key j) Json.str in
+  let num key = Option.bind (Json.member key j) Json.num in
+  let int key = Option.bind (Json.member key j) Json.int in
+  let bool key = Option.bind (Json.member key j) Json.bool in
+  let require name = function
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "manifest: missing or ill-typed %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* design = require "design" (str "design") in
+  let* scale = require "scale" (str "scale") in
+  let* seed = require "seed" (int "seed") in
+  let* created = require "created" (num "created") in
+  let* workers = require "workers" (int "workers") in
+  let* cone_skip = require "cone_skip" (bool "cone_skip") in
+  let* diff = require "diff" (bool "diff") in
+  let* forensics = require "forensics" (bool "forensics") in
+  let* requested = require "requested" (int "requested") in
+  let* injected = require "injected" (int "injected") in
+  let* wrong = require "wrong" (int "wrong") in
+  let* confidence = require "confidence" (num "confidence") in
+  let* rate = require "rate" (num "rate") in
+  let* ci_lo = require "ci_lo" (num "ci_lo") in
+  let* ci_hi = require "ci_hi" (num "ci_hi") in
+  let* faults_per_sec = require "faults_per_sec" (num "faults_per_sec") in
+  let* wall_ns = require "wall_ns" (int "wall_ns") in
+  let* utilization = require "utilization" (num "utilization") in
+  let* digest = require "metrics_digest" (str "metrics_digest") in
+  let stop =
+    match Json.member "stop" j with
+    | Some (Json.Obj _ as s) -> (
+        match
+          ( Option.bind (Json.member "confidence" s) Json.num,
+            Option.bind (Json.member "half_width" s) Json.num,
+            Option.bind (Json.member "min_n" s) Json.int )
+        with
+        | Some c, Some hw, Some mn ->
+            Some
+              { Stats.sr_confidence = c; sr_half_width = hw; sr_min_n = mn }
+        | _ -> None)
+    | _ -> None
+  in
+  Ok
+    {
+      m_design = design;
+      m_scale = scale;
+      m_seed = seed;
+      m_created = created;
+      m_workers = workers;
+      m_cone_skip = cone_skip;
+      m_diff = diff;
+      m_forensics = forensics;
+      m_stop = stop;
+      m_requested = requested;
+      m_injected = injected;
+      m_wrong = wrong;
+      m_confidence = confidence;
+      m_rate = rate;
+      m_ci_lo = ci_lo;
+      m_ci_hi = ci_hi;
+      m_faults_per_sec = faults_per_sec;
+      m_wall_ns = wall_ns;
+      m_utilization = utilization;
+      m_coverage = Option.value ~default:Json.Null (Json.member "coverage" j);
+      m_metrics_digest = digest;
+    }
+
+(* ---- directory persistence ------------------------------------------ *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let save ~dir m =
+  mkdir_p dir;
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "%s-seed%d-%.0f.json" m.m_design m.m_seed
+         (m.m_created *. 1000.))
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json m));
+      output_char oc '\n');
+  path
+
+let load_dir ~dir =
+  if not (Sys.file_exists dir) then []
+  else begin
+    let files = Array.to_list (Sys.readdir dir) in
+    let manifests =
+      List.filter_map
+        (fun file ->
+          if not (Filename.check_suffix file ".json") then None
+          else begin
+            let path = Filename.concat dir file in
+            let contents =
+              let ic = open_in_bin path in
+              Fun.protect
+                ~finally:(fun () -> close_in ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            in
+            match Json.parse contents with
+            | Error _ -> None
+            | Ok j -> ( match of_json j with Ok m -> Some m | Error _ -> None)
+          end)
+        files
+    in
+    List.sort (fun a b -> compare a.m_created b.m_created) manifests
+  end
+
+let baseline_for ~history m =
+  List.fold_left
+    (fun acc h ->
+      if h.m_design = m.m_design && h.m_scale = m.m_scale then Some h else acc)
+    None history
+
+(* ---- markdown report ------------------------------------------------ *)
+
+let pct x = 100. *. x
+
+let coverage_cell j =
+  match j with
+  | Json.Null -> "-"
+  | j ->
+      let i key parent =
+        match Option.bind (Json.member key parent) Json.int with
+        | Some v -> v
+        | None -> 0
+      in
+      let essential = i "essential" j in
+      (* the top-level coverage object carries [injected_distinct]; the
+         per-class records are already deduplicated and say [injected] *)
+      let distinct =
+        match Option.bind (Json.member "injected_distinct" j) Json.int with
+        | Some v -> v
+        | None -> i "injected" j
+      in
+      if essential = 0 then "-"
+      else
+        Printf.sprintf "%d/%d (%.1f%%)" distinct essential
+          (pct (float_of_int distinct /. float_of_int essential))
+
+let report_markdown ?(confidence = 0.95) ?(throughput_drop = 0.30) ~history
+    currents =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "# Campaign report\n\n";
+  (match currents with
+  | m :: _ ->
+      Buffer.add_string b
+        (Printf.sprintf "Scale `%s`, seed %d, %d %s; confidence %.0f%%.\n\n"
+           m.m_scale m.m_seed
+           (List.length currents)
+           (if List.length currents = 1 then "design" else "designs")
+           (pct confidence))
+  | [] -> Buffer.add_string b "No campaigns.\n\n");
+  Buffer.add_string b
+    "| design | n | wrong | rate | CI | baseline | z | verdict | faults/s |\n";
+  Buffer.add_string b "|---|---|---|---|---|---|---|---|---|\n";
+  let notes = ref [] in
+  List.iter
+    (fun m ->
+      let ci_str =
+        Printf.sprintf "[%.2f%%, %.2f%%]" (pct m.m_ci_lo) (pct m.m_ci_hi)
+      in
+      let baseline = baseline_for ~history m in
+      let base_str, z_str, verdict, tput =
+        match baseline with
+        | None -> ("-", "-", "new", Printf.sprintf "%.1f" m.m_faults_per_sec)
+        | Some base ->
+            let z =
+              Stats.two_proportion_z ~n1:m.m_injected ~k1:m.m_wrong
+                ~n2:base.m_injected ~k2:base.m_wrong
+            in
+            let ok =
+              Stats.compatible ~confidence ~n1:m.m_injected ~k1:m.m_wrong
+                ~n2:base.m_injected ~k2:base.m_wrong ()
+            in
+            let verdict =
+              if ok then "compatible"
+              else if m.m_rate > base.m_rate then "**regression**"
+              else "improvement"
+            in
+            if not ok then
+              notes :=
+                Printf.sprintf
+                  "`%s`: rate %.2f%% vs baseline %.2f%% (z = %.2f, p = %.4f) \
+                   — %s"
+                  m.m_design (pct m.m_rate) (pct base.m_rate) z (Stats.p_value z)
+                  (if m.m_rate > base.m_rate then "regression" else
+                     "improvement")
+                :: !notes;
+            let tput =
+              if
+                base.m_faults_per_sec > 0.
+                && m.m_faults_per_sec
+                   < (1. -. throughput_drop) *. base.m_faults_per_sec
+              then begin
+                notes :=
+                  Printf.sprintf
+                    "`%s`: throughput regression — %.1f faults/s vs baseline \
+                     %.1f (-%.0f%%)"
+                    m.m_design m.m_faults_per_sec base.m_faults_per_sec
+                    (pct
+                       (1. -. (m.m_faults_per_sec /. base.m_faults_per_sec)))
+                  :: !notes;
+                Printf.sprintf "%.1f (was %.1f) ⚠" m.m_faults_per_sec
+                  base.m_faults_per_sec
+              end
+              else
+                Printf.sprintf "%.1f (was %.1f)" m.m_faults_per_sec
+                  base.m_faults_per_sec
+            in
+            ( Printf.sprintf "%.2f%% [%.2f%%, %.2f%%]" (pct base.m_rate)
+                (pct base.m_ci_lo) (pct base.m_ci_hi),
+              Printf.sprintf "%.2f" z,
+              verdict,
+              tput )
+      in
+      let n_str =
+        if m.m_injected < m.m_requested then
+          Printf.sprintf "%d (of %d, CI stop)" m.m_injected m.m_requested
+        else string_of_int m.m_injected
+      in
+      Buffer.add_string b
+        (Printf.sprintf "| %s | %s | %d | %.2f%% | %s | %s | %s | %s | %s |\n"
+           m.m_design n_str m.m_wrong (pct m.m_rate) ci_str base_str z_str
+           verdict tput))
+    currents;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun note -> Buffer.add_string b (Printf.sprintf "- %s\n" note))
+    (List.rev !notes);
+  if !notes <> [] then Buffer.add_char b '\n';
+  (* coverage: distinct injected bits vs. the essential-bit population *)
+  if List.exists (fun m -> m.m_coverage <> Json.Null) currents then begin
+    Buffer.add_string b "## Injection coverage\n\n";
+    Buffer.add_string b
+      "| design | essential bits covered | routing | LUT | custom | ff |\n";
+    Buffer.add_string b "|---|---|---|---|---|---|\n";
+    List.iter
+      (fun m ->
+        let class_cells =
+          let classes =
+            match Option.map Json.arr (Json.member "classes" m.m_coverage) with
+            | Some l -> l
+            | None -> []
+          in
+          List.map
+            (fun name ->
+              match
+                List.find_opt
+                  (fun c ->
+                    Option.bind (Json.member "class" c) Json.str = Some name)
+                  classes
+              with
+              | None -> "-"
+              | Some c -> coverage_cell c)
+            [ "routing"; "LUT"; "customization"; "flip-flop" ]
+        in
+        Buffer.add_string b
+          (Printf.sprintf "| %s | %s | %s |\n" m.m_design
+             (coverage_cell m.m_coverage)
+             (String.concat " | " class_cells)))
+      currents;
+    Buffer.add_char b '\n'
+  end;
+  Buffer.contents b

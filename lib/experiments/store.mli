@@ -1,0 +1,80 @@
+(** Persistent campaign run store and regression reports.
+
+    One JSON manifest per campaign, in a directory of small files (no
+    database, no locking beyond O_EXCL-free last-write-wins): enough to
+    compare tonight's run against history without re-running anything.
+    The regression report is the consumer: current campaigns vs. each
+    design's latest stored baseline, rates compared by CI overlap plus a
+    two-proportion z test, throughput by relative faults/s drop. *)
+
+type manifest = {
+  m_design : string;  (** strategy name, e.g. "tmr_p2" *)
+  m_scale : string;  (** "paper" or "reduced" *)
+  m_seed : int;
+  m_created : float;  (** Unix time the manifest was built *)
+  m_workers : int;
+  m_cone_skip : bool;
+  m_diff : bool;
+  m_forensics : bool;
+  m_stop : Tmr_obs.Stats.stop_rule option;  (** CI stop, when used *)
+  m_requested : int;
+  m_injected : int;
+  m_wrong : int;
+  m_confidence : float;  (** level of [m_ci_lo, m_ci_hi] *)
+  m_rate : float;  (** wrong / injected, in [0,1] *)
+  m_ci_lo : float;
+  m_ci_hi : float;
+  m_faults_per_sec : float;
+  m_wall_ns : int;
+  m_utilization : float;
+  m_coverage : Tmr_obs.Json.t;  (** {!Tmr_inject.Coverage.to_json}, or [Null] *)
+  m_metrics_digest : string;
+      (** MD5 hex of the process metrics snapshot at manifest time — ties
+          the manifest to its telemetry dump *)
+}
+
+val of_run :
+  ?confidence:float ->
+  ?cone_skip:bool ->
+  ?diff:bool ->
+  ?forensics:bool ->
+  ?stop:Tmr_obs.Stats.stop_rule ->
+  Context.t ->
+  Runs.design_run ->
+  manifest
+(** Build a manifest from an injected design run (raises
+    [Invalid_argument] if the run has no campaign).  The engine-config
+    flags record what the caller passed to {!Runs.campaign_design};
+    they default like the engine does (cone_skip/diff on, forensics
+    off). *)
+
+val to_json : manifest -> Tmr_obs.Json.t
+val of_json : Tmr_obs.Json.t -> (manifest, string) result
+
+val save : dir:string -> manifest -> string
+(** Write the manifest into [dir] (created if missing) as
+    [<design>-seed<seed>-<ms>.json]; returns the path. *)
+
+val load_dir : dir:string -> manifest list
+(** Every parseable manifest under [dir], oldest first.  A missing
+    directory is an empty history; unparseable files are skipped. *)
+
+val baseline_for : history:manifest list -> manifest -> manifest option
+(** Latest stored manifest with the same design and scale. *)
+
+val report_markdown :
+  ?confidence:float ->
+  ?throughput_drop:float ->
+  history:manifest list ->
+  manifest list ->
+  string
+(** Markdown report of the given campaigns against [history].
+
+    Per design: n, wrong answers, rate with CI, the baseline's rate and
+    CI, the two-proportion z, and a verdict — "compatible" when the CIs
+    overlap and |z| stays under the critical value, "regression" /
+    "improvement" otherwise by rate direction, "new" without a baseline.
+    Throughput regressions (faults/s below [1 - throughput_drop] of
+    baseline, default 0.30) are flagged separately, as are injection
+    coverage summaries.  [confidence] (default 0.95) governs the
+    compatibility test. *)

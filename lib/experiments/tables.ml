@@ -271,6 +271,73 @@ let table4 runs =
   Texttab.render t
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable emission (tmrtool tables --json): per design, the
+   same engine-summary object as [tmrtool inject --json], extended with
+   the implementation numbers the text tables show and the paper's own
+   row for direct comparison. *)
+
+module Json = Tmr_obs.Json
+
+let json_of_run (run : Runs.design_run) =
+  Option.map
+    (fun c ->
+      let base =
+        match Json.parse (Campaign.summary_json c) with
+        | Ok (Json.Obj fields) -> fields
+        | _ -> []
+      in
+      let name = Partition.name run.Runs.strategy in
+      let by_class = run.Runs.faultlist.Tmr_inject.Faultlist.by_class in
+      let int i = Json.Num (float_of_int i) in
+      let extra =
+        [
+          ("paper_name", Json.Str (Partition.paper_name run.Runs.strategy));
+          ("slices", int (Impl.used_slices run.Runs.impl));
+          ( "mhz",
+            Json.Num run.Runs.impl.Impl.timing.Tmr_pnr.Timing.mhz );
+          ( "dut_bits_by_class",
+            Json.Obj
+              (List.map
+                 (fun (cls, n) -> (Bitdb.class_name cls, int n))
+                 by_class) );
+          ( "paper",
+            match List.assoc_opt name paper_table3 with
+            | Some (injected, wrong, pct) ->
+                Json.Obj
+                  [
+                    ("injected", int injected);
+                    ("wrong", int wrong);
+                    ("wrong_percent", Json.Num pct);
+                  ]
+            | None -> Json.Null );
+          ( "coverage",
+            match Runs.coverage_of run with
+            | Some cov -> Tmr_inject.Coverage.to_json cov
+            | None -> Json.Null );
+        ]
+      in
+      (* duplicate keys shadow left-to-right in consumers; there are none
+         between the engine summary and the extensions *)
+      Json.Obj (base @ extra))
+    run.Runs.campaign
+
+let tables_json (ctx : Context.t) runs =
+  let scale =
+    match ctx.Context.scale with
+    | Context.Paper -> "paper"
+    | Context.Reduced -> "reduced"
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("scale", Json.Str scale);
+         ("seed", Json.Num (float_of_int ctx.Context.seed));
+         ( "faults_per_design",
+           Json.Num (float_of_int ctx.Context.faults_per_design) );
+         ("designs", Json.Arr (List.filter_map json_of_run runs));
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Forensics: why the campaigns rank the way they do.  Cross-domain
    faults (a footprint bridging two redundancy domains) are the upsets a
    vote cannot fix, and their share tracks the inter-domain wiring each

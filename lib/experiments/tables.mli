@@ -28,6 +28,12 @@ val table_forensics : Runs.design_run list -> string
     silent-but-internally-divergent faults.  Designs whose campaigns ran
     without forensics are omitted. *)
 
+val tables_json : Context.t -> Runs.design_run list -> string
+(** One-line JSON of the campaign results ([tmrtool tables --json]):
+    per design, the [tmrtool inject --json] engine-summary object
+    extended with slices, estimated MHz, DUT bits by class, the paper's
+    Table 3 row and the injection-coverage record. *)
+
 val paper_table2 : (string * (int * int * int * int * int)) list
 (** The paper's Table 2 rows: design -> (slices, routing bits, LUT bits,
     FF bits, MHz). *)

@@ -34,6 +34,7 @@ type engine_stats = {
 
 type t = {
   design : string;
+  requested : int;
   injected : int;
   wrong : int;
   results : fault_result array;
@@ -41,6 +42,12 @@ type t = {
   stats : engine_stats;
   wall_ns : int;
   busy_ns : int array;
+}
+
+type progress = {
+  p_completed : int;
+  p_total : int;
+  p_wrong : int;
 }
 
 let no_stats =
@@ -163,8 +170,41 @@ type io = {
   io_outs : (int array * Logic.t array array) list;
 }
 
+(* Sequential-stopping monitor.  Results land in arbitrary order, but the
+   stopping decision must be a function of the fault *prefix* in index
+   order, or the stop point would depend on scheduling.  So: a flag per
+   fault, a prefix cursor advanced under a mutex one index at a time, and
+   the CI test evaluated at every prefix length exactly once.  The first
+   prefix length that satisfies the rule becomes the stop index — the
+   same number a sequential run would compute. *)
+type monitor = {
+  mon_mutex : Mutex.t;
+  mon_flags : Bytes.t;  (* '\000' pending, '\001' silent, '\002' wrong *)
+  mutable mon_prefix : int;  (* completed prefix length *)
+  mutable mon_wrong : int;  (* wrong answers within the prefix *)
+  mon_stop : int Atomic.t;  (* stop index; max_int = keep going *)
+  mon_rule : Tmr_obs.Stats.stop_rule;
+}
+
+let monitor_note m i wrong =
+  Mutex.lock m.mon_mutex;
+  Bytes.set m.mon_flags i (if wrong then '\002' else '\001');
+  let total = Bytes.length m.mon_flags in
+  while
+    m.mon_prefix < total && Bytes.get m.mon_flags m.mon_prefix <> '\000'
+  do
+    if Bytes.get m.mon_flags m.mon_prefix = '\002' then
+      m.mon_wrong <- m.mon_wrong + 1;
+    m.mon_prefix <- m.mon_prefix + 1;
+    if
+      Atomic.get m.mon_stop = max_int
+      && Tmr_obs.Stats.should_stop m.mon_rule ~n:m.mon_prefix ~k:m.mon_wrong
+    then Atomic.set m.mon_stop m.mon_prefix
+  done;
+  Mutex.unlock m.mon_mutex
+
 let run ?progress ?workers ?(cone_skip = true) ?(diff = true)
-    ?(forensics = false) ~name ~impl ~golden ~stimulus ~faults () =
+    ?(forensics = false) ?stop_at_ci ~name ~impl ~golden ~stimulus ~faults () =
   let workers =
     match workers with Some w -> max 1 w | None -> default_workers ()
   in
@@ -321,6 +361,22 @@ let run ?progress ?workers ?(cone_skip = true) ?(diff = true)
       first_error_cycle = -1; forensics = None }
   in
   let results = Array.make total dummy in
+  let monitor =
+    Option.map
+      (fun rule ->
+        {
+          mon_mutex = Mutex.create ();
+          mon_flags = Bytes.make total '\000';
+          mon_prefix = 0;
+          mon_wrong = 0;
+          mon_stop = Atomic.make max_int;
+          mon_rule = rule;
+        })
+      stop_at_ci
+  in
+  (* running wrong-answer count for the live progress line; display-only,
+     so a moment of slack against [completed] is fine *)
+  let wrong_live = Atomic.make 0 in
   let stats_per_worker = Array.make workers no_stats in
   (* per-worker injection time; each cell is written by its owner only,
      and Domain.join publishes it to the caller *)
@@ -503,7 +559,26 @@ let run ?progress ?workers ?(cone_skip = true) ?(diff = true)
           ~args:
             [ ("bit", string_of_int bit); ("path", Fsim.path_name path) ]
           ~name:"fault" ~start_ns:t0 ~dur_ns:dt ();
-      results.(i) <- r
+      results.(i) <- r;
+      let is_wrong = r.outcome = Wrong_answer in
+      if is_wrong then ignore (Atomic.fetch_and_add wrong_live 1);
+      Option.iter (fun m -> monitor_note m i is_wrong) monitor
+  in
+  let pool_progress =
+    Option.map
+      (fun f completed total ->
+        f
+          {
+            p_completed = completed;
+            p_total = total;
+            p_wrong = Atomic.get wrong_live;
+          })
+      progress
+  in
+  let should_stop =
+    Option.map
+      (fun m () -> Atomic.get m.mon_stop < max_int)
+      monitor
   in
   let t_start = Tmr_obs.Clock.now_ns () in
   Tmr_obs.Trace.with_span
@@ -514,7 +589,8 @@ let run ?progress ?workers ?(cone_skip = true) ?(diff = true)
         ("faults", string_of_int total);
       ]
     "campaign"
-    (fun () -> Pool.run ?progress ~workers ~total worker);
+    (fun () ->
+      Pool.run ?progress:pool_progress ?should_stop ~workers ~total worker);
   let wall_ns = Tmr_obs.Clock.now_ns () - t_start in
   let busy_total = Array.fold_left ( + ) 0 busy_ns in
   Tmr_obs.Metrics.incr ~by:busy_total m_busy;
@@ -524,6 +600,19 @@ let run ?progress ?workers ?(cone_skip = true) ?(diff = true)
        float_of_int busy_total /. (float_of_int workers *. float_of_int wall_ns)
      else 0.0);
   let stats = Array.fold_left add_stats no_stats stats_per_worker in
+  (* CI stop: keep exactly the prefix that triggered the rule.  Chunks in
+     flight at the stop may have completed faults past the index (that
+     work shows in [stats]/[busy_ns]), but the kept results are the
+     index-order prefix — bit-identical to a full campaign truncated at
+     the same point, whatever the scheduling. *)
+  let effective =
+    match monitor with
+    | Some m when Atomic.get m.mon_stop < max_int -> Atomic.get m.mon_stop
+    | _ -> total
+  in
+  let results =
+    if effective < total then Array.sub results 0 effective else results
+  in
   let wrong =
     Array.fold_left
       (fun acc r -> if r.outcome = Wrong_answer then acc + 1 else acc)
@@ -545,12 +634,15 @@ let run ?progress ?workers ?(cone_skip = true) ?(diff = true)
           | None -> ())
         results
   | _ -> ());
-  { design = name; injected = total; wrong; results; workers; stats;
-    wall_ns; busy_ns }
+  { design = name; requested = total; injected = effective; wrong; results;
+    workers; stats; wall_ns; busy_ns }
 
 let wrong_percent t =
   if t.injected = 0 then 0.0
   else 100.0 *. float_of_int t.wrong /. float_of_int t.injected
+
+let ci ?confidence t =
+  Tmr_obs.Stats.wilson ?confidence ~n:t.injected ~k:t.wrong ()
 
 (* ------------------------------------------------------------------ *)
 (* Forensic aggregation: the per-design numbers that explain Table 2's
@@ -615,12 +707,13 @@ let forensic_summary t =
 
 let summary_json t =
   let b = Buffer.create 512 in
+  let i = ci t in
   Buffer.add_string b
     (Printf.sprintf
-       "{\"design\":\"%s\",\"injected\":%d,\"wrong\":%d,\"wrong_percent\":%.4f,\"workers\":%d,\"wall_ns\":%d,\"utilization\":%.4f"
+       "{\"design\":\"%s\",\"requested\":%d,\"injected\":%d,\"wrong\":%d,\"wrong_percent\":%.4f,\"ci\":{\"confidence\":0.95,\"lo\":%.6f,\"hi\":%.6f},\"workers\":%d,\"wall_ns\":%d,\"utilization\":%.4f"
        (Tmr_obs.Jsonl.escape t.design)
-       t.injected t.wrong (wrong_percent t) t.workers t.wall_ns
-       (utilization t));
+       t.requested t.injected t.wrong (wrong_percent t) i.Tmr_obs.Stats.lo
+       i.Tmr_obs.Stats.hi t.workers t.wall_ns (utilization t));
   Buffer.add_string b
     (Printf.sprintf
        ",\"plan_paths\":{\"silent\":%d,\"patched\":%d,\"rerouted\":%d,\"rebuilt\":%d,\"diffed\":%d,\"converged\":%d}"

@@ -63,16 +63,31 @@ type engine_stats = {
 
 type t = {
   design : string;
+  requested : int;  (** length of the fault list the campaign was given *)
   injected : int;
+      (** faults whose results were kept: [requested], or the CI stop
+          index when [?stop_at_ci] fired ([= Array.length results]) *)
   wrong : int;
   results : fault_result array;
   workers : int;  (** worker count the campaign actually used *)
   stats : engine_stats;
+      (** covers all work the engine performed — on a CI-stopped campaign
+          that can exceed [injected] (in-flight chunks past the stop) *)
   wall_ns : int;  (** wall-clock time of the injection loop *)
   busy_ns : int array;
       (** per-worker time spent injecting (length [workers]); the gap to
           [workers * wall_ns] is claim contention plus pool ramp-down *)
 }
+
+type progress = {
+  p_completed : int;  (** faults completed so far *)
+  p_total : int;  (** faults requested *)
+  p_wrong : int;
+      (** wrong answers observed so far — read from a live counter, so it
+          may trail [p_completed] by the few faults still in flight *)
+}
+(** Snapshot handed to the progress callback: enough to render a live
+    wrong-answer rate ± CI next to the bar. *)
 
 val utilization : t -> float
 (** [sum busy_ns / (workers * wall_ns)] in [0,1] — how busy the average
@@ -95,11 +110,12 @@ val golden_outputs :
     bit values sampled combinationally (before each clock edge). *)
 
 val run :
-  ?progress:(int -> int -> unit) ->
+  ?progress:(progress -> unit) ->
   ?workers:int ->
   ?cone_skip:bool ->
   ?diff:bool ->
   ?forensics:bool ->
+  ?stop_at_ci:Tmr_obs.Stats.stop_rule ->
   name:string ->
   impl:Tmr_pnr.Impl.t ->
   golden:Tmr_netlist.Netlist.t ->
@@ -123,14 +139,26 @@ val run :
     Collection is read-only: outcomes are bit-identical with it on or
     off.
 
-    [progress] is called as [f completed total] from worker domains,
-    serialized and rate-limited by the pool.
+    [stop_at_ci] enables sequential stopping: the campaign terminates as
+    soon as the Wilson CI of the wrong-answer rate over the completed
+    fault *prefix* (in fault-index order) narrows to the rule's half
+    width.  The stop index is a pure function of the fault list — never
+    of worker count or scheduling — so a stopped campaign's [results]
+    are bit-identical to the same full campaign truncated at
+    [injected].  Workers finish in-flight chunks before draining; that
+    overshoot appears in [stats] and [busy_ns] but not in [results].
+
+    [progress] is called with a {!progress} snapshot from worker
+    domains, serialized and rate-limited by the pool.
 
     Raises [Failure] if the un-faulted DUT does not match the golden
     device (an implementation-flow bug, not a fault); the message names
     the first disagreeing port, bit and expected/actual values. *)
 
 val wrong_percent : t -> float
+
+val ci : ?confidence:float -> t -> Tmr_obs.Stats.interval
+(** Wilson CI (default 95 %) on the campaign's wrong-answer rate. *)
 
 (** {1 Forensic aggregation} *)
 
@@ -150,6 +178,7 @@ val forensic_summary : t -> forensic_summary option
     campaign ran without forensics. *)
 
 val summary_json : t -> string
-(** One-line JSON engine summary: injected/wrong/wrong_percent, worker
-    utilization, plan-path breakdown, wrong answers per effect class and
-    the forensic aggregate (or [null]) — [tmrtool inject --json]. *)
+(** One-line JSON engine summary: requested/injected/wrong/wrong_percent
+    with its 95 % Wilson CI, worker utilization, plan-path breakdown,
+    wrong answers per effect class and the forensic aggregate (or
+    [null]) — [tmrtool inject --json]. *)

@@ -20,6 +20,7 @@ type shared = {
   chunk : int;
   milestone : int;  (* report progress at most every this many items *)
   progress : (int -> int -> unit) option;
+  should_stop : (unit -> bool) option;
 }
 
 let locked s f =
@@ -33,12 +34,15 @@ let locked s f =
 let m_claim_wait = Tmr_obs.Metrics.histogram "pool.claim_wait_ns"
 let m_chunks = Tmr_obs.Metrics.counter "pool.chunks"
 
-(* Claim the next chunk, or None when done/cancelled. *)
+(* Claim the next chunk, or None when done/cancelled/stopped.  The stop
+   predicate runs outside the mutex: it is a monotone flag (once true,
+   forever true), so the worst a race costs is one extra chunk. *)
 let claim s =
+  let stopped = match s.should_stop with Some f -> f () | None -> false in
   let t0 = Tmr_obs.Clock.now_ns () in
   let r =
     locked s (fun () ->
-        if s.failure <> None || s.next >= s.total then None
+        if stopped || s.failure <> None || s.next >= s.total then None
         else begin
           let lo = s.next in
           let hi = min s.total (lo + s.chunk) in
@@ -81,7 +85,7 @@ let worker_loop s body =
             continue := false)
   done
 
-let run ?progress ?(chunk = 16) ~workers ~total body =
+let run ?progress ?should_stop ?(chunk = 16) ~workers ~total body =
   if total < 0 then invalid_arg "Pool.run: negative total";
   if workers < 1 then invalid_arg "Pool.run: needs at least one worker";
   if chunk < 1 then invalid_arg "Pool.run: chunk must be positive";
@@ -96,6 +100,7 @@ let run ?progress ?(chunk = 16) ~workers ~total body =
       chunk;
       milestone = max 1 (min chunk (total / 100));
       progress;
+      should_stop;
     }
   in
   if workers = 1 || total <= chunk then
@@ -122,7 +127,9 @@ let run ?progress ?(chunk = 16) ~workers ~total body =
   match s.failure with
   | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
   | None ->
-      (* final progress tick so callers always see 100% *)
+      (* final progress tick so callers always see the end state (100%
+         for full runs, the stop point for early-stopped ones) *)
       (match progress with
-      | Some f when s.reported < total -> f total total
+      | Some f when s.reported < s.completed || s.reported < total ->
+          f s.completed total
       | _ -> ())

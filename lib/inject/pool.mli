@@ -9,6 +9,7 @@
 
 val run :
   ?progress:(int -> int -> unit) ->
+  ?should_stop:(unit -> bool) ->
   ?chunk:int ->
   workers:int ->
   total:int ->
@@ -23,7 +24,13 @@ val run :
 
     [progress] is called as [f completed total], serialized under the pool
     mutex and rate-limited to at most one call per ~1% of [total] (plus a
-    final [f total total]).  It must not raise.
+    final tick at the end state).  It must not raise.
+
+    [should_stop] is polled before each chunk claim (outside the mutex);
+    once it returns true no further chunks are handed out and workers
+    drain.  The predicate must be monotone — once true, always true.
+    In-flight chunks still finish, so more items than strictly necessary
+    may complete; the caller decides which prefix of results to keep.
 
     [chunk] (default 16) is the number of consecutive items claimed at a
     time.

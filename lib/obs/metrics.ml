@@ -115,6 +115,7 @@ type hist_summary = {
   p50 : float;
   p95 : float;
   p99 : float;
+  buckets : (int * int) array;
 }
 
 type snapshot = {
@@ -148,6 +149,16 @@ let percentile_of_buckets merged total q =
     float_of_int (if !i = nbuckets - 1 then bounds.(nbuckets - 2) else bounds.(!i))
   end
 
+(* Keep only occupied buckets: 128 mostly-zero rows per histogram would
+   swamp the snapshot, and the boundaries are reconstructible from the
+   (bound, count) pairs alone. *)
+let occupied_buckets merged =
+  let occupied = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if merged.(i) > 0 then occupied := (bounds.(i), merged.(i)) :: !occupied
+  done;
+  Array.of_list !occupied
+
 let summarize h =
   let merged = merge_buckets h in
   let count = sum_row h.h_count in
@@ -159,6 +170,7 @@ let summarize h =
     p50 = percentile_of_buckets merged count 0.50;
     p95 = percentile_of_buckets merged count 0.95;
     p99 = percentile_of_buckets merged count 0.99;
+    buckets = occupied_buckets merged;
   }
 
 let percentile h q =
@@ -249,6 +261,19 @@ let to_json_string ?(indent = 2) snap =
         ("p50", fun () -> Buffer.add_string b (json_float s.p50));
         ("p95", fun () -> Buffer.add_string b (json_float s.p95));
         ("p99", fun () -> Buffer.add_string b (json_float s.p99));
+        ( "buckets",
+          fun () ->
+            (* [[upper_bound, count], ...] — occupied buckets only; the
+               catch-all bucket's bound prints as -1 rather than
+               max_int, which no JSON reader would survive. *)
+            Buffer.add_char b '[';
+            Array.iteri
+              (fun i (bound, count) ->
+                if i > 0 then Buffer.add_char b ',';
+                let bound = if bound = max_int then -1 else bound in
+                Buffer.add_string b (Printf.sprintf "[%d,%d]" bound count))
+              s.buckets;
+            Buffer.add_char b ']' );
       ]
   in
   obj 0

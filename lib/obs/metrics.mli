@@ -49,6 +49,12 @@ type hist_summary = {
       (** upper bound of the bucket holding the percentile rank — an
           over-estimate by at most the bucket ratio (~26%); 0 when the
           histogram is empty *)
+  buckets : (int * int) array;
+      (** occupied buckets only, ascending, as [(upper_bound, count)];
+          counts sum to [count].  The catch-all last bucket's bound is
+          [max_int].  In the JSON snapshot this renders as
+          [[[bound, count], ...]] with the catch-all bound as [-1], so
+          external tools can re-plot the full latency distribution. *)
 }
 
 type snapshot = {

@@ -12,6 +12,8 @@ type t = {
   mutable last_decile : int;  (* non-tty: last 10%-step printed *)
   mutable last_width : int;  (* tty: printed width to blank out *)
   mutable finished : bool;
+  mutable note : string;  (* free-form suffix, e.g. running rate ± CI *)
+  mutable last_done : int;  (* latest count seen, for early-stop finish *)
 }
 
 let create ?(out = stderr) ~label ~total () =
@@ -27,7 +29,11 @@ let create ?(out = stderr) ~label ~total () =
     last_decile = -1;
     last_width = 0;
     finished = false;
+    note = "";
+    last_done = 0;
   }
+
+let set_note t note = t.note <- note
 
 let eta_string seconds =
   if Float.is_nan seconds || seconds < 0.0 then "?"
@@ -54,8 +60,9 @@ let line t done_ =
     else if rate <= 0.0 then "?"
     else eta_string (float_of_int (t.total - done_) /. rate)
   in
-  Printf.sprintf "%s: %d/%d (%.0f%%) %.1f/s eta %s" t.label done_ t.total pct
+  Printf.sprintf "%s: %d/%d (%.0f%%) %.1f/s eta %s%s" t.label done_ t.total pct
     rate eta
+    (if t.note = "" then "" else "  " ^ t.note)
 
 let render t done_ =
   if t.tty then begin
@@ -77,6 +84,7 @@ let render t done_ =
 
 let update t done_ =
   if not t.finished then begin
+    t.last_done <- done_;
     let now = Clock.now_ns () in
     if (not t.tty) || now - t.last_render_ns > 100_000_000 then begin
       t.last_render_ns <- now;
@@ -84,24 +92,28 @@ let update t done_ =
     end
   end
 
-let finish t =
+let finish ?at t =
   if not t.finished then begin
     t.finished <- true;
+    let final = Option.value at ~default:t.total in
     if t.tty then begin
-      render t t.total;
+      render t final;
       Printf.fprintf t.out "\n%!"
     end
-    else if t.last_decile < 10 then render t t.total
+    else if t.last_decile < 10 then begin
+      t.last_decile <- 10;
+      Printf.fprintf t.out "%s\n%!" (line t final)
+    end
   end
 
-let callback ?out () =
+let callback_note ?out () =
   let current = ref None in
-  fun label done_ total ->
+  let cb label note done_ total =
     let bar =
       match !current with
       | Some bar when bar.label = label && not bar.finished -> bar
       | Some bar ->
-          if not bar.finished then finish bar;
+          if not bar.finished then finish ~at:bar.last_done bar;
           let bar = create ?out ~label ~total () in
           current := Some bar;
           bar
@@ -110,4 +122,16 @@ let callback ?out () =
           current := Some bar;
           bar
     in
+    set_note bar note;
     if done_ >= total then finish bar else update bar done_
+  in
+  let flush () =
+    match !current with
+    | Some bar when not bar.finished -> finish ~at:bar.last_done bar
+    | _ -> ()
+  in
+  (cb, flush)
+
+let callback ?out () =
+  let cb, _flush = callback_note ?out () in
+  fun label done_ total -> cb label "" done_ total

@@ -15,9 +15,15 @@ val update : t -> int -> unit
     rate-limited internally, so callers may invoke it as often as they
     like. *)
 
-val finish : t -> unit
+val set_note : t -> string -> unit
+(** Free-form suffix appended to the rendered line (after the ETA) —
+    the campaign progress uses it for the running wrong-answer rate
+    ± CI.  Empty string removes it. *)
+
+val finish : ?at:int -> t -> unit
 (** Render the final state and release the line (newline on a TTY).
-    Idempotent. *)
+    [at] overrides the final count (default [total]) — for campaigns
+    stopped early by a CI rule.  Idempotent. *)
 
 val callback : ?out:out_channel -> unit -> string -> int -> int -> unit
 (** A labelled progress callback compatible with
@@ -25,3 +31,13 @@ val callback : ?out:out_channel -> unit -> string -> int -> int -> unit
     per label; when the label changes (the next campaign of a multi-run
     starts) the previous bar is finished first, and a bar is finished as
     soon as its count reaches its total. *)
+
+val callback_note :
+  ?out:out_channel ->
+  unit ->
+  (string -> string -> int -> int -> unit) * (unit -> unit)
+(** Like {!callback} with a per-update note: the first component is
+    called as [cb label note done_ total].  The second finishes the
+    current bar at its last seen count — call it after a campaign that
+    may have stopped early (a CI stop never delivers [done_ = total], so
+    the bar would otherwise hold the line open). *)

@@ -1,0 +1,222 @@
+type interval = {
+  lo : float;
+  hi : float;
+}
+
+(* ---- normal distribution ------------------------------------------- *)
+
+let normal_cdf x = 0.5 *. Float.erfc (-.x /. Float.sqrt 2.0)
+
+(* Acklam's rational approximation to the inverse normal CDF, refined by
+   one Halley step against [normal_cdf].  Good to ~1e-12 everywhere we
+   care (confidence levels between 0.5 and 0.9999). *)
+let normal_quantile p =
+  if not (p > 0. && p < 1.) then
+    invalid_arg "Stats.normal_quantile: p outside (0, 1)";
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  in
+  let b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  in
+  let c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  in
+  let d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let poly coeffs x =
+    Array.fold_left (fun acc c -> (acc *. x) +. c) 0. coeffs
+  in
+  let p_low = 0.02425 in
+  let x =
+    if p < p_low then
+      let q = sqrt (-2. *. log p) in
+      poly c q /. ((poly d q *. q) +. 1.)
+    else if p <= 1. -. p_low then
+      let q = p -. 0.5 in
+      let r = q *. q in
+      poly a r *. q /. ((poly b r *. r) +. 1.)
+    else
+      let q = sqrt (-2. *. log (1. -. p)) in
+      -.(poly c q) /. ((poly d q *. q) +. 1.)
+  in
+  (* Halley refinement: e = F(x) - p, u = e / phi(x). *)
+  let e = normal_cdf x -. p in
+  let u = e *. Float.sqrt (2. *. Float.pi) *. exp (x *. x /. 2.) in
+  x -. (u /. (1. +. (x *. u /. 2.)))
+
+let z_of confidence =
+  if not (confidence > 0. && confidence < 1.) then
+    invalid_arg "Stats.z_of: confidence outside (0, 1)";
+  normal_quantile (0.5 +. (confidence /. 2.))
+
+let clamp01 x = Float.min 1. (Float.max 0. x)
+
+(* ---- Wilson score interval ----------------------------------------- *)
+
+let wilson ?(confidence = 0.95) ~n ~k () =
+  if n <= 0 then { lo = 0.; hi = 1. }
+  else begin
+    let z = z_of confidence in
+    let nf = float_of_int n and kf = float_of_int k in
+    let p = kf /. nf in
+    let z2 = z *. z in
+    let denom = 1. +. (z2 /. nf) in
+    let centre = p +. (z2 /. (2. *. nf)) in
+    let spread =
+      z *. sqrt ((p *. (1. -. p) /. nf) +. (z2 /. (4. *. nf *. nf)))
+    in
+    {
+      lo = clamp01 ((centre -. spread) /. denom);
+      hi = clamp01 ((centre +. spread) /. denom);
+    }
+  end
+
+(* ---- Clopper–Pearson via the regularized incomplete beta ------------ *)
+
+(* Lanczos approximation, g = 7, n = 9 (Numerical Recipes coefficients). *)
+let ln_gamma x =
+  let cof =
+    [| 57.1562356658629235; -59.5979603554754912; 14.1360979747417471;
+       -0.491913816097620199; 0.339946499848118887e-4; 0.465236289270485756e-4;
+       -0.983744753048795646e-4; 0.158088703224912494e-3;
+       -0.210264441724104883e-3; 0.217439618115212643e-3;
+       -0.164318106536763890e-3; 0.844182239838527433e-4;
+       -0.261908384015814087e-4; 0.368991826595316234e-5 |]
+  in
+  let y = ref x in
+  let tmp = x +. 5.24218750000000000 in
+  let tmp = ((x +. 0.5) *. log tmp) -. tmp in
+  let ser = ref 0.999999999999997092 in
+  for j = 0 to Array.length cof - 1 do
+    y := !y +. 1.;
+    ser := !ser +. (cof.(j) /. !y)
+  done;
+  tmp +. log (2.5066282746310005 *. !ser /. x)
+
+(* Continued-fraction evaluation of the incomplete beta (NR betacf). *)
+let betacf a b x =
+  let maxit = 200 in
+  let eps = 3e-12 in
+  let fpmin = 1e-300 in
+  let qab = a +. b and qap = a +. 1. and qam = a -. 1. in
+  let c = ref 1. in
+  let d = ref (1. -. (qab *. x /. qap)) in
+  if Float.abs !d < fpmin then d := fpmin;
+  d := 1. /. !d;
+  let h = ref !d in
+  (try
+     for m = 1 to maxit do
+       let mf = float_of_int m in
+       let m2 = 2. *. mf in
+       let aa = mf *. (b -. mf) *. x /. ((qam +. m2) *. (a +. m2)) in
+       d := 1. +. (aa *. !d);
+       if Float.abs !d < fpmin then d := fpmin;
+       c := 1. +. (aa /. !c);
+       if Float.abs !c < fpmin then c := fpmin;
+       d := 1. /. !d;
+       h := !h *. !d *. !c;
+       let aa =
+         -.(a +. mf) *. (qab +. mf) *. x /. ((a +. m2) *. (qap +. m2))
+       in
+       d := 1. +. (aa *. !d);
+       if Float.abs !d < fpmin then d := fpmin;
+       c := 1. +. (aa /. !c);
+       if Float.abs !c < fpmin then c := fpmin;
+       d := 1. /. !d;
+       let del = !d *. !c in
+       h := !h *. del;
+       if Float.abs (del -. 1.) < eps then raise Exit
+     done
+   with Exit -> ());
+  !h
+
+(* Regularized incomplete beta I_x(a, b). *)
+let betai a b x =
+  if x <= 0. then 0.
+  else if x >= 1. then 1.
+  else begin
+    let bt =
+      exp
+        (ln_gamma (a +. b) -. ln_gamma a -. ln_gamma b
+        +. (a *. log x)
+        +. (b *. log (1. -. x)))
+    in
+    if x < (a +. 1.) /. (a +. b +. 2.) then bt *. betacf a b x /. a
+    else 1. -. (bt *. betacf b a (1. -. x) /. b)
+  end
+
+(* Invert I_x(a, b) = p by bisection — robust and plenty fast for the few
+   calls per campaign. *)
+let betai_inv a b p =
+  if p <= 0. then 0.
+  else if p >= 1. then 1.
+  else begin
+    let lo = ref 0. and hi = ref 1. in
+    for _ = 1 to 100 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if betai a b mid < p then lo := mid else hi := mid
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+let clopper_pearson ?(confidence = 0.95) ~n ~k () =
+  if n <= 0 then { lo = 0.; hi = 1. }
+  else begin
+    let alpha = 1. -. confidence in
+    let nf = float_of_int n and kf = float_of_int k in
+    let lo =
+      if k <= 0 then 0. else betai_inv kf (nf -. kf +. 1.) (alpha /. 2.)
+    in
+    let hi =
+      if k >= n then 1.
+      else betai_inv (kf +. 1.) (nf -. kf) (1. -. (alpha /. 2.))
+    in
+    { lo = clamp01 lo; hi = clamp01 hi }
+  end
+
+(* ---- comparisons ---------------------------------------------------- *)
+
+let overlap a b = a.lo <= b.hi && b.lo <= a.hi
+
+let two_proportion_z ~n1 ~k1 ~n2 ~k2 =
+  if n1 <= 0 || n2 <= 0 then 0.
+  else begin
+    let n1f = float_of_int n1 and n2f = float_of_int n2 in
+    let p1 = float_of_int k1 /. n1f and p2 = float_of_int k2 /. n2f in
+    let pool = float_of_int (k1 + k2) /. (n1f +. n2f) in
+    let var = pool *. (1. -. pool) *. ((1. /. n1f) +. (1. /. n2f)) in
+    if var <= 0. then 0. else (p1 -. p2) /. sqrt var
+  end
+
+let p_value z = Float.erfc (Float.abs z /. Float.sqrt 2.0)
+
+let compatible ?(confidence = 0.95) ~n1 ~k1 ~n2 ~k2 () =
+  let i1 = wilson ~confidence ~n:n1 ~k:k1 () in
+  let i2 = wilson ~confidence ~n:n2 ~k:k2 () in
+  let z = two_proportion_z ~n1 ~k1 ~n2 ~k2 in
+  overlap i1 i2 && Float.abs z < z_of confidence
+
+(* ---- sequential stopping -------------------------------------------- *)
+
+type stop_rule = {
+  sr_confidence : float;
+  sr_half_width : float;
+  sr_min_n : int;
+}
+
+let stop_rule ?(confidence = 0.95) ?(min_n = 100) ~half_width () =
+  if not (half_width > 0.) then
+    invalid_arg "Stats.stop_rule: half_width must be positive";
+  { sr_confidence = confidence; sr_half_width = half_width; sr_min_n = min_n }
+
+let should_stop r ~n ~k =
+  n >= r.sr_min_n
+  &&
+  let i = wilson ~confidence:r.sr_confidence ~n ~k () in
+  (i.hi -. i.lo) /. 2. <= r.sr_half_width

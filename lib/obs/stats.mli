@@ -1,0 +1,78 @@
+(** Campaign statistics: binomial confidence intervals, two-campaign
+    compatibility tests, and the CI-width sequential stopping rule.
+
+    A fault-injection campaign estimates a wrong-answer {e rate} from [k]
+    wrong answers in [n] injected faults — a binomial proportion.  The
+    paper's Table 3 rates (97.10 / 4.03 / 0.98 / 1.56 / 12.60 %) are
+    point estimates of exactly this kind; everything here exists to say
+    how much those points can be trusted and whether two of them differ.
+
+    All functions are pure, allocation-light and domain-safe. *)
+
+type interval = {
+  lo : float;
+  hi : float;
+}
+(** A two-sided confidence interval on a proportion, both ends in
+    [0, 1]. *)
+
+val normal_cdf : float -> float
+(** Standard normal cumulative distribution function. *)
+
+val normal_quantile : float -> float
+(** Inverse of {!normal_cdf} on (0, 1) (Acklam's approximation plus one
+    Halley refinement; absolute error well under 1e-9).  Raises
+    [Invalid_argument] outside (0, 1). *)
+
+val z_of : float -> float
+(** [z_of confidence] is the two-sided critical value: [z_of 0.95] ≈
+    1.95996.  [confidence] must be in (0, 1). *)
+
+val wilson : ?confidence:float -> n:int -> k:int -> unit -> interval
+(** Wilson score interval for [k] successes in [n] trials (default 95 %).
+    Never degenerate at [k = 0] or [k = n], which is what a campaign
+    needs: a TMR design with zero observed wrong answers still gets a
+    finite upper bound.  [n <= 0] yields the vacuous [0, 1]. *)
+
+val clopper_pearson : ?confidence:float -> n:int -> k:int -> unit -> interval
+(** Exact (conservative) Clopper–Pearson interval, via the regularized
+    incomplete beta function.  Always at least as wide as {!wilson};
+    guaranteed coverage at any [n].  [n <= 0] yields [0, 1]. *)
+
+val overlap : interval -> interval -> bool
+
+val two_proportion_z : n1:int -> k1:int -> n2:int -> k2:int -> float
+(** Two-proportion z statistic with pooled variance: positive when
+    campaign 1's rate is higher.  0 when either [n] is non-positive or
+    the pooled variance vanishes (both rates 0 or both 1). *)
+
+val p_value : float -> float
+(** Two-sided p-value of a z statistic. *)
+
+val compatible :
+  ?confidence:float -> n1:int -> k1:int -> n2:int -> k2:int -> unit -> bool
+(** Are two campaigns' wrong-answer rates statistically compatible at the
+    given confidence (default 95 %)?  True iff their Wilson intervals
+    overlap {e and} the two-proportion z statistic stays below the
+    critical value — the conjunction is stricter than either test alone
+    and is what the regression report uses. *)
+
+(** {1 Sequential stopping} *)
+
+type stop_rule = {
+  sr_confidence : float;  (** CI confidence level, e.g. 0.95 *)
+  sr_half_width : float;
+      (** target CI half-width on the rate, as a fraction (0.005 = ±0.5
+          percentage points) *)
+  sr_min_n : int;  (** never stop before this many faults *)
+}
+(** Stop a campaign once the wrong-answer rate is known to ± half-width:
+    checked against the Wilson interval over the injected prefix. *)
+
+val stop_rule :
+  ?confidence:float -> ?min_n:int -> half_width:float -> unit -> stop_rule
+(** Defaults: 95 % confidence, [min_n] 100. *)
+
+val should_stop : stop_rule -> n:int -> k:int -> bool
+(** [should_stop rule ~n ~k]: has the Wilson CI of [k]/[n] shrunk to the
+    requested half-width (and [n >= sr_min_n])? *)

@@ -29,6 +29,45 @@ let test_reports () =
     (contains mr "routing");
   Alcotest.(check bool) "memory report cites 82.9" true (contains mr "82.9")
 
+(* Golden assertions against the paper's XC2S200E constants: the report
+   must quote them verbatim, and at paper scale the model's own geometry
+   must land on (or near) them. *)
+let test_paper_constants () =
+  let c = Context.create ~scale:Context.Paper ~seed:1 () in
+  let dr = Reports.device_report c in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "device report cites %S" s)
+        true (contains dr s))
+    [ "28 x 42"; "1,442,016"; "2,501"; "576"; "4,704 (2,352 slices x 2)" ];
+  let p = c.Context.dev.Tmr_arch.Device.params in
+  Alcotest.(check int) "CLB rows" 28 p.Tmr_arch.Arch.rows;
+  Alcotest.(check int) "CLB cols" 42 p.Tmr_arch.Arch.cols;
+  Alcotest.(check int) "frame bits exactly the paper's" 576
+    (Tmr_arch.Bitdb.frame_bits c.Context.db);
+  let mr = Reports.memory_report c in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "memory report cites %S" s)
+        true (contains mr s))
+    [ "routing"; "LUT"; "customization"; "flip-flop";
+      "82.9"; "7.4"; "6.36"; "0.46" ];
+  (* the model's composition tracks the paper's split *)
+  let counts = Tmr_arch.Bitdb.class_counts c.Context.db in
+  let total = float_of_int (Tmr_arch.Bitdb.num_bits c.Context.db) in
+  let pct cls = 100.0 *. float_of_int (List.assoc cls counts) /. total in
+  let near what paper tol actual =
+    if Float.abs (actual -. paper) > tol then
+      Alcotest.failf "%s: %.2f%% not within %.1f of the paper's %.2f%%" what
+        actual tol paper
+  in
+  near "routing share" 82.9 5.0 (pct Tmr_arch.Bitdb.Class_routing);
+  near "LUT share" 7.4 2.0 (pct Tmr_arch.Bitdb.Class_lut);
+  near "customization share" 6.36 3.0 (pct Tmr_arch.Bitdb.Class_custom);
+  near "flip-flop share" 0.46 0.5 (pct Tmr_arch.Bitdb.Class_ff)
+
 let runs =
   lazy
     (let c = Lazy.force ctx in
@@ -116,6 +155,8 @@ let () =
       ( "experiments",
         [
           Alcotest.test_case "SS2/SS4 reports" `Quick test_reports;
+          Alcotest.test_case "paper XC2S200E constants" `Quick
+            test_paper_constants;
           Alcotest.test_case "tables 2 and 3" `Quick test_table2_table3;
           Alcotest.test_case "table 4" `Quick test_table4;
           Alcotest.test_case "fig 2" `Quick test_fig2;

@@ -251,6 +251,61 @@ let test_percentile_edge_cases () =
   in_range "uniform p99" 990.0 1300.0 su.Metrics.p99;
   Alcotest.(check (float 0.001)) "uniform mean exact" 500.5 su.Metrics.mean
 
+let test_hist_buckets () =
+  let h = Metrics.histogram "test.buckets.hist" in
+  Metrics.observe h 1;
+  Metrics.observe h 1000;
+  Metrics.observe h 1000;
+  Metrics.observe h 1_000_000;
+  (* far beyond the last finite bound: lands in the max_int catch-all *)
+  Metrics.observe h 1_000_000_000_000_000_000;
+  let hs =
+    List.assoc "test.buckets.hist" (Metrics.snapshot ()).Metrics.histograms
+  in
+  Alcotest.(check int) "count" 5 hs.Metrics.count;
+  let bsum = Array.fold_left (fun acc (_, c) -> acc + c) 0 hs.Metrics.buckets in
+  Alcotest.(check int) "bucket counts sum to count" hs.Metrics.count bsum;
+  Array.iter
+    (fun (_, c) -> Alcotest.(check bool) "only occupied buckets" true (c > 0))
+    hs.Metrics.buckets;
+  let bounds = Array.map fst hs.Metrics.buckets in
+  Array.iteri
+    (fun i b ->
+      if i > 0 then
+        Alcotest.(check bool) "bounds ascending" true (b > bounds.(i - 1)))
+    bounds;
+  let last_bound, _ = hs.Metrics.buckets.(Array.length hs.Metrics.buckets - 1) in
+  Alcotest.(check int) "huge sample in the catch-all" max_int last_bound;
+  (* the JSON snapshot exposes the same buckets, catch-all bound as -1 *)
+  let j = parse_json (Metrics.to_json_string (Metrics.snapshot ())) in
+  let buckets =
+    Option.bind (member "histograms" j) (member "test.buckets.hist")
+    |> Fun.flip Option.bind (member "buckets")
+  in
+  match buckets with
+  | Some (Arr pairs) ->
+      Alcotest.(check int) "JSON bucket count"
+        (Array.length hs.Metrics.buckets)
+        (List.length pairs);
+      let jsum =
+        List.fold_left
+          (fun acc p ->
+            match p with
+            | Arr [ Num bound; Num c ] ->
+                Alcotest.(check bool) "JSON bound is -1 or positive" true
+                  (bound = -1.0 || bound > 0.0);
+                acc + int_of_float c
+            | _ -> Alcotest.fail "bucket is not a [bound, count] pair")
+          0 pairs
+      in
+      Alcotest.(check int) "JSON bucket counts sum to count" hs.Metrics.count
+        jsum;
+      (match List.rev pairs with
+      | Arr [ Num bound; Num _ ] :: _ ->
+          Alcotest.(check (float 0.0)) "catch-all renders as -1" (-1.0) bound
+      | _ -> Alcotest.fail "no last bucket")
+  | _ -> Alcotest.fail "buckets missing from JSON snapshot"
+
 let test_snapshot_json_parses () =
   let c = Metrics.counter "test.json.counter\"quoted\"" in
   Metrics.incr ~by:42 c;
@@ -474,6 +529,8 @@ let () =
             test_concurrent_exact;
           Alcotest.test_case "percentile edge cases" `Quick
             test_percentile_edge_cases;
+          Alcotest.test_case "histogram buckets in snapshot" `Quick
+            test_hist_buckets;
           Alcotest.test_case "snapshot JSON parses" `Quick
             test_snapshot_json_parses;
         ] );
