@@ -154,20 +154,34 @@ type crow = {
   cr_snap : Tmr_obs.Metrics.snapshot;
 }
 
-let measure_row ?(forensics = false) ?stop_at_ci ~name ~workers ~cone_skip
-    ~diff ctx run =
+let measure_row ?(forensics = false) ?stop_at_ci ?(batch_width = 0)
+    ?(repeat = 1) ~name ~workers ~cone_skip ~diff ctx run =
   (* level the field between rows: the sequential oracle leaves a major
      heap full of dead simulators that would slow later rows' GC; the
-     telemetry reset isolates each row's snapshot to its own engine *)
-  Gc.compact ();
-  Tmr_obs.Metrics.reset ();
-  let t0 = Unix.gettimeofday () in
-  let r =
-    Runs.campaign_design ~workers ~cone_skip ~diff ~forensics ?stop_at_ci ctx
-      run
+     telemetry reset isolates each row's snapshot to its own engine.
+     Rows that finish in a few seconds are noise-dominated on a loaded
+     runner, so they report the best of [repeat] runs (campaigns are
+     deterministic, only the clock varies); minute-long rows
+     self-average and run once. *)
+  let once () =
+    Gc.compact ();
+    Tmr_obs.Metrics.reset ();
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Runs.campaign_design ~workers ~cone_skip ~diff ~forensics ?stop_at_ci
+        ~batch_width ctx run
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let snap = Tmr_obs.Metrics.snapshot () in
+    (r, dt, snap)
   in
-  let dt = Unix.gettimeofday () -. t0 in
-  let snap = Tmr_obs.Metrics.snapshot () in
+  let best = ref (once ()) in
+  for _ = 2 to repeat do
+    let (_, dt, _) as m = once () in
+    let _, best_dt, _ = !best in
+    if dt < best_dt then best := m
+  done;
+  let r, dt, snap = !best in
   let c = Option.get r.Runs.campaign in
   let fps = float_of_int c.Campaign.injected /. dt in
   say
@@ -224,19 +238,23 @@ let campaign_bench () =
       ~cone_skip:true ~diff:false
   in
   let diff =
-    measure ~name:"parallel-diff" ~workers:parallel_workers ~cone_skip:true
-      ~diff:true
+    measure_row ~repeat:3 ~name:"parallel-diff" ~workers:parallel_workers
+      ~cone_skip:true ~diff:true ctx run
+  in
+  let batched =
+    measure_row ~repeat:3 ~batch_width:64 ~name:"parallel-batched"
+      ~workers:parallel_workers ~cone_skip:true ~diff:true ctx run
   in
   let forn =
-    measure_row ~forensics:true ~name:"parallel-diff-forensics"
+    measure_row ~repeat:3 ~forensics:true ~name:"parallel-diff-forensics"
       ~workers:parallel_workers ~cone_skip:true ~diff:true ctx run
   in
   (* sequential stopping: same fault list, stop once the Wilson CI of the
      wrong-answer rate narrows to ±1.5 percentage points *)
   let stop_rule = Stats.stop_rule ~half_width:0.015 ~min_n:100 () in
   let cstop =
-    measure_row ~stop_at_ci:stop_rule ~name:"ci-stop" ~workers:parallel_workers
-      ~cone_skip:true ~diff:true ctx run
+    measure_row ~repeat:3 ~stop_at_ci:stop_rule ~name:"ci-stop"
+      ~workers:parallel_workers ~cone_skip:true ~diff:true ctx run
   in
   let strip (r : Campaign.fault_result) =
     { r with Campaign.forensics = None }
@@ -244,6 +262,7 @@ let campaign_bench () =
   let identical =
     base.cr_c.Campaign.results = par.cr_c.Campaign.results
     && base.cr_c.Campaign.results = diff.cr_c.Campaign.results
+    && base.cr_c.Campaign.results = batched.cr_c.Campaign.results
     && base.cr_c.Campaign.results
        = Array.map strip forn.cr_c.Campaign.results
   in
@@ -264,6 +283,7 @@ let campaign_bench () =
   in
   let speedup = par.cr_fps /. base.cr_fps in
   let diff_speedup = diff.cr_fps /. par.cr_fps in
+  let batch_speedup = batched.cr_fps /. diff.cr_fps in
   let skip_rate =
     float_of_int par.cr_c.Campaign.stats.Campaign.skipped
     /. float_of_int (max 1 par.cr_c.Campaign.injected)
@@ -275,9 +295,11 @@ let campaign_bench () =
   let forensics_overhead = forn.cr_dt /. diff.cr_dt in
   let fs = Option.get (Campaign.forensic_summary forn.cr_c) in
   say
-    "  speedup %.2fx, diff speedup %.2fx over cone-aware, skip-rate %.1f%%, \
-     converge-rate %.1f%%, identical results: %b"
-    speedup diff_speedup (100. *. skip_rate) (100. *. converge_rate) identical;
+    "  speedup %.2fx, diff speedup %.2fx over cone-aware, batch speedup \
+     %.2fx over diff, skip-rate %.1f%%, converge-rate %.1f%%, identical \
+     results: %b"
+    speedup diff_speedup batch_speedup (100. *. skip_rate)
+    (100. *. converge_rate) identical;
   say
     "  forensics: %.2fx overhead (%.1f faults/s), cross-domain %d, \
      voter-masked %d of %d silent-diverged"
@@ -308,10 +330,12 @@ let campaign_bench () =
        %s,\n\
        %s,\n\
        %s,\n\
+       %s,\n\
        %s\n\
       \  ],\n\
       \  \"speedup\": %.3f,\n\
       \  \"diff_speedup\": %.3f,\n\
+      \  \"batch_speedup\": %.3f,\n\
       \  \"skip_rate\": %.4f,\n\
       \  \"converge_rate\": %.4f,\n\
       \  \"identical_results\": %b,\n\
@@ -324,11 +348,13 @@ let campaign_bench () =
        \"multi_partition\": %d, \"voter_touch\": %d, \"diverged\": %d, \
        \"silent_diverged\": %d, \"voter_masked\": %d },\n\
       \  \"metrics\": %s,\n\
-      \  \"metrics_diff\": %s\n\
+      \  \"metrics_diff\": %s,\n\
+      \  \"metrics_batch\": %s\n\
        }\n"
       (Partition.name Partition.Medium_partition)
-      faults (row_json base) (row_json par) (row_json diff) (row_json forn)
-      (row_json cstop) speedup diff_speedup skip_rate converge_rate identical
+      faults (row_json base) (row_json par) (row_json diff)
+      (row_json batched) (row_json forn) (row_json cstop) speedup diff_speedup
+      batch_speedup skip_rate converge_rate identical
       stop_rule.Stats.sr_half_width stop_rule.Stats.sr_min_n
       ci_c.Campaign.requested ci_c.Campaign.injected
       (Campaign.wrong_percent ci_c /. 100.)
@@ -338,6 +364,7 @@ let campaign_bench () =
       fs.Campaign.fs_voter_touch fs.Campaign.fs_diverged
       fs.Campaign.fs_silent_diverged fs.Campaign.fs_voter_masked
       (indent_json par.cr_snap) (indent_json diff.cr_snap)
+      (indent_json batched.cr_snap)
   in
   let oc = open_out "BENCH_campaign.json" in
   output_string oc json;

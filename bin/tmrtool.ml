@@ -85,6 +85,42 @@ let no_diff_t =
            early-exit); every patch/reroute fault then replays the full \
            DUT.  Results are bit-identical either way.")
 
+(* --batch-width N with --no-batch as an alias for 0; anything outside
+   {0, 32, 64} is rejected at parse time. *)
+let batch_width_t =
+  let bw_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some ((0 | 32 | 64) as w) -> Ok w
+      | Some _ | None ->
+          Error (`Msg "batch width must be 0, 32 or 64")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  let width_t =
+    Arg.(
+      value & opt bw_conv 64
+      & info [ "batch-width" ] ~docv:"N"
+          ~doc:
+            "Lanes per machine word for the bit-parallel batch engine: 64 \
+             (default), 32, or 0 to disable batching.  The batch engine \
+             packs patch/reroute faults with structurally close fanout \
+             cones into the bit lanes of one word-parallel differential \
+             cone walk; verdicts are bit-identical to the scalar engine's \
+             fault by fault.")
+  in
+  let no_batch_t =
+    Arg.(
+      value & flag
+      & info [ "no-batch" ]
+          ~doc:
+            "Alias for $(b,--batch-width)=0: run every differential fault \
+             on the scalar engine.")
+  in
+  Term.(
+    const (fun width no_batch -> if no_batch then 0 else width)
+    $ width_t $ no_batch_t)
+
 let mk_ctx scale seed faults =
   Context.create ~scale ~seed ~faults_per_design:faults ()
 
@@ -182,6 +218,15 @@ let engine_summary (c : Campaign.t) =
           "  diff engine: %d differential, %d converged early (%.1f%%)\n"
           s.Campaign.diffed s.Campaign.converged conv_pct
   end;
+  if s.Campaign.batched > 0 then begin
+    match List.assoc_opt "campaign.batch_occupancy" snap.Metrics.histograms with
+    | Some h when h.Metrics.count > 0 ->
+        Printf.printf
+          "  batch engine: %d faults word-parallel in %d batches, lane \
+           occupancy p50 %.0f p95 %.0f\n"
+          s.Campaign.batched h.Metrics.count h.Metrics.p50 h.Metrics.p95
+    | _ -> Printf.printf "  batch engine: %d faults word-parallel\n" s.Campaign.batched
+  end;
   Printf.printf "  %-18s %8s %9s %9s %9s\n" "fault latency" "count" "p50"
     "p95" "p99";
   List.iter
@@ -194,7 +239,7 @@ let engine_summary (c : Campaign.t) =
             h.Metrics.count (dur_pp h.Metrics.p50) (dur_pp h.Metrics.p95)
             (dur_pp h.Metrics.p99)
       | _ -> ())
-    [ "silent"; "patch"; "reroute"; "rebuild"; "diff" ]
+    [ "silent"; "patch"; "reroute"; "rebuild"; "diff"; "batch" ]
 
 (* --- campaign statistics options --- *)
 
@@ -411,8 +456,8 @@ let inject_cmd =
       & info [ "store" ] ~docv:"DIR"
           ~doc:"append this campaign's manifest to the run store at $(docv)")
   in
-  let run telem forensics scale seed faults design no_diff json confidence
-      stop_ci stop_min store =
+  let run telem forensics scale seed faults design no_diff batch_width json
+      confidence stop_ci stop_min store =
     with_telemetry telem @@ fun () ->
     with_forensics forensics @@ fun () ->
     let ctx = mk_ctx scale seed faults in
@@ -421,7 +466,7 @@ let inject_cmd =
     let progress, flush = ci_progress ~confidence () in
     let r =
       Runs.campaign_design ~progress ?workers:(jobs ()) ~diff:(not no_diff)
-        ?stop_at_ci:stop ctx r
+        ~batch_width ?stop_at_ci:stop ctx r
     in
     flush ();
     match r.Runs.campaign with
@@ -466,8 +511,8 @@ let inject_cmd =
     (Cmd.info "inject" ~doc:"fault-injection campaign on one design")
     Term.(
       const run $ telemetry_t $ forensics_file_t $ scale_t $ seed_t $ faults_t
-      $ design_t $ no_diff_t $ json_t $ confidence_t $ stop_ci_t $ stop_min_t
-      $ inject_store_t)
+      $ design_t $ no_diff_t $ batch_width_t $ json_t $ confidence_t
+      $ stop_ci_t $ stop_min_t $ inject_store_t)
 
 (* --- explain --- *)
 
@@ -834,7 +879,7 @@ let tables_cmd =
              --json) extended with slices, MHz, DUT bits by class, the \
              paper's Table 3 row and the injection-coverage record.")
   in
-  let run telem forensics scale seed faults no_diff json =
+  let run telem forensics scale seed faults no_diff batch_width json =
     with_telemetry telem @@ fun () ->
     with_forensics forensics @@ fun () ->
     let ctx = mk_ctx scale seed faults in
@@ -849,7 +894,7 @@ let tables_cmd =
     let runs =
       List.map
         (Runs.campaign_design ~progress ?workers:(jobs ())
-           ~diff:(not no_diff) ~forensics:true ctx)
+           ~diff:(not no_diff) ~batch_width ~forensics:true ctx)
         impls
     in
     flush ();
@@ -867,7 +912,7 @@ let tables_cmd =
        ~doc:"regenerate the paper's Tables 2, 3 and 4 plus fault forensics")
     Term.(
       const run $ telemetry_t $ forensics_file_t $ scale_t $ seed_t $ faults_t
-      $ no_diff_t $ tables_json_t)
+      $ no_diff_t $ batch_width_t $ tables_json_t)
 
 let () =
   let doc = "optimal TMR voter partitioning on an SRAM FPGA (DATE'05 reproduction)" in

@@ -20,7 +20,7 @@ let implement_design (ctx : Context.t) strategy =
   { strategy; nl; impl; faultlist = Faultlist.of_impl impl; campaign = None }
 
 let campaign_design ?progress ?workers ?cone_skip ?diff ?forensics ?stop_at_ci
-    (ctx : Context.t) run =
+    ?batch_width (ctx : Context.t) run =
   let name = Partition.name run.strategy in
   let faults =
     Faultlist.sample run.faultlist ~seed:ctx.Context.seed
@@ -29,15 +29,16 @@ let campaign_design ?progress ?workers ?cone_skip ?diff ?forensics ?stop_at_ci
   let progress_cb = Option.map (fun f p -> f name p) progress in
   let campaign =
     Campaign.run ?progress:progress_cb ?workers ?cone_skip ?diff ?forensics
-      ?stop_at_ci ~name ~impl:run.impl ~golden:ctx.Context.golden_nl
-      ~stimulus:ctx.Context.stimulus ~faults ()
+      ?stop_at_ci ?batch_width ~name ~impl:run.impl
+      ~golden:ctx.Context.golden_nl ~stimulus:ctx.Context.stimulus ~faults ()
   in
   { run with campaign = Some campaign }
 
-let run_all ?progress ?workers ?forensics ?stop_at_ci ctx =
+let run_all ?progress ?workers ?forensics ?stop_at_ci ?batch_width ctx =
   List.map
     (fun strategy ->
-      campaign_design ?progress ?workers ?forensics ?stop_at_ci ctx
+      campaign_design ?progress ?workers ?forensics ?stop_at_ci ?batch_width
+        ctx
         (implement_design ctx strategy))
     Partition.all_paper_designs
 

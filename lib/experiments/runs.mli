@@ -20,6 +20,7 @@ val campaign_design :
   ?diff:bool ->
   ?forensics:bool ->
   ?stop_at_ci:Tmr_obs.Stats.stop_rule ->
+  ?batch_width:int ->
   Context.t ->
   design_run ->
   design_run
@@ -33,6 +34,7 @@ val run_all :
   ?workers:int ->
   ?forensics:bool ->
   ?stop_at_ci:Tmr_obs.Stats.stop_rule ->
+  ?batch_width:int ->
   Context.t ->
   design_run list
 (** The five paper designs, implemented and injected. *)

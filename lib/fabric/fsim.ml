@@ -473,55 +473,22 @@ let set_pad t wire v =
 
 (* LUT evaluation on node values with inversion mask; X-aware.
 
-   This is the simulator's innermost loop (every comb node per [eval],
-   every reg node per [clock]), so it must not allocate: closures or refs
-   here dominate the minor-GC rate, and under multiple domains every
-   minor collection is a stop-the-world barrier.  All helpers are
-   top-level functions threading plain integers. *)
+   The value-representation primitives (pin scan, Kleene completion over
+   X pins, driver resolution with the glitch rule) live in
+   {!Fsim_backend.Scalar}, shared as semantics-of-record with the
+   bit-sliced lane backend ({!Fsim_backend.Lanes}) that {!Fsim_batch}
+   evaluates 32 faults at a time.  Calls are fully qualified so ocamlopt
+   keeps them direct (and inlines the small ones) — this is the
+   simulator's innermost loop. *)
 
-(* Scan the four pins, packing the LUT index of the defined pins into
-   bits 0-3 of the accumulator and a mask of X pins into bits 4-7. *)
-let rec lut_scan values pins inv j acc =
-  if j >= 4 then acc
-  else
-    let p = pins.(j) in
-    if p < 0 then lut_scan values pins inv (j + 1) acc
-    else
-      let acc =
-        match values.(p) with
-        | Logic.Zero -> acc lor (((inv lsr j) land 1) lsl j)
-        | Logic.One -> acc lor ((1 - ((inv lsr j) land 1)) lsl j)
-        | Logic.X -> acc lor (1 lsl (j + 4))
-      in
-      lut_scan values pins inv (j + 1) acc
-
-(* Is the table bit equal to [first] for every completion of the X pins?
-   [s] walks the submasks of [xmask] via (s - 1) land xmask. *)
-let rec lut_x_const table idx xmask s first =
-  if (table lsr (idx lor s)) land 1 <> first then false
-  else if s = 0 then true
-  else lut_x_const table idx xmask ((s - 1) land xmask) first
+let lut_x_const = Fsim_backend.Scalar.lut_x_const
 
 let lut_eval t node =
-  let pins = t.inputs.(node) in
-  let table = t.table.(node) in
-  let acc = lut_scan t.values pins t.inv.(node) 0 0 in
-  let idx = acc land 0xf and xmask = acc lsr 4 in
-  let first = (table lsr idx) land 1 in
-  if xmask = 0 then Logic.of_bool (first = 1)
-  else if lut_x_const table idx xmask xmask first then Logic.of_bool (first = 1)
-  else Logic.X
+  Fsim_backend.Scalar.lut_eval ~values:t.values ~pins:t.inputs.(node)
+    ~table:t.table.(node) ~inv:t.inv.(node)
 
-let rec resolve_settle values ins i len v =
-  if i >= len then v
-  else resolve_settle values ins (i + 1) len (Logic.resolve v values.(ins.(i)))
-
-(* Pessimistic skew rule: a settled fight still reads X this cycle if any
-   driver transitioned (its [last] differs from the agreement). *)
-let rec resolve_glitch last ins i len v =
-  if i >= len then v
-  else if not (Logic.equal last.(ins.(i)) v) then Logic.X
-  else resolve_glitch last ins (i + 1) len v
+let resolve_settle = Fsim_backend.Scalar.resolve_settle
+let resolve_glitch = Fsim_backend.Scalar.resolve_glitch
 
 let eval_node t node =
   let k = t.kind.(node) in
@@ -907,10 +874,27 @@ let scratch_orph_ensure s n =
     s.s_orph <- Array.make s.s_orph_cap 0
   end
 
-let reroute ~scratch:s c base ex bit =
+(* Phase A, shared between {!reroute} (which then materialises a whole
+   derived simulator) and {!fault_delta} (which only records the
+   overlay): re-resolve the electrical components affected by the flip
+   under the post-flip extract, memoising wire->node resolutions and
+   reserving appended resolve nodes.  Raises [Too_hard] whenever the
+   change reaches outside what the base cone knows. *)
+
+type phase_a = {
+  pa_n_extra : int;
+  pa_extras : (int, int array * int array ref) Hashtbl.t;
+      (* appended node id -> (driver wires, resolved inputs) *)
+  pa_cell : [ `None | `Lut of int * int * int array | `Out of int * bool ];
+  pa_node_of : int -> int;  (* valid until the scratch's next epoch *)
+  pa_orphaned : int -> bool;
+  pa_orph : int list;  (* old node ids whose resolution went stale *)
+  pa_have_orphans : bool;
+}
+
+let phase_a ~scratch:s c base ex bit =
   let dev = Extract.device ex in
   let db = Extract.database ex in
-  if dev != c.c_dev then invalid_arg "Fsim.reroute: cone from another device";
   let seeds, cell =
     match Bitdb.resource db bit with
     | Bitdb.Pip p ->
@@ -924,9 +908,8 @@ let reroute ~scratch:s c base ex bit =
   scratch_orph_ensure s base.nnodes;
   s.s_epoch <- s.s_epoch + 1;
   let ep = s.s_epoch in
-  try
-    (* Phase A: the affected components under the post-flip extract *)
-    let comps = ref [] in
+  (* the affected components under the post-flip extract *)
+  let comps = ref [] in
     let ncomps = ref 0 in
     let add_comp seed =
       if s.s_wc_stamp.(seed) <> ep then begin
@@ -952,6 +935,7 @@ let reroute ~scratch:s c base ex bit =
        reader that resolved through an affected component got that
        component's old node id (single-driver chains collapse onto it). *)
     let norph = ref 0 in
+    let orph = ref [] in
     Array.iter
       (fun (members, _) ->
         List.iter
@@ -959,6 +943,7 @@ let reroute ~scratch:s c base ex bit =
             let n = c.c_wire_node.(w) in
             if n >= 0 && s.s_orph.(n) <> ep then begin
               s.s_orph.(n) <- ep;
+              orph := n :: !orph;
               incr norph
             end)
           members)
@@ -1079,9 +1064,28 @@ let reroute ~scratch:s c base ex bit =
       | `Out b ->
           `Out (c.c_bel_node.(b), Extract.out_sel ex b)
     in
+    {
+      pa_n_extra = !n_extra;
+      pa_extras = extras;
+      pa_cell = cell;
+      pa_node_of = node_of;
+      pa_orphaned = orphaned;
+      pa_orph = !orph;
+      pa_have_orphans = !norph > 0;
+    }
+
+let reroute ~scratch:s c base ex bit =
+  let dev = Extract.device ex in
+  if dev != c.c_dev then invalid_arg "Fsim.reroute: cone from another device";
+  try
+    let pa = phase_a ~scratch:s c base ex bit in
+    let node_of = pa.pa_node_of
+    and orphaned = pa.pa_orphaned
+    and extras = pa.pa_extras
+    and cell = pa.pa_cell in
     (* Phase B/C: size the derived arrays (scratch-backed when given),
        then remap every reader whose resolution went stale. *)
-    let n = base.nnodes + !n_extra in
+    let n = base.nnodes + pa.pa_n_extra in
     scratch_ensure s n;
     Array.blit base.kind 0 s.s_kind 0 base.nnodes;
     Array.fill s.s_kind base.nnodes (n - base.nnodes) k_resolve;
@@ -1102,7 +1106,7 @@ let reroute ~scratch:s c base ex bit =
       inputs'.(id) <- !ins;
       res_wires.(id) <- us
     done;
-    let have_orphans = !norph > 0 in
+    let have_orphans = pa.pa_have_orphans in
     let stale row =
       let st = ref false in
       Array.iter (fun nd -> if nd >= 0 && orphaned nd then st := true) row;
@@ -1199,6 +1203,189 @@ let reroute ~scratch:s c base ex bit =
 let same_io a b = a.pad_node == b.pad_node && a.watch_node == b.watch_node
 
 (* ------------------------------------------------------------------ *)
+(* Read-only graph view + fault overlays: what the bit-parallel batched
+   engine ({!Fsim_batch}) needs from a base simulator.  The view shares
+   the arrays (no copy); treat them as immutable. *)
+
+type view = {
+  v_nnodes : int;
+  v_kind : int array;
+  v_inputs : int array array;
+  v_table : int array;
+  v_inv : int array;
+  v_ce_frozen : bool array;
+  v_q_init : Logic.t array;
+  v_nsccs : int;
+  v_scc_off : int array;
+  v_scc_nodes : int array;
+  v_scc_cyclic : Bytes.t;
+}
+
+let view t =
+  {
+    v_nnodes = t.nnodes;
+    v_kind = t.kind;
+    v_inputs = t.inputs;
+    v_table = t.table;
+    v_inv = t.inv;
+    v_ce_frozen = t.ce_frozen;
+    v_q_init = t.q_init;
+    v_nsccs = t.nsccs;
+    v_scc_off = t.scc_off;
+    v_scc_nodes = t.scc_nodes;
+    v_scc_cyclic = t.scc_cyclic;
+  }
+
+let kind_constx = k_constx
+let kind_pad = k_pad
+let kind_bel_comb = k_bel_comb
+let kind_bel_reg = k_bel_reg
+let kind_resolve = k_resolve
+
+(* Reverse CSR over [inputs] (successors of each node), standalone: the
+   batch engine builds it once per worker over the base graph and keeps
+   it for the whole campaign. *)
+let reader_csr sim =
+  let n = sim.nnodes in
+  let off = Array.make (n + 1) 0 in
+  for node = 0 to n - 1 do
+    let ins = sim.inputs.(node) in
+    for j = 0 to Array.length ins - 1 do
+      let p = ins.(j) in
+      if p >= 0 then off.(p + 1) <- off.(p + 1) + 1
+    done
+  done;
+  for i = 1 to n do
+    off.(i) <- off.(i) + off.(i - 1)
+  done;
+  let succ = Array.make (max 1 off.(n)) 0 in
+  let cursor = Array.copy off in
+  for node = 0 to n - 1 do
+    let ins = sim.inputs.(node) in
+    for j = 0 to Array.length ins - 1 do
+      let p = ins.(j) in
+      if p >= 0 then begin
+        succ.(cursor.(p)) <- node;
+        cursor.(p) <- cursor.(p) + 1
+      end
+    done
+  done;
+  (off, succ)
+
+(* Inverse of the cone's bel -> node map, for resolving which device bel
+   a comb/reg node came from (bel pins live on the device, not the
+   graph).  Built once per worker. *)
+let bel_map c base =
+  let m = Array.make base.nnodes (-1) in
+  Array.iter
+    (fun b ->
+      let n = c.c_bel_node.(b) in
+      if n >= 0 && n < base.nnodes then m.(n) <- b)
+    c.c_bels;
+  m
+
+type cell_patch =
+  | Cp_table of int
+  | Cp_inv of int
+  | Cp_qinit of Logic.t
+  | Cp_ce of bool
+
+type delta = {
+  dl_cell : (int * cell_patch) option;
+  dl_rows : (int * int array) array;
+  dl_extras : (int array * int array) array;
+}
+
+(* A [Path_patch] fault as an overlay: one cell-content override,
+   mirroring [with_patch]'s dispatch.  The bit is already flipped in
+   [ex]. *)
+let patch_delta c ex bit =
+  let db = Extract.database ex in
+  let cell =
+    match Bitdb.resource db bit with
+    | Bitdb.Lut_bit (b, _) ->
+        (c.c_bel_node.(b), Cp_table (Extract.lut_table ex b))
+    | Bitdb.In_inv (b, _) ->
+        (c.c_bel_node.(b), Cp_inv (Extract.in_inv_mask ex b))
+    | Bitdb.Ff_init b | Bitdb.Sr_inv b ->
+        (c.c_bel_node.(b), Cp_qinit (Extract.ff_init ex b))
+    | Bitdb.Ce_inv b -> (c.c_bel_node.(b), Cp_ce (Extract.ce_inv ex b))
+    | _ -> invalid_arg "Fsim.patch_delta: not a patchable bit"
+  in
+  { dl_cell = Some cell; dl_rows = [||]; dl_extras = [||] }
+
+(* A [Path_reroute] fault as an overlay over the *base* graph: runs
+   phase A only, then finds the stale reader rows through the base
+   reader CSR from the orphaned nodes instead of [reroute]'s O(n)
+   scan — the remap itself is identical ([node_of] over the same
+   wires).  [None] falls back to the scalar engine: the places
+   [reroute] would bail, plus an [Out_sel] kind change (lanes share
+   node kinds) and an orphaned watch node (lanes share the watch
+   resolution). *)
+let fault_delta ~scratch:s c base ex bit ~succ_off ~succ ~bel_of =
+  let dev = Extract.device ex in
+  if dev != c.c_dev then
+    invalid_arg "Fsim.fault_delta: cone from another device";
+  try
+    let pa = phase_a ~scratch:s c base ex bit in
+    let node_of = pa.pa_node_of and orphaned = pa.pa_orphaned in
+    let cell =
+      match pa.pa_cell with
+      | `Out _ -> raise Too_hard
+      | `None -> None
+      | `Lut (node, table, _) -> Some (node, Cp_table table)
+    in
+    if pa.pa_have_orphans then
+      Hashtbl.iter
+        (fun _ nd -> if orphaned nd then raise Too_hard)
+        base.watch_node;
+    let rows = ref [] in
+    let row_done = Hashtbl.create 8 in
+    let add_cell_row () =
+      match pa.pa_cell with
+      | `Lut (node, _, row) ->
+          Hashtbl.add row_done node ();
+          rows := (node, row) :: !rows
+      | `None | `Out _ -> ()
+    in
+    add_cell_row ();
+    let add_row node =
+      if not (Hashtbl.mem row_done node) then begin
+        Hashtbl.add row_done node ();
+        if Array.length base.res_wires.(node) > 0 then
+          rows := (node, Array.map node_of base.res_wires.(node)) :: !rows
+        else
+          let k = base.kind.(node) in
+          if k = k_bel_comb || k = k_bel_reg then begin
+            let b = bel_of.(node) in
+            if b < 0 then raise Too_hard;
+            let pins = base.inputs.(node) in
+            let row =
+              Array.mapi
+                (fun j p ->
+                  if p < 0 then -1 else node_of dev.Device.bel_in.(b).(j))
+                pins
+            in
+            rows := (node, row) :: !rows
+          end
+          (* pads and constants have no input rows *)
+      end
+    in
+    List.iter
+      (fun n ->
+        for e = succ_off.(n) to succ_off.(n + 1) - 1 do
+          add_row succ.(e)
+        done)
+      pa.pa_orph;
+    let extras =
+      Array.init pa.pa_n_extra (fun i ->
+          let us, ins = Hashtbl.find pa.pa_extras (base.nnodes + i) in
+          (!ins, us))
+    in
+    Some { dl_cell = cell; dl_rows = Array.of_list !rows; dl_extras = extras }
+  with Too_hard -> None
+
+(* ------------------------------------------------------------------ *)
 (* Baseline tape: the fault-free per-cycle value of every node, packed
    2 bits per three-valued logic value.  One tape per worker amortises
    the single fault-free run over every fault the worker executes. *)
@@ -1210,8 +1397,8 @@ type tape = {
   tp_data : Bytes.t;
 }
 
-let logic_code = function Logic.Zero -> 0 | Logic.One -> 1 | Logic.X -> 2
-let code_logic c = if c = 0 then Logic.Zero else if c = 1 then Logic.One else Logic.X
+let logic_code = Fsim_backend.Scalar.logic_code
+let code_logic = Fsim_backend.Scalar.code_logic
 
 let tape_create ~nnodes ~cycles =
   if nnodes < 0 || cycles < 0 then invalid_arg "Fsim.tape_create";

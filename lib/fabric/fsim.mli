@@ -149,6 +149,89 @@ val same_io : t -> t -> bool
     did not watch-remap) — resolved pad/watch node arrays can then be
     reused as-is. *)
 
+(** {1 Graph view and fault overlays}
+
+    The bit-parallel batched engine ({!Fsim_batch}) evaluates many
+    faults per machine word over the {e base} graph plus per-lane
+    overlays, instead of materialising one derived simulator per
+    fault.  These accessors expose the base graph read-only and turn a
+    planned fault into such an overlay. *)
+
+type view = {
+  v_nnodes : int;
+  v_kind : int array;  (** per node: one of the [kind_*] codes *)
+  v_inputs : int array array;
+      (** per node: input rows — 4 pins for bels ([-1] = unused),
+          drivers for resolve nodes *)
+  v_table : int array;
+  v_inv : int array;
+  v_ce_frozen : bool array;
+  v_q_init : Tmr_logic.Logic.t array;
+  v_nsccs : int;
+  v_scc_off : int array;
+  v_scc_nodes : int array;  (** evaluation order, grouped by SCC *)
+  v_scc_cyclic : Bytes.t;  (** per SCC: ['\001'] when cyclic *)
+}
+(** Shares the simulator's arrays (no copy); treat as immutable. *)
+
+val view : t -> view
+
+val kind_constx : int
+val kind_pad : int
+val kind_bel_comb : int
+val kind_bel_reg : int
+val kind_resolve : int
+
+val reader_csr : t -> int array * int array
+(** [(off, succ)]: reverse CSR over [inputs] — the readers of node [n]
+    are [succ.(off.(n)) .. succ.(off.(n+1)-1)].  Built once per worker
+    for the batch engine (content patches never change the edge set). *)
+
+val bel_map : cone -> t -> int array
+(** Per node: the device bel whose output it is, [-1] otherwise (the
+    inverse of {!cone_node_of_bel}). *)
+
+type cell_patch =
+  | Cp_table of int  (** replacement truth table *)
+  | Cp_inv of int  (** replacement pin-inversion mask *)
+  | Cp_qinit of Tmr_logic.Logic.t  (** replacement flip-flop init *)
+  | Cp_ce of bool  (** replacement clock-enable freeze *)
+
+type delta = {
+  dl_cell : (int * cell_patch) option;  (** cell-content override *)
+  dl_rows : (int * int array) array;
+      (** existing nodes whose input row the fault replaces *)
+  dl_extras : (int array * int array) array;
+      (** appended resolve nodes, id [nnodes + index]:
+          [(inputs, res_wires)] *)
+}
+(** One fault as an overlay over the base graph.  A lane's effective
+    circuit is the base with these substitutions applied. *)
+
+val patch_delta : cone -> Extract.t -> int -> delta
+(** A [Path_patch] bit (already flipped in [ex]) as an overlay:
+    mirrors {!with_patch}'s cell dispatch, never fails. *)
+
+val fault_delta :
+  scratch:scratch ->
+  cone ->
+  t ->
+  Extract.t ->
+  int ->
+  succ_off:int array ->
+  succ:int array ->
+  bel_of:int array ->
+  delta option
+(** A [Path_reroute] bit (already flipped in [ex]) as an overlay: the
+    affected components are re-resolved exactly as {!reroute} does, but
+    only the changed rows are recorded — stale readers are found
+    through the base {!reader_csr} ([succ_off]/[succ], with [bel_of]
+    from {!bel_map}) instead of an O(n) scan.  [None] whenever
+    {!reroute} would fall back to a rebuild, and additionally on
+    [Out_sel] kind changes or an orphaned watch node (the batch engine
+    shares kinds and watch resolution across lanes) — the caller runs
+    those faults on the scalar engine. *)
+
 (** {1 Differential fault simulation}
 
     Run the fault-free DUT once per worker, recording every node's
@@ -168,6 +251,10 @@ val tape_nnodes : tape -> int
 val tape_cycles : tape -> int
 val tape_set : tape -> cycle:int -> node:int -> Tmr_logic.Logic.t -> unit
 val tape_get : tape -> cycle:int -> node:int -> Tmr_logic.Logic.t
+
+val tape_get_u : tape -> int -> int -> Tmr_logic.Logic.t
+(** [tape_get_u tape cycle node], unchecked: for per-cycle hot loops
+    whose bounds are established once per fault ({!Fsim_batch}). *)
 
 val tape_record : tape -> t -> cycle:int -> unit
 (** Pack the simulator's current post-{!eval} values as [cycle]. *)

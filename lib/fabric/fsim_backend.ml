@@ -1,0 +1,166 @@
+module Logic = Tmr_logic.Logic
+
+module type S = sig
+  type t
+
+  val x : t
+  val zero : t
+  val one : t
+  val broadcast : Logic.t -> t
+  val equal : t -> t -> bool
+end
+
+(* ------------------------------------------------------------------ *)
+(* Scalar: one fault per simulator, values are plain [Logic.t].
+
+   These are the innermost loops of [Fsim.eval]/[Fsim.clock] (every comb
+   node per eval, every reg node per clock), so they must not allocate:
+   closures or refs here dominate the minor-GC rate, and under multiple
+   domains every minor collection is a stop-the-world barrier.  All
+   helpers are top-level functions threading plain integers. *)
+
+module Scalar = struct
+  type t = Logic.t
+
+  let x = Logic.X
+  let zero = Logic.Zero
+  let one = Logic.One
+  let broadcast v = v
+  let equal = Logic.equal
+
+  (* 2-bit packed codes: the baseline-tape representation. *)
+  let logic_code = function Logic.Zero -> 0 | Logic.One -> 1 | Logic.X -> 2
+
+  let code_logic c =
+    if c = 0 then Logic.Zero else if c = 1 then Logic.One else Logic.X
+
+  (* Scan the four pins, packing the LUT index of the defined pins into
+     bits 0-3 of the accumulator and a mask of X pins into bits 4-7. *)
+  let rec lut_scan values pins inv j acc =
+    if j >= 4 then acc
+    else
+      let p = pins.(j) in
+      if p < 0 then lut_scan values pins inv (j + 1) acc
+      else
+        let acc =
+          match values.(p) with
+          | Logic.Zero -> acc lor (((inv lsr j) land 1) lsl j)
+          | Logic.One -> acc lor ((1 - ((inv lsr j) land 1)) lsl j)
+          | Logic.X -> acc lor (1 lsl (j + 4))
+        in
+        lut_scan values pins inv (j + 1) acc
+
+  (* Is the table bit equal to [first] for every completion of the X
+     pins?  [s] walks the submasks of [xmask] via (s - 1) land xmask. *)
+  let rec lut_x_const table idx xmask s first =
+    if (table lsr (idx lor s)) land 1 <> first then false
+    else if s = 0 then true
+    else lut_x_const table idx xmask ((s - 1) land xmask) first
+
+  let lut_of_acc table acc =
+    let idx = acc land 0xf and xmask = acc lsr 4 in
+    let first = (table lsr idx) land 1 in
+    if xmask = 0 then Logic.of_bool (first = 1)
+    else if lut_x_const table idx xmask xmask first then
+      Logic.of_bool (first = 1)
+    else Logic.X
+
+  let lut_eval ~values ~pins ~table ~inv =
+    lut_of_acc table (lut_scan values pins inv 0 0)
+
+  let rec resolve_settle values ins i len v =
+    if i >= len then v
+    else resolve_settle values ins (i + 1) len (Logic.resolve v values.(ins.(i)))
+
+  (* Pessimistic skew rule: a settled fight still reads X this cycle if
+     any driver transitioned (its [last] differs from the agreement). *)
+  let rec resolve_glitch last ins i len v =
+    if i >= len then v
+    else if not (Logic.equal last.(ins.(i)) v) then Logic.X
+    else resolve_glitch last ins (i + 1) len v
+end
+
+module Check_scalar : S with type t = Logic.t = Scalar
+
+(* ------------------------------------------------------------------ *)
+(* Lanes: up to [word_bits] faults per machine word as possibility
+   planes.  A node's packed sample is a pair of plane words (H, L):
+   lane i reads One when (H_i, L_i) = (1, 0), Zero when (0, 1) and X
+   when (1, 1) — "may be high" / "may be low".  (0, 0) is unreachable.
+   The planes encoding makes Kleene gates pure word-parallel boolean
+   algebra, evaluating every lane of a word at once. *)
+
+module Lanes = struct
+  type t = { h : int; l : int }
+
+  let word_bits = 32
+  let full = 0xffffffff
+
+  let x = { h = full; l = full }
+  let zero = { h = 0; l = full }
+  let one = { h = full; l = 0 }
+
+  let broadcast = function
+    | Logic.Zero -> zero
+    | Logic.One -> one
+    | Logic.X -> x
+
+  let equal a b = a.h = b.h && a.l = b.l
+
+  (* Split plane words of a scalar value, for callers that keep H and L
+     in separate flat arrays rather than as pairs. *)
+  let broadcast_h = function Logic.Zero -> 0 | Logic.One | Logic.X -> full
+  let broadcast_l = function Logic.One -> 0 | Logic.Zero | Logic.X -> full
+
+  let lane ~h ~l i =
+    let bh = (h lsr i) land 1 and bl = (l lsr i) land 1 in
+    if bh = bl then Logic.X else if bh = 1 then Logic.One else Logic.Zero
+
+  (* Lanes whose value differs from the scalar [v]: a plane word equals
+     the broadcast of [v] exactly on the agreeing lanes. *)
+  let mismatch ~h ~l v = (h lxor broadcast_h v) lor (l lxor broadcast_l v)
+
+  (* LUT over planes.  [ph]/[pl] hold the four per-pin plane words with
+     any per-lane pin inversion already applied; an unused pin is the
+     constant-Zero planes (0, full) so minterms selecting it drop out,
+     exactly as the scalar scan skips the pin (its index bit stays 0).
+     [t1] holds, per minterm, the mask of lanes whose (possibly
+     patched) truth table has that bit set.  A lane may read 1 iff some
+     1-minterm is selectable under its pin possibilities, may read 0
+     iff some 0-minterm is; both at once is X — literally Kleene
+     completion over the X pins, which is what the scalar
+     [lut_x_const] submask walk computes one completion at a time. *)
+  let lut_planes ~ph ~pl ~t1 =
+    let h = ref 0 and l = ref 0 in
+    for m = 0 to 15 do
+      let sel =
+        (if m land 1 = 1 then ph.(0) else pl.(0))
+        land (if m land 2 = 2 then ph.(1) else pl.(1))
+        land (if m land 4 = 4 then ph.(2) else pl.(2))
+        land (if m land 8 = 8 then ph.(3) else pl.(3))
+      in
+      let t = t1.(m) in
+      h := !h lor (t land sel);
+      l := !l lor (lnot t land sel)
+    done;
+    { h = !h land full; l = !l land full }
+
+  (* Resolve over planes, with the scalar engine's pessimistic skew
+     rule folded in: a lane settles One only when every driver is
+     definitely One now AND was definitely One last cycle (no driver
+     transitioned); symmetrically for Zero; anything else is X. *)
+  let resolve_planes ~n ~h ~l ~lh ~ll =
+    if n = 0 then x
+    else begin
+      let one_ng = ref full and zero_ng = ref full in
+      for i = 0 to n - 1 do
+        one_ng := !one_ng land h.(i) land lnot l.(i) land lh.(i)
+                  land lnot ll.(i);
+        zero_ng := !zero_ng land l.(i) land lnot h.(i) land ll.(i)
+                   land lnot lh.(i)
+      done;
+      { h = full land lnot !zero_ng; l = full land lnot !one_ng }
+    end
+end
+
+module Check_lanes : S with type t = Lanes.t = Lanes

@@ -1,0 +1,124 @@
+(** Value-representation backends for the fabric simulators.
+
+    The fault engines share gate semantics (4-input LUTs with per-pin
+    inversion, multi-driver resolution with a pessimistic glitch rule,
+    3-valued Kleene logic) but differ in how a signal sample is
+    represented:
+
+    - {!Scalar} carries one fault per simulator as a plain
+      {!Tmr_logic.Logic.t} — the representation of {!Fsim}'s full and
+      differential engines;
+    - {!Lanes} packs up to {!Lanes.word_bits} faults per machine word
+      as "possibility planes" — the representation of {!Fsim_batch}.
+
+    Both satisfy {!S}; the engines use the wider concrete interfaces
+    below. *)
+
+module type S = sig
+  type t
+  (** One packed signal sample (every lane's value of one node). *)
+
+  val x : t
+  val zero : t
+  val one : t
+
+  val broadcast : Tmr_logic.Logic.t -> t
+  (** The sample carrying the scalar value in every lane. *)
+
+  val equal : t -> t -> bool
+end
+
+module Scalar : sig
+  include S with type t = Tmr_logic.Logic.t
+
+  val logic_code : Tmr_logic.Logic.t -> int
+  (** 2-bit packed code (Zero 0, One 1, X 2) — the baseline-tape
+      representation. *)
+
+  val code_logic : int -> Tmr_logic.Logic.t
+
+  val lut_scan :
+    Tmr_logic.Logic.t array -> int array -> int -> int -> int -> int
+  (** [lut_scan values pins inv j acc] scans pins [j..3], packing the
+      LUT index of the defined pins into bits 0-3 of [acc] and a mask
+      of X pins into bits 4-7.  Unused pins ([< 0]) are skipped. *)
+
+  val lut_x_const : int -> int -> int -> int -> int -> bool
+  (** [lut_x_const table idx xmask s first]: is the table bit equal to
+      [first] for every completion [s] of the X pins? *)
+
+  val lut_of_acc : int -> int -> Tmr_logic.Logic.t
+  (** Finish a {!lut_scan} accumulator against a truth table. *)
+
+  val lut_eval :
+    values:Tmr_logic.Logic.t array ->
+    pins:int array ->
+    table:int ->
+    inv:int ->
+    Tmr_logic.Logic.t
+
+  val resolve_settle :
+    Tmr_logic.Logic.t array ->
+    int array ->
+    int ->
+    int ->
+    Tmr_logic.Logic.t ->
+    Tmr_logic.Logic.t
+  (** Fold {!Tmr_logic.Logic.resolve} over drivers [i..len-1]. *)
+
+  val resolve_glitch :
+    Tmr_logic.Logic.t array ->
+    int array ->
+    int ->
+    int ->
+    Tmr_logic.Logic.t ->
+    Tmr_logic.Logic.t
+  (** Pessimistic skew rule: a settled fight still reads X this cycle
+      if any driver transitioned (its [last] differs from the
+      agreement). *)
+end
+
+module Lanes : sig
+  type t = { h : int; l : int }
+  (** Plane words: lane [i] is One on [(1,0)], Zero on [(0,1)], X on
+      [(1,1)]; [(0,0)] is unreachable. *)
+
+  val x : t
+  val zero : t
+  val one : t
+  val broadcast : Tmr_logic.Logic.t -> t
+  val equal : t -> t -> bool
+
+  val word_bits : int
+  (** 32 — plane words stay immediate integers everywhere, and two of
+      them form a 64-lane batch. *)
+
+  val full : int
+  (** All-lanes mask, [2^word_bits - 1]. *)
+
+  val broadcast_h : Tmr_logic.Logic.t -> int
+  val broadcast_l : Tmr_logic.Logic.t -> int
+  (** Plane words of {!broadcast}, for callers keeping H and L in
+      separate flat arrays. *)
+
+  val lane : h:int -> l:int -> int -> Tmr_logic.Logic.t
+  (** Decode lane [i] of a plane pair. *)
+
+  val mismatch : h:int -> l:int -> Tmr_logic.Logic.t -> int
+  (** Mask of lanes whose value differs from the scalar [v]. *)
+
+  val lut_planes : ph:int array -> pl:int array -> t1:int array -> t
+  (** LUT over planes.  [ph]/[pl]: four per-pin plane words with any
+      per-lane pin inversion already applied; an unused pin must be the
+      constant-Zero planes [(0, full)].  [t1]: per minterm, the mask of
+      lanes whose (possibly patched) truth table has that bit set.
+      Equals the scalar LUT (including Kleene completion over X pins)
+      lane by lane. *)
+
+  val resolve_planes :
+    n:int -> h:int array -> l:int array -> lh:int array -> ll:int array -> t
+  (** Resolve [n] drivers given their current ([h]/[l]) and previous
+      ([lh]/[ll]) plane words, with the scalar engine's pessimistic
+      glitch rule folded in.  [n = 0] is X (matching the scalar
+      engine). *)
+end

@@ -1,0 +1,68 @@
+(** Bit-parallel batched differential fault simulation.
+
+    Packs up to 64 faults into the lanes of possibility-plane words
+    ({!Fsim_backend.Lanes}) and runs one event-driven cone evaluation
+    over the union of the lanes' fanout cones against the shared
+    baseline tape, instead of one scalar {!Fsim.diff_run} per fault.
+    Cell-content patches (truth table, pin inversion, flip-flop init,
+    clock-enable) apply word-parallel through per-lane masks; rewired
+    input rows and appended resolve nodes are spliced per lane.
+
+    Per-lane verdicts are bit-identical to the scalar differential
+    engine fault by fault: same first error cycle, same convergence
+    cycle, under the same pessimistic-glitch and seed-replay rules. *)
+
+type t
+(** Per-worker batch context over one base simulator: the base reader
+    CSR, the bel map and the plane/state arrays, reused across every
+    batch the worker executes. *)
+
+val create : Fsim.t -> Fsim.cone -> width:int -> t
+(** [create base cone ~width] with [width] 32 or 64 (lanes per batch).
+    [base] is the worker's golden simulator; [cone] the snapshot its
+    build produced.  Raises [Invalid_argument] on any other width. *)
+
+val width : t -> int
+
+val csr : t -> int array * int array
+(** The base reader CSR [(off, succ)], for handing to
+    {!Fsim.fault_delta}. *)
+
+val bel_of : t -> int array
+(** The base {!Fsim.bel_map}, for handing to {!Fsim.fault_delta}. *)
+
+type verdict = {
+  bv_error_cycle : int;  (** first watched-output error, [-1] = silent *)
+  bv_converge_cycle : int;
+      (** convergence early-exit boundary, [-1] = ran every cycle *)
+}
+(** Exactly {!Fsim.diff_run}'s [(first_error_cycle, converge_cycle)]
+    pair for the lane's fault. *)
+
+val run :
+  t ->
+  tape:Fsim.tape ->
+  expected:Tmr_logic.Logic.t array array ->
+  watch:int array ->
+  lanes:Fsim.delta array ->
+  verdict option array option
+(** [run t ~tape ~expected ~watch ~lanes] simulates all faults of
+    [lanes] (at most [width t], each a {!Fsim.patch_delta} or
+    {!Fsim.fault_delta} overlay) in one batch against the baseline
+    [tape]; [watch] are the base simulator's watch nodes and
+    [expected.(cycle).(i)] the golden value of [watch.(i)] — the same
+    arrays a scalar {!Fsim.diff_run} of these faults would receive.
+
+    A [None] element declines that single lane: its rewiring makes the
+    lane's own effective circuit combinationally cyclic (a bridge can
+    close a feedback loop), which needs the scalar engine's per-SCC
+    Kleene iteration.  The lane's bits are frozen at X for the whole
+    batch, so the other lanes are unaffected.
+
+    An overall [None] declines the whole batch (a union-cone node in a
+    cyclic SCC of the {e base} graph): the caller runs every lane on
+    the scalar engine instead. *)
+
+val last_cone : t -> int array
+(** The union cone of the last {!run}, in evaluation order (test
+    hook). *)

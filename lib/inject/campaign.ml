@@ -5,6 +5,9 @@ module Bitstream = Tmr_arch.Bitstream
 module Impl = Tmr_pnr.Impl
 module Extract = Tmr_fabric.Extract
 module Fsim = Tmr_fabric.Fsim
+module Fsim_batch = Tmr_fabric.Fsim_batch
+module Bitdb = Tmr_arch.Bitdb
+module Device = Tmr_arch.Device
 
 type stimulus = {
   cycles : int;
@@ -30,6 +33,7 @@ type engine_stats = {
   rebuilt : int;
   diffed : int;
   converged : int;
+  batched : int;
 }
 
 type t = {
@@ -58,6 +62,7 @@ let no_stats =
     rebuilt = 0;
     diffed = 0;
     converged = 0;
+    batched = 0;
   }
 
 let utilization t =
@@ -74,6 +79,18 @@ let m_fault_patch = Tmr_obs.Metrics.histogram "campaign.fault_ns.patch"
 let m_fault_reroute = Tmr_obs.Metrics.histogram "campaign.fault_ns.reroute"
 let m_fault_rebuild = Tmr_obs.Metrics.histogram "campaign.fault_ns.rebuild"
 let m_fault_diff = Tmr_obs.Metrics.histogram "campaign.fault_ns.diff"
+
+(* Amortised per-fault latency of the bit-parallel batch engine (batch
+   wall time / lanes executed), directly comparable to fault_ns.diff. *)
+let m_fault_batch = Tmr_obs.Metrics.histogram "campaign.fault_ns.batch"
+
+(* Batch-engine accounting: lanes executed word-parallel, the lane count
+   of each executed batch (occupancy — near the width when cone grouping
+   packs well), and faults that planned batchable but fell back to the
+   scalar engine (overlay ineligible or batch declined). *)
+let m_batch_lanes = Tmr_obs.Metrics.counter "campaign.batch_lanes"
+let m_batch_occupancy = Tmr_obs.Metrics.histogram "campaign.batch_occupancy"
+let m_batch_scalar = Tmr_obs.Metrics.counter "campaign.batch_scalar"
 
 (* Cycle at which a differentially-simulated fault provably converged
    back to the baseline; the distribution shows how much of the stimulus
@@ -102,6 +119,7 @@ let add_stats a b =
     rebuilt = a.rebuilt + b.rebuilt;
     diffed = a.diffed + b.diffed;
     converged = a.converged + b.converged;
+    batched = a.batched + b.batched;
   }
 
 let default_workers () = max 1 (Domain.recommended_domain_count () - 1)
@@ -203,13 +221,48 @@ let monitor_note m i wrong =
   done;
   Mutex.unlock m.mon_mutex
 
+(* Pool work units: one fault on the scalar engine, or a batch of fault
+   indices for the bit-parallel engine (at most [batch_width] of them). *)
+type unit_work =
+  | Single of int
+  | Batch of int array
+
+(* Structural grouping key for batch packing: faults whose fanout cones
+   are likely to coincide share a key, so their union cone (what the
+   batch engine actually walks) stays close to each individual cone.
+   Config bits of one LUT/FF bel share that bel; routing bits share the
+   destination wire of the pip they control.  Grouping is an efficiency
+   heuristic only — correctness never depends on it, since the batch
+   engine evaluates the union cone exactly. *)
+let group_key dev db bit =
+  match Bitdb.resource db bit with
+  | Bitdb.Lut_bit (b, _)
+  | Bitdb.Ff_init b
+  | Bitdb.Out_sel b
+  | Bitdb.Ce_inv b
+  | Bitdb.Sr_inv b
+  | Bitdb.In_inv (b, _) -> (4 * b) + 0
+  | Bitdb.Pip p -> (4 * dev.Device.pip_dst.(p)) + 1
+  | Bitdb.Pad_enable p | Bitdb.Pad_cfg (p, _) -> (4 * p) + 2
+
 let run ?progress ?workers ?(cone_skip = true) ?(diff = true)
-    ?(forensics = false) ?stop_at_ci ~name ~impl ~golden ~stimulus ~faults () =
+    ?(forensics = false) ?stop_at_ci ?(batch_width = 64) ~name ~impl ~golden
+    ~stimulus ~faults () =
+  if batch_width <> 0 && batch_width <> 32 && batch_width <> 64 then
+    invalid_arg "Campaign.run: batch_width must be 0, 32 or 64";
   let workers =
     match workers with Some w -> max 1 w | None -> default_workers ()
   in
   (* a registered forensics sink implies collection, like tracing *)
   let forensics = forensics || Forensics.enabled () in
+  (* The batch engine has no forensic instrumentation, and sequential
+     stopping needs per-fault completion order; both force the scalar
+     engine, as does running without the differential tape or without
+     fault planning. *)
+  let batch_width =
+    if forensics || stop_at_ci <> None || (not diff) || not cone_skip then 0
+    else batch_width
+  in
   let fattr =
     if forensics then
       Some
@@ -361,6 +414,63 @@ let run ?progress ?workers ?(cone_skip = true) ?(diff = true)
       first_error_cycle = -1; forensics = None }
   in
   let results = Array.make total dummy in
+  (* Batch schedule: one planning pass over the (un-flipped) golden
+     extract classifies every fault; patch- and reroute-planned faults
+     group by {!group_key} and pack, in first-index order, into batches
+     of at most [batch_width] lanes.  Silent and rebuild faults — and
+     everything when batching is off — stay scalar singles.  The
+     schedule only affects which engine runs each fault, never its
+     verdict, so results are independent of it. *)
+  let units =
+    if batch_width = 0 then Array.init total (fun i -> Single i)
+    else
+      Tmr_obs.Trace.with_span "batch_plan" (fun () ->
+          let pex = new_extract () in
+          let pws = Fsim.make_workspace dev in
+          let _psim = Fsim.build ~ws:pws pex ~watch_outputs in
+          let pcone = Fsim.snapshot_cone pws in
+          let groups : (int, int list ref) Hashtbl.t = Hashtbl.create 1024 in
+          let order = ref [] in
+          let singles = ref [] in
+          for i = 0 to total - 1 do
+            match Fsim.plan_fault pcone pex faults.(i) with
+            | Fsim.Path_patch | Fsim.Path_reroute ->
+                let k = group_key dev db faults.(i) in
+                (match Hashtbl.find_opt groups k with
+                | Some g -> g := i :: !g
+                | None ->
+                    Hashtbl.add groups k (ref [ i ]);
+                    order := k :: !order)
+            | _ -> singles := i :: !singles
+          done;
+          let units = ref [] in
+          let buf = Array.make batch_width 0 in
+          let nbuf = ref 0 in
+          let flush () =
+            if !nbuf = 1 then units := Single buf.(0) :: !units
+            else if !nbuf > 1 then
+              units := Batch (Array.sub buf 0 !nbuf) :: !units;
+            nbuf := 0
+          in
+          (* pack neighbouring keys together: bel and wire indices are
+             spatially local, so adjacent keys drive overlapping fanout
+             cones and the batch engine walks a tighter union cone *)
+          List.iter
+            (fun k ->
+              List.iter
+                (fun i ->
+                  buf.(!nbuf) <- i;
+                  incr nbuf;
+                  if !nbuf = batch_width then flush ())
+                (List.rev !(Hashtbl.find groups k)))
+            (List.sort compare !order);
+          flush ();
+          List.iter (fun i -> units := Single i :: !units) !singles;
+          Array.of_list (List.rev !units))
+  in
+  (* fault-level completion count for the progress line — the pool only
+     counts units, whose sizes vary from 1 to [batch_width] faults *)
+  let faults_done = Atomic.make 0 in
   let monitor =
     Option.map
       (fun rule ->
@@ -547,7 +657,7 @@ let run ?progress ?workers ?(cone_skip = true) ?(diff = true)
                   let sim = Fsim.build ~ws ex ~watch_outputs in
                   (finish bit (run_dut sim (resolve_io sim)), Fsim.Path_rebuild))
     in
-    fun i ->
+    let do_fault i =
       let bit = faults.(i) in
       let t0 = Tmr_obs.Clock.now_ns () in
       let r, path = inject bit in
@@ -562,14 +672,152 @@ let run ?progress ?workers ?(cone_skip = true) ?(diff = true)
       results.(i) <- r;
       let is_wrong = r.outcome = Wrong_answer in
       if is_wrong then ignore (Atomic.fetch_and_add wrong_live 1);
+      ignore (Atomic.fetch_and_add faults_done 1);
       Option.iter (fun m -> monitor_note m i is_wrong) monitor
+    in
+    let batcher =
+      if batch_width > 0 then
+        Some (Fsim_batch.create base cone ~width:batch_width)
+      else None
+    in
+    (* One batch: derive each lane's structural overlay against the base
+       simulator (the extract is flipped only while the delta is taken),
+       run every derivable lane word-parallel, and fan the per-lane
+       verdicts back out as ordinary scalar-shaped results.  Lanes with
+       no derivable overlay — and the whole batch when the union cone is
+       ineligible — fall back to the scalar engine fault by fault. *)
+    let do_batch idxs =
+      match (batcher, tape) with
+      | Some bt, Some tape ->
+          let t0 = Tmr_obs.Clock.now_ns () in
+          let succ_off, succ = Fsim_batch.csr bt in
+          let bel_of = Fsim_batch.bel_of bt in
+          let n = Array.length idxs in
+          let deltas = Array.make n None in
+          for j = 0 to n - 1 do
+            let bit = faults.(idxs.(j)) in
+            match Fsim.plan_fault cone ex bit with
+            | (Fsim.Path_patch | Fsim.Path_reroute) as plan ->
+                Extract.apply_bit_flip ex bit;
+                Fun.protect
+                  ~finally:(fun () -> Extract.apply_bit_flip ex bit)
+                  (fun () ->
+                    let d =
+                      match plan with
+                      | Fsim.Path_patch -> Some (Fsim.patch_delta cone ex bit)
+                      | _ ->
+                          Fsim.fault_delta ~scratch cone base ex bit ~succ_off
+                            ~succ ~bel_of
+                    in
+                    match d with
+                    | Some d -> deltas.(j) <- Some (plan, d)
+                    | None -> ())
+            | _ -> ()
+          done;
+          let lane_js =
+            Array.of_seq
+              (Seq.filter (fun j -> deltas.(j) <> None) (Seq.init n Fun.id))
+          in
+          let lanes =
+            Array.map (fun j -> snd (Option.get deltas.(j))) lane_js
+          in
+          let verdicts =
+            if Array.length lanes = 0 then None
+            else
+              Fsim_batch.run bt ~tape ~expected:expected_flat ~watch:base_watch
+                ~lanes
+          in
+          (match verdicts with
+          | Some vs ->
+              let dt = Tmr_obs.Clock.now_ns () - t0 in
+              busy_ns.(wid) <- busy_ns.(wid) + dt;
+              let nl =
+                Array.fold_left
+                  (fun acc v -> if v <> None then acc + 1 else acc)
+                  0 vs
+              in
+              if nl > 0 then begin
+                Tmr_obs.Metrics.incr ~by:nl m_batch_lanes;
+                Tmr_obs.Metrics.observe m_batch_occupancy nl;
+                if Tmr_obs.Trace.enabled () then
+                  Tmr_obs.Trace.emit_complete
+                    ~args:[ ("lanes", string_of_int nl) ]
+                    ~name:"batch" ~start_ns:t0 ~dur_ns:dt ()
+              end;
+              let per = dt / max 1 nl in
+              (* each consumer-visible fault still gets its own trace
+                 span: the batch interval is sliced into [nl] adjacent
+                 child spans, so per-fault spans nest inside "batch"
+                 and tooling that counts faults keeps working *)
+              let ks = ref 0 in
+              Array.iteri
+                (fun k j ->
+                  match vs.(k) with
+                  | None ->
+                      (* lane declined (its rewiring closed a
+                         combinational loop): scalar fallback *)
+                      deltas.(j) <- None
+                  | Some v ->
+                      let i = idxs.(j) in
+                      let plan, _ = Option.get deltas.(j) in
+                      bump (fun s ->
+                          let s =
+                            match plan with
+                            | Fsim.Path_patch ->
+                                { s with patched = s.patched + 1 }
+                            | _ -> { s with rerouted = s.rerouted + 1 }
+                          in
+                          {
+                            s with
+                            diffed = s.diffed + 1;
+                            batched = s.batched + 1;
+                          });
+                      note_converge v.Fsim_batch.bv_converge_cycle;
+                      Tmr_obs.Metrics.observe m_fault_batch per;
+                      if Tmr_obs.Trace.enabled () then begin
+                        Tmr_obs.Trace.emit_complete
+                          ~args:
+                            [
+                              ("bit", string_of_int faults.(i));
+                              ("path", Fsim.path_name Fsim.Path_diff);
+                            ]
+                          ~name:"fault"
+                          ~start_ns:(t0 + (!ks * per))
+                          ~dur_ns:per ();
+                        incr ks
+                      end;
+                      let r = finish faults.(i) v.Fsim_batch.bv_error_cycle in
+                      results.(i) <- r;
+                      if r.outcome = Wrong_answer then
+                        ignore (Atomic.fetch_and_add wrong_live 1);
+                      ignore (Atomic.fetch_and_add faults_done 1))
+                lane_js;
+              for j = 0 to n - 1 do
+                if deltas.(j) = None then begin
+                  Tmr_obs.Metrics.incr m_batch_scalar;
+                  do_fault idxs.(j)
+                end
+              done
+          | None ->
+              (* union cone ineligible (cyclic SCC / overlay cycle):
+                 every lane runs scalar; the verdicts are identical
+                 either way, only slower *)
+              busy_ns.(wid) <- busy_ns.(wid) + (Tmr_obs.Clock.now_ns () - t0);
+              Tmr_obs.Metrics.incr ~by:n m_batch_scalar;
+              Array.iter do_fault idxs)
+      | _ -> Array.iter do_fault idxs
+    in
+    fun u ->
+      match units.(u) with
+      | Single i -> do_fault i
+      | Batch idxs -> do_batch idxs
   in
   let pool_progress =
     Option.map
-      (fun f completed total ->
+      (fun f _completed _total ->
         f
           {
-            p_completed = completed;
+            p_completed = Atomic.get faults_done;
             p_total = total;
             p_wrong = Atomic.get wrong_live;
           })
@@ -590,7 +838,8 @@ let run ?progress ?workers ?(cone_skip = true) ?(diff = true)
       ]
     "campaign"
     (fun () ->
-      Pool.run ?progress:pool_progress ?should_stop ~workers ~total worker);
+      Pool.run ?progress:pool_progress ?should_stop ~workers
+        ~total:(Array.length units) worker);
   let wall_ns = Tmr_obs.Clock.now_ns () - t_start in
   let busy_total = Array.fold_left ( + ) 0 busy_ns in
   Tmr_obs.Metrics.incr ~by:busy_total m_busy;
@@ -716,9 +965,9 @@ let summary_json t =
        i.Tmr_obs.Stats.hi t.workers t.wall_ns (utilization t));
   Buffer.add_string b
     (Printf.sprintf
-       ",\"plan_paths\":{\"silent\":%d,\"patched\":%d,\"rerouted\":%d,\"rebuilt\":%d,\"diffed\":%d,\"converged\":%d}"
+       ",\"plan_paths\":{\"silent\":%d,\"patched\":%d,\"rerouted\":%d,\"rebuilt\":%d,\"diffed\":%d,\"converged\":%d,\"batched\":%d}"
        t.stats.skipped t.stats.patched t.stats.rerouted t.stats.rebuilt
-       t.stats.diffed t.stats.converged);
+       t.stats.diffed t.stats.converged t.stats.batched);
   (* wrong answers per structural effect class, Table 4 row order *)
   Buffer.add_string b ",\"wrong_by_effect\":{";
   List.iteri

@@ -24,7 +24,14 @@
     tape, unchanged cone nodes are skipped event-driven, and a fault is
     abandoned at the first cycle boundary where it provably converged
     back to the baseline.  Also exact — bit-identical results, only
-    faster. *)
+    faster.
+
+    On top of the differential engine, the bit-parallel batch engine
+    ({!Tmr_fabric.Fsim_batch}, default on) packs up to 64 patch/reroute
+    faults with structurally close fanout cones into the bit lanes of
+    one word-parallel cone walk, amortising the event-driven evaluation
+    across the whole batch.  Still exact: per-fault verdicts are
+    bit-identical to the scalar engines. *)
 
 type stimulus = {
   cycles : int;
@@ -59,6 +66,10 @@ type engine_stats = {
   converged : int;
       (** differential faults abandoned early after provably converging
           back to the baseline (subset of [diffed]) *)
+  batched : int;
+      (** differential faults executed word-parallel by the bit-sliced
+          batch engine ({!Tmr_fabric.Fsim_batch}), rather than one
+          scalar diff each (subset of [diffed]) *)
 }
 
 type t = {
@@ -116,6 +127,7 @@ val run :
   ?diff:bool ->
   ?forensics:bool ->
   ?stop_at_ci:Tmr_obs.Stats.stop_rule ->
+  ?batch_width:int ->
   name:string ->
   impl:Tmr_pnr.Impl.t ->
   golden:Tmr_netlist.Netlist.t ->
@@ -147,6 +159,18 @@ val run :
     are bit-identical to the same full campaign truncated at
     [injected].  Workers finish in-flight chunks before draining; that
     overshoot appears in [stats] and [busy_ns] but not in [results].
+
+    [batch_width] (default 64) packs patch/reroute faults that share a
+    structural cone key (same LUT/FF bel, same pip destination wire)
+    into lanes of the bit-parallel batch engine, up to [batch_width]
+    faults per machine word per cone walk; 0 (or [tmrtool]'s
+    [--no-batch]) disables batching and runs every differential fault
+    on the scalar engine.  Only 0, 32 and 64 are accepted
+    ([Invalid_argument] otherwise).  Batching is exact — per-fault
+    verdicts are bit-identical to the scalar engine — and is forced off
+    when it cannot be ([forensics], [stop_at_ci], [diff = false] or
+    [cone_skip = false]).  Lanes the batch engine declines fall back to
+    the scalar engine automatically.
 
     [progress] is called with a {!progress} snapshot from worker
     domains, serialized and rate-limited by the pool.

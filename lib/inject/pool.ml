@@ -5,10 +5,22 @@
    (a worker stuck on expensive items claims fewer chunks) while the
    per-item bookkeeping stays O(total / chunk).
 
+   Chunk size adapts to the remaining work: a claim takes
+   [remaining / (workers * min_chunks_per_worker)] items, clamped to
+   [1, chunk_max].  Early in a large run that is [chunk_max] (low
+   bookkeeping); near the end — and through the whole run of a short or
+   early-stopped campaign — it shrinks so every worker still gets
+   several claims, instead of one worker dragging the last oversized
+   chunk alone while the rest idle.
+
    A worker exception cancels the pool: the remaining items are abandoned,
    every domain is joined, and the first exception is re-raised in the
    caller with its original backtrace — the caller never deadlocks and
    never sees a half-torn-down pool. *)
+
+(* Keep at least this many claims per worker in the remaining range, so
+   the tail of the run stays load-balanced. *)
+let min_chunks_per_worker = 8
 
 type shared = {
   mutex : Mutex.t;
@@ -17,7 +29,8 @@ type shared = {
   mutable reported : int;  (* last progress milestone reported *)
   mutable failure : (exn * Printexc.raw_backtrace) option;
   total : int;
-  chunk : int;
+  chunk_max : int;
+  workers : int;
   milestone : int;  (* report progress at most every this many items *)
   progress : (int -> int -> unit) option;
   should_stop : (unit -> bool) option;
@@ -45,7 +58,12 @@ let claim s =
         if stopped || s.failure <> None || s.next >= s.total then None
         else begin
           let lo = s.next in
-          let hi = min s.total (lo + s.chunk) in
+          let remaining = s.total - lo in
+          let ch =
+            min s.chunk_max
+              (max 1 (remaining / (s.workers * min_chunks_per_worker)))
+          in
+          let hi = min s.total (lo + ch) in
           s.next <- hi;
           Some (lo, hi)
         end)
@@ -97,7 +115,8 @@ let run ?progress ?should_stop ?(chunk = 16) ~workers ~total body =
       reported = 0;
       failure = None;
       total;
-      chunk;
+      chunk_max = chunk;
+      workers;
       milestone = max 1 (min chunk (total / 100));
       progress;
       should_stop;

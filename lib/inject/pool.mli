@@ -32,8 +32,11 @@ val run :
     In-flight chunks still finish, so more items than strictly necessary
     may complete; the caller decides which prefix of results to keep.
 
-    [chunk] (default 16) is the number of consecutive items claimed at a
-    time.
+    [chunk] (default 16) is the {e maximum} number of consecutive items
+    claimed at a time.  Actual claims shrink with the remaining work —
+    roughly [remaining / (workers * 8)], at least 1 — so short campaigns
+    and the tail of long (or early-stopped) ones stay load-balanced
+    instead of one worker dragging a final oversized chunk alone.
 
     If a worker raises, the pool stops handing out work, joins every
     domain, and re-raises the first exception in the caller with its

@@ -1,0 +1,230 @@
+(* Bit-parallel batched fault simulation: batched campaigns are
+   bit-identical to the scalar differential engine and to the
+   full-rebuild oracle on all five paper designs, across worker counts
+   and batch widths; and the engine-level lane grouping keeps every
+   lane's fault inside a reader-closed union cone. *)
+
+module Logic = Tmr_logic.Logic
+module Srand = Tmr_logic.Srand
+module Netlist = Tmr_netlist.Netlist
+module Word = Tmr_netlist.Word
+module Arch = Tmr_arch.Arch
+module Device = Tmr_arch.Device
+module Bitdb = Tmr_arch.Bitdb
+module Bitstream = Tmr_arch.Bitstream
+module Impl = Tmr_pnr.Impl
+module Extract = Tmr_fabric.Extract
+module Fsim = Tmr_fabric.Fsim
+module Fsim_batch = Tmr_fabric.Fsim_batch
+module Partition = Tmr_core.Partition
+module Campaign = Tmr_inject.Campaign
+module Context = Tmr_experiments.Context
+module Runs = Tmr_experiments.Runs
+
+let result_testable =
+  Alcotest.testable
+    (fun ppf (r : Campaign.fault_result) ->
+      Format.fprintf ppf "{bit=%d; wrong=%b; effect=%s; cycle=%d}"
+        r.Campaign.bit
+        (r.Campaign.outcome = Campaign.Wrong_answer)
+        (Tmr_inject.Classify.name r.Campaign.effect)
+        r.Campaign.first_error_cycle)
+    ( = )
+
+let check_same_results msg (a : Campaign.t) (b : Campaign.t) =
+  Alcotest.(check int) (msg ^ ": injected") a.Campaign.injected
+    b.Campaign.injected;
+  Alcotest.(check (array result_testable))
+    (msg ^ ": results array")
+    a.Campaign.results b.Campaign.results
+
+(* --- campaign-level: batched == scalar diff == full rebuild, all five
+   paper designs, every (workers, width) combination --- *)
+
+let test_batch_vs_scalar_campaigns () =
+  let ctx =
+    Context.create ~scale:Context.Reduced ~seed:3 ~faults_per_design:90 ()
+  in
+  let total_batched = ref 0 in
+  List.iter
+    (fun strategy ->
+      let name = Partition.name strategy in
+      let run = Runs.implement_design ctx strategy in
+      let campaign ?(diff = true) ~workers ~batch_width () =
+        Option.get
+          (Runs.campaign_design ~workers ~diff ~batch_width ctx run)
+            .Runs.campaign
+      in
+      let scalar = campaign ~workers:2 ~batch_width:0 () in
+      let rebuild = campaign ~diff:false ~workers:2 ~batch_width:0 () in
+      Alcotest.(check int)
+        (name ^ ": scalar reference ran no batches")
+        0 scalar.Campaign.stats.Campaign.batched;
+      check_same_results (name ^ ": scalar diff vs full rebuild") scalar
+        rebuild;
+      List.iter
+        (fun workers ->
+          List.iter
+            (fun width ->
+              let b = campaign ~workers ~batch_width:width () in
+              total_batched := !total_batched + b.Campaign.stats.Campaign.batched;
+              check_same_results
+                (Printf.sprintf "%s: batched w%d width %d vs scalar" name
+                   workers width)
+                b scalar)
+            [ 32; 64 ])
+        [ 1; 2 ])
+    Partition.all_paper_designs;
+  Alcotest.(check bool) "batch engine exercised" true (!total_batched > 0)
+
+(* --- engine-level: batched verdicts == scalar diff_run verdicts on
+   every patchable bit of a small datapath, and the union cone of each
+   batch is closed under the reader relation with every lane's seed
+   inside it --- *)
+
+let build_datapath () =
+  let nl = Netlist.create () in
+  let a = Word.input nl "a" ~width:6 in
+  let b = Word.input nl "b" ~width:6 in
+  let s = Word.add nl a b in
+  let p = Word.mul_const nl s (-3) ~width:6 in
+  let r = Word.reg nl p in
+  Word.output nl "r" r;
+  nl
+
+let test_engine_verdicts_and_grouping () =
+  let dev = Device.build Arch.small in
+  let db = Bitdb.build dev in
+  let impl = Impl.implement_exn ~seed:5 dev db (build_datapath ()) in
+  let out_wires = Array.init 6 (Impl.output_pad_wire impl "r") in
+  let a_wires = Array.init 6 (Impl.input_pad_wire impl "a") in
+  let b_wires = Array.init 6 (Impl.input_pad_wire impl "b") in
+  let ex =
+    Extract.create dev db
+      (Bitstream.copy impl.Impl.bitgen.Tmr_pnr.Bitgen.bitstream)
+  in
+  let ws = Fsim.make_workspace dev in
+  let base = Fsim.build ~ws ex ~watch_outputs:out_wires in
+  let cone = Fsim.snapshot_cone ws in
+  let cycles = 24 in
+  let rng = Srand.create 7 in
+  let stim =
+    Array.init cycles (fun _ -> (Srand.int rng 64, Srand.int rng 64))
+  in
+  let drive sim c =
+    let a, b = stim.(c) in
+    let set wires v =
+      let nodes = Fsim.pad_nodes sim wires in
+      Array.iteri
+        (fun i n ->
+          Fsim.set_node sim n (Logic.of_bool ((v asr i) land 1 = 1)))
+        nodes
+    in
+    set a_wires a;
+    set b_wires b
+  in
+  let watch = Fsim.watch_nodes base out_wires in
+  let tape = Fsim.tape_create ~nnodes:(Fsim.num_nodes base) ~cycles in
+  let expected = Array.make_matrix cycles 6 Logic.X in
+  Fsim.reset base;
+  for c = 0 to cycles - 1 do
+    drive base c;
+    Fsim.eval base;
+    Fsim.tape_record tape base ~cycle:c;
+    for i = 0 to 5 do
+      expected.(c).(i) <- Fsim.node_value base watch.(i)
+    done;
+    Fsim.clock base
+  done;
+  (* every patchable bit: scalar verdict + overlay delta + seed node *)
+  let dsc = Fsim.make_dscratch () in
+  let faults = ref [] in
+  for bit = 0 to Bitdb.num_bits db - 1 do
+    if Fsim.plan_fault cone ex bit = Fsim.Path_patch then begin
+      Extract.apply_bit_flip ex bit;
+      Fun.protect
+        ~finally:(fun () -> Extract.apply_bit_flip ex bit)
+        (fun () ->
+          let seed = Fsim.patch_node cone ex bit in
+          let delta = Fsim.patch_delta cone ex bit in
+          let derr, dcv =
+            Fsim.with_patch cone base ex bit (fun sim ->
+                Fsim.diff_run ~forensics:false ~scratch:dsc ~tape ~base ~sim
+                  ~seeds:(Fsim.Seed_node seed) ~watch ~base_watch:watch
+                  ~expected)
+          in
+          faults := (bit, seed, delta, derr, dcv) :: !faults)
+    end
+  done;
+  let faults = Array.of_list (List.rev !faults) in
+  Alcotest.(check bool) "found patchable bits" true (Array.length faults > 0);
+  let width = 32 in
+  let bt = Fsim_batch.create base cone ~width in
+  let off, succ = Fsim_batch.csr bt in
+  let nbase = Fsim.num_nodes base in
+  let nchunks = (Array.length faults + width - 1) / width in
+  for chunk = 0 to nchunks - 1 do
+    let lo = chunk * width in
+    let n = min width (Array.length faults - lo) in
+    let lanes =
+      Array.init n (fun k ->
+          let _, _, d, _, _ = faults.(lo + k) in
+          d)
+    in
+    let verdicts =
+      match
+        Fsim_batch.run bt ~tape ~expected ~watch ~lanes
+      with
+      | Some vs -> vs
+      | None -> Alcotest.fail "batch declined a pure-patch batch"
+    in
+    Array.iteri
+      (fun k v ->
+        let bit, _, _, derr, dcv = faults.(lo + k) in
+        match v with
+        | None ->
+            Alcotest.failf "bit %d: patch lane declined" bit
+        | Some v ->
+            Alcotest.(check int)
+              (Printf.sprintf "bit %d: first error cycle" bit)
+              derr v.Fsim_batch.bv_error_cycle;
+            Alcotest.(check int)
+              (Printf.sprintf "bit %d: convergence cycle" bit)
+              dcv v.Fsim_batch.bv_converge_cycle)
+      verdicts;
+    (* lane grouping invariant: the union cone is reader-closed (fault
+       effects cannot escape it) and contains every lane's seed *)
+    let members = Fsim_batch.last_cone bt in
+    let in_cone = Array.make (nbase + Array.length members) false in
+    Array.iter (fun u -> if u < nbase then in_cone.(u) <- true) members;
+    Array.iter
+      (fun u ->
+        if u < nbase then
+          for e = off.(u) to off.(u + 1) - 1 do
+            Alcotest.(check bool)
+              (Printf.sprintf "reader %d of member %d inside cone" succ.(e) u)
+              true in_cone.(succ.(e))
+          done)
+      members;
+    for k = 0 to n - 1 do
+      let bit, seed, _, _, _ = faults.(lo + k) in
+      Alcotest.(check bool)
+        (Printf.sprintf "bit %d: seed %d inside union cone" bit seed)
+        true in_cone.(seed)
+    done
+  done
+
+let () =
+  Alcotest.run "tmr_batch"
+    [
+      ( "campaign",
+        [
+          Alcotest.test_case "batched == scalar == rebuild (5 designs)"
+            `Slow test_batch_vs_scalar_campaigns;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "verdicts == diff_run, cone reader-closed"
+            `Slow test_engine_verdicts_and_grouping;
+        ] );
+    ]

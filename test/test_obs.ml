@@ -451,7 +451,7 @@ let test_trace_jsonl () =
         | Some h -> acc + h.Metrics.count
         | None -> acc)
       0
-      [ "silent"; "patch"; "reroute"; "rebuild"; "diff" ]
+      [ "silent"; "patch"; "reroute"; "rebuild"; "diff"; "batch" ]
   in
   Alcotest.(check bool) "per-path latency histograms cover every fault" true
     (total_latency >= campaign.Campaign.injected)
