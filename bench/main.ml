@@ -256,6 +256,22 @@ let campaign_bench () =
     measure_row ~repeat:3 ~stop_at_ci:stop_rule ~name:"ci-stop"
       ~workers:parallel_workers ~cone_skip:true ~diff:true ctx run
   in
+  (* live telemetry cost: same batched configuration with the event bus
+     publishing every progress tick, batch dispatch and heartbeat to a
+     JSONL sink.  The bus formats payloads outside its lock and hands
+     I/O to a writer thread, so the fault loop should pay ≤3%. *)
+  let events_path = Filename.temp_file "tmr_bench_events" ".jsonl" in
+  Tmr_obs.Events.to_file events_path;
+  let ev =
+    Fun.protect
+      ~finally:(fun () -> Tmr_obs.Events.close ())
+      (fun () ->
+        measure_row ~repeat:3 ~batch_width:64 ~name:"parallel-batched-events"
+          ~workers:parallel_workers ~cone_skip:true ~diff:true ctx run)
+  in
+  let ev_published = Tmr_obs.Events.published () in
+  let ev_dropped = Tmr_obs.Events.dropped () in
+  Sys.remove events_path;
   let strip (r : Campaign.fault_result) =
     { r with Campaign.forensics = None }
   in
@@ -266,6 +282,11 @@ let campaign_bench () =
     && base.cr_c.Campaign.results
        = Array.map strip forn.cr_c.Campaign.results
   in
+  let events_identical =
+    base.cr_c.Campaign.results = ev.cr_c.Campaign.results
+  in
+  let events_overhead = batched.cr_fps /. ev.cr_fps in
+  let events_ok = ev.cr_fps >= 0.97 *. batched.cr_fps in
   let ci_c = cstop.cr_c in
   let ci_prefix_identical =
     ci_c.Campaign.injected <= Array.length base.cr_c.Campaign.results
@@ -306,6 +327,11 @@ let campaign_bench () =
     forensics_overhead forn.cr_fps fs.Campaign.fs_cross
     fs.Campaign.fs_voter_masked fs.Campaign.fs_silent_diverged;
   say
+    "  events: %.3fx overhead (%.1f faults/s vs %.1f), within 3%%: %b, \
+     %d published, %d dropped, identical results: %b"
+    events_overhead ev.cr_fps batched.cr_fps events_ok ev_published ev_dropped
+    events_identical;
+  say
     "  ci-stop: %d of %d faults, rate %.2f%% CI [%.2f%%, %.2f%%], paper \
      tmr_p2 %.2f%% in CI: %b, prefix-identical: %b"
     ci_c.Campaign.injected ci_c.Campaign.requested
@@ -331,6 +357,7 @@ let campaign_bench () =
        %s,\n\
        %s,\n\
        %s,\n\
+       %s,\n\
        %s\n\
       \  ],\n\
       \  \"speedup\": %.3f,\n\
@@ -347,14 +374,16 @@ let campaign_bench () =
        \"cross_domain\": %d, \"cross_domain_wrong\": %d, \
        \"multi_partition\": %d, \"voter_touch\": %d, \"diverged\": %d, \
        \"silent_diverged\": %d, \"voter_masked\": %d },\n\
+      \  \"events\": { \"overhead\": %.4f, \"overhead_ok\": %b, \
+       \"published\": %d, \"dropped\": %d, \"identical_results\": %b },\n\
       \  \"metrics\": %s,\n\
       \  \"metrics_diff\": %s,\n\
       \  \"metrics_batch\": %s\n\
        }\n"
       (Partition.name Partition.Medium_partition)
       faults (row_json base) (row_json par) (row_json diff)
-      (row_json batched) (row_json forn) (row_json cstop) speedup diff_speedup
-      batch_speedup skip_rate converge_rate identical
+      (row_json batched) (row_json ev) (row_json forn) (row_json cstop)
+      speedup diff_speedup batch_speedup skip_rate converge_rate identical
       stop_rule.Stats.sr_half_width stop_rule.Stats.sr_min_n
       ci_c.Campaign.requested ci_c.Campaign.injected
       (Campaign.wrong_percent ci_c /. 100.)
@@ -363,6 +392,7 @@ let campaign_bench () =
       fs.Campaign.fs_cross_wrong fs.Campaign.fs_multi_part
       fs.Campaign.fs_voter_touch fs.Campaign.fs_diverged
       fs.Campaign.fs_silent_diverged fs.Campaign.fs_voter_masked
+      events_overhead events_ok ev_published ev_dropped events_identical
       (indent_json par.cr_snap) (indent_json diff.cr_snap)
       (indent_json batched.cr_snap)
   in

@@ -163,17 +163,71 @@ let metrics_file_t =
           "Write a JSON metrics snapshot (counters, gauges, latency \
            histogram percentiles) to $(docv) on exit.")
 
-let telemetry_t =
-  Term.(const (fun trace metrics -> (trace, metrics)) $ trace_file_t $ metrics_file_t)
+let events_file_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"SPEC"
+        ~doc:
+          "Stream live structured campaign events (started / progress / \
+           CI updates / worker heartbeats / batch dispatches / stopped) as \
+           JSONL.  $(docv) is a file path, or $(b,unix:)$(i,PATH) to serve \
+           a Unix-domain socket instead; $(b,tmrtool watch) $(docv) tails \
+           either.  Emission never blocks the fault loop: events beyond \
+           the buffer are dropped and accounted as sequence-number gaps.")
 
-(* Install the trace sink before the work and always flush both files
-   after — also when the command raises, so a crashed run still leaves
-   its telemetry behind. *)
-let with_telemetry (trace, metrics) f =
+let listen_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "listen" ] ~docv:"PORT"
+        ~doc:
+          "Serve the live metrics registry on \
+           http://127.0.0.1:$(docv)/metrics (Prometheus text format \
+           v0.0.4) for the duration of the run.  Port 0 picks a free \
+           port (printed to stderr).")
+
+let telemetry_t =
+  Term.(
+    const (fun trace metrics events listen -> (trace, metrics, events, listen))
+    $ trace_file_t $ metrics_file_t $ events_file_t $ listen_t)
+
+let install_events spec =
+  match String.length spec >= 5 && String.sub spec 0 5 = "unix:" with
+  | true -> Tmr_obs.Events.listen_unix (String.sub spec 5 (String.length spec - 5))
+  | false -> Tmr_obs.Events.to_file spec
+
+(* An interrupted run should still leave its telemetry behind: flush
+   every sink, then exit with the conventional 128+SIGINT status. *)
+let install_sigint metrics =
+  ignore
+    (Sys.signal Sys.sigint
+       (Sys.Signal_handle
+          (fun _ ->
+            (try Trace.close () with _ -> ());
+            (try Tmr_obs.Events.close () with _ -> ());
+            (try Forensics.close () with _ -> ());
+            (try Option.iter Metrics.write_file metrics with _ -> ());
+            exit 130)))
+
+(* Install the trace/event sinks and the exposition endpoint before the
+   work and always flush everything after — also when the command
+   raises or is interrupted, so a crashed run still leaves its
+   telemetry behind. *)
+let with_telemetry (trace, metrics, events, listen) f =
   Option.iter Trace.to_file trace;
+  Option.iter install_events events;
+  Option.iter
+    (fun port ->
+      let p = Tmr_obs.Expose.listen port in
+      Printf.eprintf "serving metrics on http://127.0.0.1:%d/metrics\n%!" p)
+    listen;
+  install_sigint metrics;
   Fun.protect
     ~finally:(fun () ->
       Trace.close ();
+      Tmr_obs.Events.close ();
+      Tmr_obs.Expose.stop ();
       Option.iter Metrics.write_file metrics)
     f
 
@@ -290,6 +344,19 @@ let ci_progress ~confidence () =
       else begin
         let n = p.Campaign.p_completed and k = p.Campaign.p_wrong in
         let i = Stats.wilson ~confidence ~n ~k () in
+        (* the CI the bar shows also goes on the event stream, so a
+           remote `tmrtool watch` renders the same numbers *)
+        if Tmr_obs.Events.enabled () then
+          Tmr_obs.Events.publish
+            (Tmr_obs.Events.Campaign_ci
+               {
+                 design = name;
+                 n;
+                 wrong = k;
+                 confidence;
+                 lo = i.Stats.lo;
+                 hi = i.Stats.hi;
+               });
         Printf.sprintf "wrong %.2f%% ±%.2f%%"
           (100.0 *. float_of_int k /. float_of_int n)
           (50.0 *. (i.Stats.hi -. i.Stats.lo))
@@ -474,9 +541,11 @@ let inject_cmd =
     | Some c ->
         Option.iter
           (fun dir ->
+            let _, _, events_spec, _ = telem in
             let m =
               Store.of_run ~confidence ~diff:(not no_diff)
-                ~forensics:(forensics <> None) ?stop ctx r
+                ~forensics:(forensics <> None) ?stop
+                ?events_path:events_spec ctx r
             in
             Printf.eprintf "stored %s\n" (Store.save ~dir m))
           store;
@@ -914,9 +983,173 @@ let tables_cmd =
       const run $ telemetry_t $ forensics_file_t $ scale_t $ seed_t $ faults_t
       $ no_diff_t $ batch_width_t $ tables_json_t)
 
+(* --- profile --- *)
+
+let profile_cmd =
+  let trace_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE.jsonl"
+          ~doc:"Chrome-trace JSONL file written by $(b,--trace).")
+  in
+  let collapsed_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "collapsed" ] ~docv:"FILE"
+          ~doc:
+            "Also write collapsed stacks ($(i,path;to;span count) per \
+             line, counts = self time in µs) to $(docv) for \
+             flamegraph.pl / inferno / speedscope.")
+  in
+  let width_t =
+    Arg.(
+      value & opt int 60
+      & info [ "timeline-width" ] ~docv:"N"
+          ~doc:"Buckets in the per-worker utilization timeline.")
+  in
+  let run path collapsed width =
+    match Tmr_obs.Profile.load_file path with
+    | Error e ->
+        Printf.eprintf "tmrtool profile: %s\n" e;
+        exit 1
+    | Ok t ->
+        print_string (Tmr_obs.Profile.report t);
+        ignore width;
+        Option.iter
+          (fun out ->
+            let oc = open_out out in
+            output_string oc (Tmr_obs.Profile.collapsed t);
+            close_out oc;
+            Printf.eprintf "collapsed stacks written to %s\n" out)
+          collapsed
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "aggregate a --trace run: per-span self/total time, per-worker \
+          utilization, flamegraph export")
+    Term.(const run $ trace_arg $ collapsed_t $ width_t)
+
+(* --- watch --- *)
+
+let watch_cmd =
+  let source_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SOURCE"
+          ~doc:
+            "Event stream to tail: a JSONL file written by $(b,--events \
+             FILE), or $(b,unix:)$(i,PATH) to connect to a live \
+             $(b,--events unix:)$(i,PATH) socket.")
+  in
+  let follow_t =
+    Arg.(
+      value & flag
+      & info [ "follow"; "f" ]
+          ~doc:
+            "Keep tailing a file as it grows until every campaign seen \
+             has stopped (sockets are always followed to EOF).")
+  in
+  let watch_json_t =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print one JSON array on stdout (a summary object per \
+             campaign, same fields and formatting as $(b,inject --json)) \
+             instead of the dashboard.")
+  in
+  let run source follow json confidence =
+    let st = Tmr_obs.Watch.create () in
+    let bad = ref 0 in
+    let feed line =
+      if String.trim line <> "" then
+        match Tmr_obs.Events.parse_line line with
+        | Ok p -> Tmr_obs.Watch.feed st p
+        | Error _ -> incr bad
+    in
+    let tty = (not json) && Unix.isatty Unix.stderr in
+    let drawn = ref 0 in
+    let last_draw = ref 0.0 in
+    (* live TTY dashboard: repaint in place by cursor-up + erase-line,
+       rate-limited so a fast stream doesn't melt the terminal *)
+    let redraw ~final () =
+      if tty then begin
+        let now = Unix.gettimeofday () in
+        if final || now -. !last_draw >= 0.2 then begin
+          last_draw := now;
+          let lines =
+            String.split_on_char '\n' (Tmr_obs.Watch.render ~confidence st)
+            |> List.filter (fun l -> l <> "")
+          in
+          if !drawn > 0 then Printf.eprintf "\027[%dA" !drawn;
+          List.iter (fun l -> Printf.eprintf "\027[2K%s\n" l) lines;
+          drawn := List.length lines;
+          flush stderr
+        end
+      end
+    in
+    (match String.length source >= 5 && String.sub source 0 5 = "unix:" with
+    | true ->
+        let path = String.sub source 5 (String.length source - 5) in
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd (Unix.ADDR_UNIX path)
+         with Unix.Unix_error (e, _, _) ->
+           Printf.eprintf "tmrtool watch: cannot connect to %s: %s\n" path
+             (Unix.error_message e);
+           exit 1);
+        let ic = Unix.in_channel_of_descr fd in
+        (try
+           while true do
+             feed (input_line ic);
+             redraw ~final:false ()
+           done
+         with End_of_file -> ());
+        close_in ic
+    | false ->
+        let ic =
+          try open_in source
+          with Sys_error e ->
+            Printf.eprintf "tmrtool watch: %s\n" e;
+            exit 1
+        in
+        let continue = ref true in
+        while !continue do
+          match input_line ic with
+          | line ->
+              feed line;
+              redraw ~final:false ()
+          | exception End_of_file ->
+              if follow && not (Tmr_obs.Watch.finished st) then begin
+                redraw ~final:false ();
+                Unix.sleepf 0.2
+              end
+              else continue := false
+        done;
+        close_in ic);
+    if !bad > 0 then
+      Printf.eprintf "tmrtool watch: skipped %d unparseable lines\n" !bad;
+    if Tmr_obs.Watch.events_seen st = 0 then begin
+      Printf.eprintf "tmrtool watch: no events in %s\n" source;
+      exit 1
+    end;
+    redraw ~final:true ();
+    if json then print_string (Tmr_obs.Watch.summary_json ~confidence st)
+    else if not tty then print_string (Tmr_obs.Watch.render ~confidence st)
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "tail a live --events stream (file or unix socket) and render a \
+          multi-campaign dashboard")
+    Term.(const run $ source_t $ follow_t $ watch_json_t $ confidence_t)
+
 let () =
   let doc = "optimal TMR voter partitioning on an SRAM FPGA (DATE'05 reproduction)" in
   let info = Cmd.info "tmrtool" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ report_cmd; implement_cmd; inject_cmd; explain_cmd; congestion_cmd;
-         export_cmd; tables_cmd ]))
+         export_cmd; tables_cmd; profile_cmd; watch_cmd ]))

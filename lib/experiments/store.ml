@@ -7,6 +7,11 @@ type manifest = {
   m_scale : string;
   m_seed : int;
   m_created : float;
+  m_created_iso : string;
+  m_tool_version : string;
+  m_git_commit : string;
+  m_events_path : string option;
+  m_events_seq : int option;
   m_workers : int;
   m_cone_skip : bool;
   m_diff : bool;
@@ -30,8 +35,28 @@ let scale_name = function
   | Context.Paper -> "paper"
   | Context.Reduced -> "reduced"
 
+let tool_version = "0.7.0"
+
+let iso8601 t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+(* Best-effort: runs from a tarball or without git still get manifests *)
+let git_commit =
+  lazy
+    (try
+       let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+       let line = try input_line ic with End_of_file -> "" in
+       match Unix.close_process_in ic with
+       | Unix.WEXITED 0 when line <> "" -> line
+       | _ -> "unknown"
+     with _ -> "unknown")
+
 let of_run ?(confidence = 0.95) ?(cone_skip = true) ?(diff = true)
-    ?(forensics = false) ?stop (ctx : Context.t) (run : Runs.design_run) =
+    ?(forensics = false) ?stop ?events_path (ctx : Context.t)
+    (run : Runs.design_run) =
   let c =
     match run.Runs.campaign with
     | Some c -> c
@@ -48,11 +73,22 @@ let of_run ?(confidence = 0.95) ?(cone_skip = true) ?(diff = true)
       (Digest.string
          (Tmr_obs.Metrics.to_json_string (Tmr_obs.Metrics.snapshot ())))
   in
+  let created = Unix.gettimeofday () in
   {
     m_design = c.Campaign.design;
     m_scale = scale_name ctx.Context.scale;
     m_seed = ctx.Context.seed;
-    m_created = Unix.gettimeofday ();
+    m_created = created;
+    m_created_iso = iso8601 created;
+    m_tool_version = tool_version;
+    m_git_commit = Lazy.force git_commit;
+    m_events_path = events_path;
+    (* the stream keeps growing (manifest-written, teardown beats), but
+       everything the dashboard showed for this run is <= this seq *)
+    m_events_seq =
+      (match events_path with
+      | Some _ -> Some (Tmr_obs.Events.last_seq ())
+      | None -> None);
     m_workers = c.Campaign.workers;
     m_cone_skip = cone_skip;
     m_diff = diff;
@@ -89,6 +125,13 @@ let to_json m =
       ("scale", Json.Str m.m_scale);
       ("seed", int m.m_seed);
       ("created", num m.m_created);
+      ("created_iso", Json.Str m.m_created_iso);
+      ("tool_version", Json.Str m.m_tool_version);
+      ("git_commit", Json.Str m.m_git_commit);
+      ( "events_path",
+        match m.m_events_path with None -> Json.Null | Some p -> Json.Str p );
+      ( "events_seq",
+        match m.m_events_seq with None -> Json.Null | Some s -> int s );
       ("workers", int m.m_workers);
       ("cone_skip", Json.Bool m.m_cone_skip);
       ("diff", Json.Bool m.m_diff);
@@ -166,6 +209,13 @@ let of_json j =
       m_scale = scale;
       m_seed = seed;
       m_created = created;
+      (* absent in manifests written by older tool versions *)
+      m_created_iso =
+        Option.value ~default:(iso8601 created) (str "created_iso");
+      m_tool_version = Option.value ~default:"pre-0.7" (str "tool_version");
+      m_git_commit = Option.value ~default:"unknown" (str "git_commit");
+      m_events_path = str "events_path";
+      m_events_seq = int "events_seq";
       m_workers = workers;
       m_cone_skip = cone_skip;
       m_diff = diff;
@@ -206,6 +256,8 @@ let save ~dir m =
     (fun () ->
       output_string oc (Json.to_string (to_json m));
       output_char oc '\n');
+  Tmr_obs.Events.publish
+    (Tmr_obs.Events.Manifest_written { design = m.m_design; path });
   path
 
 let load_dir ~dir =
@@ -276,7 +328,10 @@ let report_markdown ?(confidence = 0.95) ?(throughput_drop = 0.30) ~history
            m.m_scale m.m_seed
            (List.length currents)
            (if List.length currents = 1 then "design" else "designs")
-           (pct confidence))
+           (pct confidence));
+      Buffer.add_string b
+        (Printf.sprintf "Run at %s — tool %s, commit `%s`.\n\n" m.m_created_iso
+           m.m_tool_version m.m_git_commit)
   | [] -> Buffer.add_string b "No campaigns.\n\n");
   Buffer.add_string b
     "| design | n | wrong | rate | CI | baseline | z | verdict | faults/s |\n";
@@ -335,8 +390,10 @@ let report_markdown ?(confidence = 0.95) ?(throughput_drop = 0.30) ~history
                 Printf.sprintf "%.1f (was %.1f)" m.m_faults_per_sec
                   base.m_faults_per_sec
             in
-            ( Printf.sprintf "%.2f%% [%.2f%%, %.2f%%]" (pct base.m_rate)
-                (pct base.m_ci_lo) (pct base.m_ci_hi),
+            ( Printf.sprintf "%.2f%% [%.2f%%, %.2f%%] @%s" (pct base.m_rate)
+                (pct base.m_ci_lo) (pct base.m_ci_hi)
+                (String.sub base.m_created_iso 0
+                   (min 10 (String.length base.m_created_iso))),
               Printf.sprintf "%.2f" z,
               verdict,
               tput )

@@ -12,6 +12,15 @@ type manifest = {
   m_scale : string;  (** "paper" or "reduced" *)
   m_seed : int;
   m_created : float;  (** Unix time the manifest was built *)
+  m_created_iso : string;  (** [m_created] as ISO-8601 UTC, e.g. ["2026-08-09T12:00:00Z"] *)
+  m_tool_version : string;
+  m_git_commit : string;  (** short hash, or ["unknown"] outside a checkout *)
+  m_events_path : string option;
+      (** the [--events] stream the run published to, when any *)
+  m_events_seq : int option;
+      (** last event sequence number at manifest time — with
+          [m_events_path], enough to replay exactly what a live
+          dashboard saw for this run *)
   m_workers : int;
   m_cone_skip : bool;
   m_diff : bool;
@@ -39,6 +48,7 @@ val of_run :
   ?diff:bool ->
   ?forensics:bool ->
   ?stop:Tmr_obs.Stats.stop_rule ->
+  ?events_path:string ->
   Context.t ->
   Runs.design_run ->
   manifest
@@ -46,7 +56,8 @@ val of_run :
     [Invalid_argument] if the run has no campaign).  The engine-config
     flags record what the caller passed to {!Runs.campaign_design};
     they default like the engine does (cone_skip/diff on, forensics
-    off). *)
+    off).  [events_path] records where the live event stream went; the
+    current last sequence number is captured with it. *)
 
 val to_json : manifest -> Tmr_obs.Json.t
 val of_json : Tmr_obs.Json.t -> (manifest, string) result

@@ -739,6 +739,9 @@ let run ?progress ?workers ?(cone_skip = true) ?(diff = true)
               if nl > 0 then begin
                 Tmr_obs.Metrics.incr ~by:nl m_batch_lanes;
                 Tmr_obs.Metrics.observe m_batch_occupancy nl;
+                if Tmr_obs.Events.enabled () then
+                  Tmr_obs.Events.publish
+                    (Tmr_obs.Events.Batch_dispatched { design = name; lanes = nl });
                 if Tmr_obs.Trace.enabled () then
                   Tmr_obs.Trace.emit_complete
                     ~args:[ ("lanes", string_of_int nl) ]
@@ -812,22 +815,34 @@ let run ?progress ?workers ?(cone_skip = true) ?(diff = true)
       | Single i -> do_fault i
       | Batch idxs -> do_batch idxs
   in
+  (* Snapshot the event-bus state once: a sink installed mid-run would
+     otherwise see a campaign with no start event. *)
+  let emit_events = Tmr_obs.Events.enabled () in
   let pool_progress =
-    Option.map
-      (fun f _completed _total ->
-        f
-          {
-            p_completed = Atomic.get faults_done;
-            p_total = total;
-            p_wrong = Atomic.get wrong_live;
-          })
-      progress
+    if Option.is_none progress && not emit_events then None
+    else
+      Some
+        (fun _completed _total ->
+          let completed = Atomic.get faults_done in
+          let wrong = Atomic.get wrong_live in
+          if emit_events then
+            Tmr_obs.Events.publish
+              (Tmr_obs.Events.Campaign_progress
+                 { design = name; completed; total; wrong });
+          match progress with
+          | Some f ->
+              f { p_completed = completed; p_total = total; p_wrong = wrong }
+          | None -> ())
   in
   let should_stop =
     Option.map
       (fun m () -> Atomic.get m.mon_stop < max_int)
       monitor
   in
+  if emit_events then
+    Tmr_obs.Events.publish
+      (Tmr_obs.Events.Campaign_started
+         { design = name; faults = total; workers });
   let t_start = Tmr_obs.Clock.now_ns () in
   Tmr_obs.Trace.with_span
     ~args:
@@ -867,6 +882,23 @@ let run ?progress ?workers ?(cone_skip = true) ?(diff = true)
       (fun acc r -> if r.outcome = Wrong_answer then acc + 1 else acc)
       0 results
   in
+  if emit_events then begin
+    Tmr_obs.Events.publish
+      (Tmr_obs.Events.Plan_paths
+         {
+           design = name;
+           silent = stats.skipped;
+           patched = stats.patched;
+           rerouted = stats.rerouted;
+           rebuilt = stats.rebuilt;
+           diffed = stats.diffed;
+           converged = stats.converged;
+           batched = stats.batched;
+         });
+    Tmr_obs.Events.publish
+      (Tmr_obs.Events.Campaign_stopped
+         { design = name; requested = total; injected = effective; wrong; wall_ns })
+  end;
   (* stream the forensic records post-hoc in fault-index order: workers
      never write the sink, so the file is deterministic for a fixed
      fault list regardless of worker count or scheduling *)

@@ -86,22 +86,50 @@ let complete s n =
 let fail s exn bt =
   locked s (fun () -> if s.failure = None then s.failure <- Some (exn, bt))
 
-let worker_loop s body =
+(* Worker heartbeats for the live event stream: cumulative busy (chunk
+   bodies) / idle (claim waits) split per worker, rate-limited so a
+   fast worker does not flood the bus, plus one final beat at exit so
+   `tmrtool watch` always sees the end-of-run utilization. *)
+let heartbeat_interval_ns = 250_000_000
+
+let worker_loop s wid body =
+  let busy = ref 0 and idle = ref 0 and items = ref 0 in
+  let last_beat = ref (Tmr_obs.Clock.now_ns ()) in
+  let beat ~force now =
+    if
+      Tmr_obs.Events.enabled ()
+      && (force || now - !last_beat >= heartbeat_interval_ns)
+    then begin
+      last_beat := now;
+      Tmr_obs.Events.publish
+        (Tmr_obs.Events.Worker_heartbeat
+           { worker = wid; busy_ns = !busy; idle_ns = !idle; items = !items })
+    end
+  in
   let continue = ref true in
   while !continue do
+    let t0 = Tmr_obs.Clock.now_ns () in
     match claim s with
     | None -> continue := false
     | Some (lo, hi) -> (
+        let t1 = Tmr_obs.Clock.now_ns () in
+        idle := !idle + (t1 - t0);
         match
           for i = lo to hi - 1 do
             body i
           done
         with
-        | () -> complete s (hi - lo)
+        | () ->
+            let t2 = Tmr_obs.Clock.now_ns () in
+            busy := !busy + (t2 - t1);
+            items := !items + (hi - lo);
+            complete s (hi - lo);
+            beat ~force:false t2
         | exception exn ->
             fail s exn (Printexc.get_raw_backtrace ());
             continue := false)
-  done
+  done;
+  beat ~force:true (Tmr_obs.Clock.now_ns ())
 
 let run ?progress ?should_stop ?(chunk = 16) ~workers ~total body =
   if total < 0 then invalid_arg "Pool.run: negative total";
@@ -124,7 +152,7 @@ let run ?progress ?should_stop ?(chunk = 16) ~workers ~total body =
   in
   if workers = 1 || total <= chunk then
     (* inline: no domains for sequential runs or trivially small batches *)
-    worker_loop s (body 0)
+    worker_loop s 0 (body 0)
   else begin
     let domains =
       Array.init workers (fun wid ->
@@ -136,7 +164,7 @@ let run ?progress ?should_stop ?(chunk = 16) ~workers ~total body =
                  enough that the rendezvous cost stays negligible. *)
               Gc.set { (Gc.get ()) with Gc.minor_heap_size = 32 * 1024 * 1024 };
               match body wid with
-              | handler -> worker_loop s handler
+              | handler -> worker_loop s wid handler
               | exception exn ->
                   (* per-worker init failed *)
                   fail s exn (Printexc.get_raw_backtrace ())))

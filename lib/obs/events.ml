@@ -1,0 +1,418 @@
+type event =
+  | Campaign_started of { design : string; faults : int; workers : int }
+  | Campaign_progress of {
+      design : string;
+      completed : int;
+      total : int;
+      wrong : int;
+    }
+  | Campaign_ci of {
+      design : string;
+      n : int;
+      wrong : int;
+      confidence : float;
+      lo : float;
+      hi : float;
+    }
+  | Campaign_stopped of {
+      design : string;
+      requested : int;
+      injected : int;
+      wrong : int;
+      wall_ns : int;
+    }
+  | Batch_dispatched of { design : string; lanes : int }
+  | Worker_heartbeat of {
+      worker : int;
+      busy_ns : int;
+      idle_ns : int;
+      items : int;
+    }
+  | Plan_paths of {
+      design : string;
+      silent : int;
+      patched : int;
+      rerouted : int;
+      rebuilt : int;
+      diffed : int;
+      converged : int;
+      batched : int;
+    }
+  | Manifest_written of { design : string; path : string }
+
+let type_name = function
+  | Campaign_started _ -> "campaign_started"
+  | Campaign_progress _ -> "campaign_progress"
+  | Campaign_ci _ -> "campaign_ci"
+  | Campaign_stopped _ -> "campaign_stopped"
+  | Batch_dispatched _ -> "batch_dispatched"
+  | Worker_heartbeat _ -> "worker_heartbeat"
+  | Plan_paths _ -> "plan_paths"
+  | Manifest_written _ -> "manifest_written"
+
+(* Everything after the "ts_ns" field: ,"type":...,<fields>} — built by
+   the producer outside the ring lock; seq and ts are prepended by the
+   writer thread, which is the only place the full line exists. *)
+let payload_of ev =
+  let b = Buffer.create 160 in
+  Buffer.add_string b (Printf.sprintf ",\"type\":%S" (type_name ev));
+  let str k v = Buffer.add_string b (Printf.sprintf ",\"%s\":\"%s\"" k (Jsonl.escape v)) in
+  let int k v = Buffer.add_string b (Printf.sprintf ",\"%s\":%d" k v) in
+  let flt k v = Buffer.add_string b (Printf.sprintf ",\"%s\":%.6f" k v) in
+  (match ev with
+  | Campaign_started { design; faults; workers } ->
+      str "design" design;
+      int "faults" faults;
+      int "workers" workers
+  | Campaign_progress { design; completed; total; wrong } ->
+      str "design" design;
+      int "completed" completed;
+      int "total" total;
+      int "wrong" wrong
+  | Campaign_ci { design; n; wrong; confidence; lo; hi } ->
+      str "design" design;
+      int "n" n;
+      int "wrong" wrong;
+      flt "confidence" confidence;
+      flt "lo" lo;
+      flt "hi" hi
+  | Campaign_stopped { design; requested; injected; wrong; wall_ns } ->
+      str "design" design;
+      int "requested" requested;
+      int "injected" injected;
+      int "wrong" wrong;
+      int "wall_ns" wall_ns
+  | Batch_dispatched { design; lanes } ->
+      str "design" design;
+      int "lanes" lanes
+  | Worker_heartbeat { worker; busy_ns; idle_ns; items } ->
+      int "worker" worker;
+      int "busy_ns" busy_ns;
+      int "idle_ns" idle_ns;
+      int "items" items
+  | Plan_paths { design; silent; patched; rerouted; rebuilt; diffed; converged; batched } ->
+      str "design" design;
+      int "silent" silent;
+      int "patched" patched;
+      int "rerouted" rerouted;
+      int "rebuilt" rebuilt;
+      int "diffed" diffed;
+      int "converged" converged;
+      int "batched" batched
+  | Manifest_written { design; path } ->
+      str "design" design;
+      str "path" path);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let render ~seq ~ts_ns ev =
+  Printf.sprintf "{\"seq\":%d,\"ts_ns\":%d%s" seq ts_ns (payload_of ev)
+
+(* --- the bus ---------------------------------------------------------- *)
+
+let default_capacity = 4096
+
+type entry = { e_seq : int; e_ts : int; e_payload : string }
+
+type bus = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  capacity : int;
+  ring : entry array;
+  mutable head : int;  (* oldest undrained entry *)
+  mutable len : int;
+  mutable next_seq : int;
+  mutable stopping : bool;
+  mutable file : out_channel option;
+  mutable listen_fd : Unix.file_descr option;
+  mutable sock_path : string option;
+  mutable peers : Unix.file_descr list;
+  mutable writer : Thread.t option;
+  mutable acceptor : Thread.t option;
+}
+
+let state : bus option Atomic.t = Atomic.make None
+
+(* Totals survive [close] so manifests written after teardown can still
+   record the final sequence number. *)
+let total_seq = Atomic.make 0
+let total_dropped = Atomic.make 0
+
+let enabled () = Atomic.get state <> None
+let published () = Atomic.get total_seq
+let dropped () = Atomic.get total_dropped
+let last_seq () = Atomic.get total_seq - 1
+
+let clients () =
+  match Atomic.get state with
+  | None -> 0
+  | Some b ->
+      Mutex.lock b.mutex;
+      let n = List.length b.peers in
+      Mutex.unlock b.mutex;
+      n
+
+let publish ev =
+  match Atomic.get state with
+  | None -> ()
+  | Some b ->
+      let payload = payload_of ev in
+      Mutex.lock b.mutex;
+      (* seq and ts assigned under the ring lock: sequence order, ring
+         order and timestamp order all agree *)
+      let seq = b.next_seq in
+      b.next_seq <- seq + 1;
+      Atomic.incr total_seq;
+      if b.len >= b.capacity then Atomic.incr total_dropped
+      else begin
+        b.ring.((b.head + b.len) mod b.capacity) <-
+          { e_seq = seq; e_ts = Clock.now_ns (); e_payload = payload };
+        b.len <- b.len + 1;
+        Condition.signal b.cond
+      end;
+      Mutex.unlock b.mutex
+
+(* --- writer thread ---------------------------------------------------- *)
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd bytes !off (len - !off)
+  done
+
+let writer_loop b =
+  let finished = ref false in
+  while not !finished do
+    Mutex.lock b.mutex;
+    while b.len = 0 && not b.stopping do
+      Condition.wait b.cond b.mutex
+    done;
+    let n = b.len in
+    let batch = Array.init n (fun i -> b.ring.((b.head + i) mod b.capacity)) in
+    b.head <- (b.head + n) mod b.capacity;
+    b.len <- 0;
+    let peers = b.peers in
+    let file = b.file in
+    if b.stopping && n = 0 then finished := true;
+    Mutex.unlock b.mutex;
+    if n > 0 then begin
+      let buf = Buffer.create (n * 160) in
+      Array.iter
+        (fun e ->
+          Buffer.add_string buf
+            (Printf.sprintf "{\"seq\":%d,\"ts_ns\":%d%s\n" e.e_seq e.e_ts
+               e.e_payload))
+        batch;
+      let text = Buffer.contents buf in
+      (match file with
+      | Some oc -> ( try output_string oc text; flush oc with Sys_error _ -> ())
+      | None -> ());
+      let bytes = Bytes.of_string text in
+      let dead =
+        List.filter
+          (fun fd ->
+            match write_all fd bytes with
+            | () -> false
+            | exception _ -> true)
+          peers
+      in
+      if dead <> [] then begin
+        Mutex.lock b.mutex;
+        b.peers <- List.filter (fun fd -> not (List.memq fd dead)) b.peers;
+        Mutex.unlock b.mutex;
+        List.iter (fun fd -> try Unix.close fd with _ -> ()) dead
+      end
+    end
+  done
+
+(* Polling accept: a thread parked in a blocking accept() is not
+   reliably woken when another thread closes the listen fd, so the
+   acceptor polls and watches the stopping flag instead. *)
+let accept_loop b fd =
+  Unix.set_nonblock fd;
+  let running = ref true in
+  while !running do
+    (match Unix.accept fd with
+    | c, _ ->
+        (try Unix.clear_nonblock c with _ -> ());
+        (* a peer that stops reading must never stall the writer thread
+           for long: bound the send and drop the peer on timeout *)
+        (try Unix.setsockopt_float c Unix.SO_SNDTIMEO 0.5 with _ -> ());
+        Mutex.lock b.mutex;
+        b.peers <- c :: b.peers;
+        Mutex.unlock b.mutex
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Thread.delay 0.05
+    | exception _ -> running := false);
+    Mutex.lock b.mutex;
+    if b.stopping then running := false;
+    Mutex.unlock b.mutex
+  done
+
+(* --- lifecycle -------------------------------------------------------- *)
+
+let ensure_bus capacity =
+  match Atomic.get state with
+  | Some b -> b
+  | None ->
+      let capacity = max 1 capacity in
+      let b =
+        {
+          mutex = Mutex.create ();
+          cond = Condition.create ();
+          capacity;
+          ring = Array.make capacity { e_seq = 0; e_ts = 0; e_payload = "" };
+          head = 0;
+          len = 0;
+          next_seq = 0;
+          stopping = false;
+          file = None;
+          listen_fd = None;
+          sock_path = None;
+          peers = [];
+          writer = None;
+          acceptor = None;
+        }
+      in
+      (* each stream numbers from 0, so gaps measure this stream's drops *)
+      Atomic.set total_seq 0;
+      Atomic.set total_dropped 0;
+      b.writer <- Some (Thread.create writer_loop b);
+      Atomic.set state (Some b);
+      b
+
+let to_file ?(capacity = default_capacity) path =
+  let b = ensure_bus capacity in
+  let oc = open_out path in
+  Mutex.lock b.mutex;
+  let old = b.file in
+  b.file <- Some oc;
+  Mutex.unlock b.mutex;
+  Option.iter (fun oc -> try close_out oc with Sys_error _ -> ()) old
+
+let listen_unix ?(capacity = default_capacity) path =
+  let b = ensure_bus capacity in
+  (try if Sys.file_exists path then Sys.remove path with Sys_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 8;
+  Mutex.lock b.mutex;
+  b.listen_fd <- Some fd;
+  b.sock_path <- Some path;
+  Mutex.unlock b.mutex;
+  b.acceptor <- Some (Thread.create (accept_loop b) fd)
+
+let close () =
+  match Atomic.exchange state None with
+  | None -> ()
+  | Some b ->
+      Mutex.lock b.mutex;
+      b.stopping <- true;
+      Condition.broadcast b.cond;
+      Mutex.unlock b.mutex;
+      (* the writer drains whatever is still in the ring before exiting;
+         the acceptor notices the stopping flag on its next poll tick *)
+      Option.iter Thread.join b.writer;
+      Option.iter Thread.join b.acceptor;
+      (match b.listen_fd with
+      | Some fd -> ( try Unix.close fd with _ -> ())
+      | None -> ());
+      (match b.file with
+      | Some oc -> ( try close_out oc with Sys_error _ -> ())
+      | None -> ());
+      List.iter (fun fd -> try Unix.close fd with _ -> ()) b.peers;
+      (match b.sock_path with
+      | Some p -> ( try Sys.remove p with Sys_error _ -> ())
+      | None -> ())
+
+(* --- reading a stream back -------------------------------------------- *)
+
+type parsed = { p_seq : int; p_ts_ns : int; p_event : event }
+
+let parse_line line =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let* j = Json.parse line in
+  let req name =
+    match Json.member name j with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "events: missing field %S" name)
+  in
+  let int_f name =
+    let* v = req name in
+    match Json.int v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "events: field %S is not an int" name)
+  in
+  let str_f name =
+    let* v = req name in
+    match Json.str v with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "events: field %S is not a string" name)
+  in
+  let flt_f name =
+    let* v = req name in
+    match Json.num v with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "events: field %S is not a number" name)
+  in
+  let* seq = int_f "seq" in
+  let* ts = int_f "ts_ns" in
+  let* ty = str_f "type" in
+  let* ev =
+    match ty with
+    | "campaign_started" ->
+        let* design = str_f "design" in
+        let* faults = int_f "faults" in
+        let* workers = int_f "workers" in
+        Ok (Campaign_started { design; faults; workers })
+    | "campaign_progress" ->
+        let* design = str_f "design" in
+        let* completed = int_f "completed" in
+        let* total = int_f "total" in
+        let* wrong = int_f "wrong" in
+        Ok (Campaign_progress { design; completed; total; wrong })
+    | "campaign_ci" ->
+        let* design = str_f "design" in
+        let* n = int_f "n" in
+        let* wrong = int_f "wrong" in
+        let* confidence = flt_f "confidence" in
+        let* lo = flt_f "lo" in
+        let* hi = flt_f "hi" in
+        Ok (Campaign_ci { design; n; wrong; confidence; lo; hi })
+    | "campaign_stopped" ->
+        let* design = str_f "design" in
+        let* requested = int_f "requested" in
+        let* injected = int_f "injected" in
+        let* wrong = int_f "wrong" in
+        let* wall_ns = int_f "wall_ns" in
+        Ok (Campaign_stopped { design; requested; injected; wrong; wall_ns })
+    | "batch_dispatched" ->
+        let* design = str_f "design" in
+        let* lanes = int_f "lanes" in
+        Ok (Batch_dispatched { design; lanes })
+    | "worker_heartbeat" ->
+        let* worker = int_f "worker" in
+        let* busy_ns = int_f "busy_ns" in
+        let* idle_ns = int_f "idle_ns" in
+        let* items = int_f "items" in
+        Ok (Worker_heartbeat { worker; busy_ns; idle_ns; items })
+    | "plan_paths" ->
+        let* design = str_f "design" in
+        let* silent = int_f "silent" in
+        let* patched = int_f "patched" in
+        let* rerouted = int_f "rerouted" in
+        let* rebuilt = int_f "rebuilt" in
+        let* diffed = int_f "diffed" in
+        let* converged = int_f "converged" in
+        let* batched = int_f "batched" in
+        Ok
+          (Plan_paths
+             { design; silent; patched; rerouted; rebuilt; diffed; converged; batched })
+    | "manifest_written" ->
+        let* design = str_f "design" in
+        let* path = str_f "path" in
+        Ok (Manifest_written { design; path })
+    | other -> Error (Printf.sprintf "events: unknown event type %S" other)
+  in
+  Ok { p_seq = seq; p_ts_ns = ts; p_event = ev }

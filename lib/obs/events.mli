@@ -1,0 +1,120 @@
+(** Typed, lock-light structured event bus for live campaign telemetry.
+
+    Producers (Campaign, Pool, Store, tmrtool) publish typed events;
+    a single writer thread renders them to JSONL and fans them out to
+    the registered sinks — a file, a Unix-domain socket server, or
+    both.  The design goal is that the fault loop never blocks on
+    telemetry:
+
+    - {!publish} only formats the payload and takes one short ring
+      mutex; all I/O happens on the writer thread.
+    - The ring is bounded.  When it is full the event is dropped and
+      counted — its sequence number is still consumed, so a gap in the
+      [seq] field of the stream is an exact record of what was lost.
+    - Socket clients that stop reading are disconnected rather than
+      back-pressuring the bus.
+
+    Every line is one JSON object
+    [{"seq":N,"ts_ns":T,"type":"...",...}] with [seq] dense from 0 per
+    stream and [ts_ns] monotonic ({!Clock.now_ns}, read under the same
+    lock that assigns [seq], so timestamp order matches sequence
+    order).
+
+    With no sink installed, {!publish} is one atomic load — the
+    instrumented hot paths stay free. *)
+
+type event =
+  | Campaign_started of { design : string; faults : int; workers : int }
+  | Campaign_progress of {
+      design : string;
+      completed : int;
+      total : int;
+      wrong : int;
+    }
+  | Campaign_ci of {
+      design : string;
+      n : int;
+      wrong : int;
+      confidence : float;
+      lo : float;
+      hi : float;
+    }
+  | Campaign_stopped of {
+      design : string;
+      requested : int;
+      injected : int;
+      wrong : int;
+      wall_ns : int;
+    }
+  | Batch_dispatched of { design : string; lanes : int }
+  | Worker_heartbeat of {
+      worker : int;
+      busy_ns : int;
+      idle_ns : int;
+      items : int;
+    }
+  | Plan_paths of {
+      design : string;
+      silent : int;
+      patched : int;
+      rerouted : int;
+      rebuilt : int;
+      diffed : int;
+      converged : int;
+      batched : int;
+    }
+  | Manifest_written of { design : string; path : string }
+
+val enabled : unit -> bool
+(** Is any sink installed?  Producers may use this to skip building
+    event arguments, but {!publish} is already a no-op when false. *)
+
+val publish : event -> unit
+(** Enqueue one event.  Never blocks on I/O; drops (counted) when the
+    ring is full.  Domain-safe. *)
+
+val to_file : ?capacity:int -> string -> unit
+(** Start (or reuse) the bus and stream events to [path] as JSONL,
+    truncating it.  [capacity] (default 4096) bounds the ring and is
+    only honoured by the call that creates the bus. *)
+
+val listen_unix : ?capacity:int -> string -> unit
+(** Start (or reuse) the bus and serve the event stream on a
+    Unix-domain socket bound at [path] (an existing socket file is
+    replaced).  Clients see events published after they connect; a
+    client that falls behind is disconnected. *)
+
+val close : unit -> unit
+(** Drain the ring, flush and close every sink, join the bus threads
+    and disable publishing.  Idempotent. *)
+
+val published : unit -> int
+(** Events assigned a sequence number since the bus was (last)
+    created — written plus dropped. *)
+
+val dropped : unit -> int
+(** Events whose sequence numbers are missing from the stream. *)
+
+val last_seq : unit -> int
+(** Highest sequence number assigned, or [-1] when none.  Survives
+    {!close}, so a run manifest can record the final sequence number
+    after teardown. *)
+
+val clients : unit -> int
+(** Currently connected socket clients. *)
+
+val type_name : event -> string
+(** The [type] field value, e.g. ["campaign_progress"]. *)
+
+(** {1 Reading a stream back}
+
+    [tmrtool watch] and the tests re-ingest the JSONL stream. *)
+
+type parsed = { p_seq : int; p_ts_ns : int; p_event : event }
+
+val parse_line : string -> (parsed, string) result
+(** Parse one stream line back into a typed event. *)
+
+val render : seq:int -> ts_ns:int -> event -> string
+(** The exact line {!publish} would emit (without the newline).
+    Exposed for tests. *)

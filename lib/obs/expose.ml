@@ -1,0 +1,162 @@
+(* Prometheus text format v0.0.4 over a deliberately small HTTP/1.1
+   server: one thread, one connection at a time, GET only.  A scrape
+   renders from a Metrics snapshot, so it never blocks recorders. *)
+
+let sanitize name =
+  String.map
+    (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':') as c -> c | _ -> '_')
+    name
+
+let fmt_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let render () =
+  let snap = Metrics.snapshot () in
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize name in
+      line "# TYPE %s counter" n;
+      line "%s %d" n v)
+    snap.Metrics.counters;
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize name in
+      line "# TYPE %s gauge" n;
+      line "%s %s" n (fmt_float v))
+    snap.Metrics.gauges;
+  List.iter
+    (fun (name, (s : Metrics.hist_summary)) ->
+      let n = sanitize name in
+      line "# TYPE %s histogram" n;
+      let cum = ref 0 in
+      Array.iter
+        (fun (bound, count) ->
+          cum := !cum + count;
+          (* the catch-all bucket has no finite bound; +Inf below covers it *)
+          if bound <> max_int then line "%s_bucket{le=\"%d\"} %d" n bound !cum)
+        s.Metrics.buckets;
+      line "%s_bucket{le=\"+Inf\"} %d" n s.Metrics.count;
+      line "%s_sum %d" n s.Metrics.sum;
+      line "%s_count %d" n s.Metrics.count;
+      line "# TYPE %s_min gauge" n;
+      line "%s_min %d" n s.Metrics.min;
+      line "# TYPE %s_max gauge" n;
+      line "%s_max %d" n s.Metrics.max)
+    snap.Metrics.histograms;
+  (* event-bus liveness: how far the stream is, and what was lost *)
+  line "# TYPE events_bus_published gauge";
+  line "events_bus_published %d" (Events.published ());
+  line "# TYPE events_bus_dropped gauge";
+  line "events_bus_dropped %d" (Events.dropped ());
+  line "# TYPE events_bus_last_seq gauge";
+  line "events_bus_last_seq %d" (Events.last_seq ());
+  line "# TYPE events_bus_clients gauge";
+  line "events_bus_clients %d" (Events.clients ());
+  Buffer.contents b
+
+(* --- server ----------------------------------------------------------- *)
+
+type server = {
+  fd : Unix.file_descr;
+  thread : Thread.t;
+  s_port : int;
+  stop_flag : bool Atomic.t;
+}
+
+let current : server option ref = ref None
+let current_mutex = Mutex.create ()
+
+let respond client =
+  let buf = Bytes.create 2048 in
+  let n = try Unix.read client buf 0 2048 with _ -> 0 in
+  let req = Bytes.sub_string buf 0 n in
+  let path =
+    match String.split_on_char ' ' req with
+    | _meth :: path :: _ -> path
+    | _ -> "/"
+  in
+  let status, body =
+    match path with
+    | "/" | "/metrics" -> ("200 OK", render ())
+    | "/healthz" -> ("200 OK", "ok\n")
+    | _ -> ("404 Not Found", "not found\n")
+  in
+  let resp =
+    Printf.sprintf
+      "HTTP/1.1 %s\r\nContent-Type: text/plain; version=0.0.4; \
+       charset=utf-8\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+      status (String.length body) body
+  in
+  let bytes = Bytes.of_string resp in
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  try
+    while !off < len do
+      off := !off + Unix.write client bytes !off (len - !off)
+    done
+  with _ -> ()
+
+(* Polling accept: a thread parked in a blocking accept() is not
+   reliably woken when another thread closes the listen fd, so the
+   serve thread polls and watches a stop flag instead — worst-case
+   50 ms of extra scrape latency, no join deadlock on shutdown. *)
+let serve (fd, stop_flag) =
+  Unix.set_nonblock fd;
+  while not (Atomic.get stop_flag) do
+    match Unix.accept fd with
+    | client, _ ->
+        (try Unix.clear_nonblock client with _ -> ());
+        (try Unix.setsockopt_float client Unix.SO_RCVTIMEO 2.0 with _ -> ());
+        (try respond client with _ -> ());
+        (try Unix.close client with _ -> ())
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Thread.delay 0.05
+    | exception _ -> Atomic.set stop_flag true
+  done
+
+let listen ?(host = "127.0.0.1") port =
+  Mutex.lock current_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock current_mutex)
+    (fun () ->
+      if !current <> None then
+        invalid_arg "Expose.listen: server already running";
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      Unix.listen fd 16;
+      let s_port =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      let stop_flag = Atomic.make false in
+      let thread = Thread.create serve (fd, stop_flag) in
+      current := Some { fd; thread; s_port; stop_flag };
+      s_port)
+
+let stop () =
+  let s =
+    Mutex.lock current_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock current_mutex)
+      (fun () ->
+        let s = !current in
+        current := None;
+        s)
+  in
+  match s with
+  | None -> ()
+  | Some s ->
+      Atomic.set s.stop_flag true;
+      Thread.join s.thread;
+      (try Unix.close s.fd with _ -> ())
+
+let port () =
+  Mutex.lock current_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock current_mutex)
+    (fun () -> Option.map (fun s -> s.s_port) !current)

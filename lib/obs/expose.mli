@@ -1,0 +1,33 @@
+(** Metrics exposition: Prometheus text format v0.0.4 over HTTP.
+
+    {!render} turns the live {!Metrics} registry (plus event-bus
+    liveness gauges from {!Events}) into the Prometheus text format, and
+    {!listen} serves it from a single background thread so a running
+    campaign can be scraped or curl-polled mid-flight:
+
+    {v tmrtool inject --listen 9464 ...   # then
+       curl http://127.0.0.1:9464/metrics v}
+
+    The server is deliberately tiny: one thread, one connection at a
+    time, [GET /metrics] (or [/]) only.  Rendering takes a registry
+    snapshot, so a scrape never blocks recorders. *)
+
+val render : unit -> string
+(** The current registry as Prometheus text format v0.0.4.  Metric
+    names are sanitized (dots become underscores); histograms emit
+    cumulative [_bucket{le="..."}] series plus [_sum]/[_count] and
+    exact [_min]/[_max] gauges; the event bus contributes
+    [events_bus_published]/[events_bus_dropped]/[events_bus_last_seq]/
+    [events_bus_clients]. *)
+
+val listen : ?host:string -> int -> int
+(** Bind [host] (default 127.0.0.1) at the given port, start the serve
+    thread, and return the bound port — pass port 0 to let the kernel
+    pick one.  At most one server per process; raises
+    [Invalid_argument] if one is already running. *)
+
+val stop : unit -> unit
+(** Shut the server down and join its thread.  Idempotent. *)
+
+val port : unit -> int option
+(** The bound port while the server runs. *)

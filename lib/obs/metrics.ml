@@ -50,6 +50,8 @@ type histogram = {
   h_buckets : int Atomic.t array array;  (* shard -> bucket -> count *)
   h_count : int Atomic.t array;  (* shard *)
   h_sum : int Atomic.t array;  (* shard *)
+  h_min : int Atomic.t array;  (* shard; max_int = no sample yet *)
+  h_max : int Atomic.t array;  (* shard; min_int = no sample yet *)
 }
 
 type instrument =
@@ -73,6 +75,7 @@ let intern name make =
           i)
 
 let atomic_row n = Array.init n (fun _ -> Atomic.make 0)
+let sentinel_row n v = Array.init n (fun _ -> Atomic.make v)
 
 let counter name =
   match intern name (fun () -> Counter { c_shards = atomic_row nshards }) with
@@ -92,6 +95,8 @@ let histogram name =
             h_buckets = Array.init nshards (fun _ -> atomic_row nbuckets);
             h_count = atomic_row nshards;
             h_sum = atomic_row nshards;
+            h_min = sentinel_row nshards max_int;
+            h_max = sentinel_row nshards min_int;
           })
   with
   | Histogram h -> h
@@ -100,11 +105,24 @@ let histogram name =
 let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.c_shards.(slot ()) by)
 let set g v = Atomic.set g.g_cell v
 
+(* CAS races only against same-slot recorders (rare: slots are
+   per-domain) and converges in one round trip in the common case where
+   the extremum doesn't move. *)
+let rec atomic_min a v =
+  let cur = Atomic.get a in
+  if v < cur && not (Atomic.compare_and_set a cur v) then atomic_min a v
+
+let rec atomic_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
 let observe h v =
   let s = slot () in
   ignore (Atomic.fetch_and_add h.h_buckets.(s).(bucket_of v) 1);
   ignore (Atomic.fetch_and_add h.h_count.(s) 1);
-  ignore (Atomic.fetch_and_add h.h_sum.(s) (max 0 v))
+  ignore (Atomic.fetch_and_add h.h_sum.(s) (max 0 v));
+  atomic_min h.h_min.(s) v;
+  atomic_max h.h_max.(s) v
 
 (* --- snapshots ------------------------------------------------------- *)
 
@@ -115,6 +133,8 @@ type hist_summary = {
   p50 : float;
   p95 : float;
   p99 : float;
+  min : int;
+  max : int;
   buckets : (int * int) array;
 }
 
@@ -163,6 +183,8 @@ let summarize h =
   let merged = merge_buckets h in
   let count = sum_row h.h_count in
   let sum = sum_row h.h_sum in
+  let fold f init row = Array.fold_left (fun acc a -> f acc (Atomic.get a)) init row in
+  let mn = fold min max_int h.h_min and mx = fold max min_int h.h_max in
   {
     count;
     sum;
@@ -170,6 +192,10 @@ let summarize h =
     p50 = percentile_of_buckets merged count 0.50;
     p95 = percentile_of_buckets merged count 0.95;
     p99 = percentile_of_buckets merged count 0.99;
+    (* exact observed extrema, unlike the bucket-derived percentiles;
+       0 (the sentinels) when no sample was ever recorded *)
+    min = (if mn = max_int then 0 else mn);
+    max = (if mx = min_int then 0 else mx);
     buckets = occupied_buckets merged;
   }
 
@@ -208,6 +234,8 @@ let reset () =
           | Histogram h ->
               Array.iter (fun a -> Atomic.set a 0) h.h_count;
               Array.iter (fun a -> Atomic.set a 0) h.h_sum;
+              Array.iter (fun a -> Atomic.set a max_int) h.h_min;
+              Array.iter (fun a -> Atomic.set a min_int) h.h_max;
               Array.iter (Array.iter (fun a -> Atomic.set a 0)) h.h_buckets)
         registry)
 
@@ -261,6 +289,8 @@ let to_json_string ?(indent = 2) snap =
         ("p50", fun () -> Buffer.add_string b (json_float s.p50));
         ("p95", fun () -> Buffer.add_string b (json_float s.p95));
         ("p99", fun () -> Buffer.add_string b (json_float s.p99));
+        ("min", fun () -> Buffer.add_string b (string_of_int s.min));
+        ("max", fun () -> Buffer.add_string b (string_of_int s.max));
         ( "buckets",
           fun () ->
             (* [[upper_bound, count], ...] — occupied buckets only; the

@@ -49,6 +49,10 @@ type hist_summary = {
       (** upper bound of the bucket holding the percentile rank — an
           over-estimate by at most the bucket ratio (~26%); 0 when the
           histogram is empty *)
+  min : int;
+  max : int;
+      (** exact smallest/largest sample ever observed (not
+          bucket-derived); both 0 when the histogram is empty *)
   buckets : (int * int) array;
       (** occupied buckets only, ascending, as [(upper_bound, count)];
           counts sum to [count].  The catch-all last bucket's bound is

@@ -1,0 +1,251 @@
+type campaign = {
+  mutable c_workers : int;
+  mutable c_total : int;
+  mutable c_completed : int;
+  mutable c_wrong : int;
+  mutable c_started_ts : int;  (* ts_ns of campaign_started *)
+  mutable c_last_ts : int;  (* ts_ns of the latest event seen *)
+  mutable c_stopped : bool;
+  mutable c_requested : int;
+  mutable c_wall_ns : int;
+  mutable c_ci : (float * float * float) option;  (* confidence, lo, hi *)
+  mutable c_batches : int;
+  mutable c_lanes : int;
+  mutable c_plan : (int * int * int * int * int * int * int) option;
+  mutable c_manifest : string option;
+}
+
+type worker_state = {
+  mutable w_busy : int;
+  mutable w_idle : int;
+  mutable w_items : int;
+}
+
+type t = {
+  campaigns : (string, campaign) Hashtbl.t;
+  mutable order : string list;  (* reverse arrival order *)
+  workers : (int, worker_state) Hashtbl.t;
+  mutable last_seq : int;
+  mutable gap_total : int;
+  mutable nevents : int;
+}
+
+let create () =
+  {
+    campaigns = Hashtbl.create 4;
+    order = [];
+    workers = Hashtbl.create 8;
+    last_seq = -1;
+    gap_total = 0;
+    nevents = 0;
+  }
+
+let campaign_of t design =
+  match Hashtbl.find_opt t.campaigns design with
+  | Some c -> c
+  | None ->
+      let c =
+        {
+          c_workers = 0;
+          c_total = 0;
+          c_completed = 0;
+          c_wrong = 0;
+          c_started_ts = 0;
+          c_last_ts = 0;
+          c_stopped = false;
+          c_requested = 0;
+          c_wall_ns = 0;
+          c_ci = None;
+          c_batches = 0;
+          c_lanes = 0;
+          c_plan = None;
+          c_manifest = None;
+        }
+      in
+      Hashtbl.add t.campaigns design c;
+      t.order <- design :: t.order;
+      c
+
+let worker_of t wid =
+  match Hashtbl.find_opt t.workers wid with
+  | Some w -> w
+  | None ->
+      let w = { w_busy = 0; w_idle = 0; w_items = 0 } in
+      Hashtbl.add t.workers wid w;
+      w
+
+let feed t (p : Events.parsed) =
+  t.nevents <- t.nevents + 1;
+  if p.Events.p_seq > t.last_seq + 1 && t.last_seq >= -1 then
+    t.gap_total <- t.gap_total + (p.Events.p_seq - t.last_seq - 1);
+  if p.Events.p_seq > t.last_seq then t.last_seq <- p.Events.p_seq;
+  let ts = p.Events.p_ts_ns in
+  match p.Events.p_event with
+  | Events.Campaign_started { design; faults; workers } ->
+      let c = campaign_of t design in
+      c.c_total <- faults;
+      c.c_requested <- faults;
+      c.c_workers <- workers;
+      c.c_started_ts <- ts;
+      c.c_last_ts <- ts
+  | Events.Campaign_progress { design; completed; total; wrong } ->
+      let c = campaign_of t design in
+      c.c_total <- total;
+      (* late progress ticks from chunks in flight at a CI stop may
+         read lower than the final count; progress is monotone *)
+      if completed > c.c_completed then c.c_completed <- completed;
+      if wrong > c.c_wrong then c.c_wrong <- wrong;
+      c.c_last_ts <- ts
+  | Events.Campaign_ci { design; n = _; wrong = _; confidence; lo; hi } ->
+      let c = campaign_of t design in
+      c.c_ci <- Some (confidence, lo, hi);
+      c.c_last_ts <- ts
+  | Events.Campaign_stopped { design; requested; injected; wrong; wall_ns } ->
+      let c = campaign_of t design in
+      c.c_stopped <- true;
+      c.c_requested <- requested;
+      (* the final verdict counts are authoritative: a CI-stopped run
+         keeps only the triggering prefix, which can be smaller than
+         the faults completed by chunks still in flight *)
+      c.c_completed <- injected;
+      c.c_wrong <- wrong;
+      c.c_wall_ns <- wall_ns;
+      c.c_last_ts <- ts
+  | Events.Batch_dispatched { design; lanes } ->
+      let c = campaign_of t design in
+      c.c_batches <- c.c_batches + 1;
+      c.c_lanes <- c.c_lanes + lanes;
+      c.c_last_ts <- ts
+  | Events.Worker_heartbeat { worker; busy_ns; idle_ns; items } ->
+      let w = worker_of t worker in
+      (* heartbeats carry cumulative totals; keep the latest *)
+      w.w_busy <- busy_ns;
+      w.w_idle <- idle_ns;
+      w.w_items <- items
+  | Events.Plan_paths { design; silent; patched; rerouted; rebuilt; diffed; converged; batched = _ } ->
+      let c = campaign_of t design in
+      c.c_plan <- Some (silent, patched, rerouted, rebuilt, diffed, converged, 0);
+      c.c_last_ts <- ts
+  | Events.Manifest_written { design; path } ->
+      let c = campaign_of t design in
+      c.c_manifest <- Some path
+
+let finished t =
+  Hashtbl.length t.campaigns > 0
+  && Hashtbl.fold (fun _ c acc -> acc && c.c_stopped) t.campaigns true
+
+let events_seen t = t.nevents
+let gaps t = t.gap_total
+
+let ordered t =
+  List.rev_map (fun d -> (d, Hashtbl.find t.campaigns d)) t.order
+
+(* --- rendering -------------------------------------------------------- *)
+
+let bar width frac =
+  let full = int_of_float (frac *. float_of_int width) in
+  let full = max 0 (min width full) in
+  String.make full '#' ^ String.make (width - full) '-'
+
+let rate_of c =
+  let elapsed_ns =
+    if c.c_stopped && c.c_wall_ns > 0 then c.c_wall_ns
+    else c.c_last_ts - c.c_started_ts
+  in
+  if elapsed_ns <= 0 then 0.0
+  else float_of_int c.c_completed *. 1e9 /. float_of_int elapsed_ns
+
+let render ?(confidence = 0.95) t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (design, c) ->
+      let frac =
+        if c.c_total = 0 then 0.0
+        else float_of_int c.c_completed /. float_of_int c.c_total
+      in
+      let rate = rate_of c in
+      let status =
+        if c.c_stopped then
+          if c.c_completed < c.c_requested then "stopped early" else "done"
+        else if rate > 0.0 then
+          Printf.sprintf "eta %.0fs"
+            (float_of_int (c.c_total - c.c_completed) /. rate)
+        else "starting"
+      in
+      let n = c.c_completed and k = c.c_wrong in
+      let ci =
+        match (c.c_stopped, c.c_ci) with
+        | false, Some (_, lo, hi) -> (lo, hi)
+        | _ ->
+            let i = Stats.wilson ~confidence ~n ~k () in
+            (i.Stats.lo, i.Stats.hi)
+      in
+      let pct = if n = 0 then 0.0 else 100.0 *. float_of_int k /. float_of_int n in
+      Buffer.add_string b
+        (Printf.sprintf "%-12s [%s] %6d/%-6d %6.1f/s  wrong %d (%.2f%% [%.2f%%, %.2f%%])  %s\n"
+           design
+           (bar 20 frac)
+           c.c_completed c.c_total rate k pct
+           (100.0 *. fst ci) (100.0 *. snd ci)
+           status);
+      (match c.c_plan with
+      | Some (silent, patched, rerouted, rebuilt, diffed, converged, _) ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "             paths: silent %d patch %d reroute %d rebuild %d (diffed %d, converged %d)\n"
+               silent patched rerouted rebuilt diffed converged)
+      | None -> ());
+      if c.c_batches > 0 then
+        Buffer.add_string b
+          (Printf.sprintf "             batches: %d dispatched, avg occupancy %.1f lanes\n"
+             c.c_batches
+             (float_of_int c.c_lanes /. float_of_int c.c_batches));
+      match c.c_manifest with
+      | Some p ->
+          Buffer.add_string b (Printf.sprintf "             manifest: %s\n" p)
+      | None -> ())
+    (ordered t);
+  if Hashtbl.length t.workers > 0 then begin
+    let ws =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.workers []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    Buffer.add_string b "workers:";
+    List.iter
+      (fun (wid, w) ->
+        let tot = w.w_busy + w.w_idle in
+        let pct =
+          if tot = 0 then 0.0
+          else 100.0 *. float_of_int w.w_busy /. float_of_int tot
+        in
+        Buffer.add_string b
+          (Printf.sprintf "  w%d %.0f%% busy (%d items)" wid pct w.w_items))
+      ws;
+    Buffer.add_char b '\n'
+  end;
+  Buffer.add_string b
+    (Printf.sprintf "stream: %d events, last seq %d, %d dropped\n" t.nevents
+       t.last_seq t.gap_total);
+  Buffer.contents b
+
+let summary_json ?(confidence = 0.95) t =
+  let b = Buffer.create 256 in
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i (design, c) ->
+      if i > 0 then Buffer.add_char b ',';
+      let n = c.c_completed and k = c.c_wrong in
+      let i' = Stats.wilson ~confidence ~n ~k () in
+      let pct =
+        if n = 0 then 0.0 else 100.0 *. float_of_int k /. float_of_int n
+      in
+      (* field names and formats mirror Campaign.summary_json so the
+         watch-side summary is comparable field-by-field *)
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"design\":\"%s\",\"requested\":%d,\"injected\":%d,\"wrong\":%d,\"wrong_percent\":%.4f,\"ci\":{\"confidence\":%g,\"lo\":%.6f,\"hi\":%.6f},\"stopped\":%b,\"events\":%d,\"dropped\":%d}"
+           (Jsonl.escape design) c.c_requested n k pct confidence i'.Stats.lo
+           i'.Stats.hi c.c_stopped t.nevents t.gap_total))
+    (ordered t);
+  Buffer.add_string b "]\n";
+  Buffer.contents b

@@ -1,0 +1,39 @@
+(** Event-stream aggregation behind [tmrtool watch].
+
+    Feed parsed {!Events} lines (from a JSONL file or a live socket) in
+    stream order; the state tracks every campaign seen (multi-campaign
+    streams render one row each), per-worker heartbeats, batch
+    occupancy and stream health (sequence gaps = dropped events).
+
+    The wrong-rate confidence interval is recomputed from the event
+    counts with {!Stats.wilson} — the same code the injection engine
+    uses — so a finished stream reproduces the engine's final
+    n/wrong/CI exactly, with no access to the run itself. *)
+
+type t
+
+val create : unit -> t
+
+val feed : t -> Events.parsed -> unit
+(** Ingest one event.  Events may arrive for several campaigns
+    interleaved; sequence numbers must be fed in stream order for gap
+    accounting to be exact. *)
+
+val finished : t -> bool
+(** At least one campaign seen, and every campaign seen has stopped. *)
+
+val events_seen : t -> int
+
+val gaps : t -> int
+(** Events missing from the stream (sum of sequence-number gaps). *)
+
+val render : ?confidence:float -> t -> string
+(** Multi-campaign dashboard: one block per campaign (progress bar,
+    rate, ETA, wrong rate ± Wilson CI, plan-path counts, batch
+    occupancy), worker heartbeat rows, and a stream-health footer. *)
+
+val summary_json : ?confidence:float -> t -> string
+(** JSON array, one object per campaign, with the same fields and
+    number formatting as [tmrtool inject --json]
+    ([design]/[requested]/[injected]/[wrong]/[wrong_percent]/[ci]) so
+    the two can be compared byte-for-byte field-wise. *)

@@ -1,0 +1,517 @@
+(* Live telemetry: event-bus ordering and drop accounting, torn-line
+   freedom of the shared JSONL sink under domain concurrency, the
+   Prometheus exposition endpoint, the offline span profiler, exact
+   histogram extrema, and end-to-end exactness — a campaign's event
+   stream alone reproduces the engine's final verdict. *)
+
+module Metrics = Tmr_obs.Metrics
+module Events = Tmr_obs.Events
+module Expose = Tmr_obs.Expose
+module Profile = Tmr_obs.Profile
+module Watch = Tmr_obs.Watch
+module Jsonl = Tmr_obs.Jsonl
+module Stats = Tmr_obs.Stats
+module Campaign = Tmr_inject.Campaign
+module Partition = Tmr_core.Partition
+module Context = Tmr_experiments.Context
+module Runs = Tmr_experiments.Runs
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let parse_exn line =
+  match Events.parse_line line with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse_line %S: %s" line e
+
+(* ------------------------------------------------------------------ *)
+(* Jsonl: concurrent writers from several domains never tear lines. *)
+
+let test_jsonl_concurrent () =
+  let path = Filename.temp_file "tmr_jsonl" ".jsonl" in
+  let sink = Jsonl.make () in
+  Jsonl.to_file sink path;
+  let domains = 4 and per_domain = 5_000 in
+  let workers =
+    Array.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              (* long enough that a torn write would be visible *)
+              Jsonl.emit sink
+                (Printf.sprintf "{\"domain\":%d,\"i\":%d,\"pad\":%S}" d i
+                   (String.make 64 (Char.chr (Char.code 'a' + d))))
+            done))
+  in
+  Array.iter Domain.join workers;
+  Jsonl.close sink;
+  let lines = read_lines path in
+  Alcotest.(check int) "every line written" (domains * per_domain)
+    (List.length lines);
+  let seen = Array.make_matrix domains (per_domain + 1) false in
+  List.iter
+    (fun line ->
+      (* a torn or interleaved line fails this exact-shape scan *)
+      Scanf.sscanf line "{\"domain\":%d,\"i\":%d,\"pad\":%S}" (fun d i pad ->
+          Alcotest.(check int) "pad intact" 64 (String.length pad);
+          Alcotest.(check char) "pad is the writer's byte"
+            (Char.chr (Char.code 'a' + d))
+            pad.[0];
+          if seen.(d).(i) then Alcotest.failf "duplicate line %d/%d" d i;
+          seen.(d).(i) <- true))
+    lines;
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Event bus: every variant round-trips through the stream; sequence
+   numbers are dense and timestamps monotone. *)
+
+let all_events =
+  [
+    Events.Campaign_started { design = "tmr_p2"; faults = 150; workers = 4 };
+    Events.Campaign_progress
+      { design = "tmr_p2"; completed = 50; total = 150; wrong = 2 };
+    Events.Campaign_ci
+      {
+        design = "tmr_p2";
+        n = 100;
+        wrong = 3;
+        confidence = 0.95;
+        lo = 0.0103;
+        hi = 0.0851;
+      };
+    Events.Campaign_stopped
+      {
+        design = "tmr_p2";
+        requested = 150;
+        injected = 150;
+        wrong = 5;
+        wall_ns = 1_234_567_890;
+      };
+    Events.Batch_dispatched { design = "tmr_p2"; lanes = 64 };
+    Events.Worker_heartbeat
+      { worker = 2; busy_ns = 900_000; idle_ns = 100_000; items = 17 };
+    Events.Plan_paths
+      {
+        design = "tmr_p2";
+        silent = 80;
+        patched = 30;
+        rerouted = 20;
+        rebuilt = 10;
+        diffed = 8;
+        converged = 6;
+        batched = 64;
+      };
+    Events.Manifest_written { design = "tmr_p2"; path = "/tmp/x.json" };
+  ]
+
+let test_event_roundtrip () =
+  let path = Filename.temp_file "tmr_events" ".jsonl" in
+  Events.to_file path;
+  List.iter Events.publish all_events;
+  Events.close ();
+  let lines = read_lines path in
+  Alcotest.(check int) "one line per event" (List.length all_events)
+    (List.length lines);
+  let parsed = List.map parse_exn lines in
+  List.iteri
+    (fun i p ->
+      Alcotest.(check int) "seq dense from 0" i p.Events.p_seq;
+      if i > 0 then
+        Alcotest.(check bool) "ts monotone" true
+          (p.Events.p_ts_ns
+          >= (List.nth parsed (i - 1)).Events.p_ts_ns))
+    parsed;
+  List.iter2
+    (fun sent p ->
+      if sent <> p.Events.p_event then
+        Alcotest.failf "event %s did not round-trip" (Events.type_name sent))
+    all_events parsed;
+  Alcotest.(check int) "published counts all" (List.length all_events)
+    (Events.published ());
+  Alcotest.(check int) "nothing dropped" 0 (Events.dropped ());
+  Alcotest.(check int) "last_seq survives close"
+    (List.length all_events - 1)
+    (Events.last_seq ());
+  Sys.remove path
+
+let test_render_parse_inverse () =
+  List.iteri
+    (fun i ev ->
+      let line = Events.render ~seq:i ~ts_ns:(1000 + i) ev in
+      let p = parse_exn line in
+      Alcotest.(check int) "seq" i p.Events.p_seq;
+      Alcotest.(check int) "ts_ns" (1000 + i) p.Events.p_ts_ns;
+      if p.Events.p_event <> ev then
+        Alcotest.failf "render/parse not inverse for %s"
+          (Events.type_name ev))
+    all_events
+
+(* Drop accounting: a tiny ring under a firehose loses events, but the
+   stream records the loss exactly — written + dropped = published, and
+   the missing sequence numbers are precisely the dropped count. *)
+let test_event_drops_exact () =
+  let path = Filename.temp_file "tmr_events_drop" ".jsonl" in
+  Events.to_file ~capacity:8 path;
+  let total = 50_000 in
+  let domains = 4 in
+  let workers =
+    Array.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to total / domains do
+              Events.publish
+                (Events.Campaign_progress
+                   {
+                     design = "firehose";
+                     completed = i;
+                     total = total / domains;
+                     wrong = d;
+                   })
+            done))
+  in
+  Array.iter Domain.join workers;
+  Events.close ();
+  let lines = read_lines path in
+  let published = Events.published () in
+  let dropped = Events.dropped () in
+  Alcotest.(check int) "published = every publish call" total published;
+  Alcotest.(check int) "written + dropped = published" published
+    (List.length lines + dropped);
+  let seqs = List.map (fun l -> (parse_exn l).Events.p_seq) lines in
+  let rec check_sorted gaps = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "seq strictly increasing" true (b > a);
+        check_sorted (gaps + (b - a - 1)) rest
+    | [ last ] -> (gaps, last)
+    | [] -> (gaps, -1)
+  in
+  let interior_gaps, last = check_sorted 0 seqs in
+  let head_gap = match seqs with s :: _ -> s | [] -> 0 in
+  let tail_gap = published - 1 - last in
+  Alcotest.(check int) "stream gaps = drop counter exactly" dropped
+    (head_gap + interior_gaps + tail_gap);
+  Sys.remove path
+
+let test_event_socket_sink () =
+  let sock = Filename.temp_file "tmr_events" ".sock" in
+  Sys.remove sock;
+  Events.listen_unix sock;
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.connect fd (ADDR_UNIX sock);
+  (* let the acceptor register the client before publishing *)
+  let rec wait n =
+    if Events.clients () = 0 && n > 0 then begin
+      Thread.delay 0.02;
+      wait (n - 1)
+    end
+  in
+  wait 100;
+  Alcotest.(check int) "client connected" 1 (Events.clients ());
+  List.iter Events.publish all_events;
+  Events.close ();
+  let buf = Buffer.create 1024 in
+  let bytes = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read fd bytes 0 4096 with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf bytes 0 n;
+        drain ()
+  in
+  drain ();
+  Unix.close fd;
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "socket client sees every event"
+    (List.length all_events) (List.length lines);
+  List.iter2
+    (fun sent line ->
+      if (parse_exn line).Events.p_event <> sent then
+        Alcotest.failf "socket stream mismatch for %s"
+          (Events.type_name sent))
+    all_events lines
+
+(* ------------------------------------------------------------------ *)
+(* Exposition *)
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_expose_render () =
+  let c = Metrics.counter "test.expose.counter" in
+  Metrics.incr ~by:7 c;
+  let h = Metrics.histogram "test.expose.hist" in
+  Metrics.observe h 5;
+  Metrics.observe h 9000;
+  let text = Expose.render () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "exposition contains %S" needle)
+        true
+        (contains ~needle text))
+    [
+      "# TYPE test_expose_counter counter";
+      "test_expose_counter 7";
+      "# TYPE test_expose_hist histogram";
+      "test_expose_hist_bucket{le=\"+Inf\"} 2";
+      "test_expose_hist_sum 9005";
+      "test_expose_hist_count 2";
+      "test_expose_hist_min 5";
+      "test_expose_hist_max 9000";
+      "# TYPE events_bus_published gauge";
+      "events_bus_clients 0";
+    ];
+  (* cumulative buckets: each le count is >= the previous one *)
+  let bucket_counts =
+    String.split_on_char '\n' text
+    |> List.filter_map (fun l ->
+           if
+             String.length l > 0
+             && contains ~needle:"test_expose_hist_bucket{le=" l
+           then
+             match String.rindex_opt l ' ' with
+             | Some i ->
+                 int_of_string_opt
+                   (String.sub l (i + 1) (String.length l - i - 1))
+             | None -> None
+           else None)
+  in
+  Alcotest.(check bool) "at least two bucket lines" true
+    (List.length bucket_counts >= 2);
+  let rec cumulative = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "buckets cumulative" true (b >= a);
+        cumulative rest
+    | _ -> ()
+  in
+  cumulative bucket_counts
+
+let test_expose_http () =
+  let port = Expose.listen 0 in
+  Alcotest.(check bool) "kernel picked a port" true (port > 0);
+  Alcotest.(check (option int)) "port is reported" (Some port) (Expose.port ());
+  let c = Metrics.counter "test.expose.http" in
+  Metrics.incr ~by:3 c;
+  let fetch path =
+    let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, port));
+        let req =
+          Printf.sprintf "GET %s HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+            path
+        in
+        ignore (Unix.write_substring fd req 0 (String.length req));
+        let buf = Buffer.create 4096 in
+        let bytes = Bytes.create 4096 in
+        let rec drain () =
+          match Unix.read fd bytes 0 4096 with
+          | 0 -> ()
+          | n ->
+              Buffer.add_subbytes buf bytes 0 n;
+              drain ()
+        in
+        drain ();
+        Buffer.contents buf)
+  in
+  let resp = fetch "/metrics" in
+  Alcotest.(check bool) "200 OK" true (contains ~needle:"200 OK" resp);
+  Alcotest.(check bool) "prometheus content type" true
+    (contains ~needle:"text/plain; version=0.0.4" resp);
+  Alcotest.(check bool) "body has the counter" true
+    (contains ~needle:"test_expose_http 3" resp);
+  let missing = fetch "/nope" in
+  Alcotest.(check bool) "404 elsewhere" true
+    (contains ~needle:"404" missing);
+  Expose.stop ();
+  Alcotest.(check (option int)) "stopped" None (Expose.port ())
+
+(* ------------------------------------------------------------------ *)
+(* Profiler: hand-built trace with known nesting. *)
+
+let span ~name ~ts ~dur ~tid =
+  Printf.sprintf "{\"name\":%S,\"cat\":\"flow\",\"ph\":\"X\",\"ts\":%f,\"dur\":%f,\"pid\":1,\"tid\":%d,\"args\":{}}"
+    name ts dur tid
+
+let test_profile_nesting () =
+  (* tid 0: outer [0,100] containing a[10,30] and b[40,20];
+     tid 1: solo [0,50].  Self(outer) = 100-30-20 = 50. *)
+  let lines =
+    [
+      span ~name:"outer" ~ts:0.0 ~dur:100.0 ~tid:0;
+      span ~name:"a" ~ts:10.0 ~dur:30.0 ~tid:0;
+      span ~name:"b" ~ts:40.0 ~dur:20.0 ~tid:0;
+      span ~name:"solo" ~ts:0.0 ~dur:50.0 ~tid:1;
+      "{\"not\":\"a span\"}";
+    ]
+  in
+  let t =
+    match Profile.of_lines lines with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "of_lines: %s" e
+  in
+  let table = Profile.span_table t in
+  Alcotest.(check bool) "table lists outer" true
+    (contains ~needle:"outer" table);
+  let collapsed = Profile.collapsed t in
+  let stacks =
+    String.split_on_char '\n' collapsed |> List.filter (fun l -> l <> "")
+  in
+  let find path =
+    match
+      List.find_opt
+        (fun l -> contains ~needle:(path ^ " ") l)
+        stacks
+    with
+    | Some l ->
+        let i = String.rindex l ' ' in
+        int_of_string (String.sub l (i + 1) (String.length l - i - 1))
+    | None -> Alcotest.failf "stack %S missing from %s" path collapsed
+  in
+  Alcotest.(check int) "outer self = dur - children" 50 (find "outer");
+  Alcotest.(check int) "child a self" 30 (find "outer;a");
+  Alcotest.(check int) "child b self" 20 (find "outer;b");
+  Alcotest.(check int) "solo root on its own tid" 50 (find "solo");
+  let report = Profile.report t in
+  Alcotest.(check bool) "report mentions both tids" true
+    (contains ~needle:"2 tids" report
+    || contains ~needle:"tids: 2" report
+    || contains ~needle:"tid" report)
+
+let test_profile_errors () =
+  (match Profile.of_lines [] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty trace should error");
+  match Profile.of_lines [ "{broken" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed JSON should error"
+
+(* ------------------------------------------------------------------ *)
+(* Histogram extrema are exact, also under concurrency. *)
+
+let test_hist_min_max () =
+  let h = Metrics.histogram "test.extrema.empty" in
+  let s =
+    List.assoc "test.extrema.empty" (Metrics.snapshot ()).Metrics.histograms
+  in
+  Alcotest.(check int) "empty min" 0 s.Metrics.min;
+  Alcotest.(check int) "empty max" 0 s.Metrics.max;
+  Metrics.observe h 573;
+  let s =
+    List.assoc "test.extrema.empty" (Metrics.snapshot ()).Metrics.histograms
+  in
+  Alcotest.(check int) "single sample min" 573 s.Metrics.min;
+  Alcotest.(check int) "single sample max" 573 s.Metrics.max;
+  let hc = Metrics.histogram "test.extrema.concurrent" in
+  let domains = 4 and per_domain = 10_000 in
+  let workers =
+    Array.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              (* the global extremes 1 and 40_000 appear on specific
+                 iterations of specific domains *)
+              Metrics.observe hc ((d * per_domain) + i)
+            done))
+  in
+  Array.iter Domain.join workers;
+  let s =
+    List.assoc "test.extrema.concurrent"
+      (Metrics.snapshot ()).Metrics.histograms
+  in
+  Alcotest.(check int) "concurrent min exact" 1 s.Metrics.min;
+  Alcotest.(check int) "concurrent max exact" (domains * per_domain)
+    s.Metrics.max
+
+(* ------------------------------------------------------------------ *)
+(* End to end: events on vs. events off gives bit-identical verdicts,
+   and the stream alone reproduces the final n/wrong/CI. *)
+
+let ctx = lazy (Context.create ~scale:Context.Reduced ~seed:2 ~faults_per_design:40 ())
+
+let test_campaign_events_exact () =
+  let ctx = Lazy.force ctx in
+  let run = Runs.implement_design ctx Partition.Medium_partition in
+  let quiet =
+    Option.get
+      (Runs.campaign_design ~workers:2 ~batch_width:32 ctx run).Runs.campaign
+  in
+  let path = Filename.temp_file "tmr_campaign_events" ".jsonl" in
+  Events.to_file path;
+  let live =
+    Fun.protect
+      ~finally:(fun () -> Events.close ())
+      (fun () ->
+        Option.get
+          (Runs.campaign_design ~workers:2 ~batch_width:32 ctx run)
+            .Runs.campaign)
+  in
+  Alcotest.(check bool) "verdicts bit-identical with events on" true
+    (quiet.Campaign.results = live.Campaign.results);
+  let w = Watch.create () in
+  List.iter (fun l -> Watch.feed w (parse_exn l)) (read_lines path);
+  Alcotest.(check bool) "stream is complete" true (Watch.gaps w = 0);
+  Alcotest.(check bool) "watch sees the campaign finish" true
+    (Watch.finished w);
+  (* the watch-side summary carries the engine's exact n/wrong/CI *)
+  let summary = Watch.summary_json w in
+  let ci = Campaign.ci live in
+  let expected =
+    Printf.sprintf
+      "\"injected\":%d,\"wrong\":%d,\"wrong_percent\":%.4f,\"ci\":{\"confidence\":%g,\"lo\":%.6f,\"hi\":%.6f}"
+      live.Campaign.injected live.Campaign.wrong
+      (Campaign.wrong_percent live)
+      0.95 ci.Stats.lo ci.Stats.hi
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "summary %s contains %s" summary expected)
+    true
+    (contains ~needle:expected summary);
+  Sys.remove path
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "jsonl",
+        [ Alcotest.test_case "concurrent writers" `Quick test_jsonl_concurrent ]
+      );
+      ( "events",
+        [
+          Alcotest.test_case "roundtrip + ordering" `Quick test_event_roundtrip;
+          Alcotest.test_case "render/parse inverse" `Quick
+            test_render_parse_inverse;
+          Alcotest.test_case "drop accounting exact" `Quick
+            test_event_drops_exact;
+          Alcotest.test_case "unix socket sink" `Quick test_event_socket_sink;
+        ] );
+      ( "expose",
+        [
+          Alcotest.test_case "prometheus text" `Quick test_expose_render;
+          Alcotest.test_case "http endpoint" `Quick test_expose_http;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "nesting + self time" `Quick test_profile_nesting;
+          Alcotest.test_case "error paths" `Quick test_profile_errors;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "exact min/max" `Quick test_hist_min_max ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "events-on identical + watch exact" `Slow
+            test_campaign_events_exact;
+        ] );
+    ]
