@@ -17,6 +17,7 @@ module Figures = Tmr_experiments.Figures
 module Reports = Tmr_experiments.Reports
 module Partition = Tmr_core.Partition
 module Campaign = Tmr_inject.Campaign
+module Service = Tmr_experiments.Service
 module Stats = Tmr_obs.Stats
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
@@ -209,7 +210,8 @@ let row_json r =
     \      \"requested\": %d, \"injected\": %d, \"skipped\": %d, \"patched\": \
      %d, \"rerouted\": %d, \"rebuilt\": %d, \"diffed\": %d, \"converged\": \
      %d,\n\
-    \      \"wrong_percent\": %.3f, \"worker_utilization\": %.3f }"
+    \      \"wrong_percent\": %.3f, \"worker_utilization\": %.3f, \
+     \"inject_utilization\": %.3f }"
     r.cr_name c.Campaign.workers r.cr_cone_skip r.cr_diff r.cr_dt r.cr_fps
     c.Campaign.requested c.Campaign.injected c.Campaign.stats.Campaign.skipped
     c.Campaign.stats.Campaign.patched c.Campaign.stats.Campaign.rerouted
@@ -217,6 +219,103 @@ let row_json r =
     c.Campaign.stats.Campaign.converged
     (Campaign.wrong_percent c)
     (Campaign.utilization c)
+    (Campaign.inject_utilization c)
+
+(* Multi-process sharded throughput: the same exhaustive fault space
+   pushed through the shard queue at 1, 2 and 4 worker processes.
+   Exhaustive on the reduced device keeps one measurement in the
+   seconds range while still covering every essential bit; each
+   configuration reports the best of three runs (the verdicts are
+   deterministic, only the clock varies). *)
+let distributed_bench () =
+  say "distributed exhaustive campaign (reduced-scale %s, every essential bit):"
+    (Partition.name Partition.Medium_partition);
+  let ctx = Context.create ~scale:Context.Reduced ~seed:1 () in
+  let run =
+    time "implement (reduced)" (fun () ->
+        Runs.implement_design ctx Partition.Medium_partition)
+  in
+  let job =
+    Service.job ~scale:Context.Reduced ~seed:1 ~exhaustive:true ~shards:16
+      ?workers:(jobs ()) Partition.Medium_partition
+  in
+  let total = Array.length (Service.faults_of ctx run job) in
+  let bench_root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tmr-bench-shards-%d" (Unix.getpid ()))
+  in
+  let measure procs =
+    let best_dt = ref infinity in
+    let best_c = ref None in
+    for i = 1 to 3 do
+      (* a fresh queue directory per run: resume must never hide work *)
+      let dir = Filename.concat bench_root (Printf.sprintf "p%d-r%d" procs i) in
+      Gc.compact ();
+      let t0 = Unix.gettimeofday () in
+      (match
+         Service.run_sharded ~procs ~notify:(fun _ -> ()) ~dir job ctx run
+       with
+      | Ok (Service.Complete o) ->
+          let dt = Unix.gettimeofday () -. t0 in
+          if dt < !best_dt then begin
+            best_dt := dt;
+            best_c := Some o.Service.o_campaign
+          end
+      | Ok (Service.Incomplete _) -> failwith "distributed bench: incomplete"
+      | Error e -> failwith ("distributed bench: " ^ e));
+      ignore
+        (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
+    done;
+    let c = Option.get !best_c in
+    let fps = float_of_int total /. !best_dt in
+    say
+      "  %-24s procs=%d: %.2fs, %.1f faults/s, utilization %.3f, wrong %d"
+      "distributed-exhaustive" procs !best_dt fps
+      (Campaign.utilization c) c.Campaign.wrong;
+    (!best_dt, fps, c)
+  in
+  let d1, fps1, c1 = measure 1 in
+  let d2, fps2, c2 = measure 2 in
+  let d4, fps4, c4 = measure 4 in
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote bench_root)));
+  let identical =
+    c1.Campaign.results = c2.Campaign.results
+    && c1.Campaign.results = c4.Campaign.results
+  in
+  say
+    "  exact wrong rate %.4f%% over %d essential bits; 2-proc speedup \
+     %.2fx, 4-proc %.2fx, identical results: %b"
+    (Campaign.wrong_percent c1)
+    total (fps2 /. fps1) (fps4 /. fps1) identical;
+  let row name procs dt fps (c : Campaign.t) =
+    Printf.sprintf
+      "    { \"name\": %S, \"procs\": %d, \"shards\": 16, \"seconds\": \
+       %.3f, \"faults_per_sec\": %.2f, \"wrong\": %d, \
+       \"worker_utilization\": %.3f }"
+      name procs dt fps c.Campaign.wrong (Campaign.utilization c)
+  in
+  Printf.sprintf
+    "{\n\
+    \    \"design\": %S, \"scale\": \"reduced\", \"exhaustive\": true, \
+     \"faults\": %d,\n\
+    \    \"rows\": [\n\
+     %s,\n\
+     %s,\n\
+     %s\n\
+    \    ],\n\
+    \    \"wrong_percent_exact\": %.4f,\n\
+    \    \"speedup_2procs\": %.3f,\n\
+    \    \"speedup_4procs\": %.3f,\n\
+    \    \"identical_results\": %b\n\
+    \  }"
+    (Partition.name Partition.Medium_partition)
+    total
+    (row "distributed-exhaustive" 1 d1 fps1 c1)
+    (row "distributed-exhaustive" 2 d2 fps2 c2)
+    (row "distributed-exhaustive" 4 d4 fps4 c4)
+    (Campaign.wrong_percent c1)
+    (fps2 /. fps1) (fps4 /. fps1) identical
 
 let campaign_bench () =
   let faults =
@@ -293,6 +392,7 @@ let campaign_bench () =
     && ci_c.Campaign.results
        = Array.sub base.cr_c.Campaign.results 0 ci_c.Campaign.injected
   in
+  let distributed = distributed_bench () in
   let ci = Campaign.ci ci_c in
   let paper_rate =
     match List.assoc_opt "tmr_p2" Tables.paper_table3 with
@@ -376,6 +476,7 @@ let campaign_bench () =
        \"silent_diverged\": %d, \"voter_masked\": %d },\n\
       \  \"events\": { \"overhead\": %.4f, \"overhead_ok\": %b, \
        \"published\": %d, \"dropped\": %d, \"identical_results\": %b },\n\
+      \  \"distributed\": %s,\n\
       \  \"metrics\": %s,\n\
       \  \"metrics_diff\": %s,\n\
       \  \"metrics_batch\": %s\n\
@@ -393,6 +494,7 @@ let campaign_bench () =
       fs.Campaign.fs_voter_touch fs.Campaign.fs_diverged
       fs.Campaign.fs_silent_diverged fs.Campaign.fs_voter_masked
       events_overhead events_ok ev_published ev_dropped events_identical
+      distributed
       (indent_json par.cr_snap) (indent_json diff.cr_snap)
       (indent_json batched.cr_snap)
   in

@@ -14,6 +14,8 @@ module Runs = Tmr_experiments.Runs
 module Tables = Tmr_experiments.Tables
 module Reports = Tmr_experiments.Reports
 module Store = Tmr_experiments.Store
+module Service = Tmr_experiments.Service
+module Shard = Tmr_inject.Shard
 module Partition = Tmr_core.Partition
 module Impl = Tmr_pnr.Impl
 module Campaign = Tmr_inject.Campaign
@@ -400,7 +402,7 @@ let report_campaign ~ctx ~confidence ~stop ~store ~out ~heatmap =
   flush ();
   (* history first: the freshly-saved manifests must not be their own
      baseline *)
-  let history = Store.load_dir ~dir:store in
+  let history = Store.load_dir ~dir:store () in
   let manifests =
     List.map (fun r -> Store.of_run ~confidence ?stop ctx r) runs
   in
@@ -507,6 +509,95 @@ let implement_cmd =
 
 (* --- inject --- *)
 
+(* sharded / distributed campaign options *)
+
+let exhaustive_t =
+  Arg.(
+    value & flag
+    & info [ "exhaustive" ]
+        ~doc:
+          "Inject the design's $(i,entire) essential-bit list instead of a \
+           random sample: the exact wrong-answer rate, no confidence \
+           interval.  Runs through the sharded engine; combine with \
+           $(b,--shards)/$(b,--procs)/$(b,--shard-dir) to checkpoint and \
+           parallelise.")
+
+let shards_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"K"
+        ~doc:
+          "Plan the fault space as $(docv) checkpointable ranges (default \
+           16 when sharded).  Every completed shard persists a manifest \
+           plus per-fault JSONL under the shard directory, so an \
+           interrupted run resumes from what is already done.")
+
+let procs_t =
+  Arg.(
+    value & opt int 1
+    & info [ "procs" ] ~docv:"P"
+        ~doc:
+          "Fork $(docv) worker processes that claim shards concurrently \
+           from the on-disk queue (rename-based claims; a crashed worker's \
+           claim is reclaimed by the next invocation).  The merged result \
+           is bit-identical to $(b,--procs) 1.")
+
+let shard_dir_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "shard-dir" ] ~docv:"DIR"
+        ~doc:
+          "Shard queue directory (default $(b,.tmr-shards/)<job name>): \
+           job.json, todo/, claims/, done/ manifests, results/ JSONL.  \
+           Rerunning with the same $(docv) resumes; a directory holding a \
+           different job is refused unless $(b,--fresh).")
+
+let shard_limit_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shard-limit" ] ~docv:"N"
+        ~doc:
+          "Stop this invocation after claiming $(docv) shards (per process \
+           when forked) — time-boxing for incremental exhaustive runs; the \
+           campaign reports incomplete and the next run continues.")
+
+let fresh_t =
+  Arg.(
+    value & flag
+    & info [ "fresh" ]
+        ~doc:
+          "Discard existing shard state in the queue directory instead of \
+           refusing on a job-fingerprint mismatch.")
+
+let merged_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "merged-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the merged per-fault verdicts (index-ordered JSONL, one \
+           object per fault) to $(docv) — the byte-comparable artifact for \
+           sharded-equivalence checks.")
+
+let effect_table (c : Campaign.t) =
+  List.iter
+    (fun eff ->
+      let n =
+        Array.fold_left
+          (fun acc fr ->
+            if
+              fr.Campaign.outcome = Campaign.Wrong_answer
+              && fr.Campaign.effect = eff
+            then acc + 1
+            else acc)
+          0 c.Campaign.results
+      in
+      if n > 0 then Printf.printf "  %-14s %d\n" (Classify.name eff) n)
+    Classify.all
+
 let json_t =
   Arg.(
     value & flag
@@ -523,65 +614,166 @@ let inject_cmd =
       & info [ "store" ] ~docv:"DIR"
           ~doc:"append this campaign's manifest to the run store at $(docv)")
   in
-  let run telem forensics scale seed faults design no_diff batch_width json
-      confidence stop_ci stop_min store =
-    with_telemetry telem @@ fun () ->
-    with_forensics forensics @@ fun () ->
+  (* inject via the shard engine: plan → (resume) → claim → merge *)
+  let run_sharded_inject ~telem ~confidence ~scale ~seed ~faults ~design
+      ~no_diff ~batch_width ~json ~store ~exhaustive ~shards ~procs ~shard_dir
+      ~shard_limit ~fresh ~merged_out =
     let ctx = mk_ctx scale seed faults in
     let r = Runs.implement_design ctx design in
-    let stop = stop_rule_of ~confidence ~stop_min stop_ci in
-    let progress, flush = ci_progress ~confidence () in
-    let r =
-      Runs.campaign_design ~progress ?workers:(jobs ()) ~diff:(not no_diff)
-        ~batch_width ?stop_at_ci:stop ctx r
+    let job =
+      Service.job ~scale ~seed ~faults ~exhaustive ?shards
+        ?workers:(jobs ()) ~diff:(not no_diff) ~batch_width design
     in
-    flush ();
-    match r.Runs.campaign with
-    | None -> assert false
-    | Some c ->
+    let dir =
+      match shard_dir with
+      | Some d -> d
+      | None -> Filename.concat ".tmr-shards" (Service.job_name job)
+    in
+    (* keep the event stream fed and give the terminal one line per
+       checkpointed range *)
+    let notify ev =
+      Tmr_obs.Events.publish ev;
+      match ev with
+      | Tmr_obs.Events.Shard_done { shard; lo; hi; wrong; pending; _ } ->
+          Printf.eprintf "shard %3d [%7d,%7d) done: wrong %d, %d pending\n%!"
+            shard lo hi wrong pending
+      | _ -> ()
+    in
+    match
+      Service.run_sharded ~procs ?shard_limit ~fresh ~notify ~dir job ctx r
+    with
+    | Error e ->
+        Printf.eprintf "tmrtool: %s\n" e;
+        exit 1
+    | Ok (Service.Incomplete { done_shards; pending_shards } as st) ->
+        if json then print_endline (Service.summary_json job st)
+        else
+          Printf.printf
+            "%s: incomplete — %d shards done, %d pending; rerun with \
+             --shard-dir %s to continue\n"
+            (Partition.paper_name design) done_shards pending_shards dir
+    | Ok (Service.Complete o as st) ->
+        let c = o.o_campaign in
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            Array.iteri
+              (fun i res ->
+                output_string oc (Shard.result_to_line ~index:i res);
+                output_char oc '\n')
+              c.Campaign.results;
+            close_out oc;
+            Printf.eprintf "merged per-fault results written to %s\n" path)
+          merged_out;
         Option.iter
           (fun dir ->
             let _, _, events_spec, _ = telem in
             let m =
-              Store.of_run ~confidence ~diff:(not no_diff)
-                ~forensics:(forensics <> None) ?stop
-                ?events_path:events_spec ctx r
+              Store.of_run ~confidence ~diff:(not no_diff) ~exhaustive
+                ?events_path:events_spec ctx
+                { r with Runs.campaign = Some c }
             in
             Printf.eprintf "stored %s\n" (Store.save ~dir m))
           store;
-        if json then print_endline (Campaign.summary_json c)
+        if json then print_endline (Service.summary_json job st)
         else begin
-          Printf.printf "%s: injected %d%s, wrong answers %d (%s)\n"
-            (Partition.paper_name design) c.Campaign.injected
-            (if c.Campaign.injected < c.Campaign.requested then
-               Printf.sprintf " of %d requested (CI stop)" c.Campaign.requested
-             else "")
-            c.Campaign.wrong
-            (rate_ci_line ~confidence c);
-          List.iter
-            (fun eff ->
-              let n =
-                Array.fold_left
-                  (fun acc fr ->
-                    if
-                      fr.Campaign.outcome = Campaign.Wrong_answer
-                      && fr.Campaign.effect = eff
-                    then acc + 1
-                    else acc)
-                  0 c.Campaign.results
-              in
-              if n > 0 then
-                Printf.printf "  %-14s %d\n" (Classify.name eff) n)
-            Classify.all;
+          Printf.printf "%s: injected %d, wrong answers %d (%s)\n"
+            (Partition.paper_name design) c.Campaign.injected c.Campaign.wrong
+            (if exhaustive then
+               Printf.sprintf "exact rate %.4f%% over every essential bit"
+                 (Campaign.wrong_percent c)
+             else rate_ci_line ~confidence c);
+          Printf.printf
+            "  shards: %d merged (%d resumed from manifests, %d simulated), \
+             %d process%s\n"
+            (o.Service.o_resumed + o.Service.o_fresh)
+            o.Service.o_resumed o.Service.o_fresh procs
+            (if procs = 1 then "" else "es");
+          effect_table c;
           engine_summary c
         end
+  in
+  let run telem forensics scale seed faults design no_diff batch_width json
+      confidence stop_ci stop_min store exhaustive shards procs shard_dir
+      shard_limit fresh merged_out =
+    let sharded =
+      exhaustive || procs > 1 || shards <> None || shard_dir <> None
+      || shard_limit <> None || merged_out <> None
+    in
+    (* fail fast on options the sharded engine cannot honour *)
+    if sharded then begin
+      if stop_ci <> None then begin
+        Printf.eprintf
+          "tmrtool: --stop-ci does not combine with sharded campaigns \
+           (merging needs full coverage of the fault space; exhaustive runs \
+           are exact and need no CI)\n";
+        exit 2
+      end;
+      if forensics <> None then begin
+        Printf.eprintf
+          "tmrtool: --forensics does not combine with sharded campaigns \
+           (per-shard result lines carry no forensic records)\n";
+        exit 2
+      end;
+      let trace, _, _, _ = telem in
+      if procs > 1 && trace <> None then begin
+        Printf.eprintf
+          "tmrtool: --trace does not combine with --procs > 1 (the span \
+           sink is not fork-safe); trace a --procs 1 run instead\n";
+        exit 2
+      end
+    end;
+    with_telemetry telem @@ fun () ->
+    with_forensics forensics @@ fun () ->
+    if sharded then
+      run_sharded_inject ~telem ~confidence ~scale ~seed ~faults ~design
+        ~no_diff ~batch_width ~json ~store ~exhaustive ~shards ~procs
+        ~shard_dir ~shard_limit ~fresh ~merged_out
+    else begin
+      let ctx = mk_ctx scale seed faults in
+      let r = Runs.implement_design ctx design in
+      let stop = stop_rule_of ~confidence ~stop_min stop_ci in
+      let progress, flush = ci_progress ~confidence () in
+      let r =
+        Runs.campaign_design ~progress ?workers:(jobs ()) ~diff:(not no_diff)
+          ~batch_width ?stop_at_ci:stop ctx r
+      in
+      flush ();
+      match r.Runs.campaign with
+      | None -> assert false
+      | Some c ->
+          Option.iter
+            (fun dir ->
+              let _, _, events_spec, _ = telem in
+              let m =
+                Store.of_run ~confidence ~diff:(not no_diff)
+                  ~forensics:(forensics <> None) ?stop
+                  ?events_path:events_spec ctx r
+              in
+              Printf.eprintf "stored %s\n" (Store.save ~dir m))
+            store;
+          if json then print_endline (Campaign.summary_json c)
+          else begin
+            Printf.printf "%s: injected %d%s, wrong answers %d (%s)\n"
+              (Partition.paper_name design) c.Campaign.injected
+              (if c.Campaign.injected < c.Campaign.requested then
+                 Printf.sprintf " of %d requested (CI stop)"
+                   c.Campaign.requested
+               else "")
+              c.Campaign.wrong
+              (rate_ci_line ~confidence c);
+            effect_table c;
+            engine_summary c
+          end
+    end
   in
   Cmd.v
     (Cmd.info "inject" ~doc:"fault-injection campaign on one design")
     Term.(
       const run $ telemetry_t $ forensics_file_t $ scale_t $ seed_t $ faults_t
       $ design_t $ no_diff_t $ batch_width_t $ json_t $ confidence_t
-      $ stop_ci_t $ stop_min_t $ inject_store_t)
+      $ stop_ci_t $ stop_min_t $ inject_store_t $ exhaustive_t $ shards_t
+      $ procs_t $ shard_dir_t $ shard_limit_t $ fresh_t $ merged_out_t)
 
 (* --- explain --- *)
 
@@ -1147,9 +1339,132 @@ let watch_cmd =
           multi-campaign dashboard")
     Term.(const run $ source_t $ follow_t $ watch_json_t $ confidence_t)
 
+(* --- serve / submit --- *)
+
+let host_t =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"bind/connect address")
+
+let serve_cmd =
+  let port_t =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "listen" ] ~docv:"PORT" ~doc:"TCP port to listen on")
+  in
+  let dir_t =
+    Arg.(
+      value & opt string ".tmr-service"
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Queue root: each job runs its shard queue under \
+             $(docv)/<job name> (so re-submitting an interrupted job \
+             resumes it) and leaves <job name>.summary.json behind.")
+  in
+  let max_jobs_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-jobs" ] ~docv:"N"
+          ~doc:"Exit after $(docv) completed jobs (tests/CI).")
+  in
+  let serve_procs_t =
+    Arg.(
+      value & opt int 1
+      & info [ "procs" ] ~docv:"P"
+          ~doc:"Worker processes forked per job (see $(b,inject --procs)).")
+  in
+  let run host port dir max_jobs procs =
+    Printf.eprintf "tmrtool serve: listening on %s:%d, queue root %s\n%!"
+      host port dir;
+    Service.serve ~host ?max_jobs ~procs ~port ~dir ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "campaign-as-a-service: accept newline-delimited JSON campaign \
+          jobs over TCP, run them through the sharded engine, stream \
+          progress events to every connected client")
+    Term.(
+      const run $ host_t $ port_t $ dir_t $ max_jobs_t $ serve_procs_t)
+
+let submit_cmd =
+  let port_t =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT" ~doc:"server TCP port")
+  in
+  let workers_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"W"
+          ~doc:"domain workers per process, on the server")
+  in
+  let run host port scale seed faults design exhaustive shards workers
+      no_diff batch_width =
+    let j =
+      Service.job ~scale ~seed ~faults ~exhaustive ?shards ?workers
+        ~diff:(not no_diff) ~batch_width design
+    in
+    let jname = Service.job_name j in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+     with Unix.Unix_error (e, _, _) ->
+       Printf.eprintf "tmrtool submit: cannot connect to %s:%d: %s\n" host
+         port (Unix.error_message e);
+       exit 1);
+    let oc = Unix.out_channel_of_descr fd in
+    let ic = Unix.in_channel_of_descr fd in
+    output_string oc (Tmr_obs.Json.to_string (Service.job_to_json j));
+    output_char oc '\n';
+    flush oc;
+    Printf.eprintf "submitted %s to %s:%d\n%!" jname host port;
+    (* relay the server's event stream until our job completes; other
+       clients' events ride along, which is the point of the service *)
+    let done_ = ref false in
+    (try
+       while not !done_ do
+         let line = input_line ic in
+         (match Tmr_obs.Json.parse line with
+         | Ok js -> (
+             match Option.bind (Tmr_obs.Json.member "error" js) Tmr_obs.Json.str with
+             | Some e ->
+                 Printf.eprintf "tmrtool submit: server rejected the job: %s\n" e;
+                 exit 1
+             | None -> ())
+         | Error _ -> ());
+         print_endline line;
+         match Tmr_obs.Events.parse_line line with
+         | Ok { Tmr_obs.Events.p_event = Tmr_obs.Events.Job_done { job; _ }; _ }
+           when job = jname ->
+             done_ := true
+         | Ok _ | Error _ -> ()
+       done
+     with End_of_file -> ());
+    (try Unix.close fd with _ -> ());
+    if not !done_ then begin
+      Printf.eprintf
+        "tmrtool submit: server closed the stream before %s completed\n"
+        jname;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "submit one campaign job to a running $(b,tmrtool serve) and \
+          relay its event stream (JSONL on stdout) until the job is done")
+    Term.(
+      const run $ host_t $ port_t $ scale_t $ seed_t $ faults_t $ design_t
+      $ exhaustive_t $ shards_t $ workers_t $ no_diff_t $ batch_width_t)
+
 let () =
   let doc = "optimal TMR voter partitioning on an SRAM FPGA (DATE'05 reproduction)" in
   let info = Cmd.info "tmrtool" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ report_cmd; implement_cmd; inject_cmd; explain_cmd; congestion_cmd;
-         export_cmd; tables_cmd; profile_cmd; watch_cmd ]))
+         export_cmd; tables_cmd; profile_cmd; watch_cmd; serve_cmd;
+         submit_cmd ]))

@@ -1,0 +1,582 @@
+module Campaign = Tmr_inject.Campaign
+module Shard = Tmr_inject.Shard
+module Workqueue = Tmr_inject.Workqueue
+module Faultlist = Tmr_inject.Faultlist
+module Partition = Tmr_core.Partition
+module Json = Tmr_obs.Json
+module Events = Tmr_obs.Events
+module Clock = Tmr_obs.Clock
+
+type job = {
+  j_design : Partition.strategy;
+  j_scale : Context.scale;
+  j_seed : int;
+  j_faults : int;
+  j_exhaustive : bool;
+  j_shards : int;
+  j_workers : int;
+  j_diff : bool;
+  j_batch_width : int;
+}
+
+let job ?(scale = Context.Paper) ?(seed = 1) ?(faults = 1500)
+    ?(exhaustive = false) ?(shards = 16) ?(workers = 1) ?(diff = true)
+    ?(batch_width = 64) design =
+  {
+    j_design = design;
+    j_scale = scale;
+    j_seed = seed;
+    j_faults = faults;
+    j_exhaustive = exhaustive;
+    j_shards = shards;
+    j_workers = workers;
+    j_diff = diff;
+    j_batch_width = batch_width;
+  }
+
+let scale_name = function
+  | Context.Paper -> "paper"
+  | Context.Reduced -> "reduced"
+
+let job_name j =
+  Printf.sprintf "%s-%s-seed%d-%s"
+    (Partition.name j.j_design)
+    (scale_name j.j_scale) j.j_seed
+    (if j.j_exhaustive then "exhaustive" else string_of_int j.j_faults)
+
+let job_to_json j =
+  let int n = Json.Num (float_of_int n) in
+  Json.Obj
+    [
+      ("design", Json.Str (Partition.name j.j_design));
+      ("scale", Json.Str (scale_name j.j_scale));
+      ("seed", int j.j_seed);
+      ("faults", int j.j_faults);
+      ("exhaustive", Json.Bool j.j_exhaustive);
+      ("shards", int j.j_shards);
+      ("workers", int j.j_workers);
+      ("diff", Json.Bool j.j_diff);
+      ("batch_width", int j.j_batch_width);
+    ]
+
+let job_of_json json =
+  let ( let* ) = Result.bind in
+  let req name conv =
+    match Option.bind (Json.member name json) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "job: missing or ill-typed field %S" name)
+  in
+  let opt name conv default =
+    match Json.member name json with
+    | None -> Ok default
+    | Some v -> (
+        match conv v with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "job: ill-typed field %S" name))
+  in
+  let* design_s = req "design" Json.str in
+  let* j_design =
+    match
+      List.find_opt
+        (fun d -> Partition.name d = design_s)
+        Partition.all_paper_designs
+    with
+    | Some d -> Ok d
+    | None -> Error (Printf.sprintf "job: unknown design %S" design_s)
+  in
+  let* scale_s = opt "scale" Json.str "paper" in
+  let* j_scale =
+    match scale_s with
+    | "paper" -> Ok Context.Paper
+    | "reduced" -> Ok Context.Reduced
+    | s -> Error (Printf.sprintf "job: unknown scale %S" s)
+  in
+  let* j_seed = opt "seed" Json.int 1 in
+  let* j_faults = opt "faults" Json.int 1500 in
+  let* j_exhaustive = opt "exhaustive" Json.bool false in
+  let* j_shards = opt "shards" Json.int 16 in
+  let* j_workers = opt "workers" Json.int 1 in
+  let* j_diff = opt "diff" Json.bool true in
+  let* j_batch_width = opt "batch_width" Json.int 64 in
+  if j_shards <= 0 then Error "job: shards must be positive"
+  else if j_batch_width <> 0 && j_batch_width <> 32 && j_batch_width <> 64 then
+    Error "job: batch_width must be 0, 32 or 64"
+  else
+    Ok
+      {
+        j_design;
+        j_scale;
+        j_seed;
+        j_faults;
+        j_exhaustive;
+        j_shards;
+        j_workers;
+        j_diff;
+        j_batch_width;
+      }
+
+let faults_of _ctx (run : Runs.design_run) j =
+  if j.j_exhaustive then Array.copy run.Runs.faultlist.Faultlist.bits
+  else Faultlist.sample run.Runs.faultlist ~seed:j.j_seed ~count:j.j_faults
+
+let fingerprint j faults =
+  let b = Buffer.create (16 + (Array.length faults * 7)) in
+  Buffer.add_string b (Json.to_string (job_to_json j));
+  Array.iter
+    (fun f ->
+      Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int f))
+    faults;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+type outcome = {
+  o_campaign : Campaign.t;
+  o_resumed : int;
+  o_fresh : int;
+}
+
+type status =
+  | Complete of outcome
+  | Incomplete of { done_shards : int; pending_shards : int }
+
+(* ------------------------------------------------------------------ *)
+(* The sharded driver. *)
+
+let wipe_queue wq =
+  let root = Workqueue.dir wq in
+  List.iter
+    (fun sub ->
+      let d = Filename.concat root sub in
+      if Sys.file_exists d then
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat d f) with Sys_error _ -> ())
+          (Sys.readdir d))
+    [ "todo"; "claims"; "done"; "results" ];
+  try Sys.remove (Filename.concat root "job.json") with Sys_error _ -> ()
+
+(* job.json carries the spec for humans and the fingerprint for the
+   resume guard *)
+let job_file_json j fp =
+  match job_to_json j with
+  | Json.Obj fields -> Json.Obj (fields @ [ ("fingerprint", Json.Str fp) ])
+  | other -> other
+
+let run_sharded ?(procs = 1) ?shard_limit ?(fresh = false)
+    ?(notify = Events.publish) ~dir j (ctx : Context.t)
+    (run : Runs.design_run) =
+  let ( let* ) = Result.bind in
+  let name = Partition.name j.j_design in
+  let faults = faults_of ctx run j in
+  let total = Array.length faults in
+  let fp = fingerprint j faults in
+  let wq = Workqueue.create ~dir in
+  let* () =
+    match Workqueue.read_job wq with
+    | None ->
+        Workqueue.write_job wq (job_file_json j fp);
+        Ok ()
+    | Some prior -> (
+        let stored_fp =
+          match prior with
+          | Ok json -> Option.bind (Json.member "fingerprint" json) Json.str
+          | Error _ -> None
+        in
+        match stored_fp with
+        | Some stored when stored = fp -> Ok ()
+        | _ when fresh ->
+            wipe_queue wq;
+            Workqueue.write_job wq (job_file_json j fp);
+            Ok ()
+        | _ ->
+            Error
+              (Printf.sprintf
+                 "shard dir %s holds a different job (fingerprint mismatch); \
+                  pass --fresh to discard it"
+                 dir))
+  in
+  ignore (Workqueue.reclaim_orphans wq);
+  let plan = Shard.plan ~total ~shards:j.j_shards in
+  let* done0 = Workqueue.load_done wq in
+  let* () =
+    (* belt and braces on top of the job.json guard: never merge a shard
+       simulated under a different spec *)
+    match
+      List.find_opt (fun m -> m.Shard.sm_fingerprint <> fp) done0
+    with
+    | Some m ->
+        Error
+          (Printf.sprintf "done shard %d has a foreign fingerprint"
+             m.Shard.sm_id)
+    | None -> Ok ()
+  in
+  let done0_ids = List.map (fun m -> m.Shard.sm_id) done0 in
+  let missing =
+    Shard.ranges_missing ~total
+      ~done_ids:(fun id -> List.mem id done0_ids)
+      ~shards:j.j_shards
+  in
+  ignore (Workqueue.seed wq missing);
+  let t0 = Clock.now_ns () in
+  let limit = Option.value shard_limit ~default:max_int in
+  (* One claimed range at a time: simulate it as an ordinary (domain
+     pooled) campaign over the sub-list, persist, claim the next. *)
+  let claim_loop ~quiet () =
+    let pid = Unix.getpid () in
+    let claimed = ref 0 in
+    let continue = ref true in
+    while !continue && !claimed < limit do
+      match Workqueue.claim wq ~pid with
+      | None -> continue := false
+      | Some r ->
+          let sub = Array.sub faults r.Shard.sh_lo (r.Shard.sh_hi - r.Shard.sh_lo) in
+          let c =
+            Campaign.run ~workers:j.j_workers ~diff:j.j_diff
+              ~batch_width:j.j_batch_width ~name ~impl:run.Runs.impl
+              ~golden:ctx.Context.golden_nl ~stimulus:ctx.Context.stimulus
+              ~faults:sub ()
+          in
+          let lines =
+            Array.to_list
+              (Array.mapi
+                 (fun i res -> Shard.result_to_line ~index:(r.Shard.sh_lo + i) res)
+                 c.Campaign.results)
+          in
+          let m = Shard.manifest_of_campaign r ~fingerprint:fp ~owner:pid c in
+          Workqueue.complete wq ~pid r ~lines ~manifest:m;
+          incr claimed;
+          if not quiet then
+            notify
+              (Events.Shard_done
+                 {
+                   design = name;
+                   shard = r.Shard.sh_id;
+                   lo = r.Shard.sh_lo;
+                   hi = r.Shard.sh_hi;
+                   wrong = c.Campaign.wrong;
+                   pending = Workqueue.pending wq;
+                 })
+    done
+  in
+  if procs <= 1 then claim_loop ~quiet:false ()
+  else begin
+    (* Fork the workers *after* the implementation and fault list exist:
+       children inherit the built device, bitstream and golden netlist
+       by copy-on-write instead of re-running the CAD flow per process.
+       Each child talks to the world only through the queue directory. *)
+    let children =
+      List.init procs (fun _ ->
+          match Unix.fork () with
+          | 0 ->
+              (* the bus threads did not survive the fork, and its sinks'
+                 descriptors are shared with the parent: disown it *)
+              Events.detach ();
+              let code =
+                try
+                  claim_loop ~quiet:true ();
+                  0
+                with e ->
+                  Printf.eprintf "shard worker %d: %s\n%!" (Unix.getpid ())
+                    (Printexc.to_string e);
+                  1
+              in
+              (* _exit, not exit: at_exit in the child would flush output
+                 buffers it shares with the parent *)
+              Unix._exit code
+          | pid -> pid)
+    in
+    (* The parent only watches: reap children as they finish and relay a
+       Shard_done per manifest that appears, so live telemetry keeps
+       flowing even though the workers are detached. *)
+    let seen = Hashtbl.create 16 in
+    List.iter (fun id -> Hashtbl.replace seen id ()) done0_ids;
+    let relay () =
+      match Workqueue.load_done wq with
+      | Error _ -> ()
+      | Ok ms ->
+          List.iter
+            (fun (m : Shard.manifest) ->
+              if not (Hashtbl.mem seen m.Shard.sm_id) then begin
+                Hashtbl.replace seen m.Shard.sm_id ();
+                notify
+                  (Events.Shard_done
+                     {
+                       design = name;
+                       shard = m.Shard.sm_id;
+                       lo = m.Shard.sm_lo;
+                       hi = m.Shard.sm_hi;
+                       wrong = m.Shard.sm_wrong;
+                       pending = Workqueue.pending wq;
+                     })
+              end)
+            ms
+    in
+    let remaining = ref children in
+    while !remaining <> [] do
+      remaining :=
+        List.filter
+          (fun pid ->
+            match Unix.waitpid [ Unix.WNOHANG ] pid with
+            | 0, _ -> true
+            | _ -> false
+            | exception Unix.Unix_error (Unix.ECHILD, _, _) -> false)
+          !remaining;
+      relay ();
+      if !remaining <> [] then Unix.sleepf 0.02
+    done;
+    relay ()
+  end;
+  let wall_ns = Clock.now_ns () - t0 in
+  let* dones = Workqueue.load_done wq in
+  let* () =
+    match List.find_opt (fun m -> m.Shard.sm_fingerprint <> fp) dones with
+    | Some m ->
+        Error
+          (Printf.sprintf "done shard %d has a foreign fingerprint"
+             m.Shard.sm_id)
+    | None -> Ok ()
+  in
+  if List.length dones < Array.length plan then
+    Ok
+      (Incomplete
+         {
+           done_shards = List.length dones;
+           pending_shards = Workqueue.pending wq;
+         })
+  else
+    let* shards =
+      List.fold_left
+        (fun acc m ->
+          let* acc = acc in
+          let* rs = Workqueue.read_results wq m in
+          Ok ((m, rs) :: acc))
+        (Ok []) dones
+    in
+    let merged = Shard.merge ~design:name ~total ~procs ~wall_ns shards in
+    Ok
+      (Complete
+         {
+           o_campaign = merged;
+           o_resumed = List.length done0;
+           o_fresh = Array.length plan - List.length done0;
+         })
+
+let summary_json j status =
+  let name = job_name j in
+  match status with
+  | Incomplete { done_shards; pending_shards } ->
+      Printf.sprintf
+        "{\"job\":\"%s\",\"status\":\"incomplete\",\"done_shards\":%d,\"pending_shards\":%d}"
+        (Tmr_obs.Jsonl.escape name) done_shards pending_shards
+  | Complete o ->
+      let base = Campaign.summary_json o.o_campaign in
+      (* splice the job fields into the campaign's summary object *)
+      let body = String.sub base 0 (String.length base - 1) in
+      Printf.sprintf
+        "%s,\"job\":\"%s\",\"status\":\"complete\",\"exhaustive\":%b,\"shards_total\":%d,\"shards_resumed\":%d,\"shards_fresh\":%d}"
+        body
+        (Tmr_obs.Jsonl.escape name)
+        j.j_exhaustive (o.o_resumed + o.o_fresh) o.o_resumed o.o_fresh
+
+(* ------------------------------------------------------------------ *)
+(* Campaign-as-a-service. *)
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd bytes !off (len - !off)
+  done
+
+let rec mkdir_p d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let serve ?(host = "127.0.0.1") ?max_jobs ?(procs = 1) ~port ~dir () =
+  mkdir_p dir;
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen listen_fd 16;
+  let mutex = Mutex.create () in
+  let cond = Condition.create () in
+  let queue : job Queue.t = Queue.create () in
+  let peers = ref [] in
+  let stopping = ref false in
+  let seq = ref 0 in
+  (* Every client sees the same JSONL stream, rendered exactly like the
+     event bus would ({!Events.render}, server-local dense seq), so
+     [tmrtool watch] and {!Events.parse_line} work on a captured feed. *)
+  let broadcast ev =
+    Mutex.lock mutex;
+    let line = Events.render ~seq:!seq ~ts_ns:(Clock.now_ns ()) ev ^ "\n" in
+    incr seq;
+    let bytes = Bytes.of_string line in
+    peers :=
+      List.filter
+        (fun fd ->
+          match write_all fd bytes with
+          | () -> true
+          | exception _ ->
+              (try Unix.close fd with _ -> ());
+              false)
+        !peers;
+    Mutex.unlock mutex
+  in
+  let drop_peer fd =
+    Mutex.lock mutex;
+    let present = List.memq fd !peers in
+    peers := List.filter (fun p -> not (p == fd)) !peers;
+    Mutex.unlock mutex;
+    if present then try Unix.close fd with _ -> ()
+  in
+  (* one reader thread per client: each line is one job *)
+  let client_reader fd =
+    let ic = Unix.in_channel_of_descr fd in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then begin
+           match Result.bind (Json.parse line) job_of_json with
+           | Ok j ->
+               Mutex.lock mutex;
+               Queue.add j queue;
+               Condition.signal cond;
+               Mutex.unlock mutex;
+               broadcast
+                 (Events.Job_queued
+                    { job = job_name j; design = Partition.name j.j_design })
+           | Error e -> (
+               let msg =
+                 Printf.sprintf "{\"error\":\"%s\"}\n" (Tmr_obs.Jsonl.escape e)
+               in
+               try write_all fd (Bytes.of_string msg) with _ -> ())
+         end
+       done
+     with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+    drop_peer fd
+  in
+  (* polling accept, same pattern as the event bus: a blocking accept is
+     not reliably interruptible from another thread *)
+  let acceptor () =
+    Unix.set_nonblock listen_fd;
+    let running = ref true in
+    while !running do
+      (match Unix.accept listen_fd with
+      | fd, _ ->
+          (try Unix.clear_nonblock fd with _ -> ());
+          (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 0.5 with _ -> ());
+          Mutex.lock mutex;
+          peers := fd :: !peers;
+          Mutex.unlock mutex;
+          ignore (Thread.create client_reader fd)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Thread.delay 0.05
+      | exception _ -> running := false);
+      Mutex.lock mutex;
+      if !stopping then running := false;
+      Mutex.unlock mutex
+    done
+  in
+  let acceptor_t = Thread.create acceptor () in
+  (* jobs run sequentially in this thread; implementations are cached so
+     repeated jobs skip the CAD flow *)
+  let ctxs : (string * int, Context.t) Hashtbl.t = Hashtbl.create 4 in
+  let runs : (string * int * string, Runs.design_run) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let completed = ref 0 in
+  let stop_after () =
+    match max_jobs with Some n -> !completed >= n | None -> false
+  in
+  while not (stop_after ()) do
+    Mutex.lock mutex;
+    while Queue.is_empty queue do
+      Condition.wait cond mutex
+    done;
+    let j = Queue.take queue in
+    Mutex.unlock mutex;
+    let jname = job_name j in
+    let design = Partition.name j.j_design in
+    broadcast (Events.Job_started { job = jname; design });
+    (match
+       let ckey = (scale_name j.j_scale, j.j_seed) in
+       let ctx =
+         match Hashtbl.find_opt ctxs ckey with
+         | Some ctx -> ctx
+         | None ->
+             let ctx =
+               Context.create ~scale:j.j_scale ~seed:j.j_seed
+                 ~faults_per_design:j.j_faults ()
+             in
+             Hashtbl.add ctxs ckey ctx;
+             ctx
+       in
+       let rkey = (scale_name j.j_scale, j.j_seed, design) in
+       let run =
+         match Hashtbl.find_opt runs rkey with
+         | Some run -> run
+         | None ->
+             let run = Runs.implement_design ctx j.j_design in
+             Hashtbl.add runs rkey run;
+             run
+       in
+       run_sharded ~procs ~notify:broadcast
+         ~dir:(Filename.concat dir jname)
+         j ctx run
+     with
+    | Ok (Complete o) ->
+        let c = o.o_campaign in
+        let oc =
+          open_out (Filename.concat dir (jname ^ ".summary.json"))
+        in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc (summary_json j (Complete o));
+            output_char oc '\n');
+        broadcast
+          (Events.Job_done
+             {
+               job = jname;
+               design;
+               injected = c.Campaign.injected;
+               wrong = c.Campaign.wrong;
+               wall_ns = c.Campaign.wall_ns;
+             })
+    | Ok (Incomplete _ as st) ->
+        let oc =
+          open_out (Filename.concat dir (jname ^ ".summary.json"))
+        in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc (summary_json j st);
+            output_char oc '\n');
+        broadcast
+          (Events.Job_done
+             { job = jname; design; injected = 0; wrong = 0; wall_ns = 0 })
+    | Error e ->
+        Printf.eprintf "serve: job %s failed: %s\n%!" jname e;
+        broadcast
+          (Events.Job_done
+             { job = jname; design; injected = 0; wrong = 0; wall_ns = 0 })
+    | exception e ->
+        Printf.eprintf "serve: job %s raised: %s\n%!" jname
+          (Printexc.to_string e);
+        broadcast
+          (Events.Job_done
+             { job = jname; design; injected = 0; wrong = 0; wall_ns = 0 }));
+    incr completed
+  done;
+  Mutex.lock mutex;
+  stopping := true;
+  Mutex.unlock mutex;
+  Thread.join acceptor_t;
+  (try Unix.close listen_fd with _ -> ());
+  Mutex.lock mutex;
+  let ps = !peers in
+  peers := [];
+  Mutex.unlock mutex;
+  List.iter (fun fd -> try Unix.close fd with _ -> ()) ps

@@ -1,0 +1,135 @@
+(** Distributed campaign driver: sharded, resumable, multi-process runs
+    and the campaign-as-a-service TCP front end.
+
+    The execution model stacks three layers of parallelism:
+
+    - inside one process, {!Tmr_inject.Campaign.run} spreads a shard's
+      faults over a domain {!Tmr_inject.Pool};
+    - {!run_sharded} splits the whole fault-index space into
+      {!Tmr_inject.Shard} ranges kept in an on-disk
+      {!Tmr_inject.Workqueue}, and with [procs >= 2] forks that many
+      worker processes which claim ranges until the queue drains;
+    - {!serve} accepts campaign jobs over TCP and feeds them through
+      {!run_sharded}, streaming progress to every connected client.
+
+    Because each per-fault verdict is a pure function of the fault bit,
+    the merged result is bit-identical to a single-process campaign over
+    the same fault list, no matter how the ranges were distributed,
+    interrupted or resumed. *)
+
+type job = {
+  j_design : Tmr_core.Partition.strategy;
+  j_scale : Context.scale;
+  j_seed : int;
+  j_faults : int;  (** sample size; ignored when [j_exhaustive] *)
+  j_exhaustive : bool;
+      (** inject the design's {e entire} essential-bit list — the exact,
+          CI-free wrong-answer rate of the paper's Table 3 argument *)
+  j_shards : int;  (** checkpointable ranges to plan *)
+  j_workers : int;  (** domain workers per process *)
+  j_diff : bool;
+  j_batch_width : int;
+}
+
+val job : ?scale:Context.scale -> ?seed:int -> ?faults:int ->
+  ?exhaustive:bool -> ?shards:int -> ?workers:int -> ?diff:bool ->
+  ?batch_width:int -> Tmr_core.Partition.strategy -> job
+(** Defaults: paper scale, seed 1, 1500 faults, sampled, 16 shards,
+    1 worker, diff on, batch width 64. *)
+
+val job_name : job -> string
+(** Stable human-readable id, e.g. ["tmr_p2-reduced-seed1-exhaustive"] —
+    the [job] field of the service's stream events and the natural
+    per-job queue directory name. *)
+
+val job_to_json : job -> Tmr_obs.Json.t
+val job_of_json : Tmr_obs.Json.t -> (job, string) result
+
+val faults_of : Context.t -> Runs.design_run -> job -> int array
+(** The job's fault-index space: the full essential-bit list when
+    exhaustive, otherwise the usual deterministic sample. *)
+
+val fingerprint : job -> int array -> string
+(** Digest of the job spec plus its resolved fault list.  Stored in the
+    queue's [job.json] and in every shard manifest; a resume whose
+    recomputed fingerprint differs refuses to mix results. *)
+
+type outcome = {
+  o_campaign : Tmr_inject.Campaign.t;
+      (** merged result, bit-identical to a single-process run *)
+  o_resumed : int;  (** shards reused from manifests of a previous run *)
+  o_fresh : int;  (** shards simulated by this invocation *)
+}
+
+type status =
+  | Complete of outcome
+  | Incomplete of { done_shards : int; pending_shards : int }
+      (** the invocation stopped (shard limit) with ranges still queued;
+          rerun with the same [dir] to continue *)
+
+val run_sharded :
+  ?procs:int ->
+  ?shard_limit:int ->
+  ?fresh:bool ->
+  ?notify:(Tmr_obs.Events.event -> unit) ->
+  dir:string ->
+  job ->
+  Context.t ->
+  Runs.design_run ->
+  (status, string) result
+(** Run [job]'s campaign through the shard queue rooted at [dir].
+
+    Resume is the default: ranges already completed under the same
+    fingerprint are loaded from their manifests, only the missing ones
+    are simulated.  A fingerprint mismatch (the directory belongs to a
+    different job) is an [Error] unless [fresh] wipes the queue first.
+
+    [procs] (default 1): with 1, the calling process claims ranges
+    inline; with [p >= 2], [p] worker processes are forked {e after} the
+    implementation was built — they inherit the device, bitstream and
+    golden state by copy-on-write, claim ranges concurrently through the
+    rename-based queue, and each runs its shards on [j_workers] domains.
+    Forked children {!Tmr_obs.Events.detach} from the parent's event bus
+    and write nothing but queue files.
+
+    [shard_limit] stops this invocation after claiming that many ranges
+    (per process when forked) — deterministic interruption for tests,
+    time-boxing for incremental exhaustive runs; the result is then
+    [Incomplete] unless everything else was already done.
+
+    [notify] (default {!Tmr_obs.Events.publish}) receives
+    [Shard_done] after every completed range — [serve] points it at its
+    own broadcast stream.
+
+    A crashed worker's claim is reclaimed on the next invocation (dead
+    owner pid), so a kill -9 mid-shard costs at most that shard's work. *)
+
+val summary_json : job -> status -> string
+(** One-line JSON: the job name plus either the merged campaign summary
+    (see {!Tmr_inject.Campaign.summary_json}, with [exhaustive] and
+    shard counts spliced in) or the incomplete shard tally. *)
+
+val serve :
+  ?host:string ->
+  ?max_jobs:int ->
+  ?procs:int ->
+  port:int ->
+  dir:string ->
+  unit ->
+  unit
+(** Campaign-as-a-service: listen on [host]:[port] (default 127.0.0.1),
+    accept newline-delimited JSON jobs ({!job_of_json}) from any number
+    of concurrent clients, queue them, and run them sequentially through
+    {!run_sharded} (each under [dir]/<job name>, so re-submitting an
+    interrupted job resumes it).
+
+    Every connected client receives the full event stream as JSONL in
+    {!Tmr_obs.Events.render} format — [job_queued] / [job_started] /
+    campaign progress / [shard_done] / [job_done] — with a server-local
+    dense [seq].  A malformed job line is answered with one
+    [{"error":...}] line on the offending client only.
+
+    Implementations are cached per (scale, seed, design), so repeated
+    jobs against the same design skip the CAD flow.  [max_jobs] stops
+    the server after that many jobs completed (tests/CI); otherwise it
+    serves until the process is interrupted. *)

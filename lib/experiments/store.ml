@@ -17,6 +17,7 @@ type manifest = {
   m_diff : bool;
   m_forensics : bool;
   m_stop : Stats.stop_rule option;
+  m_exhaustive : bool;
   m_requested : int;
   m_injected : int;
   m_wrong : int;
@@ -55,8 +56,8 @@ let git_commit =
      with _ -> "unknown")
 
 let of_run ?(confidence = 0.95) ?(cone_skip = true) ?(diff = true)
-    ?(forensics = false) ?stop ?events_path (ctx : Context.t)
-    (run : Runs.design_run) =
+    ?(forensics = false) ?stop ?(exhaustive = false) ?events_path
+    (ctx : Context.t) (run : Runs.design_run) =
   let c =
     match run.Runs.campaign with
     | Some c -> c
@@ -94,6 +95,7 @@ let of_run ?(confidence = 0.95) ?(cone_skip = true) ?(diff = true)
     m_diff = diff;
     m_forensics = forensics;
     m_stop = stop;
+    m_exhaustive = exhaustive;
     m_requested = c.Campaign.requested;
     m_injected = c.Campaign.injected;
     m_wrong = c.Campaign.wrong;
@@ -146,6 +148,7 @@ let to_json m =
                 ("half_width", num r.Stats.sr_half_width);
                 ("min_n", int r.Stats.sr_min_n);
               ] );
+      ("exhaustive", Json.Bool m.m_exhaustive);
       ("requested", int m.m_requested);
       ("injected", int m.m_injected);
       ("wrong", int m.m_wrong);
@@ -221,6 +224,8 @@ let of_json j =
       m_diff = diff;
       m_forensics = forensics;
       m_stop = stop;
+      (* absent in manifests written by older tool versions *)
+      m_exhaustive = Option.value ~default:false (bool "exhaustive");
       m_requested = requested;
       m_injected = injected;
       m_wrong = wrong;
@@ -260,25 +265,39 @@ let save ~dir m =
     (Tmr_obs.Events.Manifest_written { design = m.m_design; path });
   path
 
-let load_dir ~dir =
+let default_warn msg = Printf.eprintf "store: %s\n%!" msg
+
+let load_dir ?(warn = default_warn) ~dir () =
   if not (Sys.file_exists dir) then []
   else begin
     let files = Array.to_list (Sys.readdir dir) in
+    (* One bad file must not cost the rest of the history: a campaign
+       killed mid-save (or a disk hiccup) leaves a truncated manifest,
+       and crash-resume depends on the surviving ones still loading. *)
     let manifests =
       List.filter_map
         (fun file ->
           if not (Filename.check_suffix file ".json") then None
           else begin
             let path = Filename.concat dir file in
-            let contents =
+            match
               let ic = open_in_bin path in
               Fun.protect
-                ~finally:(fun () -> close_in ic)
+                ~finally:(fun () -> close_in_noerr ic)
                 (fun () -> really_input_string ic (in_channel_length ic))
-            in
-            match Json.parse contents with
-            | Error _ -> None
-            | Ok j -> ( match of_json j with Ok m -> Some m | Error _ -> None)
+            with
+            | exception Sys_error e ->
+                warn (Printf.sprintf "skipping unreadable %s (%s)" path e);
+                None
+            | exception End_of_file ->
+                warn (Printf.sprintf "skipping truncated %s" path);
+                None
+            | contents -> (
+                match Result.bind (Json.parse contents) of_json with
+                | Ok m -> Some m
+                | Error e ->
+                    warn (Printf.sprintf "skipping corrupt %s (%s)" path e);
+                    None)
           end)
         files
     in
@@ -340,7 +359,10 @@ let report_markdown ?(confidence = 0.95) ?(throughput_drop = 0.30) ~history
   List.iter
     (fun m ->
       let ci_str =
-        Printf.sprintf "[%.2f%%, %.2f%%]" (pct m.m_ci_lo) (pct m.m_ci_hi)
+        (* an exhaustive run covered every essential bit: the rate is
+           exact, a sampling interval would be noise *)
+        if m.m_exhaustive then "exact"
+        else Printf.sprintf "[%.2f%%, %.2f%%]" (pct m.m_ci_lo) (pct m.m_ci_hi)
       in
       let baseline = baseline_for ~history m in
       let base_str, z_str, verdict, tput =

@@ -26,6 +26,9 @@ type manifest = {
   m_diff : bool;
   m_forensics : bool;
   m_stop : Tmr_obs.Stats.stop_rule option;  (** CI stop, when used *)
+  m_exhaustive : bool;
+      (** the run covered the design's {e entire} essential-bit space —
+          [m_rate] is exact and the CI fields are vestigial *)
   m_requested : int;
   m_injected : int;
   m_wrong : int;
@@ -48,6 +51,7 @@ val of_run :
   ?diff:bool ->
   ?forensics:bool ->
   ?stop:Tmr_obs.Stats.stop_rule ->
+  ?exhaustive:bool ->
   ?events_path:string ->
   Context.t ->
   Runs.design_run ->
@@ -66,9 +70,12 @@ val save : dir:string -> manifest -> string
 (** Write the manifest into [dir] (created if missing) as
     [<design>-seed<seed>-<ms>.json]; returns the path. *)
 
-val load_dir : dir:string -> manifest list
+val load_dir : ?warn:(string -> unit) -> dir:string -> unit -> manifest list
 (** Every parseable manifest under [dir], oldest first.  A missing
-    directory is an empty history; unparseable files are skipped. *)
+    directory is an empty history.  Truncated, unreadable or otherwise
+    corrupt manifests are skipped with a message through [warn]
+    (default: stderr) — one damaged file never takes down the whole
+    history, which crash-resume relies on. *)
 
 val baseline_for : history:manifest list -> manifest -> manifest option
 (** Latest stored manifest with the same design and scale. *)

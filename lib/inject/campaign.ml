@@ -46,6 +46,7 @@ type t = {
   stats : engine_stats;
   wall_ns : int;
   busy_ns : int array;
+  setup_ns : int array;
 }
 
 type progress = {
@@ -65,10 +66,17 @@ let no_stats =
     batched = 0;
   }
 
-let utilization t =
+let inject_utilization t =
   if t.wall_ns <= 0 || t.workers <= 0 then 0.0
   else
     float_of_int (Array.fold_left ( + ) 0 t.busy_ns)
+    /. (float_of_int t.workers *. float_of_int t.wall_ns)
+
+let utilization t =
+  if t.wall_ns <= 0 || t.workers <= 0 then 0.0
+  else
+    float_of_int
+      (Array.fold_left ( + ) 0 t.busy_ns + Array.fold_left ( + ) 0 t.setup_ns)
     /. (float_of_int t.workers *. float_of_int t.wall_ns)
 
 (* Per-plan-path fault latency: the four distributions are the engine's
@@ -101,6 +109,7 @@ let m_converge = Tmr_obs.Metrics.histogram "campaign.diff_converge_cycle"
    faults first disagree with the golden reference. *)
 let m_first_error = Tmr_obs.Metrics.histogram "campaign.first_error_cycle"
 let m_busy = Tmr_obs.Metrics.counter "campaign.worker_busy_ns"
+let m_setup = Tmr_obs.Metrics.counter "campaign.worker_setup_ns"
 let m_wall = Tmr_obs.Metrics.gauge "campaign.wall_ns"
 let m_util = Tmr_obs.Metrics.gauge "campaign.worker_utilization"
 
@@ -488,10 +497,12 @@ let run ?progress ?workers ?(cone_skip = true) ?(diff = true)
      so a moment of slack against [completed] is fine *)
   let wrong_live = Atomic.make 0 in
   let stats_per_worker = Array.make workers no_stats in
-  (* per-worker injection time; each cell is written by its owner only,
-     and Domain.join publishes it to the caller *)
+  (* per-worker injection and setup time; each cell is written by its
+     owner only, and Domain.join publishes it to the caller *)
   let busy_ns = Array.make workers 0 in
+  let setup_ns = Array.make workers 0 in
   let worker wid =
+    let t_setup = Tmr_obs.Clock.now_ns () in
     (* worker-local simulator state: own bitstream copy, own extract, own
        workspace, plus the golden cone snapshot for the fast paths *)
     let ex = new_extract () in
@@ -810,6 +821,7 @@ let run ?progress ?workers ?(cone_skip = true) ?(diff = true)
               Array.iter do_fault idxs)
       | _ -> Array.iter do_fault idxs
     in
+    setup_ns.(wid) <- Tmr_obs.Clock.now_ns () - t_setup;
     fun u ->
       match units.(u) with
       | Single i -> do_fault i
@@ -857,11 +869,14 @@ let run ?progress ?workers ?(cone_skip = true) ?(diff = true)
         ~total:(Array.length units) worker);
   let wall_ns = Tmr_obs.Clock.now_ns () - t_start in
   let busy_total = Array.fold_left ( + ) 0 busy_ns in
+  let setup_total = Array.fold_left ( + ) 0 setup_ns in
   Tmr_obs.Metrics.incr ~by:busy_total m_busy;
+  Tmr_obs.Metrics.incr ~by:setup_total m_setup;
   Tmr_obs.Metrics.set m_wall (float_of_int wall_ns);
   Tmr_obs.Metrics.set m_util
     (if wall_ns > 0 then
-       float_of_int busy_total /. (float_of_int workers *. float_of_int wall_ns)
+       float_of_int (busy_total + setup_total)
+       /. (float_of_int workers *. float_of_int wall_ns)
      else 0.0);
   let stats = Array.fold_left add_stats no_stats stats_per_worker in
   (* CI stop: keep exactly the prefix that triggered the rule.  Chunks in
@@ -916,7 +931,7 @@ let run ?progress ?workers ?(cone_skip = true) ?(diff = true)
         results
   | _ -> ());
   { design = name; requested = total; injected = effective; wrong; results;
-    workers; stats; wall_ns; busy_ns }
+    workers; stats; wall_ns; busy_ns; setup_ns }
 
 let wrong_percent t =
   if t.injected = 0 then 0.0
@@ -991,10 +1006,11 @@ let summary_json t =
   let i = ci t in
   Buffer.add_string b
     (Printf.sprintf
-       "{\"design\":\"%s\",\"requested\":%d,\"injected\":%d,\"wrong\":%d,\"wrong_percent\":%.4f,\"ci\":{\"confidence\":0.95,\"lo\":%.6f,\"hi\":%.6f},\"workers\":%d,\"wall_ns\":%d,\"utilization\":%.4f"
+       "{\"design\":\"%s\",\"requested\":%d,\"injected\":%d,\"wrong\":%d,\"wrong_percent\":%.4f,\"ci\":{\"confidence\":0.95,\"lo\":%.6f,\"hi\":%.6f},\"workers\":%d,\"wall_ns\":%d,\"utilization\":%.4f,\"inject_utilization\":%.4f"
        (Tmr_obs.Jsonl.escape t.design)
        t.requested t.injected t.wrong (wrong_percent t) i.Tmr_obs.Stats.lo
-       i.Tmr_obs.Stats.hi t.workers t.wall_ns (utilization t));
+       i.Tmr_obs.Stats.hi t.workers t.wall_ns (utilization t)
+       (inject_utilization t));
   Buffer.add_string b
     (Printf.sprintf
        ",\"plan_paths\":{\"silent\":%d,\"patched\":%d,\"rerouted\":%d,\"rebuilt\":%d,\"diffed\":%d,\"converged\":%d,\"batched\":%d}"

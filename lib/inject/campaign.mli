@@ -87,7 +87,16 @@ type t = {
   wall_ns : int;  (** wall-clock time of the injection loop *)
   busy_ns : int array;
       (** per-worker time spent injecting (length [workers]); the gap to
-          [workers * wall_ns] is claim contention plus pool ramp-down *)
+          [workers * wall_ns] is per-worker setup ({!field-setup_ns}),
+          claim contention and pool ramp-down *)
+  setup_ns : int array;
+      (** per-worker one-time initialisation (bitstream clone, simulator
+          build, baseline tape, batch engine) before the first fault.
+          Counted separately from [busy_ns] so the injection throughput
+          stays comparable across engines, but included in
+          {!utilization} — on fast engines the setup dominates the
+          worker's wall time and ignoring it made utilization
+          under-report (the 0.19 "parallel-batched" artifact). *)
 }
 
 type progress = {
@@ -101,8 +110,17 @@ type progress = {
     wrong-answer rate ± CI next to the bar. *)
 
 val utilization : t -> float
-(** [sum busy_ns / (workers * wall_ns)] in [0,1] — how busy the average
-    worker was while the campaign ran. *)
+(** [(sum busy_ns + sum setup_ns) / (workers * wall_ns)] in [0,1] — how
+    busy the average worker was while the campaign ran, counting both
+    one-time setup and injection work.  The remainder is claim
+    contention plus pool ramp-down. *)
+
+val inject_utilization : t -> float
+(** [sum busy_ns / (workers * wall_ns)] — injection work only, setup
+    excluded.  This is what {!utilization} used to report; on the
+    batched engine it is dominated by how small the per-fault work got
+    relative to the fixed per-worker setup, so read it as an engine
+    speed signal, not as idle workers. *)
 
 val default_workers : unit -> int
 (** [Domain.recommended_domain_count () - 1], at least 1. *)

@@ -1,0 +1,288 @@
+module Json = Tmr_obs.Json
+
+type range = {
+  sh_id : int;
+  sh_lo : int;
+  sh_hi : int;
+}
+
+let plan ~total ~shards =
+  if shards <= 0 then invalid_arg "Shard.plan: shards must be positive";
+  if total < 0 then invalid_arg "Shard.plan: negative total";
+  let n = min shards total in
+  let base = if n = 0 then 0 else total / n in
+  let rem = if n = 0 then 0 else total mod n in
+  Array.init n (fun i ->
+      (* the first [rem] shards carry one extra fault *)
+      let lo = (i * base) + min i rem in
+      let hi = lo + base + (if i < rem then 1 else 0) in
+      { sh_id = i; sh_lo = lo; sh_hi = hi })
+
+let ranges_missing ~total ~done_ids ~shards =
+  Array.to_list (plan ~total ~shards)
+  |> List.filter (fun r -> not (done_ids r.sh_id))
+
+(* ------------------------------------------------------------------ *)
+(* Per-fault result lines.  One compact JSON object per fault; the
+   concatenation over all shards in index order is the canonical result
+   stream the CI byte-diffs across process counts. *)
+
+let outcome_name = function
+  | Campaign.Silent -> "silent"
+  | Campaign.Wrong_answer -> "wrong_answer"
+
+let result_to_line ~index (r : Campaign.fault_result) =
+  Printf.sprintf
+    "{\"index\":%d,\"bit\":%d,\"outcome\":\"%s\",\"effect\":\"%s\",\"first_error_cycle\":%d}"
+    index r.Campaign.bit
+    (outcome_name r.Campaign.outcome)
+    (Tmr_obs.Jsonl.escape (Classify.name r.Campaign.effect))
+    r.Campaign.first_error_cycle
+
+let ( let* ) r f = Result.bind r f
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let result_of_line line =
+  let* j = Json.parse line in
+  let* index = field "index" Json.int j in
+  let* bit = field "bit" Json.int j in
+  let* outcome_s = field "outcome" Json.str j in
+  let* effect_s = field "effect" Json.str j in
+  let* first_error_cycle = field "first_error_cycle" Json.int j in
+  let* outcome =
+    match outcome_s with
+    | "silent" -> Ok Campaign.Silent
+    | "wrong_answer" -> Ok Campaign.Wrong_answer
+    | s -> Error (Printf.sprintf "unknown outcome %S" s)
+  in
+  let* effect =
+    match Classify.of_name effect_s with
+    | Some e -> Ok e
+    | None -> Error (Printf.sprintf "unknown effect %S" effect_s)
+  in
+  Ok
+    ( index,
+      {
+        Campaign.bit;
+        outcome;
+        effect;
+        first_error_cycle;
+        forensics = None;
+      } )
+
+(* ------------------------------------------------------------------ *)
+(* Shard manifests. *)
+
+type manifest = {
+  sm_id : int;
+  sm_lo : int;
+  sm_hi : int;
+  sm_wrong : int;
+  sm_stats : Campaign.engine_stats;
+  sm_wall_ns : int;
+  sm_busy_ns : int;
+  sm_setup_ns : int;
+  sm_owner : int;
+  sm_fingerprint : string;
+}
+
+let manifest_to_json m =
+  let i n = Json.Num (float_of_int n) in
+  Json.Obj
+    [
+      ("id", i m.sm_id);
+      ("lo", i m.sm_lo);
+      ("hi", i m.sm_hi);
+      ("wrong", i m.sm_wrong);
+      ( "stats",
+        Json.Obj
+          [
+            ("skipped", i m.sm_stats.Campaign.skipped);
+            ("patched", i m.sm_stats.Campaign.patched);
+            ("rerouted", i m.sm_stats.Campaign.rerouted);
+            ("rebuilt", i m.sm_stats.Campaign.rebuilt);
+            ("diffed", i m.sm_stats.Campaign.diffed);
+            ("converged", i m.sm_stats.Campaign.converged);
+            ("batched", i m.sm_stats.Campaign.batched);
+          ] );
+      ("wall_ns", i m.sm_wall_ns);
+      ("busy_ns", i m.sm_busy_ns);
+      ("setup_ns", i m.sm_setup_ns);
+      ("owner", i m.sm_owner);
+      ("fingerprint", Json.Str m.sm_fingerprint);
+    ]
+
+let manifest_of_json j =
+  let* sm_id = field "id" Json.int j in
+  let* sm_lo = field "lo" Json.int j in
+  let* sm_hi = field "hi" Json.int j in
+  let* sm_wrong = field "wrong" Json.int j in
+  let* stats = field "stats" Option.some j in
+  let* skipped = field "skipped" Json.int stats in
+  let* patched = field "patched" Json.int stats in
+  let* rerouted = field "rerouted" Json.int stats in
+  let* rebuilt = field "rebuilt" Json.int stats in
+  let* diffed = field "diffed" Json.int stats in
+  let* converged = field "converged" Json.int stats in
+  let* batched = field "batched" Json.int stats in
+  let* sm_wall_ns = field "wall_ns" Json.int j in
+  let* sm_busy_ns = field "busy_ns" Json.int j in
+  let* sm_setup_ns = field "setup_ns" Json.int j in
+  let* sm_owner = field "owner" Json.int j in
+  let* sm_fingerprint = field "fingerprint" Json.str j in
+  Ok
+    {
+      sm_id;
+      sm_lo;
+      sm_hi;
+      sm_wrong;
+      sm_stats =
+        {
+          Campaign.skipped;
+          patched;
+          rerouted;
+          rebuilt;
+          diffed;
+          converged;
+          batched;
+        };
+      sm_wall_ns;
+      sm_busy_ns;
+      sm_setup_ns;
+      sm_owner;
+      sm_fingerprint;
+    }
+
+let manifest_of_campaign r ~fingerprint ~owner (c : Campaign.t) =
+  {
+    sm_id = r.sh_id;
+    sm_lo = r.sh_lo;
+    sm_hi = r.sh_hi;
+    sm_wrong = c.Campaign.wrong;
+    sm_stats = c.Campaign.stats;
+    sm_wall_ns = c.Campaign.wall_ns;
+    sm_busy_ns = Array.fold_left ( + ) 0 c.Campaign.busy_ns;
+    sm_setup_ns = Array.fold_left ( + ) 0 c.Campaign.setup_ns;
+    sm_owner = owner;
+    sm_fingerprint = fingerprint;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Merging. *)
+
+let no_stats =
+  {
+    Campaign.skipped = 0;
+    patched = 0;
+    rerouted = 0;
+    rebuilt = 0;
+    diffed = 0;
+    converged = 0;
+    batched = 0;
+  }
+
+let add_stats (a : Campaign.engine_stats) (b : Campaign.engine_stats) =
+  {
+    Campaign.skipped = a.Campaign.skipped + b.Campaign.skipped;
+    patched = a.Campaign.patched + b.Campaign.patched;
+    rerouted = a.Campaign.rerouted + b.Campaign.rerouted;
+    rebuilt = a.Campaign.rebuilt + b.Campaign.rebuilt;
+    diffed = a.Campaign.diffed + b.Campaign.diffed;
+    converged = a.Campaign.converged + b.Campaign.converged;
+    batched = a.Campaign.batched + b.Campaign.batched;
+  }
+
+let merge ~design ~total ~procs ~wall_ns shards =
+  let shards =
+    List.sort (fun (a, _) (b, _) -> compare a.sm_lo b.sm_lo) shards
+  in
+  (* the shards must tile [0, total) exactly *)
+  let edge =
+    List.fold_left
+      (fun expect (m, _) ->
+        if m.sm_lo <> expect then
+          invalid_arg
+            (Printf.sprintf
+               "Shard.merge: shard %d covers [%d,%d) but [%d,...) is next \
+                uncovered"
+               m.sm_id m.sm_lo m.sm_hi expect);
+        m.sm_hi)
+      0 shards
+  in
+  if edge <> total then
+    invalid_arg
+      (Printf.sprintf "Shard.merge: shards cover [0,%d) of %d faults" edge
+         total);
+  let dummy =
+    {
+      Campaign.bit = -1;
+      outcome = Campaign.Silent;
+      effect = Classify.Other_effect;
+      first_error_cycle = -1;
+      forensics = None;
+    }
+  in
+  let results = Array.make total dummy in
+  let filled = Bytes.make total '\000' in
+  List.iter
+    (fun (m, rs) ->
+      if Array.length rs <> m.sm_hi - m.sm_lo then
+        invalid_arg
+          (Printf.sprintf
+             "Shard.merge: shard %d holds %d results for range [%d,%d)"
+             m.sm_id (Array.length rs) m.sm_lo m.sm_hi);
+      Array.iter
+        (fun (i, r) ->
+          if i < m.sm_lo || i >= m.sm_hi then
+            invalid_arg
+              (Printf.sprintf
+                 "Shard.merge: shard %d result index %d outside [%d,%d)"
+                 m.sm_id i m.sm_lo m.sm_hi);
+          if Bytes.get filled i <> '\000' then
+            invalid_arg
+              (Printf.sprintf "Shard.merge: duplicate result index %d" i);
+          Bytes.set filled i '\001';
+          results.(i) <- r)
+        rs)
+    shards;
+  let wrong =
+    Array.fold_left
+      (fun acc r ->
+        if r.Campaign.outcome = Campaign.Wrong_answer then acc + 1 else acc)
+      0 results
+  in
+  let manifest_wrong = List.fold_left (fun a (m, _) -> a + m.sm_wrong) 0 shards in
+  if wrong <> manifest_wrong then
+    invalid_arg
+      (Printf.sprintf
+         "Shard.merge: manifests claim %d wrong answers, results hold %d"
+         manifest_wrong wrong);
+  let stats =
+    List.fold_left (fun a (m, _) -> add_stats a m.sm_stats) no_stats shards
+  in
+  let busy = List.fold_left (fun a (m, _) -> a + m.sm_busy_ns) 0 shards in
+  let setup = List.fold_left (fun a (m, _) -> a + m.sm_setup_ns) 0 shards in
+  let procs = max 1 procs in
+  (* a resumed run's coordinator wall excludes the earlier invocations'
+     work, so floor the wall at the summed shard walls spread over the
+     processes — keeps the utilization ratio meaningful (<= ~1) *)
+  let shard_wall =
+    List.fold_left (fun a (m, _) -> a + m.sm_wall_ns) 0 shards
+  in
+  let wall_ns = max wall_ns ((shard_wall + procs - 1) / procs) in
+  {
+    Campaign.design;
+    requested = total;
+    injected = total;
+    wrong;
+    results;
+    workers = procs;
+    stats;
+    wall_ns;
+    busy_ns = [| busy |];
+    setup_ns = [| setup |];
+  }

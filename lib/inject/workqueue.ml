@@ -1,0 +1,250 @@
+module Json = Tmr_obs.Json
+
+type t = { root : string }
+
+let dir t = t.root
+
+let subdirs = [ "todo"; "claims"; "done"; "results" ]
+
+let mkdir_p path =
+  let rec make p =
+    if p <> "/" && p <> "." && not (Sys.file_exists p) then begin
+      make (Filename.dirname p);
+      try Unix.mkdir p 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  make path
+
+let create ~dir =
+  mkdir_p dir;
+  List.iter (fun d -> mkdir_p (Filename.concat dir d)) subdirs;
+  { root = dir }
+
+let path t parts = List.fold_left Filename.concat t.root parts
+let id_name id = Printf.sprintf "%05d.json" id
+let results_name id = Printf.sprintf "%05d.jsonl" id
+let claim_name id pid = Printf.sprintf "%05d.pid-%d.json" id pid
+
+(* Atomic whole-file write: tmp in the same directory, then rename. *)
+let write_file ~final body =
+  let tmp = final ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+  let oc = open_out tmp in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      output_string oc body);
+  Sys.rename tmp final
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+      really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------------ *)
+(* Job spec. *)
+
+let job_path t = Filename.concat t.root "job.json"
+let write_job t j = write_file ~final:(job_path t) (Json.to_string j ^ "\n")
+
+let read_job t =
+  if not (Sys.file_exists (job_path t)) then None
+  else
+    Some
+      (try Json.parse (read_file (job_path t))
+       with Sys_error e -> Error e)
+
+(* ------------------------------------------------------------------ *)
+(* Range files. *)
+
+let range_to_json (r : Shard.range) =
+  Json.Obj
+    [
+      ("id", Json.Num (float_of_int r.Shard.sh_id));
+      ("lo", Json.Num (float_of_int r.Shard.sh_lo));
+      ("hi", Json.Num (float_of_int r.Shard.sh_hi));
+    ]
+
+let range_of_json j =
+  match
+    ( Option.bind (Json.member "id" j) Json.int,
+      Option.bind (Json.member "lo" j) Json.int,
+      Option.bind (Json.member "hi" j) Json.int )
+  with
+  | Some sh_id, Some sh_lo, Some sh_hi -> Ok { Shard.sh_id; sh_lo; sh_hi }
+  | _ -> Error "range file missing id/lo/hi"
+
+(* ids present in a subdirectory; claim files parse the id prefix *)
+let ids_in t sub =
+  Array.fold_left
+    (fun acc name ->
+      match int_of_string_opt (String.sub name 0 (min 5 (String.length name))) with
+      | Some id when String.length name >= 5 -> id :: acc
+      | _ -> acc)
+    []
+    (Sys.readdir (path t [ sub ]))
+
+let seed t ranges =
+  let taken =
+    List.concat_map (ids_in t) subdirs |> List.sort_uniq compare
+  in
+  let added = ref 0 in
+  List.iter
+    (fun (r : Shard.range) ->
+      if not (List.mem r.Shard.sh_id taken) then begin
+        write_file
+          ~final:(path t [ "todo"; id_name r.Shard.sh_id ])
+          (Json.to_string (range_to_json r) ^ "\n");
+        incr added
+      end)
+    ranges;
+  !added
+
+let claim t ~pid =
+  (* lowest id first: merged output order then matches plan order and the
+     early shards (which gate resume progress) finish first *)
+  let rec try_ids = function
+    | [] -> None
+    | id :: rest -> (
+        let src = path t [ "todo"; id_name id ] in
+        let dst = path t [ "claims"; claim_name id pid ] in
+        match Unix.rename src dst with
+        | () -> (
+            match range_of_json (Json.parse_exn (read_file dst)) with
+            | Ok r -> Some r
+            | Error e -> failwith ("Workqueue.claim: " ^ e)
+            | exception Failure e -> failwith ("Workqueue.claim: " ^ e))
+        | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+            (* another worker won the rename race; take the next id *)
+            try_ids rest)
+  in
+  try_ids (List.sort compare (ids_in t "todo"))
+
+let complete t ~pid (r : Shard.range) ~lines ~manifest =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun l ->
+      Buffer.add_string b l;
+      Buffer.add_char b '\n')
+    lines;
+  write_file
+    ~final:(path t [ "results"; results_name r.Shard.sh_id ])
+    (Buffer.contents b);
+  write_file
+    ~final:(path t [ "done"; id_name r.Shard.sh_id ])
+    (Json.to_string (Shard.manifest_to_json manifest) ^ "\n");
+  (* the claim falls only after both artifacts are durable: a crash in
+     between leaves the claim for reclaim, which re-runs the shard and
+     harmlessly rewrites the same bytes *)
+  try Sys.remove (path t [ "claims"; claim_name r.Shard.sh_id pid ])
+  with Sys_error _ -> ()
+
+let release t ~pid (r : Shard.range) =
+  try
+    Unix.rename
+      (path t [ "claims"; claim_name r.Shard.sh_id pid ])
+      (path t [ "todo"; id_name r.Shard.sh_id ])
+  with Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+(* claim file name -> (id, pid) *)
+let parse_claim name =
+  match String.index_opt name '.' with
+  | Some dot -> (
+      let id = int_of_string_opt (String.sub name 0 dot) in
+      let rest = String.sub name dot (String.length name - dot) in
+      let pfx = ".pid-" and sfx = ".json" in
+      if
+        String.length rest > String.length pfx + String.length sfx
+        && String.sub rest 0 (String.length pfx) = pfx
+        && Filename.check_suffix rest sfx
+      then
+        let pid =
+          int_of_string_opt
+            (String.sub rest (String.length pfx)
+               (String.length rest - String.length pfx - String.length sfx))
+        in
+        match (id, pid) with
+        | Some id, Some pid -> Some (id, pid)
+        | _ -> None
+      else None)
+  | None -> None
+
+(* a zombie still answers kill(pid, 0) but will never complete its
+   claim — when the parent died first (kill -9 of a whole process
+   group) the worker can linger unreaped, so check its state too *)
+let zombie pid =
+  match
+    let ic = open_in (Printf.sprintf "/proc/%d/stat" pid) in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> input_line ic)
+  with
+  | line -> (
+      (* state is the first field after the parenthesised command, which
+         may itself contain ')' — scan from the right *)
+      match String.rindex_opt line ')' with
+      | Some i when i + 2 < String.length line -> line.[i + 2] = 'Z'
+      | _ -> false)
+  | exception Sys_error _ -> false
+
+let alive pid =
+  match Unix.kill pid 0 with
+  | () -> not (zombie pid)
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception Unix.Unix_error (Unix.EPERM, _, _) -> true
+
+let reclaim_orphans t =
+  Array.fold_left
+    (fun acc name ->
+      match parse_claim name with
+      | Some (id, pid) when not (alive pid) -> (
+          match
+            Unix.rename
+              (path t [ "claims"; name ])
+              (path t [ "todo"; id_name id ])
+          with
+          | () -> acc + 1
+          | exception Unix.Unix_error (Unix.ENOENT, _, _) -> acc)
+      | _ -> acc)
+    0
+    (Sys.readdir (path t [ "claims" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Reading back. *)
+
+let load_done t =
+  let ids = List.sort compare (ids_in t "done") in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | id :: rest -> (
+        let p = path t [ "done"; id_name id ] in
+        match
+          Result.bind (Json.parse (read_file p)) Shard.manifest_of_json
+        with
+        | Ok m -> go (m :: acc) rest
+        | Error e -> Error (Printf.sprintf "%s: %s" p e)
+        | exception Sys_error e -> Error e)
+  in
+  go [] ids
+
+let read_results t (m : Shard.manifest) =
+  let p = path t [ "results"; results_name m.Shard.sm_id ] in
+  match read_file p with
+  | exception Sys_error e -> Error e
+  | body ->
+      let lines =
+        String.split_on_char '\n' body |> List.filter (fun l -> l <> "")
+      in
+      let rec go acc = function
+        | [] -> Ok (Array.of_list (List.rev acc))
+        | l :: rest -> (
+            match Shard.result_of_line l with
+            | Ok r -> go (r :: acc) rest
+            | Error e -> Error (Printf.sprintf "%s: %s" p e))
+      in
+      Result.bind (go [] lines) (fun rs ->
+          let expect = m.Shard.sm_hi - m.Shard.sm_lo in
+          if Array.length rs <> expect then
+            Error
+              (Printf.sprintf "%s: %d results for a %d-fault shard" p
+                 (Array.length rs) expect)
+          else Ok rs)
+
+let pending t = List.length (ids_in t "todo") + List.length (ids_in t "claims")

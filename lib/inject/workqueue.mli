@@ -1,0 +1,84 @@
+(** Shared on-disk work queue for multi-process campaigns.
+
+    One directory per job, four subdirectories:
+
+    {v
+    <dir>/job.json                 the job spec + fingerprint
+    <dir>/todo/00007.json          a pending shard range
+    <dir>/claims/00007.pid-412.json  a range being simulated by pid 412
+    <dir>/done/00007.json          a completed shard manifest
+    <dir>/results/00007.jsonl      that shard's per-fault results
+    v}
+
+    Claiming is one atomic [rename] of the range file from [todo/] into
+    [claims/] — the filesystem arbitrates racing workers, no locks.  A
+    loser's rename fails with [ENOENT] and it simply tries the next
+    lowest id.  Completion writes the results and the manifest with
+    tmp-file + [rename] (so readers never see a truncated file) and only
+    then removes the claim; a worker that crashes mid-shard leaves its
+    claim behind, and {!reclaim_orphans} moves claims whose owner pid is
+    dead back into [todo/].
+
+    Resume therefore needs no journal: re-seed the planned ranges,
+    [seed] skips everything already in [done/] (and anything still
+    pending), and the merge reads [done/] + [results/]. *)
+
+type t
+
+val create : dir:string -> t
+(** Create (or adopt) the queue directory structure under [dir]. *)
+
+val dir : t -> string
+
+(** {1 Job spec} *)
+
+val write_job : t -> Tmr_obs.Json.t -> unit
+(** Atomically (re)write [job.json]. *)
+
+val read_job : t -> (Tmr_obs.Json.t, string) result option
+(** [None] when no [job.json] exists (fresh directory). *)
+
+(** {1 The queue} *)
+
+val seed : t -> Shard.range list -> int
+(** Enqueue every range that is not already pending, claimed or done;
+    returns how many were enqueued.  Idempotent — re-seeding a
+    half-finished queue only adds what is missing. *)
+
+val claim : t -> pid:int -> Shard.range option
+(** Atomically claim the lowest-id pending range for [pid], or [None]
+    when [todo/] is empty.  Safe against concurrent claimers. *)
+
+val complete :
+  t ->
+  pid:int ->
+  Shard.range ->
+  lines:string list ->
+  manifest:Shard.manifest ->
+  unit
+(** Persist a finished shard: its result [lines] (in fault-index order,
+    one per fault) as [results/<id>.jsonl], then its manifest as
+    [done/<id>.json], each via tmp + rename, then drop the claim. *)
+
+val release : t -> pid:int -> Shard.range -> unit
+(** Put a claimed range back into [todo/] (orderly shutdown). *)
+
+val reclaim_orphans : t -> int
+(** Move every claim whose owner process is dead back into [todo/];
+    returns how many were reclaimed.  Claims owned by live processes
+    (including the caller) are left alone. *)
+
+(** {1 Reading back} *)
+
+val load_done : t -> (Shard.manifest list, string) result
+(** All completed-shard manifests, ascending by id.  A truncated or
+    corrupt manifest is an [Error] naming the file — completion writes
+    are atomic, so that means external damage, not a crash. *)
+
+val read_results :
+  t -> Shard.manifest -> ((int * Campaign.fault_result) array, string) result
+(** The per-fault results of one completed shard, in file order.  Checks
+    the count against the manifest's range. *)
+
+val pending : t -> int
+(** Ranges still in [todo/] plus live claims. *)

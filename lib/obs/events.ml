@@ -39,6 +39,23 @@ type event =
       batched : int;
     }
   | Manifest_written of { design : string; path : string }
+  | Shard_done of {
+      design : string;
+      shard : int;
+      lo : int;
+      hi : int;
+      wrong : int;
+      pending : int;
+    }
+  | Job_queued of { job : string; design : string }
+  | Job_started of { job : string; design : string }
+  | Job_done of {
+      job : string;
+      design : string;
+      injected : int;
+      wrong : int;
+      wall_ns : int;
+    }
 
 let type_name = function
   | Campaign_started _ -> "campaign_started"
@@ -49,6 +66,10 @@ let type_name = function
   | Worker_heartbeat _ -> "worker_heartbeat"
   | Plan_paths _ -> "plan_paths"
   | Manifest_written _ -> "manifest_written"
+  | Shard_done _ -> "shard_done"
+  | Job_queued _ -> "job_queued"
+  | Job_started _ -> "job_started"
+  | Job_done _ -> "job_done"
 
 (* Everything after the "ts_ns" field: ,"type":...,<fields>} — built by
    the producer outside the ring lock; seq and ts are prepended by the
@@ -101,7 +122,26 @@ let payload_of ev =
       int "batched" batched
   | Manifest_written { design; path } ->
       str "design" design;
-      str "path" path);
+      str "path" path
+  | Shard_done { design; shard; lo; hi; wrong; pending } ->
+      str "design" design;
+      int "shard" shard;
+      int "lo" lo;
+      int "hi" hi;
+      int "wrong" wrong;
+      int "pending" pending
+  | Job_queued { job; design } ->
+      str "job" job;
+      str "design" design
+  | Job_started { job; design } ->
+      str "job" job;
+      str "design" design
+  | Job_done { job; design; injected; wrong; wall_ns } ->
+      str "job" job;
+      str "design" design;
+      int "injected" injected;
+      int "wrong" wrong;
+      int "wall_ns" wall_ns);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -303,6 +343,15 @@ let listen_unix ?(capacity = default_capacity) path =
   Mutex.unlock b.mutex;
   b.acceptor <- Some (Thread.create (accept_loop b) fd)
 
+(* Fork safety: a forked child inherits the bus record but not the
+   writer/acceptor threads, and shares the sinks' file offsets with the
+   parent.  Publishing from the child would queue into a ring nobody
+   drains (or worse, interleave bytes into the parent's stream), so a
+   child must disown the bus before doing anything else — one atomic
+   store, no locks taken, safe even if the fork happened while another
+   thread held the ring mutex. *)
+let detach () = Atomic.set state None
+
 let close () =
   match Atomic.exchange state None with
   | None -> ()
@@ -413,6 +462,29 @@ let parse_line line =
         let* design = str_f "design" in
         let* path = str_f "path" in
         Ok (Manifest_written { design; path })
+    | "shard_done" ->
+        let* design = str_f "design" in
+        let* shard = int_f "shard" in
+        let* lo = int_f "lo" in
+        let* hi = int_f "hi" in
+        let* wrong = int_f "wrong" in
+        let* pending = int_f "pending" in
+        Ok (Shard_done { design; shard; lo; hi; wrong; pending })
+    | "job_queued" ->
+        let* job = str_f "job" in
+        let* design = str_f "design" in
+        Ok (Job_queued { job; design })
+    | "job_started" ->
+        let* job = str_f "job" in
+        let* design = str_f "design" in
+        Ok (Job_started { job; design })
+    | "job_done" ->
+        let* job = str_f "job" in
+        let* design = str_f "design" in
+        let* injected = int_f "injected" in
+        let* wrong = int_f "wrong" in
+        let* wall_ns = int_f "wall_ns" in
+        Ok (Job_done { job; design; injected; wrong; wall_ns })
     | other -> Error (Printf.sprintf "events: unknown event type %S" other)
   in
   Ok { p_seq = seq; p_ts_ns = ts; p_event = ev }

@@ -64,6 +64,24 @@ type event =
       batched : int;
     }
   | Manifest_written of { design : string; path : string }
+  | Shard_done of {
+      design : string;
+      shard : int;
+      lo : int;  (** first fault index of the range (inclusive) *)
+      hi : int;  (** last fault index of the range (exclusive) *)
+      wrong : int;  (** wrong answers within the range *)
+      pending : int;  (** ranges still queued or claimed *)
+    }  (** one checkpointed shard of a distributed campaign completed *)
+  | Job_queued of { job : string; design : string }
+      (** a campaign job entered the [tmrtool serve] queue *)
+  | Job_started of { job : string; design : string }
+  | Job_done of {
+      job : string;
+      design : string;
+      injected : int;
+      wrong : int;
+      wall_ns : int;
+    }
 
 val enabled : unit -> bool
 (** Is any sink installed?  Producers may use this to skip building
@@ -87,6 +105,15 @@ val listen_unix : ?capacity:int -> string -> unit
 val close : unit -> unit
 (** Drain the ring, flush and close every sink, join the bus threads
     and disable publishing.  Idempotent. *)
+
+val detach : unit -> unit
+(** Disown the bus {e without} draining, closing or joining anything:
+    publishing becomes a no-op in this process, every sink stays
+    untouched.  For forked children — they inherit the bus record but
+    not its threads, and share the sinks' file descriptors with the
+    parent, so the only safe move is to forget the bus entirely.  Lock
+    free (one atomic store), hence safe immediately after [fork] even
+    if the fork split another thread mid-[publish]. *)
 
 val published : unit -> int
 (** Events assigned a sequence number since the bus was (last)

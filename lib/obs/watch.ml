@@ -13,6 +13,8 @@ type campaign = {
   mutable c_lanes : int;
   mutable c_plan : (int * int * int * int * int * int * int) option;
   mutable c_manifest : string option;
+  mutable c_shards_done : int;
+  mutable c_shards_pending : int;  (* latest pending count seen *)
 }
 
 type worker_state = {
@@ -28,6 +30,8 @@ type t = {
   mutable last_seq : int;
   mutable gap_total : int;
   mutable nevents : int;
+  mutable jobs_queued : int;
+  mutable jobs_done : int;
 }
 
 let create () =
@@ -38,6 +42,8 @@ let create () =
     last_seq = -1;
     gap_total = 0;
     nevents = 0;
+    jobs_queued = 0;
+    jobs_done = 0;
   }
 
 let campaign_of t design =
@@ -60,6 +66,8 @@ let campaign_of t design =
           c_lanes = 0;
           c_plan = None;
           c_manifest = None;
+          c_shards_done = 0;
+          c_shards_pending = 0;
         }
       in
       Hashtbl.add t.campaigns design c;
@@ -129,6 +137,15 @@ let feed t (p : Events.parsed) =
   | Events.Manifest_written { design; path } ->
       let c = campaign_of t design in
       c.c_manifest <- Some path
+  | Events.Shard_done { design; shard = _; lo = _; hi = _; wrong = _; pending }
+    ->
+      let c = campaign_of t design in
+      c.c_shards_done <- c.c_shards_done + 1;
+      c.c_shards_pending <- pending;
+      c.c_last_ts <- ts
+  | Events.Job_queued _ -> t.jobs_queued <- t.jobs_queued + 1
+  | Events.Job_started _ -> ()
+  | Events.Job_done _ -> t.jobs_done <- t.jobs_done + 1
 
 let finished t =
   Hashtbl.length t.campaigns > 0
@@ -200,6 +217,10 @@ let render ?(confidence = 0.95) t =
           (Printf.sprintf "             batches: %d dispatched, avg occupancy %.1f lanes\n"
              c.c_batches
              (float_of_int c.c_lanes /. float_of_int c.c_batches));
+      if c.c_shards_done > 0 then
+        Buffer.add_string b
+          (Printf.sprintf "             shards: %d done, %d pending\n"
+             c.c_shards_done c.c_shards_pending);
       match c.c_manifest with
       | Some p ->
           Buffer.add_string b (Printf.sprintf "             manifest: %s\n" p)
@@ -223,6 +244,9 @@ let render ?(confidence = 0.95) t =
       ws;
     Buffer.add_char b '\n'
   end;
+  if t.jobs_queued > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "jobs: %d queued, %d done\n" t.jobs_queued t.jobs_done);
   Buffer.add_string b
     (Printf.sprintf "stream: %d events, last seq %d, %d dropped\n" t.nevents
        t.last_seq t.gap_total);

@@ -281,7 +281,7 @@ let test_store_roundtrip () =
         (contains p1 "tmr_p2-seed3-");
       let m2 = { m with Store.m_created = m.Store.m_created +. 5.0 } in
       ignore (Store.save ~dir m2);
-      match Store.load_dir ~dir with
+      match Store.load_dir ~dir () with
       | [ a; b ] ->
           Alcotest.(check bool) "oldest first" true
             (a.Store.m_created < b.Store.m_created);
@@ -289,7 +289,7 @@ let test_store_roundtrip () =
             (Store.baseline_for ~history:[ a; b ] m = Some b)
       | l -> Alcotest.failf "expected 2 manifests, loaded %d" (List.length l));
   Alcotest.(check (list pass)) "missing dir is empty history" []
-    (Store.load_dir ~dir:"/nonexistent/tmr-store")
+    (Store.load_dir ~dir:"/nonexistent/tmr-store" ())
 
 let test_report_verdicts () =
   let c = Lazy.force ctx in

@@ -1,0 +1,514 @@
+(* Sharded, resumable, multi-process campaigns: planner arithmetic,
+   result-line and manifest codecs, the on-disk work queue (claims,
+   crash reclaim), and the end-to-end guarantee — the merged sharded
+   result is bit-identical to a plain single-process campaign, across
+   interruption/resume and across process counts. *)
+
+module Partition = Tmr_core.Partition
+module Campaign = Tmr_inject.Campaign
+module Classify = Tmr_inject.Classify
+module Shard = Tmr_inject.Shard
+module Workqueue = Tmr_inject.Workqueue
+module Context = Tmr_experiments.Context
+module Runs = Tmr_experiments.Runs
+module Service = Tmr_experiments.Service
+module Store = Tmr_experiments.Store
+module Events = Tmr_obs.Events
+
+let ctx =
+  lazy (Context.create ~scale:Context.Reduced ~seed:2 ~faults_per_design:40 ())
+
+let run_p2 =
+  lazy (Runs.implement_design (Lazy.force ctx) Partition.Medium_partition)
+
+let temp_counter = ref 0
+
+let temp_dir tag =
+  incr temp_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tmr-shard-%s-%d-%d" tag (Unix.getpid ()) !temp_counter)
+  in
+  (* stale leftovers from a crashed previous test run *)
+  if Sys.file_exists d then
+    ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote d)));
+  d
+
+(* --- planner ---------------------------------------------------------- *)
+
+let test_plan_tiles () =
+  List.iter
+    (fun (total, shards) ->
+      let plan = Shard.plan ~total ~shards in
+      let expect = ref 0 in
+      Array.iter
+        (fun r ->
+          Alcotest.(check int) "contiguous" !expect r.Shard.sh_lo;
+          Alcotest.(check bool) "non-empty" true (r.Shard.sh_hi > r.Shard.sh_lo);
+          expect := r.Shard.sh_hi)
+        plan;
+      Alcotest.(check int) "covers the space" total !expect;
+      (* balanced: sizes differ by at most one *)
+      let sizes =
+        Array.map (fun r -> r.Shard.sh_hi - r.Shard.sh_lo) plan
+      in
+      if Array.length sizes > 0 then begin
+        let mn = Array.fold_left min max_int sizes in
+        let mx = Array.fold_left max 0 sizes in
+        Alcotest.(check bool) "balanced" true (mx - mn <= 1)
+      end;
+      Alcotest.(check int) "shard count" (min shards total) (Array.length plan))
+    [ (0, 4); (1, 4); (4, 4); (5, 4); (100, 7); (1500, 16); (3, 100) ]
+
+let test_plan_invalid () =
+  Alcotest.check_raises "shards=0" (Invalid_argument "Shard.plan: shards must be positive")
+    (fun () -> ignore (Shard.plan ~total:10 ~shards:0));
+  Alcotest.check_raises "total<0" (Invalid_argument "Shard.plan: negative total")
+    (fun () -> ignore (Shard.plan ~total:(-1) ~shards:4))
+
+let test_ranges_missing () =
+  let missing =
+    Shard.ranges_missing ~total:100 ~shards:4 ~done_ids:(fun id -> id = 1)
+  in
+  Alcotest.(check (list int)) "skips done ids" [ 0; 2; 3 ]
+    (List.map (fun r -> r.Shard.sh_id) missing)
+
+(* --- codecs ----------------------------------------------------------- *)
+
+let test_result_line_roundtrip () =
+  List.iter
+    (fun effect ->
+      List.iter
+        (fun (outcome, cycle) ->
+          let r =
+            {
+              Campaign.bit = 4242;
+              outcome;
+              effect;
+              first_error_cycle = cycle;
+              forensics = None;
+            }
+          in
+          let line = Shard.result_to_line ~index:17 r in
+          match Shard.result_of_line line with
+          | Error e -> Alcotest.failf "roundtrip failed on %s: %s" line e
+          | Ok (i, r') ->
+              Alcotest.(check int) "index" 17 i;
+              Alcotest.(check bool) "result survives" true (r = r'))
+        [ (Campaign.Silent, -1); (Campaign.Wrong_answer, 12) ])
+    Classify.all
+
+let test_manifest_roundtrip () =
+  let m =
+    {
+      Shard.sm_id = 3;
+      sm_lo = 30;
+      sm_hi = 40;
+      sm_wrong = 2;
+      sm_stats =
+        {
+          Campaign.skipped = 1;
+          patched = 2;
+          rerouted = 3;
+          rebuilt = 4;
+          diffed = 5;
+          converged = 6;
+          batched = 7;
+        };
+      sm_wall_ns = 123456;
+      sm_busy_ns = 111111;
+      sm_setup_ns = 22222;
+      sm_owner = 999;
+      sm_fingerprint = "cafe1234";
+    }
+  in
+  match Shard.manifest_of_json (Shard.manifest_to_json m) with
+  | Error e -> Alcotest.failf "manifest roundtrip: %s" e
+  | Ok m' -> Alcotest.(check bool) "manifest survives" true (m = m')
+
+let test_shard_events_roundtrip () =
+  List.iter
+    (fun ev ->
+      let line = Events.render ~seq:5 ~ts_ns:123 ev in
+      match Events.parse_line line with
+      | Error e -> Alcotest.failf "parse %s: %s" line e
+      | Ok p ->
+          Alcotest.(check bool)
+            (Events.type_name ev ^ " survives")
+            true
+            (p.Events.p_event = ev))
+    [
+      Events.Shard_done
+        { design = "tmr_p2"; shard = 3; lo = 30; hi = 40; wrong = 1; pending = 2 };
+      Events.Job_queued { job = "j1"; design = "tmr_p2" };
+      Events.Job_started { job = "j1"; design = "tmr_p2" };
+      Events.Job_done
+        { job = "j1"; design = "tmr_p2"; injected = 40; wrong = 2; wall_ns = 9 };
+    ]
+
+(* --- work queue ------------------------------------------------------- *)
+
+let mk_manifest (r : Shard.range) =
+  {
+    Shard.sm_id = r.Shard.sh_id;
+    sm_lo = r.Shard.sh_lo;
+    sm_hi = r.Shard.sh_hi;
+    sm_wrong = 0;
+    sm_stats =
+      {
+        Campaign.skipped = 0;
+        patched = 0;
+        rerouted = 0;
+        rebuilt = 0;
+        diffed = 0;
+        converged = 0;
+        batched = 0;
+      };
+    sm_wall_ns = 1;
+    sm_busy_ns = 1;
+    sm_setup_ns = 0;
+    sm_owner = Unix.getpid ();
+    sm_fingerprint = "fp";
+  }
+
+let lines_of (r : Shard.range) =
+  List.init
+    (r.Shard.sh_hi - r.Shard.sh_lo)
+    (fun i ->
+      Shard.result_to_line ~index:(r.Shard.sh_lo + i)
+        {
+          Campaign.bit = 100 + r.Shard.sh_lo + i;
+          outcome = Campaign.Silent;
+          effect = Classify.Other_effect;
+          first_error_cycle = -1;
+          forensics = None;
+        })
+
+(* a pid guaranteed dead: fork a child that exits immediately *)
+let dead_pid () =
+  match Unix.fork () with
+  | 0 -> Unix._exit 0
+  | pid ->
+      ignore (Unix.waitpid [] pid);
+      pid
+
+let test_workqueue_claims () =
+  let wq = Workqueue.create ~dir:(temp_dir "wq") in
+  let plan = Array.to_list (Shard.plan ~total:40 ~shards:4) in
+  Alcotest.(check int) "seeded 4" 4 (Workqueue.seed wq plan);
+  Alcotest.(check int) "seed is idempotent" 0 (Workqueue.seed wq plan);
+  Alcotest.(check int) "4 pending" 4 (Workqueue.pending wq);
+  let pid = Unix.getpid () in
+  let r0 =
+    match Workqueue.claim wq ~pid with
+    | Some r -> r
+    | None -> Alcotest.fail "nothing to claim"
+  in
+  Alcotest.(check int) "lowest id first" 0 r0.Shard.sh_id;
+  (* a claimed range stays pending but cannot be claimed twice *)
+  let r1 = Option.get (Workqueue.claim wq ~pid) in
+  Alcotest.(check int) "next id" 1 r1.Shard.sh_id;
+  Alcotest.(check int) "claims count as pending" 4 (Workqueue.pending wq);
+  (* release puts it back at the head of the queue *)
+  Workqueue.release wq ~pid r0;
+  let r0' = Option.get (Workqueue.claim wq ~pid) in
+  Alcotest.(check int) "released range comes back" 0 r0'.Shard.sh_id;
+  (* complete persists results + manifest and drops the claim *)
+  Workqueue.complete wq ~pid r1 ~lines:(lines_of r1) ~manifest:(mk_manifest r1);
+  Alcotest.(check int) "one less pending" 3 (Workqueue.pending wq);
+  (match Workqueue.load_done wq with
+  | Ok [ m ] ->
+      Alcotest.(check int) "done manifest id" 1 m.Shard.sm_id;
+      (match Workqueue.read_results wq m with
+      | Ok rs ->
+          Alcotest.(check int) "results count" (m.Shard.sm_hi - m.Shard.sm_lo)
+            (Array.length rs)
+      | Error e -> Alcotest.failf "read_results: %s" e)
+  | Ok ms -> Alcotest.failf "expected 1 done manifest, got %d" (List.length ms)
+  | Error e -> Alcotest.failf "load_done: %s" e);
+  (* live claims are not reclaimed *)
+  Alcotest.(check int) "own claim is not an orphan" 0
+    (Workqueue.reclaim_orphans wq)
+
+let test_workqueue_reclaim () =
+  let wq = Workqueue.create ~dir:(temp_dir "wq-orphan") in
+  let plan = Array.to_list (Shard.plan ~total:40 ~shards:4) in
+  ignore (Workqueue.seed wq plan);
+  (* simulate a worker that died mid-shard: its claim file survives
+     under a pid that is no longer alive *)
+  let pid = dead_pid () in
+  let r = Option.get (Workqueue.claim wq ~pid) in
+  Alcotest.(check int) "claimed by the dead" 0 r.Shard.sh_id;
+  Alcotest.(check int) "one orphan reclaimed" 1 (Workqueue.reclaim_orphans wq);
+  let r' = Option.get (Workqueue.claim wq ~pid:(Unix.getpid ())) in
+  Alcotest.(check int) "orphaned range claimable again" 0 r'.Shard.sh_id;
+  (* a worker killed after its parent (kill -9 of the whole group in a
+     container with no reaper) lingers as a zombie: kill(pid, 0) still
+     succeeds, but the claim must be reclaimed all the same *)
+  let zpid =
+    match Unix.fork () with 0 -> Unix._exit 0 | pid -> pid
+  in
+  Unix.sleepf 0.05;
+  let rz = Option.get (Workqueue.claim wq ~pid:zpid) in
+  Alcotest.(check int) "claimed by the zombie" 1 rz.Shard.sh_id;
+  Alcotest.(check int) "zombie's claim reclaimed" 1
+    (Workqueue.reclaim_orphans wq);
+  ignore (Unix.waitpid [] zpid)
+
+(* --- end-to-end equivalence ------------------------------------------- *)
+
+let result_testable =
+  Alcotest.testable
+    (fun ppf (r : Campaign.fault_result) ->
+      Format.fprintf ppf "{bit=%d; wrong=%b; effect=%s; cycle=%d}"
+        r.Campaign.bit
+        (r.Campaign.outcome = Campaign.Wrong_answer)
+        (Tmr_inject.Classify.name r.Campaign.effect)
+        r.Campaign.first_error_cycle)
+    ( = )
+
+let check_matches_plain msg (plain : Campaign.t) (merged : Campaign.t) =
+  Alcotest.(check int) (msg ^ ": injected") plain.Campaign.injected
+    merged.Campaign.injected;
+  Alcotest.(check int) (msg ^ ": wrong") plain.Campaign.wrong
+    merged.Campaign.wrong;
+  Alcotest.(check (array result_testable))
+    (msg ^ ": per-fault results")
+    plain.Campaign.results merged.Campaign.results;
+  Alcotest.(check bool)
+    (msg ^ ": plan-path stats")
+    true
+    (plain.Campaign.stats = merged.Campaign.stats)
+
+(* sharded procs=1 over 4 shards == plain campaign, on all 5 designs *)
+let test_sharded_equals_plain_all_designs () =
+  let ctx = Lazy.force ctx in
+  List.iter
+    (fun strategy ->
+      let run = Runs.implement_design ctx strategy in
+      let plain =
+        Option.get (Runs.campaign_design ~workers:1 ctx run).Runs.campaign
+      in
+      let job =
+        Service.job ~scale:Context.Reduced ~seed:2 ~faults:40 ~shards:4
+          strategy
+      in
+      match
+        Service.run_sharded
+          ~notify:(fun _ -> ())
+          ~dir:(temp_dir ("eq-" ^ Partition.name strategy))
+          job ctx run
+      with
+      | Error e -> Alcotest.failf "run_sharded: %s" e
+      | Ok (Service.Incomplete _) -> Alcotest.fail "unexpectedly incomplete"
+      | Ok (Service.Complete o) ->
+          Alcotest.(check int) "all shards fresh" 4 o.Service.o_fresh;
+          check_matches_plain (Partition.name strategy) plain
+            o.Service.o_campaign)
+    Partition.all_paper_designs
+
+(* interrupt after 2 of 4 shards, resume in a second invocation: the
+   merge is bit-identical and the finished shards are not re-simulated *)
+let test_resume_bit_identical () =
+  let ctx = Lazy.force ctx in
+  let run = Lazy.force run_p2 in
+  let plain =
+    Option.get (Runs.campaign_design ~workers:1 ctx run).Runs.campaign
+  in
+  let job =
+    Service.job ~scale:Context.Reduced ~seed:2 ~faults:40 ~shards:4
+      Partition.Medium_partition
+  in
+  let dir = temp_dir "resume" in
+  let shard_events = ref 0 in
+  let notify = function Events.Shard_done _ -> incr shard_events | _ -> () in
+  (match Service.run_sharded ~shard_limit:2 ~notify ~dir job ctx run with
+  | Ok (Service.Incomplete { done_shards; pending_shards }) ->
+      Alcotest.(check int) "2 shards done" 2 done_shards;
+      Alcotest.(check int) "2 shards pending" 2 pending_shards
+  | Ok (Service.Complete _) -> Alcotest.fail "shard limit ignored"
+  | Error e -> Alcotest.failf "interrupted run: %s" e);
+  Alcotest.(check int) "2 shard_done events" 2 !shard_events;
+  match Service.run_sharded ~notify ~dir job ctx run with
+  | Error e -> Alcotest.failf "resume: %s" e
+  | Ok (Service.Incomplete _) -> Alcotest.fail "resume left work behind"
+  | Ok (Service.Complete o) ->
+      (* resumed shards come from manifests — only the missing two were
+         simulated (each firing one more Shard_done) *)
+      Alcotest.(check int) "2 shards resumed" 2 o.Service.o_resumed;
+      Alcotest.(check int) "2 shards fresh" 2 o.Service.o_fresh;
+      Alcotest.(check int) "4 shard_done events total" 4 !shard_events;
+      check_matches_plain "resumed merge" plain o.Service.o_campaign
+
+(* two forked worker processes, same verdicts *)
+let test_procs2_bit_identical () =
+  let ctx = Lazy.force ctx in
+  let run = Lazy.force run_p2 in
+  let plain =
+    Option.get (Runs.campaign_design ~workers:1 ctx run).Runs.campaign
+  in
+  let job =
+    Service.job ~scale:Context.Reduced ~seed:2 ~faults:40 ~shards:4
+      Partition.Medium_partition
+  in
+  match
+    Service.run_sharded ~procs:2
+      ~notify:(fun _ -> ())
+      ~dir:(temp_dir "procs2") job ctx run
+  with
+  | Error e -> Alcotest.failf "procs=2: %s" e
+  | Ok (Service.Incomplete _) -> Alcotest.fail "procs=2 incomplete"
+  | Ok (Service.Complete o) ->
+      Alcotest.(check int) "merged campaign reports 2 workers" 2
+        o.Service.o_campaign.Campaign.workers;
+      check_matches_plain "procs=2 merge" plain o.Service.o_campaign
+
+(* a queue directory belonging to a different job is refused — unless
+   [fresh] wipes it *)
+let test_fingerprint_guard () =
+  let ctx = Lazy.force ctx in
+  let run = Lazy.force run_p2 in
+  let dir = temp_dir "guard" in
+  let job20 =
+    Service.job ~scale:Context.Reduced ~seed:2 ~faults:20 ~shards:2
+      Partition.Medium_partition
+  in
+  let job40 =
+    Service.job ~scale:Context.Reduced ~seed:2 ~faults:40 ~shards:2
+      Partition.Medium_partition
+  in
+  (match Service.run_sharded ~notify:(fun _ -> ()) ~dir job20 ctx run with
+  | Ok (Service.Complete _) -> ()
+  | Ok (Service.Incomplete _) | Error _ -> Alcotest.fail "seed run failed");
+  (match Service.run_sharded ~notify:(fun _ -> ()) ~dir job40 ctx run with
+  | Error e ->
+      Alcotest.(check bool) "mentions the mismatch" true
+        (String.length e > 0)
+  | Ok _ -> Alcotest.fail "foreign queue dir accepted");
+  match
+    Service.run_sharded ~fresh:true ~notify:(fun _ -> ()) ~dir job40 ctx run
+  with
+  | Ok (Service.Complete o) ->
+      Alcotest.(check int) "fresh wiped the old shards" 2 o.Service.o_fresh;
+      Alcotest.(check int) "nothing resumed" 0 o.Service.o_resumed
+  | Ok (Service.Incomplete _) | Error _ -> Alcotest.fail "fresh run failed"
+
+(* --- exhaustive + job codec ------------------------------------------- *)
+
+let test_exhaustive_faults () =
+  let ctx = Lazy.force ctx in
+  let run = Lazy.force run_p2 in
+  let sampled =
+    Service.faults_of ctx run
+      (Service.job ~scale:Context.Reduced ~seed:2 ~faults:40
+         Partition.Medium_partition)
+  in
+  Alcotest.(check int) "sampled size" 40 (Array.length sampled);
+  let exhaustive =
+    Service.faults_of ctx run
+      (Service.job ~scale:Context.Reduced ~seed:2 ~exhaustive:true
+         Partition.Medium_partition)
+  in
+  Alcotest.(check int) "every essential bit"
+    (Array.length run.Runs.faultlist.Tmr_inject.Faultlist.bits)
+    (Array.length exhaustive);
+  (* the two fault spaces fingerprint differently *)
+  let j1 =
+    Service.job ~scale:Context.Reduced ~seed:2 ~faults:40
+      Partition.Medium_partition
+  in
+  let j2 =
+    Service.job ~scale:Context.Reduced ~seed:2 ~exhaustive:true
+      Partition.Medium_partition
+  in
+  Alcotest.(check bool) "distinct fingerprints" false
+    (Service.fingerprint j1 sampled = Service.fingerprint j2 exhaustive)
+
+let test_job_json_roundtrip () =
+  let j =
+    Service.job ~scale:Context.Reduced ~seed:7 ~faults:123 ~exhaustive:true
+      ~shards:9 ~workers:3 ~diff:false ~batch_width:32 Partition.Min_partition
+  in
+  match Service.job_of_json (Service.job_to_json j) with
+  | Error e -> Alcotest.failf "job roundtrip: %s" e
+  | Ok j' ->
+      Alcotest.(check bool) "job survives" true (j = j');
+      Alcotest.(check string) "name" "tmr_p3-reduced-seed7-exhaustive"
+        (Service.job_name j)
+
+(* --- store hardening rides along -------------------------------------- *)
+
+let write_file path body =
+  let oc = open_out path in
+  output_string oc body;
+  close_out oc
+
+let test_store_load_dir_corrupt () =
+  let ctx = Lazy.force ctx in
+  let r = Runs.campaign_design ~workers:1 ctx (Lazy.force run_p2) in
+  let dir = temp_dir "store" in
+  let m = Store.of_run ~confidence:0.95 ~exhaustive:true ctx r in
+  ignore (Store.save ~dir m);
+  (* one syntactically broken file, one truncated mid-object, one that
+     parses but is not a manifest *)
+  write_file (Filename.concat dir "aa-corrupt.json") "not json at all";
+  write_file (Filename.concat dir "bb-truncated.json")
+    "{\"design\":\"tmr_p2\",\"seed\":2,\"scale\":\"red";
+  write_file (Filename.concat dir "cc-wrong-shape.json") "{\"hello\":1}";
+  let warned = ref [] in
+  let ms = Store.load_dir ~warn:(fun s -> warned := s :: !warned) ~dir () in
+  Alcotest.(check int) "only the valid manifest survives" 1 (List.length ms);
+  Alcotest.(check int) "each bad file warned once" 3 (List.length !warned);
+  let m' = List.hd ms in
+  Alcotest.(check bool) "exhaustive flag survives the roundtrip" true
+    m'.Store.m_exhaustive;
+  (* the default warn printer must not raise either *)
+  let ms' = Store.load_dir ~dir () in
+  Alcotest.(check int) "default warn skips too" 1 (List.length ms')
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "planner",
+        [
+          Alcotest.test_case "tiles the fault space" `Quick test_plan_tiles;
+          Alcotest.test_case "rejects invalid args" `Quick test_plan_invalid;
+          Alcotest.test_case "missing ranges" `Quick test_ranges_missing;
+        ] );
+      ( "codecs",
+        [
+          Alcotest.test_case "result line roundtrip" `Quick
+            test_result_line_roundtrip;
+          Alcotest.test_case "manifest roundtrip" `Quick
+            test_manifest_roundtrip;
+          Alcotest.test_case "shard/job events roundtrip" `Quick
+            test_shard_events_roundtrip;
+          Alcotest.test_case "job json roundtrip" `Quick
+            test_job_json_roundtrip;
+        ] );
+      ( "workqueue",
+        [
+          Alcotest.test_case "seed/claim/complete" `Quick
+            test_workqueue_claims;
+          Alcotest.test_case "orphan reclaim" `Quick test_workqueue_reclaim;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "sharded == plain, all designs" `Slow
+            test_sharded_equals_plain_all_designs;
+          Alcotest.test_case "interrupt + resume, bit-identical" `Slow
+            test_resume_bit_identical;
+          Alcotest.test_case "2 forked procs, bit-identical" `Slow
+            test_procs2_bit_identical;
+          Alcotest.test_case "fingerprint guard + fresh" `Slow
+            test_fingerprint_guard;
+          Alcotest.test_case "exhaustive fault space" `Quick
+            test_exhaustive_faults;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "load_dir skips corrupt manifests" `Quick
+            test_store_load_dir_corrupt;
+        ] );
+    ]
