@@ -19,6 +19,7 @@ module Partition = Tmr_core.Partition
 module Campaign = Tmr_inject.Campaign
 module Service = Tmr_experiments.Service
 module Stats = Tmr_obs.Stats
+module Events = Tmr_obs.Events
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
 
@@ -245,13 +246,30 @@ let distributed_bench () =
       (Filename.get_temp_dir_name ())
       (Printf.sprintf "tmr-bench-shards-%d" (Unix.getpid ()))
   in
-  let measure procs =
+  let measure ?(events = false) procs =
+    let label =
+      if events then "distributed-spooled" else "distributed-exhaustive"
+    in
     let best_dt = ref infinity in
     let best_c = ref None in
     for i = 1 to 3 do
       (* a fresh queue directory per run: resume must never hide work *)
-      let dir = Filename.concat bench_root (Printf.sprintf "p%d-r%d" procs i) in
+      let dir =
+        Filename.concat bench_root
+          (Printf.sprintf "%s-p%d-r%d" (if events then "ev" else "plain")
+             procs i)
+      in
       Gc.compact ();
+      (* with events on, the timed region includes the per-worker spool
+         writes and the parent's tail-and-relay of the merged stream *)
+      let stream =
+        if events then begin
+          let s = Filename.temp_file "tmr_bench_fleet" ".jsonl" in
+          Events.to_file s;
+          Some s
+        end
+        else None
+      in
       let t0 = Unix.gettimeofday () in
       (match
          Service.run_sharded ~procs ~notify:(fun _ -> ()) ~dir job ctx run
@@ -264,6 +282,11 @@ let distributed_bench () =
           end
       | Ok (Service.Incomplete _) -> failwith "distributed bench: incomplete"
       | Error e -> failwith ("distributed bench: " ^ e));
+      Option.iter
+        (fun s ->
+          Events.close ();
+          Sys.remove s)
+        stream;
       ignore
         (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
     done;
@@ -271,23 +294,32 @@ let distributed_bench () =
     let fps = float_of_int total /. !best_dt in
     say
       "  %-24s procs=%d: %.2fs, %.1f faults/s, utilization %.3f, wrong %d"
-      "distributed-exhaustive" procs !best_dt fps
+      label procs !best_dt fps
       (Campaign.utilization c) c.Campaign.wrong;
     (!best_dt, fps, c)
   in
   let d1, fps1, c1 = measure 1 in
   let d2, fps2, c2 = measure 2 in
   let d4, fps4, c4 = measure 4 in
+  let dev, fps_ev, cev = measure ~events:true 2 in
   ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote bench_root)));
   let identical =
     c1.Campaign.results = c2.Campaign.results
     && c1.Campaign.results = c4.Campaign.results
+    && c1.Campaign.results = cev.Campaign.results
   in
+  let spool_overhead_pct = 100.0 *. (1.0 -. (fps_ev /. fps2)) in
+  let spool_ok = fps_ev >= 0.97 *. fps2 in
   say
     "  exact wrong rate %.4f%% over %d essential bits; 2-proc speedup \
      %.2fx, 4-proc %.2fx, identical results: %b"
     (Campaign.wrong_percent c1)
     total (fps2 /. fps1) (fps4 /. fps1) identical;
+  say
+    "  spooled telemetry at procs=2: %.1f vs %.1f faults/s (%.1f%% \
+     overhead)%s"
+    fps_ev fps2 spool_overhead_pct
+    (if spool_ok then "" else "  ** exceeds 3% budget **");
   let row name procs dt fps (c : Campaign.t) =
     Printf.sprintf
       "    { \"name\": %S, \"procs\": %d, \"shards\": 16, \"seconds\": \
@@ -302,11 +334,14 @@ let distributed_bench () =
     \    \"rows\": [\n\
      %s,\n\
      %s,\n\
+     %s,\n\
      %s\n\
     \    ],\n\
     \    \"wrong_percent_exact\": %.4f,\n\
     \    \"speedup_2procs\": %.3f,\n\
     \    \"speedup_4procs\": %.3f,\n\
+    \    \"spool_overhead_percent\": %.2f,\n\
+    \    \"spool_overhead_ok\": %b,\n\
     \    \"identical_results\": %b\n\
     \  }"
     (Partition.name Partition.Medium_partition)
@@ -314,8 +349,9 @@ let distributed_bench () =
     (row "distributed-exhaustive" 1 d1 fps1 c1)
     (row "distributed-exhaustive" 2 d2 fps2 c2)
     (row "distributed-exhaustive" 4 d4 fps4 c4)
+    (row "distributed-spooled" 2 dev fps_ev cev)
     (Campaign.wrong_percent c1)
-    (fps2 /. fps1) (fps4 /. fps1) identical
+    (fps2 /. fps1) (fps4 /. fps1) spool_overhead_pct spool_ok identical
 
 let campaign_bench () =
   let faults =

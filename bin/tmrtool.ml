@@ -153,8 +153,10 @@ let trace_file_t =
     & info [ "trace" ] ~docv:"FILE"
         ~doc:
           "Write Chrome-trace-event JSONL spans (CAD phases, campaigns, \
-           per-fault injections) to $(docv).  Open with ui.perfetto.dev, or \
-           wrap into an array for chrome://tracing.")
+           per-fault injections) to $(docv).  With $(b,--procs) > 1 each \
+           worker traces to its own file and the spans are stitched into \
+           $(docv) (pid-qualified) after the run.  Open with \
+           ui.perfetto.dev, or wrap into an array for chrome://tracing.")
 
 let metrics_file_t =
   Arg.(
@@ -176,7 +178,11 @@ let events_file_t =
            JSONL.  $(docv) is a file path, or $(b,unix:)$(i,PATH) to serve \
            a Unix-domain socket instead; $(b,tmrtool watch) $(docv) tails \
            either.  Emission never blocks the fault loop: events beyond \
-           the buffer are dropped and accounted as sequence-number gaps.")
+           the buffer are dropped and accounted as sequence-number gaps.  \
+           With $(b,--procs) > 1 every worker spools its events beside the \
+           shard queue and the parent relays them onto this stream live, \
+           origin-stamped ($(i,pid)/$(i,worker)/$(i,shard)/$(i,job)), so \
+           file and socket sinks see one merged fleet stream.")
 
 let listen_t =
   Arg.(
@@ -199,13 +205,16 @@ let install_events spec =
   | true -> Tmr_obs.Events.listen_unix (String.sub spec 5 (String.length spec - 5))
   | false -> Tmr_obs.Events.to_file spec
 
-(* An interrupted run should still leave its telemetry behind: flush
-   every sink, then exit with the conventional 128+SIGINT status. *)
+(* An interrupted run should still leave its telemetry behind: first
+   wind down any forked worker fleet (terminate, reap, drain the spool
+   tails onto the bus — so the merged stream ends on whole lines), then
+   flush every sink and exit with the conventional 128+SIGINT status. *)
 let install_sigint metrics =
   ignore
     (Sys.signal Sys.sigint
        (Sys.Signal_handle
           (fun _ ->
+            (try Service.interrupt () with _ -> ());
             (try Trace.close () with _ -> ());
             (try Tmr_obs.Events.close () with _ -> ());
             (try Forensics.close () with _ -> ());
@@ -221,6 +230,7 @@ let with_telemetry (trace, metrics, events, listen) f =
   Option.iter install_events events;
   Option.iter
     (fun port ->
+      Tmr_obs.Expose.set_active_probe (Some Campaign.active_campaigns);
       let p = Tmr_obs.Expose.listen port in
       Printf.eprintf "serving metrics on http://127.0.0.1:%d/metrics\n%!" p)
     listen;
@@ -668,9 +678,20 @@ let inject_cmd =
         Option.iter
           (fun dir ->
             let _, _, events_spec, _ = telem in
+            let spools =
+              List.map
+                (fun (s : Service.spool_info) ->
+                  {
+                    Store.sr_worker = s.Service.sp_worker;
+                    sr_path = s.Service.sp_path;
+                    sr_events = s.Service.sp_events;
+                    sr_gaps = s.Service.sp_gaps;
+                  })
+                o.Service.o_spools
+            in
             let m =
               Store.of_run ~confidence ~diff:(not no_diff) ~exhaustive
-                ?events_path:events_spec ctx
+                ?events_path:events_spec ~spools ctx
                 { r with Runs.campaign = Some c }
             in
             Printf.eprintf "stored %s\n" (Store.save ~dir m))
@@ -713,13 +734,6 @@ let inject_cmd =
         Printf.eprintf
           "tmrtool: --forensics does not combine with sharded campaigns \
            (per-shard result lines carry no forensic records)\n";
-        exit 2
-      end;
-      let trace, _, _, _ = telem in
-      if procs > 1 && trace <> None then begin
-        Printf.eprintf
-          "tmrtool: --trace does not combine with --procs > 1 (the span \
-           sink is not fork-safe); trace a --procs 1 run instead\n";
         exit 2
       end
     end;
@@ -1254,7 +1268,22 @@ let watch_cmd =
              campaign, same fields and formatting as $(b,inject --json)) \
              instead of the dashboard.")
   in
-  let run source follow json confidence =
+  let worker_timeout_t =
+    Arg.(
+      value
+      & opt float 10.0
+      & info [ "worker-timeout" ] ~docv:"SEC"
+          ~doc:
+            "On a merged $(b,--procs) fleet stream, flag a worker process \
+             $(b,STALE) when its newest event is more than $(docv) seconds \
+             older than the newest event on the stream (by event \
+             timestamps, so replayed files judge staleness in run time, \
+             not wall time).  0 disables the check.")
+  in
+  let run source follow json confidence worker_timeout =
+    let worker_timeout =
+      if worker_timeout > 0.0 then Some worker_timeout else None
+    in
     let st = Tmr_obs.Watch.create () in
     let bad = ref 0 in
     let feed line =
@@ -1274,7 +1303,8 @@ let watch_cmd =
         if final || now -. !last_draw >= 0.2 then begin
           last_draw := now;
           let lines =
-            String.split_on_char '\n' (Tmr_obs.Watch.render ~confidence st)
+            String.split_on_char '\n'
+              (Tmr_obs.Watch.render ~confidence ?worker_timeout st)
             |> List.filter (fun l -> l <> "")
           in
           if !drawn > 0 then Printf.eprintf "\027[%dA" !drawn;
@@ -1330,14 +1360,17 @@ let watch_cmd =
     end;
     redraw ~final:true ();
     if json then print_string (Tmr_obs.Watch.summary_json ~confidence st)
-    else if not tty then print_string (Tmr_obs.Watch.render ~confidence st)
+    else if not tty then
+      print_string (Tmr_obs.Watch.render ~confidence ?worker_timeout st)
   in
   Cmd.v
     (Cmd.info "watch"
        ~doc:
          "tail a live --events stream (file or unix socket) and render a \
           multi-campaign dashboard")
-    Term.(const run $ source_t $ follow_t $ watch_json_t $ confidence_t)
+    Term.(
+      const run $ source_t $ follow_t $ watch_json_t $ confidence_t
+      $ worker_timeout_t)
 
 (* --- serve / submit --- *)
 

@@ -6,6 +6,19 @@ module Partition = Tmr_core.Partition
 module Json = Tmr_obs.Json
 module Events = Tmr_obs.Events
 module Clock = Tmr_obs.Clock
+module Metrics = Tmr_obs.Metrics
+module Trace = Tmr_obs.Trace
+module Expose = Tmr_obs.Expose
+
+(* Fleet/service instruments, exposed by /metrics alongside the
+   campaign's own. *)
+let m_queue_depth = Metrics.gauge "service.queue_depth"
+let m_shards_done = Metrics.gauge "service.shards_done"
+let m_orphan_reclaims = Metrics.counter "service.orphan_reclaims"
+let m_claim_ns = Metrics.histogram "service.claim_ns"
+let m_jobs_active = Metrics.gauge "service.jobs_active"
+let m_jobs_completed = Metrics.counter "service.jobs_completed"
+let m_clients = Metrics.gauge "service.clients"
 
 type job = {
   j_design : Partition.strategy;
@@ -129,15 +142,83 @@ let fingerprint j faults =
     faults;
   Digest.to_hex (Digest.string (Buffer.contents b))
 
+type spool_info = {
+  sp_worker : int;
+  sp_path : string;
+  sp_events : int;  (* worker-local events relayed onto the bus *)
+  sp_gaps : int;  (* worker-local sequence numbers never seen *)
+}
+
 type outcome = {
   o_campaign : Campaign.t;
   o_resumed : int;
   o_fresh : int;
+  o_spools : spool_info list;
 }
 
 type status =
   | Complete of outcome
   | Incomplete of { done_shards : int; pending_shards : int }
+
+(* --- interrupting a fleet ------------------------------------------- *)
+
+(* While run_sharded has live children, this hook terminates and reaps
+   them and drains their spools; otherwise it is a no-op.  The host
+   binary's SIGINT handler calls {!interrupt} so Ctrl-C on a --procs K
+   run cannot leave orphan workers or unread spool tails behind. *)
+let interrupt_hook : (unit -> unit) Atomic.t = Atomic.make (fun () -> ())
+let interrupt () = (Atomic.get interrupt_hook) ()
+
+(* --- spool tailing --------------------------------------------------- *)
+
+(* One tail per worker spool.  The channel is opened lazily (the file
+   only exists once the child's first event lands) and read with
+   [input_line]: spool writes are line-atomic (one write(2) per line),
+   so End_of_file is the only mid-line condition and simply means
+   "caught up — retry next tick". *)
+type tail = {
+  tl_worker : int;
+  tl_path : string;
+  mutable tl_ic : in_channel option;
+  mutable tl_next : int;  (* next expected worker-local seq *)
+  mutable tl_gaps : int;
+  mutable tl_events : int;
+}
+
+let make_tail worker path =
+  { tl_worker = worker; tl_path = path; tl_ic = None; tl_next = 0;
+    tl_gaps = 0; tl_events = 0 }
+
+let drain_tail t =
+  (match t.tl_ic with
+  | None ->
+      if Sys.file_exists t.tl_path then (
+        try t.tl_ic <- Some (open_in t.tl_path) with Sys_error _ -> ())
+  | Some _ -> ());
+  match t.tl_ic with
+  | None -> ()
+  | Some ic ->
+      let continue = ref true in
+      while !continue do
+        match input_line ic with
+        | exception End_of_file -> continue := false
+        | line -> (
+            match Events.respool_line line with
+            | Some (oseq, payload) ->
+                (* gap accounting per origin: worker seqs are dense, so
+                   a jump is an exact record of lines lost at the source *)
+                if oseq > t.tl_next then t.tl_gaps <- t.tl_gaps + (oseq - t.tl_next);
+                if oseq >= t.tl_next then t.tl_next <- oseq + 1;
+                t.tl_events <- t.tl_events + 1;
+                Events.publish_payload payload
+            | None -> ())
+      done
+
+let close_tail t =
+  (match t.tl_ic with
+  | Some ic -> ( try close_in ic with Sys_error _ -> ())
+  | None -> ());
+  t.tl_ic <- None
 
 (* ------------------------------------------------------------------ *)
 (* The sharded driver. *)
@@ -194,7 +275,7 @@ let run_sharded ?(procs = 1) ?shard_limit ?(fresh = false)
                   pass --fresh to discard it"
                  dir))
   in
-  ignore (Workqueue.reclaim_orphans wq);
+  Metrics.incr ~by:(Workqueue.reclaim_orphans wq) m_orphan_reclaims;
   let plan = Shard.plan ~total ~shards:j.j_shards in
   let* done0 = Workqueue.load_done wq in
   let* () =
@@ -218,23 +299,31 @@ let run_sharded ?(procs = 1) ?shard_limit ?(fresh = false)
   ignore (Workqueue.seed wq missing);
   let t0 = Clock.now_ns () in
   let limit = Option.value shard_limit ~default:max_int in
+  let jname = job_name j in
   (* One claimed range at a time: simulate it as an ordinary (domain
-     pooled) campaign over the sub-list, persist, claim the next. *)
-  let claim_loop ~quiet () =
+     pooled) campaign over the sub-list, persist, claim the next.
+     [metrics_file] (workers only) re-snapshots the registry at every
+     shard boundary so the parent can fold live fleet totals. *)
+  let claim_loop ?metrics_file ~quiet () =
     let pid = Unix.getpid () in
     let claimed = ref 0 in
     let continue = ref true in
     while !continue && !claimed < limit do
-      match Workqueue.claim wq ~pid with
+      let t_claim = Clock.now_ns () in
+      let claimed_range = Workqueue.claim wq ~pid in
+      Metrics.observe m_claim_ns (Clock.now_ns () - t_claim);
+      match claimed_range with
       | None -> continue := false
       | Some r ->
           let sub = Array.sub faults r.Shard.sh_lo (r.Shard.sh_hi - r.Shard.sh_lo) in
+          Events.set_shard r.Shard.sh_id;
           let c =
             Campaign.run ~workers:j.j_workers ~diff:j.j_diff
               ~batch_width:j.j_batch_width ~name ~impl:run.Runs.impl
               ~golden:ctx.Context.golden_nl ~stimulus:ctx.Context.stimulus
               ~faults:sub ()
           in
+          Events.set_shard (-1);
           let lines =
             Array.to_list
               (Array.mapi
@@ -244,6 +333,7 @@ let run_sharded ?(procs = 1) ?shard_limit ?(fresh = false)
           let m = Shard.manifest_of_campaign r ~fingerprint:fp ~owner:pid c in
           Workqueue.complete wq ~pid r ~lines ~manifest:m;
           incr claimed;
+          Option.iter Metrics.write_file metrics_file;
           if not quiet then
             notify
               (Events.Shard_done
@@ -257,74 +347,220 @@ let run_sharded ?(procs = 1) ?shard_limit ?(fresh = false)
                  })
     done
   in
-  if procs <= 1 then claim_loop ~quiet:false ()
-  else begin
-    (* Fork the workers *after* the implementation and fault list exist:
-       children inherit the built device, bitstream and golden netlist
-       by copy-on-write instead of re-running the CAD flow per process.
-       Each child talks to the world only through the queue directory. *)
-    let children =
-      List.init procs (fun _ ->
-          match Unix.fork () with
-          | 0 ->
-              (* the bus threads did not survive the fork, and its sinks'
-                 descriptors are shared with the parent: disown it *)
-              Events.detach ();
-              let code =
-                try
-                  claim_loop ~quiet:true ();
-                  0
-                with e ->
-                  Printf.eprintf "shard worker %d: %s\n%!" (Unix.getpid ())
-                    (Printexc.to_string e);
-                  1
-              in
-              (* _exit, not exit: at_exit in the child would flush output
-                 buffers it shares with the parent *)
-              Unix._exit code
-          | pid -> pid)
-    in
-    (* The parent only watches: reap children as they finish and relay a
-       Shard_done per manifest that appears, so live telemetry keeps
-       flowing even though the workers are detached. *)
-    let seen = Hashtbl.create 16 in
-    List.iter (fun id -> Hashtbl.replace seen id ()) done0_ids;
-    let relay () =
-      match Workqueue.load_done wq with
-      | Error _ -> ()
-      | Ok ms ->
-          List.iter
-            (fun (m : Shard.manifest) ->
-              if not (Hashtbl.mem seen m.Shard.sm_id) then begin
-                Hashtbl.replace seen m.Shard.sm_id ();
-                notify
-                  (Events.Shard_done
-                     {
-                       design = name;
-                       shard = m.Shard.sm_id;
-                       lo = m.Shard.sm_lo;
-                       hi = m.Shard.sm_hi;
-                       wrong = m.Shard.sm_wrong;
-                       pending = Workqueue.pending wq;
-                     })
-              end)
-            ms
-    in
-    let remaining = ref children in
-    while !remaining <> [] do
-      remaining :=
-        List.filter
-          (fun pid ->
-            match Unix.waitpid [ Unix.WNOHANG ] pid with
-            | 0, _ -> true
-            | _ -> false
-            | exception Unix.Unix_error (Unix.ECHILD, _, _) -> false)
-          !remaining;
-      relay ();
-      if !remaining <> [] then Unix.sleepf 0.02
-    done;
-    relay ()
-  end;
+  (* Fleet-level lifecycle events are origin-less and published by this
+     process only, so a watcher can always tell the authoritative
+     campaign record from the per-shard campaigns relayed out of the
+     workers (those carry an origin). *)
+  notify (Events.Campaign_started { design = name; faults = total; workers = procs });
+  let spools = ref [] in
+  (if procs <= 1 then begin
+     (* Even single-process sharded runs stamp their shard-local events
+        with an origin (worker 0 = the parent itself), so a watcher
+        applies one rule to every campaign event with an origin. *)
+     Events.set_context ~worker:0 ~job:jname;
+     Fun.protect
+       ~finally:(fun () -> Events.clear_context ())
+       (fun () -> claim_loop ~quiet:false ())
+   end
+   else begin
+     let events_on = Events.enabled () in
+     let tracing = Trace.enabled () in
+     let worker_ids = List.init procs (fun k -> k + 1) in
+     (* stale telemetry from a previous (interrupted) run must neither
+        be tailed nor folded into this run's scrapes *)
+     List.iter
+       (fun w ->
+         List.iter
+           (fun p -> try Sys.remove p with Sys_error _ -> ())
+           [
+             Workqueue.spool_path wq ~worker:w;
+             Workqueue.metrics_path wq ~worker:w;
+             Workqueue.trace_path wq ~worker:w;
+           ])
+       worker_ids;
+     (* Fork the workers *after* the implementation and fault list exist:
+        children inherit the built device, bitstream and golden netlist
+        by copy-on-write instead of re-running the CAD flow per process.
+        Each child talks to the world only through the queue directory.
+        The bus threads are quiesced across the fork window: a child
+        forked while the writer thread is mid-runtime-lock inherits a
+        poisoned threads runtime and wedges at its first forced yield. *)
+     Events.pause ();
+     let children =
+       List.map
+         (fun worker ->
+           match Unix.fork () with
+           | 0 ->
+               (* the bus threads did not survive the fork, and its
+                  sinks' descriptors are shared with the parent: disown
+                  bus and trace sink before anything else *)
+               Events.detach ();
+               Trace.detach ();
+               (* inherited handlers belong to the parent (they flush
+                  the parent's sinks); default dispositions are correct
+                  here — spool writes are line-atomic and flushed, so
+                  dying on SIGTERM/SIGINT leaves no torn line and the
+                  claim is reclaimed *)
+               Sys.set_signal Sys.sigterm Sys.Signal_default;
+               Sys.set_signal Sys.sigint Sys.Signal_default;
+               if events_on then
+                 Events.spool
+                   ~path:(Workqueue.spool_path wq ~worker)
+                   ~worker ~job:jname
+               else Events.set_context ~worker ~job:jname;
+               if tracing then
+                 Trace.to_file (Workqueue.trace_path wq ~worker);
+               let metrics_file = Workqueue.metrics_path wq ~worker in
+               let code =
+                 try
+                   claim_loop ~metrics_file ~quiet:true ();
+                   0
+                 with e ->
+                   Printf.eprintf "shard worker %d: %s\n%!" (Unix.getpid ())
+                     (Printexc.to_string e);
+                   1
+               in
+               Metrics.write_file metrics_file;
+               Events.close ();
+               Trace.close ();
+               (* _exit, not exit: at_exit in the child would flush
+                  output buffers it shares with the parent *)
+               Unix._exit code
+           | pid -> pid)
+         worker_ids
+     in
+     Events.resume ();
+     (* fleet-wide scrapes: fold the workers' snapshot files into every
+        /metrics render for as long as they exist *)
+     let fleet_snapshots () =
+       List.filter_map
+         (fun w ->
+           match Metrics.read_file (Workqueue.metrics_path wq ~worker:w) with
+           | Ok s -> Some s
+           | Error _ -> None)
+         worker_ids
+     in
+     Expose.set_extra_snapshots (Some fleet_snapshots);
+     (* The parent watches: a tailer thread follows the live spools and
+        republishes every worker event onto the bus (re-sequenced, origin
+        preserved), while the main thread reaps children and relays a
+        Shard_done per manifest that appears. *)
+     let tails =
+       if events_on then
+         List.map (fun w -> make_tail w (Workqueue.spool_path wq ~worker:w))
+           worker_ids
+       else []
+     in
+     let tail_stop = Atomic.make false in
+     let tailer =
+       if tails = [] then None
+       else
+         Some
+           (Thread.create
+              (fun () ->
+                while not (Atomic.get tail_stop) do
+                  List.iter drain_tail tails;
+                  Thread.delay 0.03
+                done;
+                (* final pass after the stop flag: children have exited
+                   and flushed, so this empties every spool *)
+                List.iter drain_tail tails)
+              ())
+     in
+     let stop_tailer () =
+       Atomic.set tail_stop true;
+       Option.iter Thread.join tailer;
+       List.iter close_tail tails
+     in
+     let seen = Hashtbl.create 16 in
+     List.iter (fun id -> Hashtbl.replace seen id ()) done0_ids;
+     let relay () =
+       match Workqueue.load_done wq with
+       | Error _ -> ()
+       | Ok ms ->
+           Metrics.set m_shards_done (float_of_int (List.length ms));
+           Metrics.set m_queue_depth (float_of_int (Workqueue.pending wq));
+           List.iter
+             (fun (m : Shard.manifest) ->
+               if not (Hashtbl.mem seen m.Shard.sm_id) then begin
+                 Hashtbl.replace seen m.Shard.sm_id ();
+                 notify
+                   (Events.Shard_done
+                      {
+                        design = name;
+                        shard = m.Shard.sm_id;
+                        lo = m.Shard.sm_lo;
+                        hi = m.Shard.sm_hi;
+                        wrong = m.Shard.sm_wrong;
+                        pending = Workqueue.pending wq;
+                      })
+               end)
+             ms
+     in
+     let remaining = ref children in
+     (* Ctrl-C: terminate the fleet, reap it, then drain what the dying
+        workers managed to spool — the host's SIGINT handler runs this
+        before flushing its own sinks *)
+     Atomic.set interrupt_hook (fun () ->
+         List.iter
+           (fun pid -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+           !remaining;
+         List.iter
+           (fun pid ->
+             try ignore (Unix.waitpid [] pid)
+             with Unix.Unix_error _ -> ())
+           !remaining;
+         stop_tailer ());
+     Fun.protect
+       ~finally:(fun () -> Atomic.set interrupt_hook (fun () -> ()))
+       (fun () ->
+         while !remaining <> [] do
+           remaining :=
+             List.filter
+               (fun pid ->
+                 match Unix.waitpid [ Unix.WNOHANG ] pid with
+                 | 0, _ -> true
+                 | _ -> false
+                 | exception Unix.Unix_error (Unix.ECHILD, _, _) -> false)
+               !remaining;
+           relay ();
+           if !remaining <> [] then Unix.sleepf 0.02
+         done;
+         stop_tailer ();
+         relay ());
+     spools :=
+       List.map
+         (fun t ->
+           {
+             sp_worker = t.tl_worker;
+             sp_path = t.tl_path;
+             sp_events = t.tl_events;
+             sp_gaps = t.tl_gaps;
+           })
+         tails;
+     (* stitch the workers' trace files into the parent's sink so one
+        [tmrtool profile] renders the whole fleet; pid fields survive
+        verbatim, so lanes stay per-process *)
+     if tracing then
+       List.iter
+         (fun w ->
+           let p = Workqueue.trace_path wq ~worker:w in
+           match open_in p with
+           | exception Sys_error _ -> ()
+           | ic ->
+               (try
+                  while true do
+                    let line = input_line ic in
+                    let n = String.length line in
+                    (* a worker killed mid-buffer-flush can leave one
+                       torn trailing line; relay only well-formed ones *)
+                    if n > 1 && line.[0] = '{' && line.[n - 1] = '}' then
+                      Trace.emit_raw line
+                  done
+                with End_of_file -> ());
+               close_in_noerr ic)
+         worker_ids
+   end);
   let wall_ns = Clock.now_ns () - t0 in
   let* dones = Workqueue.load_done wq in
   let* () =
@@ -352,12 +588,24 @@ let run_sharded ?(procs = 1) ?shard_limit ?(fresh = false)
         (Ok []) dones
     in
     let merged = Shard.merge ~design:name ~total ~procs ~wall_ns shards in
+    (* origin-less, hence authoritative for watchers: the merged fleet
+       totals, not any single shard's *)
+    notify
+      (Events.Campaign_stopped
+         {
+           design = name;
+           requested = total;
+           injected = merged.Campaign.injected;
+           wrong = merged.Campaign.wrong;
+           wall_ns;
+         });
     Ok
       (Complete
          {
            o_campaign = merged;
            o_resumed = List.length done0;
            o_fresh = Array.length plan - List.length done0;
+           o_spools = !spools;
          })
 
 let summary_json j status =
@@ -428,6 +676,7 @@ let serve ?(host = "127.0.0.1") ?max_jobs ?(procs = 1) ~port ~dir () =
     Mutex.lock mutex;
     let present = List.memq fd !peers in
     peers := List.filter (fun p -> not (p == fd)) !peers;
+    Metrics.set m_clients (float_of_int (List.length !peers));
     Mutex.unlock mutex;
     if present then try Unix.close fd with _ -> ()
   in
@@ -469,6 +718,7 @@ let serve ?(host = "127.0.0.1") ?max_jobs ?(procs = 1) ~port ~dir () =
           (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 0.5 with _ -> ());
           Mutex.lock mutex;
           peers := fd :: !peers;
+          Metrics.set m_clients (float_of_int (List.length !peers));
           Mutex.unlock mutex;
           ignore (Thread.create client_reader fd)
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
@@ -499,6 +749,7 @@ let serve ?(host = "127.0.0.1") ?max_jobs ?(procs = 1) ~port ~dir () =
     Mutex.unlock mutex;
     let jname = job_name j in
     let design = Partition.name j.j_design in
+    Metrics.set m_jobs_active 1.0;
     broadcast (Events.Job_started { job = jname; design });
     (match
        let ckey = (scale_name j.j_scale, j.j_seed) in
@@ -568,6 +819,8 @@ let serve ?(host = "127.0.0.1") ?max_jobs ?(procs = 1) ~port ~dir () =
         broadcast
           (Events.Job_done
              { job = jname; design; injected = 0; wrong = 0; wall_ns = 0 }));
+    Metrics.set m_jobs_active 0.0;
+    Metrics.incr m_jobs_completed;
     incr completed
   done;
   Mutex.lock mutex;

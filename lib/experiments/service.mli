@@ -54,11 +54,24 @@ val fingerprint : job -> int array -> string
     queue's [job.json] and in every shard manifest; a resume whose
     recomputed fingerprint differs refuses to mix results. *)
 
+type spool_info = {
+  sp_worker : int;  (** worker slot (1-based; 0 is the parent) *)
+  sp_path : string;  (** the worker's [events-w<K>.jsonl] spool file *)
+  sp_events : int;
+      (** worker-local events relayed onto the bus — the spool's origin
+          sequence range is [0 .. sp_events + sp_gaps - 1] *)
+  sp_gaps : int;  (** origin sequence numbers never observed *)
+}
+(** Per-worker spool accounting from a forked run with events enabled. *)
+
 type outcome = {
   o_campaign : Tmr_inject.Campaign.t;
       (** merged result, bit-identical to a single-process run *)
   o_resumed : int;  (** shards reused from manifests of a previous run *)
   o_fresh : int;  (** shards simulated by this invocation *)
+  o_spools : spool_info list;
+      (** one entry per forked worker when events were on; empty
+          otherwise *)
 }
 
 type status =
@@ -89,8 +102,25 @@ val run_sharded :
     implementation was built — they inherit the device, bitstream and
     golden state by copy-on-write, claim ranges concurrently through the
     rename-based queue, and each runs its shards on [j_workers] domains.
-    Forked children {!Tmr_obs.Events.detach} from the parent's event bus
-    and write nothing but queue files.
+
+    Distributed telemetry: forked children
+    {!Tmr_obs.Events.detach} from the parent's bus and — when events
+    were enabled at fork time — reopen a per-worker spool
+    ([events-w<K>.jsonl] in [dir]) stamped with their origin
+    (pid/worker/shard and the job correlation id).  A parent tailer
+    thread follows the live spools and republishes every worker event
+    onto the real bus, re-sequenced with origin preserved, so file and
+    socket sinks see one coherent fleet stream.  Children also snapshot
+    their metrics registry to [metrics-w<K>.json] at every shard
+    boundary (folded into {!Tmr_obs.Expose} scrapes fleet-wide) and,
+    when tracing, write [trace-w<K>.jsonl], which the parent stitches
+    into its own trace after the run.  The run also publishes
+    origin-less fleet-level [Campaign_started] / [Campaign_stopped]
+    events around the whole sharded campaign.
+
+    The per-worker spool accounting is returned in
+    [o_spools]; {!interrupt} (wired to the host's SIGINT handler)
+    terminates and reaps live children and drains their spool tails.
 
     [shard_limit] stops this invocation after claiming that many ranges
     (per process when forked) — deterministic interruption for tests,
@@ -103,6 +133,12 @@ val run_sharded :
 
     A crashed worker's claim is reclaimed on the next invocation (dead
     owner pid), so a kill -9 mid-shard costs at most that shard's work. *)
+
+val interrupt : unit -> unit
+(** When a {!run_sharded} fleet is live in this process: SIGTERM every
+    remaining child, reap them, and drain the spool tails onto the bus.
+    No-op otherwise.  Intended to be called from the host binary's
+    SIGINT handler {e before} it flushes and closes its sinks. *)
 
 val summary_json : job -> status -> string
 (** One-line JSON: the job name plus either the merged campaign summary

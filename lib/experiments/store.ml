@@ -2,6 +2,13 @@ module Campaign = Tmr_inject.Campaign
 module Stats = Tmr_obs.Stats
 module Json = Tmr_obs.Json
 
+type spool_ref = {
+  sr_worker : int;
+  sr_path : string;
+  sr_events : int;  (* origin seqs observed: range [0, sr_events + sr_gaps) *)
+  sr_gaps : int;
+}
+
 type manifest = {
   m_design : string;
   m_scale : string;
@@ -12,6 +19,7 @@ type manifest = {
   m_git_commit : string;
   m_events_path : string option;
   m_events_seq : int option;
+  m_spools : spool_ref list;
   m_workers : int;
   m_cone_skip : bool;
   m_diff : bool;
@@ -36,7 +44,7 @@ let scale_name = function
   | Context.Paper -> "paper"
   | Context.Reduced -> "reduced"
 
-let tool_version = "0.7.0"
+let tool_version = "0.8.0"
 
 let iso8601 t =
   let tm = Unix.gmtime t in
@@ -57,7 +65,7 @@ let git_commit =
 
 let of_run ?(confidence = 0.95) ?(cone_skip = true) ?(diff = true)
     ?(forensics = false) ?stop ?(exhaustive = false) ?events_path
-    (ctx : Context.t) (run : Runs.design_run) =
+    ?(spools = []) (ctx : Context.t) (run : Runs.design_run) =
   let c =
     match run.Runs.campaign with
     | Some c -> c
@@ -90,6 +98,7 @@ let of_run ?(confidence = 0.95) ?(cone_skip = true) ?(diff = true)
       (match events_path with
       | Some _ -> Some (Tmr_obs.Events.last_seq ())
       | None -> None);
+    m_spools = spools;
     m_workers = c.Campaign.workers;
     m_cone_skip = cone_skip;
     m_diff = diff;
@@ -134,6 +143,18 @@ let to_json m =
         match m.m_events_path with None -> Json.Null | Some p -> Json.Str p );
       ( "events_seq",
         match m.m_events_seq with None -> Json.Null | Some s -> int s );
+      ( "spools",
+        Json.Arr
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("worker", int s.sr_worker);
+                   ("path", Json.Str s.sr_path);
+                   ("events", int s.sr_events);
+                   ("gaps", int s.sr_gaps);
+                 ])
+             m.m_spools) );
       ("workers", int m.m_workers);
       ("cone_skip", Json.Bool m.m_cone_skip);
       ("diff", Json.Bool m.m_diff);
@@ -219,6 +240,24 @@ let of_json j =
       m_git_commit = Option.value ~default:"unknown" (str "git_commit");
       m_events_path = str "events_path";
       m_events_seq = int "events_seq";
+      (* absent in manifests written by older tool versions *)
+      m_spools =
+        (match Json.member "spools" j with
+        | Some (Json.Arr l) ->
+            List.filter_map
+              (fun s ->
+                match
+                  ( Option.bind (Json.member "worker" s) Json.int,
+                    Option.bind (Json.member "path" s) Json.str,
+                    Option.bind (Json.member "events" s) Json.int,
+                    Option.bind (Json.member "gaps" s) Json.int )
+                with
+                | Some w, Some p, Some e, Some g ->
+                    Some
+                      { sr_worker = w; sr_path = p; sr_events = e; sr_gaps = g }
+                | _ -> None)
+              l
+        | _ -> []);
       m_workers = workers;
       m_cone_skip = cone_skip;
       m_diff = diff;

@@ -7,6 +7,16 @@
     design's latest stored baseline, rates compared by CI overlap plus a
     two-proportion z test, throughput by relative faults/s drop. *)
 
+type spool_ref = {
+  sr_worker : int;  (** worker slot, 1-based *)
+  sr_path : string;  (** the worker's event spool file *)
+  sr_events : int;  (** origin seqs relayed onto the fleet stream *)
+  sr_gaps : int;  (** origin seqs never observed by the tailer *)
+}
+(** One forked worker's event spool, as recorded by
+    {!Service.run_sharded} — the spool's own origin sequence range is
+    [0 .. sr_events + sr_gaps - 1]. *)
+
 type manifest = {
   m_design : string;  (** strategy name, e.g. "tmr_p2" *)
   m_scale : string;  (** "paper" or "reduced" *)
@@ -21,6 +31,9 @@ type manifest = {
       (** last event sequence number at manifest time — with
           [m_events_path], enough to replay exactly what a live
           dashboard saw for this run *)
+  m_spools : spool_ref list;
+      (** per-worker event spools of a forked ([--procs]) run with
+          events on; empty otherwise *)
   m_workers : int;
   m_cone_skip : bool;
   m_diff : bool;
@@ -53,6 +66,7 @@ val of_run :
   ?stop:Tmr_obs.Stats.stop_rule ->
   ?exhaustive:bool ->
   ?events_path:string ->
+  ?spools:spool_ref list ->
   Context.t ->
   Runs.design_run ->
   manifest

@@ -254,7 +254,7 @@ let group_key dev db bit =
   | Bitdb.Pip p -> (4 * dev.Device.pip_dst.(p)) + 1
   | Bitdb.Pad_enable p | Bitdb.Pad_cfg (p, _) -> (4 * p) + 2
 
-let run ?progress ?workers ?(cone_skip = true) ?(diff = true)
+let run_body ?progress ?workers ?(cone_skip = true) ?(diff = true)
     ?(forensics = false) ?stop_at_ci ?(batch_width = 64) ~name ~impl ~golden
     ~stimulus ~faults () =
   if batch_width <> 0 && batch_width <> 32 && batch_width <> 64 then
@@ -932,6 +932,21 @@ let run ?progress ?workers ?(cone_skip = true) ?(diff = true)
   | _ -> ());
   { design = name; requested = total; injected = effective; wrong; results;
     workers; stats; wall_ns; busy_ns; setup_ns }
+
+(* Liveness gauge for the /healthz endpoint: campaigns currently inside
+   {!run} in this process.  Forked shard workers keep their own count —
+   the probe answers for the process that serves the scrape. *)
+let active = Atomic.make 0
+let active_campaigns () = Atomic.get active
+
+let run ?progress ?workers ?cone_skip ?diff ?forensics ?stop_at_ci
+    ?batch_width ~name ~impl ~golden ~stimulus ~faults () =
+  Atomic.incr active;
+  Fun.protect
+    ~finally:(fun () -> Atomic.decr active)
+    (fun () ->
+      run_body ?progress ?workers ?cone_skip ?diff ?forensics ?stop_at_ci
+        ?batch_width ~name ~impl ~golden ~stimulus ~faults ())
 
 let wrong_percent t =
   if t.injected = 0 then 0.0

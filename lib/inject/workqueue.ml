@@ -25,6 +25,19 @@ let id_name id = Printf.sprintf "%05d.json" id
 let results_name id = Printf.sprintf "%05d.jsonl" id
 let claim_name id pid = Printf.sprintf "%05d.pid-%d.json" id pid
 
+(* Canonical per-worker telemetry paths inside the queue directory.
+   Defined here so the forking parent (Service), the workers and any
+   post-hoc reader (tests, CI) agree on the layout without threading
+   paths around. *)
+let spool_path t ~worker =
+  Filename.concat t.root (Printf.sprintf "events-w%d.jsonl" worker)
+
+let metrics_path t ~worker =
+  Filename.concat t.root (Printf.sprintf "metrics-w%d.json" worker)
+
+let trace_path t ~worker =
+  Filename.concat t.root (Printf.sprintf "trace-w%d.jsonl" worker)
+
 (* Atomic whole-file write: tmp in the same directory, then rename. *)
 let write_file ~final body =
   let tmp = final ^ ".tmp." ^ string_of_int (Unix.getpid ()) in

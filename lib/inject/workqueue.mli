@@ -30,6 +30,18 @@ val create : dir:string -> t
 
 val dir : t -> string
 
+(** {1 Per-worker telemetry files}
+
+    Distributed telemetry artifacts live beside the queue so parent,
+    workers and post-hoc readers agree on the layout: worker [K] spools
+    events to [events-w<K>.jsonl], snapshots its metrics registry to
+    [metrics-w<K>.json] at shard boundaries, and traces spans to
+    [trace-w<K>.jsonl]. *)
+
+val spool_path : t -> worker:int -> string
+val metrics_path : t -> worker:int -> string
+val trace_path : t -> worker:int -> string
+
 (** {1 Job spec} *)
 
 val write_job : t -> Tmr_obs.Json.t -> unit

@@ -148,6 +148,56 @@ let payload_of ev =
 let render ~seq ~ts_ns ev =
   Printf.sprintf "{\"seq\":%d,\"ts_ns\":%d%s" seq ts_ns (payload_of ev)
 
+(* --- origin context --------------------------------------------------- *)
+
+type origin = {
+  o_pid : int;
+  o_worker : int;
+  o_shard : int;
+  o_job : string;
+  o_seq : int;
+}
+
+(* Ambient per-process origin: once set, every published event carries an
+   ["origin"] object naming the process, logical worker slot, currently
+   running shard and the job correlation id minted by the parent.  The
+   pid is captured when the context is set, so a context installed after
+   [fork] names the child, never the parent. *)
+type ctx = {
+  cx_pid : int;
+  cx_worker : int;
+  cx_job : string;
+  mutable cx_shard : int;
+}
+
+let context : ctx option Atomic.t = Atomic.make None
+
+let set_context ~worker ~job =
+  Atomic.set context
+    (Some { cx_pid = Unix.getpid (); cx_worker = worker; cx_job = job; cx_shard = -1 })
+
+let clear_context () = Atomic.set context None
+
+let set_shard shard =
+  match Atomic.get context with Some c -> c.cx_shard <- shard | None -> ()
+
+(* Nested object rather than extra top-level fields: several events
+   already own keys named "worker" or "shard", and the origin must not
+   shadow them. *)
+let origin_suffix () =
+  match Atomic.get context with
+  | None -> ""
+  | Some c ->
+      Printf.sprintf
+        ",\"origin\":{\"pid\":%d,\"worker\":%d,\"shard\":%d,\"job\":\"%s\"}"
+        c.cx_pid c.cx_worker c.cx_shard (Jsonl.escape c.cx_job)
+
+let stamped_payload ev =
+  let p = payload_of ev in
+  match origin_suffix () with
+  | "" -> p
+  | sfx -> String.sub p 0 (String.length p - 1) ^ sfx ^ "}"
+
 (* --- the bus ---------------------------------------------------------- *)
 
 let default_capacity = 4096
@@ -173,12 +223,28 @@ type bus = {
 
 let state : bus option Atomic.t = Atomic.make None
 
+(* A spool is the forked-worker counterpart of the bus: a plain append
+   channel with no threads at all, so it is trivially safe to install
+   right after [fork].  Writes are synchronous — one whole line plus
+   flush per event under the spool mutex — which keeps every line a
+   single [write(2)] (lines are far below the 64 KiB channel buffer), so
+   a tailer reading the file never observes a torn line. *)
+type spool = {
+  sp_mutex : Mutex.t;
+  sp_oc : out_channel;
+  mutable sp_seq : int;
+}
+
+let spool_state : spool option Atomic.t = Atomic.make None
+
 (* Totals survive [close] so manifests written after teardown can still
    record the final sequence number. *)
 let total_seq = Atomic.make 0
 let total_dropped = Atomic.make 0
 
-let enabled () = Atomic.get state <> None
+let enabled () =
+  Atomic.get state <> None || Atomic.get spool_state <> None
+
 let published () = Atomic.get total_seq
 let dropped () = Atomic.get total_dropped
 let last_seq () = Atomic.get total_seq - 1
@@ -192,25 +258,51 @@ let clients () =
       Mutex.unlock b.mutex;
       n
 
+let enqueue b payload =
+  Mutex.lock b.mutex;
+  (* seq and ts assigned under the ring lock: sequence order, ring
+     order and timestamp order all agree *)
+  let seq = b.next_seq in
+  b.next_seq <- seq + 1;
+  Atomic.incr total_seq;
+  if b.len >= b.capacity then Atomic.incr total_dropped
+  else begin
+    b.ring.((b.head + b.len) mod b.capacity) <-
+      { e_seq = seq; e_ts = Clock.now_ns (); e_payload = payload };
+    b.len <- b.len + 1;
+    Condition.signal b.cond
+  end;
+  Mutex.unlock b.mutex
+
+let spool_write s payload =
+  Mutex.lock s.sp_mutex;
+  let seq = s.sp_seq in
+  s.sp_seq <- seq + 1;
+  Atomic.incr total_seq;
+  let line =
+    Printf.sprintf "{\"seq\":%d,\"ts_ns\":%d%s\n" seq (Clock.now_ns ()) payload
+  in
+  (try
+     output_string s.sp_oc line;
+     flush s.sp_oc
+   with Sys_error _ -> ());
+  Mutex.unlock s.sp_mutex
+
 let publish ev =
+  match Atomic.get spool_state with
+  | Some s -> spool_write s (stamped_payload ev)
+  | None -> (
+      match Atomic.get state with
+      | None -> ()
+      | Some b -> enqueue b (stamped_payload ev))
+
+(* Republish a pre-rendered payload (everything after the "ts_ns" field)
+   onto the bus under a fresh sequence number — how the tailer folds
+   spooled worker events into the parent stream. *)
+let publish_payload payload =
   match Atomic.get state with
   | None -> ()
-  | Some b ->
-      let payload = payload_of ev in
-      Mutex.lock b.mutex;
-      (* seq and ts assigned under the ring lock: sequence order, ring
-         order and timestamp order all agree *)
-      let seq = b.next_seq in
-      b.next_seq <- seq + 1;
-      Atomic.incr total_seq;
-      if b.len >= b.capacity then Atomic.incr total_dropped
-      else begin
-        b.ring.((b.head + b.len) mod b.capacity) <-
-          { e_seq = seq; e_ts = Clock.now_ns (); e_payload = payload };
-        b.len <- b.len + 1;
-        Condition.signal b.cond
-      end;
-      Mutex.unlock b.mutex
+  | Some b -> enqueue b payload
 
 (* --- writer thread ---------------------------------------------------- *)
 
@@ -349,10 +441,71 @@ let listen_unix ?(capacity = default_capacity) path =
    drains (or worse, interleave bytes into the parent's stream), so a
    child must disown the bus before doing anything else — one atomic
    store, no locks taken, safe even if the fork happened while another
-   thread held the ring mutex. *)
-let detach () = Atomic.set state None
+   thread held the ring mutex.  An inherited spool channel is equally
+   foreign (its buffer and file offset belong to the process that opened
+   it) and is forgotten the same way. *)
+let detach () =
+  Atomic.set state None;
+  Atomic.set spool_state None;
+  clear_context ()
+
+let spool ~path ~worker ~job =
+  Atomic.set state None;
+  (match Atomic.exchange spool_state None with
+  | Some s -> ( try close_out s.sp_oc with Sys_error _ -> ())
+  | None -> ());
+  set_context ~worker ~job;
+  let oc = open_out path in
+  (* a spool is its own stream: seq dense from 0 per worker *)
+  Atomic.set total_seq 0;
+  Atomic.set total_dropped 0;
+  Atomic.set spool_state
+    (Some { sp_mutex = Mutex.create (); sp_oc = oc; sp_seq = 0 })
+
+(* Forking while the bus threads are live is unsafe: on a busy bus the
+   writer is parked in (or racing through) a runtime condition wait at
+   almost any instant, and a child forked at that moment inherits a
+   poisoned systhreads state — it runs fine until its first forced
+   yield, then blocks forever on a condition variable nobody will ever
+   signal.  [pause] drains the ring and joins the writer and acceptor
+   threads while keeping every sink open (file channel, listen fd,
+   connected peers, sequence counter); [resume] restarts the threads.
+   Events published in between simply accumulate in the ring.  A parent
+   about to fork brackets the fork with the pair; both are no-ops when
+   no bus is active. *)
+let pause () =
+  match Atomic.get state with
+  | None -> ()
+  | Some b ->
+      Mutex.lock b.mutex;
+      b.stopping <- true;
+      Condition.broadcast b.cond;
+      Mutex.unlock b.mutex;
+      Option.iter Thread.join b.writer;
+      Option.iter Thread.join b.acceptor;
+      b.writer <- None;
+      b.acceptor <- None
+
+let resume () =
+  match Atomic.get state with
+  | None -> ()
+  | Some b ->
+      Mutex.lock b.mutex;
+      b.stopping <- false;
+      Mutex.unlock b.mutex;
+      b.writer <- Some (Thread.create writer_loop b);
+      match b.listen_fd with
+      | Some fd -> b.acceptor <- Some (Thread.create (accept_loop b) fd)
+      | None -> ()
 
 let close () =
+  (match Atomic.exchange spool_state None with
+  | Some s ->
+      Mutex.lock s.sp_mutex;
+      (try close_out s.sp_oc with Sys_error _ -> ());
+      Mutex.unlock s.sp_mutex;
+      clear_context ()
+  | None -> ());
   match Atomic.exchange state None with
   | None -> ()
   | Some b ->
@@ -375,9 +528,46 @@ let close () =
       | Some p -> ( try Sys.remove p with Sys_error _ -> ())
       | None -> ())
 
+(* --- re-sequencing spooled lines -------------------------------------- *)
+
+(* Turn one spool line back into a bus payload: strip the worker-local
+   "seq"/"ts_ns" prefix (the bus assigns fresh ones) and append the
+   worker-local sequence number as "oseq", so per-origin density is
+   still checkable on the merged stream.  Pure string surgery — the
+   tailer must not pay a JSON parse per relayed event. *)
+let respool_line line =
+  let n = String.length line in
+  let pfx = "{\"seq\":" in
+  let plen = String.length pfx in
+  if n < plen + 2 || String.sub line 0 plen <> pfx || line.[n - 1] <> '}' then
+    None
+  else
+    match String.index_from_opt line plen ',' with
+    | None -> None
+    | Some c1 -> (
+        match int_of_string_opt (String.sub line plen (c1 - plen)) with
+        | None -> None
+        | Some oseq ->
+            let tpfx = "\"ts_ns\":" in
+            let tlen = String.length tpfx in
+            let tstart = c1 + 1 in
+            if n < tstart + tlen || String.sub line tstart tlen <> tpfx then
+              None
+            else
+              (match String.index_from_opt line (tstart + tlen) ',' with
+              | None -> None
+              | Some c2 ->
+                  let body = String.sub line c2 (n - 1 - c2) in
+                  Some (oseq, Printf.sprintf "%s,\"oseq\":%d}" body oseq)))
+
 (* --- reading a stream back -------------------------------------------- *)
 
-type parsed = { p_seq : int; p_ts_ns : int; p_event : event }
+type parsed = {
+  p_seq : int;
+  p_ts_ns : int;
+  p_event : event;
+  p_origin : origin option;
+}
 
 let parse_line line =
   let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
@@ -487,4 +677,34 @@ let parse_line line =
         Ok (Job_done { job; design; injected; wrong; wall_ns })
     | other -> Error (Printf.sprintf "events: unknown event type %S" other)
   in
-  Ok { p_seq = seq; p_ts_ns = ts; p_event = ev }
+  let origin =
+    match Json.member "origin" j with
+    | None -> None
+    | Some o ->
+        let geti k d =
+          match Option.bind (Json.member k o) Json.int with
+          | Some v -> v
+          | None -> d
+        in
+        let gets k d =
+          match Option.bind (Json.member k o) Json.str with
+          | Some v -> v
+          | None -> d
+        in
+        (* relayed lines carry the worker-local seq as top-level "oseq";
+           a raw spool line's own seq is already worker-local *)
+        let o_seq =
+          match Option.bind (Json.member "oseq" j) Json.int with
+          | Some v -> v
+          | None -> seq
+        in
+        Some
+          {
+            o_pid = geti "pid" 0;
+            o_worker = geti "worker" 0;
+            o_shard = geti "shard" (-1);
+            o_job = gets "job" "";
+            o_seq;
+          }
+  in
+  Ok { p_seq = seq; p_ts_ns = ts; p_event = ev; p_origin = origin }

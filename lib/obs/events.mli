@@ -84,12 +84,55 @@ type event =
     }
 
 val enabled : unit -> bool
-(** Is any sink installed?  Producers may use this to skip building
-    event arguments, but {!publish} is already a no-op when false. *)
+(** Is any sink installed (bus or spool)?  Producers may use this to
+    skip building event arguments, but {!publish} is already a no-op
+    when false. *)
 
 val publish : event -> unit
 (** Enqueue one event.  Never blocks on I/O; drops (counted) when the
-    ring is full.  Domain-safe. *)
+    ring is full.  Domain-safe.  In spool mode the event is written
+    synchronously to the spool file instead (one whole line per write,
+    so a concurrent tailer never sees a torn line). *)
+
+(** {1 Origin context}
+
+    In a distributed campaign every process stamps its events with an
+    ["origin"] object — [{"pid":…,"worker":…,"shard":…,"job":"…"}] —
+    so the merged fleet stream stays attributable per worker.  The
+    context is ambient process state: set once per worker, updated with
+    {!set_shard} at shard boundaries, carried by both bus and spool
+    sinks.  With no context set the wire format is unchanged. *)
+
+val set_context : worker:int -> job:string -> unit
+(** Stamp subsequent events with this origin.  [job] is the correlation
+    id minted by the campaign parent; the pid is captured here, so call
+    this {e after} [fork]. *)
+
+val clear_context : unit -> unit
+
+val set_shard : int -> unit
+(** Record the shard the process is currently running ([-1] between
+    shards).  No-op without a context. *)
+
+val spool : path:string -> worker:int -> job:string -> unit
+(** Switch this process to spool mode: disown any inherited bus, set
+    the origin context, and append every published event to [path]
+    (truncating) as JSONL with a worker-local dense [seq] from 0.
+    Thread-less and lock-light, hence safe right after [fork]; the
+    parent's tailer follows the file live.  {!close} flushes and
+    closes the spool. *)
+
+val publish_payload : string -> unit
+(** Enqueue a pre-rendered payload (everything after the ["ts_ns"]
+    field, starting with a comma) under a fresh bus sequence number.
+    Used by the tailer to relay spooled worker events; no-op without a
+    bus. *)
+
+val respool_line : string -> (int * string) option
+(** [respool_line line] converts one spool line into
+    [(worker_seq, payload)] for {!publish_payload}: the worker-local
+    prefix is stripped and re-appended as a top-level ["oseq"] field.
+    [None] when [line] is not a well-formed spool line. *)
 
 val to_file : ?capacity:int -> string -> unit
 (** Start (or reuse) the bus and stream events to [path] as JSONL,
@@ -105,6 +148,19 @@ val listen_unix : ?capacity:int -> string -> unit
 val close : unit -> unit
 (** Drain the ring, flush and close every sink, join the bus threads
     and disable publishing.  Idempotent. *)
+
+val pause : unit -> unit
+(** Drain the ring and join the writer and acceptor threads while
+    keeping every sink open (file channel, listen socket, connected
+    peers) and the sequence counter intact.  Events published while
+    paused accumulate in the ring and flow once {!resume} restarts the
+    threads.  A process about to [fork] must bracket the fork with
+    [pause]/[resume]: a child forked while the writer thread is live
+    inherits a poisoned threads runtime and can block forever at its
+    first forced yield.  No-op without a bus. *)
+
+val resume : unit -> unit
+(** Restart the bus threads after {!pause}.  No-op without a bus. *)
 
 val detach : unit -> unit
 (** Disown the bus {e without} draining, closing or joining anything:
@@ -137,7 +193,22 @@ val type_name : event -> string
 
     [tmrtool watch] and the tests re-ingest the JSONL stream. *)
 
-type parsed = { p_seq : int; p_ts_ns : int; p_event : event }
+type origin = {
+  o_pid : int;  (** producing process *)
+  o_worker : int;  (** logical worker slot (0 = the parent itself) *)
+  o_shard : int;  (** shard being run when emitted, [-1] between shards *)
+  o_job : string;  (** correlation id minted by the campaign parent *)
+  o_seq : int;
+      (** worker-local sequence number: dense from 0 per origin, also on
+          the merged stream (where the top-level [seq] is the parent's) *)
+}
+
+type parsed = {
+  p_seq : int;
+  p_ts_ns : int;
+  p_event : event;
+  p_origin : origin option;  (** [None] on origin-less (legacy) lines *)
+}
 
 val parse_line : string -> (parsed, string) result
 (** Parse one stream line back into a typed event. *)

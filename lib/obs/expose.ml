@@ -11,8 +11,28 @@ let fmt_float f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.9g" f
 
+(* Extra snapshot sources folded into every scrape: the campaign parent
+   registers a reader over its workers' metrics files here, so /metrics
+   reports fleet-wide totals rather than the parent's (mostly idle)
+   registry alone. *)
+let extra_snapshots : (unit -> Metrics.snapshot list) option Atomic.t =
+  Atomic.make None
+
+let set_extra_snapshots f = Atomic.set extra_snapshots f
+
+(* How many campaigns this process is currently running — wired by the
+   host binary (the obs layer cannot see the inject layer). *)
+let active_probe : (unit -> int) option Atomic.t = Atomic.make None
+let set_active_probe f = Atomic.set active_probe f
+
+let fleet_snapshot () =
+  let own = Metrics.snapshot () in
+  match Atomic.get extra_snapshots with
+  | None -> own
+  | Some f -> List.fold_left Metrics.merge own (try f () with _ -> [])
+
 let render () =
-  let snap = Metrics.snapshot () in
+  let snap = fleet_snapshot () in
   let b = Buffer.create 4096 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
   List.iter
@@ -64,10 +84,33 @@ type server = {
   thread : Thread.t;
   s_port : int;
   stop_flag : bool Atomic.t;
+  started_at : float;
 }
 
 let current : server option ref = ref None
 let current_mutex = Mutex.create ()
+
+(* readiness probe: liveness facts only, cheap enough to poll hard —
+   no registry snapshot, no file reads *)
+let healthz_body () =
+  let uptime =
+    Mutex.lock current_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock current_mutex)
+      (fun () ->
+        match !current with
+        | Some s -> Unix.gettimeofday () -. s.started_at
+        | None -> 0.0)
+  in
+  let active =
+    match Atomic.get active_probe with
+    | Some f -> ( try f () with _ -> 0)
+    | None -> 0
+  in
+  Printf.sprintf
+    "{\"status\":\"ok\",\"uptime_s\":%.3f,\"bus\":{\"enabled\":%b,\"published\":%d,\"dropped\":%d,\"clients\":%d},\"active_campaigns\":%d}\n"
+    uptime (Events.enabled ()) (Events.published ()) (Events.dropped ())
+    (Events.clients ()) active
 
 let respond client =
   let buf = Bytes.create 2048 in
@@ -78,17 +121,18 @@ let respond client =
     | _meth :: path :: _ -> path
     | _ -> "/"
   in
-  let status, body =
+  let status, ctype, body =
+    let prom = "text/plain; version=0.0.4; charset=utf-8" in
     match path with
-    | "/" | "/metrics" -> ("200 OK", render ())
-    | "/healthz" -> ("200 OK", "ok\n")
-    | _ -> ("404 Not Found", "not found\n")
+    | "/" | "/metrics" -> ("200 OK", prom, render ())
+    | "/healthz" -> ("200 OK", "application/json", healthz_body ())
+    | _ -> ("404 Not Found", prom, "not found\n")
   in
   let resp =
     Printf.sprintf
-      "HTTP/1.1 %s\r\nContent-Type: text/plain; version=0.0.4; \
-       charset=utf-8\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
-      status (String.length body) body
+      "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: \
+       %d\r\nConnection: close\r\n\r\n%s"
+      status ctype (String.length body) body
   in
   let bytes = Bytes.of_string resp in
   let len = Bytes.length bytes in
@@ -135,7 +179,9 @@ let listen ?(host = "127.0.0.1") port =
       in
       let stop_flag = Atomic.make false in
       let thread = Thread.create serve (fd, stop_flag) in
-      current := Some { fd; thread; s_port; stop_flag };
+      current :=
+        Some
+          { fd; thread; s_port; stop_flag; started_at = Unix.gettimeofday () };
       s_port)
 
 let stop () =

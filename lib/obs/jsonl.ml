@@ -17,6 +17,11 @@ let to_file t path =
   close t;
   Atomic.set t (Some { oc; mutex = Mutex.create () })
 
+(* Forget the destination without flushing or closing it: a forked
+   child shares the channel's buffer and file offset with the parent,
+   so touching it at all would corrupt the parent's stream. *)
+let detach (t : t) = Atomic.set t None
+
 let enabled t = Atomic.get t <> None
 
 let emit t line =

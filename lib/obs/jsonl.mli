@@ -19,6 +19,11 @@ val close : t -> unit
 (** Flush and close; emissions become no-ops again.  Safe when no
     destination is registered. *)
 
+val detach : t -> unit
+(** Forget the destination {e without} flushing or closing it.  For
+    forked children, which share the channel buffer and file offset
+    with the parent: one atomic store, no locks. *)
+
 val enabled : t -> bool
 
 val emit : t -> string -> unit

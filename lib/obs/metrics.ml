@@ -331,8 +331,176 @@ let to_json_string ?(indent = 2) snap =
   Buffer.add_char b '\n';
   Buffer.contents b
 
+(* Atomic (tmp + rename): forked workers rewrite their per-worker
+   snapshot at every shard boundary while the parent folds the same
+   files into its scrape responses, so a reader must never observe a
+   half-written file. *)
 let write_file path =
-  let oc = open_out path in
+  let tmp = path ^ ".tmp." ^ string_of_int (Unix.getpid ()) in
+  let oc = open_out tmp in
   Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_json_string (snapshot ())))
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_json_string (snapshot ())));
+  Sys.rename tmp path
+
+(* --- reading snapshots back and folding them -------------------------- *)
+
+let ( let* ) r f = Result.bind r f
+
+let collect f items =
+  List.fold_right
+    (fun it acc ->
+      let* acc = acc in
+      let* v = f it in
+      Ok (v :: acc))
+    items (Ok [])
+
+let summary_of_json name j =
+  let int_f k =
+    match Option.bind (Json.member k j) Json.int with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "histogram %S: missing int %S" name k)
+  in
+  let flt_f k =
+    match Option.bind (Json.member k j) Json.num with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "histogram %S: missing number %S" name k)
+  in
+  let* count = int_f "count" in
+  let* sum = int_f "sum" in
+  let* mean = flt_f "mean" in
+  let* p50 = flt_f "p50" in
+  let* p95 = flt_f "p95" in
+  let* p99 = flt_f "p99" in
+  let* min = int_f "min" in
+  let* max = int_f "max" in
+  let* buckets =
+    match Json.member "buckets" j with
+    | Some (Json.Arr items) ->
+        collect
+          (fun it ->
+            match it with
+            | Json.Arr [ bv; cv ] -> (
+                match (Json.int bv, Json.int cv) with
+                | Some b, Some c ->
+                    (* the catch-all bound serializes as -1 *)
+                    Ok ((if b = -1 then max_int else b), c)
+                | _ ->
+                    Error (Printf.sprintf "histogram %S: bad bucket pair" name))
+            | _ -> Error (Printf.sprintf "histogram %S: bad bucket entry" name))
+          items
+    | _ -> Error (Printf.sprintf "histogram %S: missing buckets" name)
+  in
+  Ok { count; sum; mean; p50; p95; p99; min; max; buckets = Array.of_list buckets }
+
+let of_json_string s =
+  let* j = Json.parse s in
+  let fields_of k =
+    match Json.member k j with
+    | Some (Json.Obj fields) -> Ok fields
+    | None -> Ok []
+    | Some _ -> Error (Printf.sprintf "metrics: %S is not an object" k)
+  in
+  let* counter_fields = fields_of "counters" in
+  let* gauge_fields = fields_of "gauges" in
+  let* hist_fields = fields_of "histograms" in
+  let* counters =
+    collect
+      (fun (k, v) ->
+        match Json.int v with
+        | Some n -> Ok (k, n)
+        | None -> Error (Printf.sprintf "counter %S is not an int" k))
+      counter_fields
+  in
+  let* gauges =
+    collect
+      (fun (k, v) ->
+        match Json.num v with
+        | Some f -> Ok (k, f)
+        | None -> Error (Printf.sprintf "gauge %S is not a number" k))
+      gauge_fields
+  in
+  let* histograms =
+    collect
+      (fun (k, v) ->
+        let* s = summary_of_json k v in
+        Ok (k, s))
+      hist_fields
+  in
+  Ok { counters; gauges; histograms }
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | body -> of_json_string body
+
+(* union of two name-sorted association lists, combining on collision *)
+let merge_assoc combine a b =
+  let rec go acc a b =
+    match (a, b) with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | (ka, va) :: ta, (kb, vb) :: tb ->
+        if ka = kb then go ((ka, combine va vb) :: acc) ta tb
+        else if ka < kb then go ((ka, va) :: acc) ta b
+        else go ((kb, vb) :: acc) a tb
+  in
+  go [] a b
+
+let merge_summary a b =
+  if a.count = 0 then b
+  else if b.count = 0 then a
+  else begin
+    let pairs =
+      (* both bucket arrays ascend by bound (catch-all max_int last) *)
+      let rec go acc xa xb =
+        match (xa, xb) with
+        | [], rest | rest, [] -> List.rev_append acc rest
+        | (ba, ca) :: ta, (bb, cb) :: tb ->
+            if ba = bb then go ((ba, ca + cb) :: acc) ta tb
+            else if ba < bb then go ((ba, ca) :: acc) ta xb
+            else go ((bb, cb) :: acc) xa tb
+      in
+      go [] (Array.to_list a.buckets) (Array.to_list b.buckets)
+    in
+    let count = a.count + b.count and sum = a.sum + b.sum in
+    let pct q =
+      let rank =
+        max 1 (min count (Float.to_int (Float.ceil (q *. float_of_int count))))
+      in
+      let rec walk acc = function
+        | [] -> 0.0
+        | (bound, c) :: rest ->
+            if acc + c >= rank then
+              float_of_int
+                (if bound = max_int then bounds.(nbuckets - 2) else bound)
+            else walk (acc + c) rest
+      in
+      walk 0 pairs
+    in
+    {
+      count;
+      sum;
+      mean = float_of_int sum /. float_of_int count;
+      p50 = pct 0.50;
+      p95 = pct 0.95;
+      p99 = pct 0.99;
+      min = min a.min b.min;
+      max = max a.max b.max;
+      buckets = Array.of_list pairs;
+    }
+  end
+
+let merge a b =
+  {
+    counters = merge_assoc ( + ) a.counters b.counters;
+    (* a gauge is a last-write-wins cell; across processes "the other
+       snapshot's value" is as good a tiebreak as any, so the right
+       operand (conventionally the fresher snapshot) wins *)
+    gauges = merge_assoc (fun _ v -> v) a.gauges b.gauges;
+    histograms = merge_assoc merge_summary a.histograms b.histograms;
+  }

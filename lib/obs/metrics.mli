@@ -88,4 +88,27 @@ val to_json_string : ?indent:int -> snapshot -> string
     per nesting level. *)
 
 val write_file : string -> unit
-(** [write_file path] = take a snapshot and write its JSON to [path]. *)
+(** [write_file path] = take a snapshot and write its JSON to [path].
+    Atomic (tmp + rename in the same directory): a concurrent reader
+    sees either the previous snapshot or the new one, never a torn
+    file — forked workers rewrite their snapshot at shard boundaries
+    while the parent folds the files into live scrapes. *)
+
+(** {1 Cross-process aggregation}
+
+    Forked campaign workers cannot share the in-memory registry, so
+    each serializes its snapshot with {!write_file} and the parent
+    reads the files back and folds them over its own live snapshot —
+    fleet-wide totals from per-process parts. *)
+
+val of_json_string : string -> (snapshot, string) result
+(** Parse a snapshot back from its {!to_json_string} rendering. *)
+
+val read_file : string -> (snapshot, string) result
+(** Read and parse one snapshot file. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Fold two snapshots: counters add; gauges keep the right operand's
+    value (last-write-wins across processes); histograms sum counts
+    and bucket contents, keep exact extrema, and recompute mean and
+    percentiles from the merged buckets. *)

@@ -3,7 +3,16 @@
    by interval containment, which is exact for the single-writer
    per-domain spans Trace emits. *)
 
-type span = { s_name : string; s_ts : float; s_dur : float; s_tid : int }
+(* A lane is (pid, tid): in a merged fleet trace each forked worker
+   contributes its own pid, and domain ids collide across processes, so
+   nesting must be reconstructed per process AND per domain. *)
+type span = {
+  s_name : string;
+  s_ts : float;
+  s_dur : float;
+  s_pid : int;
+  s_tid : int;
+}
 
 type agg = {
   mutable a_count : int;
@@ -19,7 +28,8 @@ type t = {
   t1 : float;  (* latest span end *)
   by_name : (string * agg) list;  (* sorted by self time, descending *)
   stacks : (string * float) list;  (* collapsed path -> self µs, sorted *)
-  top_level : (int * (float * float) list) list;  (* tid -> busy intervals *)
+  top_level : ((int * int) * (float * float) list) list;
+      (* (pid, tid) -> busy intervals *)
 }
 
 (* --- parsing ---------------------------------------------------------- *)
@@ -34,9 +44,13 @@ let parse_span line =
           let ts = Option.bind (Json.member "ts" j) Json.num in
           let dur = Option.bind (Json.member "dur" j) Json.num in
           let tid = Option.bind (Json.member "tid" j) Json.int in
+          let pid =
+            (* tolerate pid-less traces from other emitters *)
+            Option.value ~default:0 (Option.bind (Json.member "pid" j) Json.int)
+          in
           match (name, ts, dur, tid) with
           | Some s_name, Some s_ts, Some s_dur, Some s_tid ->
-              Ok (Some { s_name; s_ts; s_dur; s_tid })
+              Ok (Some { s_name; s_ts; s_dur; s_pid = pid; s_tid })
           | _ -> Error "profile: complete event missing name/ts/dur/tid")
       | _ -> Ok None (* not a complete-span event: ignore *))
 
@@ -71,7 +85,9 @@ let of_lines lines =
     else begin
       let names : (string, agg) Hashtbl.t = Hashtbl.create 32 in
       let stacks : (string, float ref) Hashtbl.t = Hashtbl.create 64 in
-      let tops : (int, (float * float) list ref) Hashtbl.t = Hashtbl.create 8 in
+      let tops : (int * int, (float * float) list ref) Hashtbl.t =
+        Hashtbl.create 8
+      in
       let agg_of name =
         match Hashtbl.find_opt names name with
         | Some a -> a
@@ -96,15 +112,16 @@ let of_lines lines =
         in
         r := !r +. self
       in
-      let by_tid : (int, span list ref) Hashtbl.t = Hashtbl.create 8 in
+      let by_lane : (int * int, span list ref) Hashtbl.t = Hashtbl.create 8 in
       List.iter
         (fun s ->
-          match Hashtbl.find_opt by_tid s.s_tid with
+          let lane = (s.s_pid, s.s_tid) in
+          match Hashtbl.find_opt by_lane lane with
           | Some l -> l := s :: !l
-          | None -> Hashtbl.add by_tid s.s_tid (ref [ s ]))
+          | None -> Hashtbl.add by_lane lane (ref [ s ]))
         spans;
       Hashtbl.iter
-        (fun tid l ->
+        (fun lane l ->
           let arr = Array.of_list !l in
           (* start ascending; on equal starts the longer span is the
              parent and must be visited first *)
@@ -152,8 +169,8 @@ let of_lines lines =
                 :: !stack)
             arr;
           List.iter finalize !stack;
-          Hashtbl.add tops tid (ref (List.rev !top_intervals)))
-        by_tid;
+          Hashtbl.add tops lane (ref (List.rev !top_intervals)))
+        by_lane;
       let t0 = List.fold_left (fun acc s -> Float.min acc s.s_ts) infinity spans in
       let t1 =
         List.fold_left (fun acc s -> Float.max acc (s.s_ts +. s.s_dur)) 0. spans
@@ -212,15 +229,21 @@ let span_table t =
 
 let shades = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |]
 
+let npids t =
+  List.map (fun ((p, _), _) -> p) t.top_level
+  |> List.sort_uniq compare |> List.length
+
 let timeline ?(width = 60) t =
   let b = Buffer.create 1024 in
   let span = Float.max eps (t.t1 -. t.t0) in
   let bucket_us = span /. float_of_int width in
+  let fleet = npids t > 1 in
   Buffer.add_string b
-    (Printf.sprintf "per-tid utilization (%d buckets of %s):\n" width
-       (dur_pp bucket_us));
+    (Printf.sprintf "per-%s utilization (%d buckets of %s):\n"
+       (if fleet then "worker" else "tid")
+       width (dur_pp bucket_us));
   List.iter
-    (fun (tid, intervals) ->
+    (fun ((pid, tid), intervals) ->
       let cover = Array.make width 0. in
       let busy = ref 0. in
       List.iter
@@ -240,9 +263,14 @@ let timeline ?(width = 60) t =
             let f = Float.min 1. cover.(i) in
             shades.(min (Array.length shades - 1) (int_of_float (f *. 10.))))
       in
+      let label =
+        (* lanes are pid-qualified only when the trace actually spans
+           several processes, so single-process output is unchanged *)
+        if fleet then Printf.sprintf "  pid %-7d tid %-4d" pid tid
+        else Printf.sprintf "  tid %-4d" tid
+      in
       Buffer.add_string b
-        (Printf.sprintf "  tid %-4d [%s] %3.0f%%\n" tid row
-           (100. *. !busy /. span)))
+        (Printf.sprintf "%s [%s] %3.0f%%\n" label row (100. *. !busy /. span)))
     t.top_level;
   Buffer.contents b
 
@@ -256,8 +284,15 @@ let collapsed t =
   Buffer.contents b
 
 let report t =
-  Printf.sprintf "%d spans across %d tids, wall-clock %s\n\n%s\n%s"
-    t.nspans
-    (List.length t.top_level)
-    (dur_pp (t.t1 -. t.t0))
-    (span_table t) (timeline t)
+  let lanes = List.length t.top_level in
+  let np = npids t in
+  let header =
+    if np > 1 then
+      Printf.sprintf "%d spans across %d lanes in %d processes, wall-clock %s"
+        t.nspans lanes np
+        (dur_pp (t.t1 -. t.t0))
+    else
+      Printf.sprintf "%d spans across %d tids, wall-clock %s" t.nspans lanes
+        (dur_pp (t.t1 -. t.t0))
+  in
+  Printf.sprintf "%s\n\n%s\n%s" header (span_table t) (timeline t)

@@ -15,9 +15,15 @@
       consumable by standard flamegraph tooling.
 
     Self-time methodology: each span's children are the spans it
-    directly contains on the same tid; [self = dur - Σ children.dur].
+    directly contains on the same lane; [self = dur - Σ children.dur].
     Cross-domain causality is not reconstructed — a worker's spans root
-    at that worker's tid. *)
+    at that worker's lane.
+
+    Lanes are pid-qualified: a merged fleet trace (forked workers'
+    trace files stitched into the parent's) contains several processes
+    whose domain ids collide, so spans are grouped by [(pid, tid)] and
+    the timeline labels each process's lanes separately.  Lines without
+    a [pid] field group under pid 0. *)
 
 type t
 
@@ -34,9 +40,10 @@ val span_table : t -> string
     duration. *)
 
 val timeline : ?width:int -> t -> string
-(** Per-tid utilization timeline over the trace's wall-clock span,
-    [width] buckets (default 60), one row per tid, darker = busier,
-    with the overall busy fraction per tid. *)
+(** Per-lane utilization timeline over the trace's wall-clock span,
+    [width] buckets (default 60), one row per [(pid, tid)] lane,
+    darker = busier, with the overall busy fraction per lane.  Rows
+    carry the pid only when the trace spans several processes. *)
 
 val collapsed : t -> string
 (** Collapsed stacks: one [path;to;span <count>] line per distinct

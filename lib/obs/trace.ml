@@ -1,9 +1,13 @@
 let sink = Jsonl.make ()
-let pid = lazy (Unix.getpid ())
 let close () = Jsonl.close sink
 let to_file path = Jsonl.to_file sink path
+let detach () = Jsonl.detach sink
 let enabled () = Jsonl.enabled sink
 let escape = Jsonl.escape
+
+(* Relay an already-rendered span line (e.g. read back from a forked
+   worker's trace file) into this process's sink verbatim. *)
+let emit_raw line = Jsonl.emit sink line
 
 let emit_complete ?(args = []) ~name ~start_ns ~dur_ns () =
   if Jsonl.enabled sink then begin
@@ -16,7 +20,9 @@ let emit_complete ?(args = []) ~name ~start_ns ~dur_ns () =
          (escape name)
          (float_of_int start_ns /. 1e3)
          (float_of_int (max 0 dur_ns) /. 1e3)
-         (Lazy.force pid)
+         (* read fresh each time (it is one vsyscall): a cached pid
+            captured before [fork] would mislabel child spans *)
+         (Unix.getpid ())
          ((Domain.self () :> int)));
     if args <> [] then begin
       Buffer.add_string b ",\"args\":{";

@@ -21,6 +21,16 @@ val close : unit -> unit
 (** Flush and close the sink; subsequent spans are no-ops again.
     Safe to call when no sink is registered. *)
 
+val detach : unit -> unit
+(** Forget the sink without flushing or closing it — for forked
+    children, which share the channel with the parent.  Follow with
+    {!to_file} to give the child its own trace file. *)
+
+val emit_raw : string -> unit
+(** Write one already-rendered span line verbatim to the sink (no
+    newline in [line]).  Used to stitch forked workers' trace files
+    into the parent's trace.  No-op when tracing is off. *)
+
 val enabled : unit -> bool
 (** True when a sink is registered.  Lets instrumentation skip building
     span arguments entirely when tracing is off. *)

@@ -1,0 +1,260 @@
+(* Distributed-telemetry tests that fork.
+
+   This binary must never spawn a domain: OCaml 5 refuses Unix.fork
+   once any Domain.spawn has happened, even after the domain joins.
+   Everything here runs campaigns through Service with its default
+   single worker, so Pool.run stays inline and the process remains
+   fork-safe.  Domain-using telemetry tests live in test_telemetry.ml. *)
+
+module Events = Tmr_obs.Events
+module Watch = Tmr_obs.Watch
+module Campaign = Tmr_inject.Campaign
+module Partition = Tmr_core.Partition
+module Context = Tmr_experiments.Context
+module Runs = Tmr_experiments.Runs
+module Service = Tmr_experiments.Service
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let parse_exn line =
+  match Events.parse_line line with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse_line %S: %s" line e
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let all_events =
+  [
+    Events.Campaign_started { design = "tmr_p2"; faults = 150; workers = 4 };
+    Events.Campaign_progress
+      { design = "tmr_p2"; completed = 50; total = 150; wrong = 2 };
+    Events.Campaign_ci
+      {
+        design = "tmr_p2";
+        n = 100;
+        wrong = 3;
+        confidence = 0.95;
+        lo = 0.0103;
+        hi = 0.0851;
+      };
+    Events.Campaign_stopped
+      {
+        design = "tmr_p2";
+        requested = 150;
+        injected = 150;
+        wrong = 5;
+        wall_ns = 1_234_567_890;
+      };
+  ]
+
+let temp_counter = ref 0
+
+let temp_dir tag =
+  incr temp_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tmr-fleet-%s-%d-%d" tag (Unix.getpid ()) !temp_counter)
+  in
+  if Sys.file_exists d then
+    ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote d)));
+  d
+
+(* ------------------------------------------------------------------ *)
+(* fork + detach: the bus belongs to the parent; a forked child that
+   detaches publishes into the void and the parent's stream stays
+   dense. *)
+
+let test_fork_detach () =
+  let path = Filename.temp_file "tmr_fork_detach" ".jsonl" in
+  Events.to_file path;
+  Events.publish (List.nth all_events 0);
+  Events.publish (List.nth all_events 1);
+  (match Unix.fork () with
+  | 0 ->
+      Events.detach ();
+      (* all of these must be no-ops: the bus belongs to the parent *)
+      List.iter Events.publish all_events;
+      Unix._exit (if Events.enabled () then 1 else 0)
+  | pid -> (
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "detached child saw an enabled bus"));
+  Events.publish (List.nth all_events 2);
+  Events.publish (List.nth all_events 3);
+  Events.close ();
+  let parsed = List.map parse_exn (read_lines path) in
+  Alcotest.(check int) "only the parent's events" 4 (List.length parsed);
+  List.iteri
+    (fun i p -> Alcotest.(check int) "parent seq dense" i p.Events.p_seq)
+    parsed;
+  Sys.remove path
+
+(* a worker killed mid-stream leaves a spool of whole lines only *)
+let test_spool_sigterm_no_torn_lines () =
+  let path = Filename.temp_file "tmr_spool_kill" ".jsonl" in
+  (match Unix.fork () with
+  | 0 ->
+      Sys.set_signal Sys.sigterm Sys.Signal_default;
+      Events.spool ~path ~worker:1 ~job:"doomed";
+      (* publish until killed *)
+      let i = ref 0 in
+      while true do
+        incr i;
+        Events.publish
+          (Events.Campaign_progress
+             {
+               design = "kill-test";
+               completed = !i;
+               total = 1_000_000;
+               wrong = 0;
+             })
+      done
+  | pid ->
+      Unix.sleepf 0.15;
+      Unix.kill pid Sys.sigterm;
+      ignore (Unix.waitpid [] pid));
+  let lines = read_lines path in
+  Alcotest.(check bool) "child spooled something" true (List.length lines > 0);
+  List.iteri
+    (fun i line ->
+      let p = parse_exn line in
+      Alcotest.(check int) "dense up to the kill" i p.Events.p_seq)
+    lines;
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Fleet end to end, all five designs: a forked sharded campaign with
+   events on produces the same merged verdicts as with events off, the
+   merged stream carries origin-stamped worker events with dense
+   worker-local seqs, and watch reproduces the final verdict. *)
+
+let ctx =
+  lazy (Context.create ~scale:Context.Reduced ~seed:2 ~faults_per_design:40 ())
+
+let test_fleet_stream_all_designs () =
+  let ctx = Lazy.force ctx in
+  let parent = Unix.getpid () in
+  List.iter
+    (fun strategy ->
+      let dname = Partition.name strategy in
+      let run = Runs.implement_design ctx strategy in
+      let job =
+        Service.job ~scale:Context.Reduced ~seed:2 ~faults:40 ~shards:4
+          strategy
+      in
+      let campaign_of st =
+        match st with
+        | Ok (Service.Complete o) -> o
+        | Ok (Service.Incomplete _) ->
+            Alcotest.failf "%s: unexpectedly incomplete" dname
+        | Error e -> Alcotest.failf "%s: %s" dname e
+      in
+      (* events off *)
+      let quiet =
+        campaign_of
+          (Service.run_sharded ~procs:2
+             ~notify:(fun _ -> ())
+             ~dir:(temp_dir ("off-" ^ dname))
+             job ctx run)
+      in
+      (* events on: merged fleet stream into one file *)
+      let stream = Filename.temp_file ("tmr_fleet_" ^ dname) ".jsonl" in
+      Events.to_file stream;
+      let live =
+        Fun.protect
+          ~finally:(fun () -> Events.close ())
+          (fun () ->
+            campaign_of
+              (Service.run_sharded ~procs:2
+                 ~dir:(temp_dir ("on-" ^ dname))
+                 job ctx run))
+      in
+      Alcotest.(check bool)
+        (dname ^ ": verdicts identical with spooling on")
+        true
+        (quiet.Service.o_campaign.Campaign.results
+        = live.Service.o_campaign.Campaign.results);
+      (* every spool was fully relayed *)
+      List.iter
+        (fun (s : Service.spool_info) ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s: w%d spool gap-free" dname s.Service.sp_worker)
+            0 s.Service.sp_gaps)
+        live.Service.o_spools;
+      let parsed = List.map parse_exn (read_lines stream) in
+      (* the merged stream really is a fleet: worker events from child
+         pids, stamped with the job id *)
+      let child_pids =
+        List.filter_map
+          (fun p ->
+            match p.Events.p_origin with
+            | Some o when o.Events.o_pid <> parent -> Some o.Events.o_pid
+            | _ -> None)
+          parsed
+        |> List.sort_uniq compare
+      in
+      Alcotest.(check bool)
+        (dname ^ ": events from forked workers on the stream")
+        true
+        (child_pids <> []);
+      List.iter
+        (fun p ->
+          match p.Events.p_origin with
+          | Some o ->
+              Alcotest.(check string)
+                (dname ^ ": origin job is the correlation id")
+                (Service.job_name job) o.Events.o_job
+          | None -> ())
+        parsed;
+      (* parent re-sequencing is dense, worker-local seqs have no gaps *)
+      List.iteri
+        (fun i p ->
+          Alcotest.(check int) (dname ^ ": merged seq dense") i p.Events.p_seq)
+        parsed;
+      let w = Watch.create () in
+      List.iter (Watch.feed w) parsed;
+      Alcotest.(check int) (dname ^ ": no origin gaps") 0 (Watch.origin_gaps w);
+      Alcotest.(check bool) (dname ^ ": watch sees the fleet finish") true
+        (Watch.finished w);
+      (* the watch summary reproduces the merged verdict exactly *)
+      let c = live.Service.o_campaign in
+      let expected =
+        Printf.sprintf "\"injected\":%d,\"wrong\":%d" c.Campaign.injected
+          c.Campaign.wrong
+      in
+      Alcotest.(check bool)
+        (dname ^ ": watch summary matches the merged campaign")
+        true
+        (contains ~needle:expected (Watch.summary_json w));
+      Sys.remove stream)
+    Partition.all_paper_designs
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "fork",
+        [
+          Alcotest.test_case "fork + detach is a no-op" `Quick test_fork_detach;
+          Alcotest.test_case "SIGTERM leaves no torn spool line" `Quick
+            test_spool_sigterm_no_torn_lines;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "fleet stream == quiet run, all designs" `Slow
+            test_fleet_stream_all_designs;
+        ] );
+    ]

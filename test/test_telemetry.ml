@@ -12,9 +12,11 @@ module Watch = Tmr_obs.Watch
 module Jsonl = Tmr_obs.Jsonl
 module Stats = Tmr_obs.Stats
 module Campaign = Tmr_inject.Campaign
+module Workqueue = Tmr_inject.Workqueue
 module Partition = Tmr_core.Partition
 module Context = Tmr_experiments.Context
 module Runs = Tmr_experiments.Runs
+module Service = Tmr_experiments.Service
 
 let read_lines path =
   let ic = open_in path in
@@ -437,6 +439,225 @@ let test_hist_min_max () =
     s.Metrics.max
 
 (* ------------------------------------------------------------------ *)
+(* Distributed telemetry: per-worker spools, the respool relay,
+   cross-process metrics folding, /healthz, and watch-side fleet
+   accounting.  Anything that forks lives in test_fleet.ml: this
+   binary spawns domains, and Unix.fork is unavailable after that. *)
+
+(* spool mode: line-per-event file with a worker-local dense seq and an
+   origin stamp carrying pid/worker/shard/job *)
+let test_spool_roundtrip () =
+  let path = Filename.temp_file "tmr_spool" ".jsonl" in
+  Events.spool ~path ~worker:3 ~job:"jobX";
+  Alcotest.(check bool) "spool mode counts as enabled" true (Events.enabled ());
+  Events.publish (List.nth all_events 0);
+  Events.set_shard 7;
+  Events.publish (List.nth all_events 1);
+  Events.set_shard (-1);
+  Events.publish (List.nth all_events 2);
+  Events.close ();
+  let parsed = List.map parse_exn (read_lines path) in
+  Alcotest.(check int) "three lines" 3 (List.length parsed);
+  let me = Unix.getpid () in
+  List.iteri
+    (fun i p ->
+      Alcotest.(check int) "spool seq dense from 0" i p.Events.p_seq;
+      match p.Events.p_origin with
+      | None -> Alcotest.fail "spool line lost its origin"
+      | Some o ->
+          Alcotest.(check int) "origin pid" me o.Events.o_pid;
+          Alcotest.(check int) "origin worker" 3 o.Events.o_worker;
+          Alcotest.(check string) "origin job" "jobX" o.Events.o_job;
+          Alcotest.(check int) "origin seq mirrors spool seq" i
+            o.Events.o_seq;
+          Alcotest.(check int) "shard tracks set_shard"
+            (if i = 1 then 7 else -1)
+            o.Events.o_shard)
+    parsed;
+  Sys.remove path
+
+(* respool_line + publish_payload: relaying a spool through a bus
+   re-sequences the line, keeps the origin and records the worker-local
+   seq as oseq *)
+let test_respool_merge () =
+  let spool = Filename.temp_file "tmr_respool_in" ".jsonl" in
+  Events.spool ~path:spool ~worker:2 ~job:"relay";
+  List.iter Events.publish all_events;
+  Events.close ();
+  let spool_lines = read_lines spool in
+  let merged = Filename.temp_file "tmr_respool_out" ".jsonl" in
+  Events.to_file merged;
+  List.iter
+    (fun line ->
+      match Events.respool_line line with
+      | Some (_oseq, payload) -> Events.publish_payload payload
+      | None -> Alcotest.failf "respool_line rejected %S" line)
+    spool_lines;
+  Events.close ();
+  let parsed = List.map parse_exn (read_lines merged) in
+  Alcotest.(check int) "every line relayed" (List.length all_events)
+    (List.length parsed);
+  List.iteri
+    (fun i p ->
+      Alcotest.(check int) "merged seq dense" i p.Events.p_seq;
+      (match p.Events.p_origin with
+      | None -> Alcotest.fail "relay dropped the origin"
+      | Some o ->
+          Alcotest.(check int) "oseq = worker-local seq" i o.Events.o_seq;
+          Alcotest.(check int) "worker slot survives" 2 o.Events.o_worker);
+      if p.Events.p_event <> List.nth all_events i then
+        Alcotest.failf "event %d did not survive the relay" i)
+    parsed;
+  Sys.remove spool;
+  Sys.remove merged
+
+(* cross-process metrics: write_file / read_file / merge *)
+let test_metrics_merge () =
+  let c = Metrics.counter "test.merge.counter" in
+  Metrics.incr ~by:5 c;
+  let g = Metrics.gauge "test.merge.gauge" in
+  Metrics.set g 2.5;
+  let h = Metrics.histogram "test.merge.hist" in
+  Metrics.observe h 10;
+  Metrics.observe h 1000;
+  let path = Filename.temp_file "tmr_metrics" ".json" in
+  Metrics.write_file path;
+  let from_file =
+    match Metrics.read_file path with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "read_file: %s" e
+  in
+  let live = Metrics.snapshot () in
+  let m = Metrics.merge live from_file in
+  Alcotest.(check int) "counters add" (2 * List.assoc "test.merge.counter" live.Metrics.counters)
+    (List.assoc "test.merge.counter" m.Metrics.counters);
+  Alcotest.(check (float 1e-9)) "gauges right-win" 2.5
+    (List.assoc "test.merge.gauge" m.Metrics.gauges);
+  let hs = List.assoc "test.merge.hist" m.Metrics.histograms in
+  Alcotest.(check int) "histogram counts add" 4 hs.Metrics.count;
+  Alcotest.(check int) "histogram sums add" 2020 hs.Metrics.sum;
+  Alcotest.(check int) "min exact across processes" 10 hs.Metrics.min;
+  Alcotest.(check int) "max exact across processes" 1000 hs.Metrics.max;
+  Alcotest.(check (float 1e-9)) "mean recomputed" 505.0 hs.Metrics.mean;
+  (* buckets still sum to the count after the merge *)
+  Alcotest.(check int) "bucket counts sum to count" hs.Metrics.count
+    (Array.fold_left (fun a (_, n) -> a + n) 0 hs.Metrics.buckets);
+  (* empty merges are identities *)
+  let empty = { Metrics.counters = []; gauges = []; histograms = [] } in
+  Alcotest.(check int) "merge with empty keeps counters"
+    (List.assoc "test.merge.counter" m.Metrics.counters)
+    (List.assoc "test.merge.counter" (Metrics.merge m empty).Metrics.counters);
+  Sys.remove path
+
+(* /healthz: liveness JSON with uptime, bus state and the campaign probe *)
+let test_healthz () =
+  Expose.set_active_probe (Some (fun () -> 2));
+  let body = Expose.healthz_body () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "healthz contains %S" needle)
+        true
+        (contains ~needle body))
+    [ "\"status\":\"ok\""; "\"uptime_s\":"; "\"bus\":"; "\"active_campaigns\":2" ];
+  Expose.set_active_probe None;
+  let port = Expose.listen 0 in
+  let fetch path =
+    let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, port));
+        let req =
+          Printf.sprintf "GET %s HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+            path
+        in
+        ignore (Unix.write_substring fd req 0 (String.length req));
+        let buf = Buffer.create 4096 in
+        let bytes = Bytes.create 4096 in
+        let rec drain () =
+          match Unix.read fd bytes 0 4096 with
+          | 0 -> ()
+          | n ->
+              Buffer.add_subbytes buf bytes 0 n;
+              drain ()
+        in
+        drain ();
+        Buffer.contents buf)
+  in
+  let resp = fetch "/healthz" in
+  Expose.stop ();
+  Alcotest.(check bool) "healthz 200" true (contains ~needle:"200 OK" resp);
+  Alcotest.(check bool) "healthz is json" true
+    (contains ~needle:"application/json" resp);
+  Alcotest.(check bool) "healthz body served" true
+    (contains ~needle:"\"status\":\"ok\"" resp)
+
+(* watch: origin-stamped shard-local events feed the fleet table and
+   in-flight progress; only origin-less events drive the verdict *)
+let with_origin ~pid ~worker ~shard ~job ~oseq line =
+  String.sub line 0 (String.length line - 1)
+  ^ Printf.sprintf
+      ",\"origin\":{\"pid\":%d,\"worker\":%d,\"shard\":%d,\"job\":%S},\"oseq\":%d}"
+      pid worker shard job oseq
+
+let test_watch_fleet () =
+  let w = Watch.create () in
+  let feed line = Watch.feed w (parse_exn line) in
+  let s = 1_000_000_000 in
+  (* origin-less: the fleet campaign *)
+  feed
+    (Events.render ~seq:0 ~ts_ns:0
+       (Events.Campaign_started { design = "d"; faults = 100; workers = 2 }));
+  (* worker 1 (pid 41) makes progress, then goes silent *)
+  feed
+    (with_origin ~pid:41 ~worker:1 ~shard:0 ~job:"j" ~oseq:0
+       (Events.render ~seq:1 ~ts_ns:s
+          (Events.Campaign_progress
+             { design = "d"; completed = 10; total = 25; wrong = 0 })));
+  (* worker 2 (pid 42) progresses much later *)
+  feed
+    (with_origin ~pid:42 ~worker:2 ~shard:1 ~job:"j" ~oseq:0
+       (Events.render ~seq:2 ~ts_ns:(30 * s)
+          (Events.Campaign_progress
+             { design = "d"; completed = 20; total = 25; wrong = 1 })));
+  Alcotest.(check int) "two fleet workers" 2 (Watch.fleet_workers w);
+  Alcotest.(check int) "no origin gaps yet" 0 (Watch.origin_gaps w);
+  (* live display: base (no shards merged yet) + in-flight 10 + 20 *)
+  let live = Watch.render ~worker_timeout:5.0 w in
+  Alcotest.(check bool) "silent worker flagged STALE" true
+    (contains ~needle:"STALE" live);
+  Alcotest.(check bool) "progress sums the in-flight shards" true
+    (contains ~needle:"    30/100" live);
+  (* a worker-local seq jump is per-origin loss accounting *)
+  feed
+    (with_origin ~pid:42 ~worker:2 ~shard:1 ~job:"j" ~oseq:3
+       (Events.render ~seq:3 ~ts_ns:(31 * s)
+          (Events.Campaign_progress
+             { design = "d"; completed = 22; total = 25; wrong = 1 })));
+  Alcotest.(check int) "origin gap recorded" 2 (Watch.origin_gaps w);
+  (* shard-local stop: worker bookkeeping only, campaign still live *)
+  feed
+    (with_origin ~pid:42 ~worker:2 ~shard:1 ~job:"j" ~oseq:4
+       (Events.render ~seq:4 ~ts_ns:(32 * s)
+          (Events.Campaign_stopped
+             { design = "d"; requested = 25; injected = 25; wrong = 1; wall_ns = s })));
+  Alcotest.(check bool) "shard-local stop is not the campaign stop" false
+    (Watch.finished w);
+  (* origin-less stop: authoritative verdict, exact summary *)
+  feed
+    (Events.render ~seq:5 ~ts_ns:(33 * s)
+       (Events.Campaign_stopped
+          { design = "d"; requested = 100; injected = 100; wrong = 3; wall_ns = 32 * s }));
+  Alcotest.(check bool) "fleet campaign finished" true (Watch.finished w);
+  Alcotest.(check bool) "summary carries the authoritative verdict" true
+    (contains ~needle:"\"injected\":100,\"wrong\":3"
+       (Watch.summary_json w));
+  (* once finished, nobody is stale *)
+  Alcotest.(check bool) "no STALE after the run" false
+    (contains ~needle:"STALE" (Watch.render ~worker_timeout:5.0 w))
+
+(* ------------------------------------------------------------------ *)
 (* End to end: events on vs. events off gives bit-identical verdicts,
    and the stream alone reproduces the final n/wrong/CI. *)
 
@@ -513,5 +734,17 @@ let () =
         [
           Alcotest.test_case "events-on identical + watch exact" `Slow
             test_campaign_events_exact;
+        ] );
+      ( "distributed",
+        [
+          Alcotest.test_case "spool origin roundtrip" `Quick
+            test_spool_roundtrip;
+          Alcotest.test_case "respool relay keeps origin + oseq" `Quick
+            test_respool_merge;
+          Alcotest.test_case "metrics fold across processes" `Quick
+            test_metrics_merge;
+          Alcotest.test_case "/healthz" `Quick test_healthz;
+          Alcotest.test_case "watch fleet table + staleness" `Quick
+            test_watch_fleet;
         ] );
     ]
