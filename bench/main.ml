@@ -407,6 +407,20 @@ let campaign_bench () =
   let ev_published = Tmr_obs.Events.published () in
   let ev_dropped = Tmr_obs.Events.dropped () in
   Sys.remove events_path;
+  (* detecting-voter cost: the self-checking voter adds pairwise
+     disagreement detectors and an OR tree, and the campaign watches
+     three extra error ports per cycle — throughput should stay within
+     5% of the plain-majority batched row, and the four-way taxonomy
+     must refine, never change, the functional wrong/silent split. *)
+  let det_run =
+    time "implement (detecting voter)" (fun () ->
+        Runs.implement_design ~voter:Tmr_core.Voter.Detecting ctx
+          Partition.Medium_partition)
+  in
+  let det =
+    measure_row ~repeat:3 ~batch_width:64 ~name:"detecting-voter"
+      ~workers:parallel_workers ~cone_skip:true ~diff:true ctx det_run
+  in
   let strip (r : Campaign.fault_result) =
     { r with Campaign.forensics = None }
   in
@@ -451,6 +465,22 @@ let campaign_bench () =
   in
   let forensics_overhead = forn.cr_dt /. diff.cr_dt in
   let fs = Option.get (Campaign.forensic_summary forn.cr_c) in
+  let det_overhead = batched.cr_fps /. det.cr_fps in
+  let det_ok = det.cr_fps >= 0.95 *. batched.cr_fps in
+  let det_counts = Campaign.detection_counts det.cr_c in
+  let det_wrong =
+    Array.fold_left
+      (fun acc (r : Campaign.fault_result) ->
+        if r.Campaign.outcome = Campaign.Wrong_answer then acc + 1 else acc)
+      0 det.cr_c.Campaign.results
+  in
+  let det_split_identical =
+    det_counts.Campaign.dc_detected_wrong + det_counts.Campaign.dc_silent_wrong
+    = det_wrong
+    && det_counts.Campaign.dc_silent_correct
+       + det_counts.Campaign.dc_detected_corrected
+       = det.cr_c.Campaign.injected - det_wrong
+  in
   say
     "  speedup %.2fx, diff speedup %.2fx over cone-aware, batch speedup \
      %.2fx over diff, skip-rate %.1f%%, converge-rate %.1f%%, identical \
@@ -467,6 +497,15 @@ let campaign_bench () =
      %d published, %d dropped, identical results: %b"
     events_overhead ev.cr_fps batched.cr_fps events_ok ev_published ev_dropped
     events_identical;
+  say
+    "  detecting voter: %.3fx overhead (%.1f faults/s vs %.1f), within 5%%: \
+     %b, corrected %d, detected-wrong %d, SDC %d (%.2f%%), wrong/silent \
+     split identical: %b"
+    det_overhead det.cr_fps batched.cr_fps det_ok
+    det_counts.Campaign.dc_detected_corrected
+    det_counts.Campaign.dc_detected_wrong det_counts.Campaign.dc_silent_wrong
+    (Campaign.sdc_percent det.cr_c)
+    det_split_identical;
   say
     "  ci-stop: %d of %d faults, rate %.2f%% CI [%.2f%%, %.2f%%], paper \
      tmr_p2 %.2f%% in CI: %b, prefix-identical: %b"
@@ -494,6 +533,7 @@ let campaign_bench () =
        %s,\n\
        %s,\n\
        %s,\n\
+       %s,\n\
        %s\n\
       \  ],\n\
       \  \"speedup\": %.3f,\n\
@@ -512,6 +552,10 @@ let campaign_bench () =
        \"silent_diverged\": %d, \"voter_masked\": %d },\n\
       \  \"events\": { \"overhead\": %.4f, \"overhead_ok\": %b, \
        \"published\": %d, \"dropped\": %d, \"identical_results\": %b },\n\
+      \  \"detection\": { \"overhead\": %.4f, \"overhead_ok\": %b, \
+       \"silent_correct\": %d, \"detected_corrected\": %d, \
+       \"detected_wrong\": %d, \"silent_wrong\": %d, \"sdc_percent\": %.4f, \
+       \"detected_percent\": %.4f, \"wrong_split_identical\": %b },\n\
       \  \"distributed\": %s,\n\
       \  \"metrics\": %s,\n\
       \  \"metrics_diff\": %s,\n\
@@ -519,7 +563,8 @@ let campaign_bench () =
        }\n"
       (Partition.name Partition.Medium_partition)
       faults (row_json base) (row_json par) (row_json diff)
-      (row_json batched) (row_json ev) (row_json forn) (row_json cstop)
+      (row_json batched) (row_json ev) (row_json forn) (row_json det)
+      (row_json cstop)
       speedup diff_speedup batch_speedup skip_rate converge_rate identical
       stop_rule.Stats.sr_half_width stop_rule.Stats.sr_min_n
       ci_c.Campaign.requested ci_c.Campaign.injected
@@ -530,7 +575,12 @@ let campaign_bench () =
       fs.Campaign.fs_voter_touch fs.Campaign.fs_diverged
       fs.Campaign.fs_silent_diverged fs.Campaign.fs_voter_masked
       events_overhead events_ok ev_published ev_dropped events_identical
-      distributed
+      det_overhead det_ok det_counts.Campaign.dc_silent_correct
+      det_counts.Campaign.dc_detected_corrected
+      det_counts.Campaign.dc_detected_wrong det_counts.Campaign.dc_silent_wrong
+      (Campaign.sdc_percent det.cr_c)
+      (Campaign.detected_percent det.cr_c)
+      det_split_identical distributed
       (indent_json par.cr_snap) (indent_json diff.cr_snap)
       (indent_json batched.cr_snap)
   in

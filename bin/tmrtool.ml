@@ -17,6 +17,7 @@ module Store = Tmr_experiments.Store
 module Service = Tmr_experiments.Service
 module Shard = Tmr_inject.Shard
 module Partition = Tmr_core.Partition
+module Voter = Tmr_core.Voter
 module Impl = Tmr_pnr.Impl
 module Campaign = Tmr_inject.Campaign
 module Classify = Tmr_inject.Classify
@@ -76,6 +77,32 @@ let design_t =
     value
     & opt design_conv Partition.Medium_partition
     & info [ "design" ] ~doc:"filter version (standard|tmr_p1|tmr_p2|tmr_p3|tmr_p3_nv)")
+
+let voter_conv =
+  let parse s =
+    match Voter.of_name s with
+    | Some v -> Ok v
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown voter %S (%s)" s
+               (String.concat "|" (List.map Voter.name Voter.all))))
+  in
+  let print ppf v = Format.pp_print_string ppf (Voter.name v) in
+  Arg.conv (parse, print)
+
+let voter_t =
+  Arg.(
+    value
+    & opt voter_conv Voter.Majority
+    & info [ "voter" ] ~docv:"V"
+        ~doc:
+          "Voter macro the TMR designs instantiate: $(b,majority) (the \
+           paper's opaque 3-input vote), $(b,improved) (Balasubramanian & \
+           Prasad's 2-input-gate decomposition) or $(b,detecting) \
+           (majority plus pairwise disagreement flags exported as \
+           tmr_err_* ports; campaigns classify every fault into the \
+           detected-vs-silent verdict taxonomy).")
 
 let no_diff_t =
   Arg.(
@@ -492,13 +519,18 @@ let report_cmd =
 (* --- implement --- *)
 
 let implement_cmd =
-  let run telem scale seed design =
+  let run telem scale seed design voter =
     with_telemetry telem @@ fun () ->
     let ctx = mk_ctx scale seed 0 in
-    let r = Runs.implement_design ctx design in
+    let r = Runs.implement_design ~voter ctx design in
     let impl = r.Runs.impl in
     Printf.printf "%s (%s)\n" (Partition.paper_name design)
       (Tmr_filter.Designs.description design);
+    let vc = Voter.cost voter in
+    Printf.printf
+      "  voter         %s (%d vote + %d detect cells/bit, %d levels, %.2f ns)\n"
+      (Voter.name voter) vc.Voter.vote_cells vc.Voter.detect_cells
+      vc.Voter.levels vc.Voter.delay_ns;
     Printf.printf "  slices        %d\n" (Impl.used_slices impl);
     Printf.printf "  LUTs          %d\n" (Impl.used_luts impl);
     Printf.printf "  flip-flops    %d\n" (Impl.used_ffs impl);
@@ -515,7 +547,7 @@ let implement_cmd =
   in
   Cmd.v
     (Cmd.info "implement" ~doc:"map, place and route one filter version")
-    Term.(const run $ telemetry_t $ scale_t $ seed_t $ design_t)
+    Term.(const run $ telemetry_t $ scale_t $ seed_t $ design_t $ voter_t)
 
 (* --- inject --- *)
 
@@ -608,6 +640,19 @@ let effect_table (c : Campaign.t) =
       if n > 0 then Printf.printf "  %-14s %d\n" (Classify.name eff) n)
     Classify.all
 
+(* the four-way detected-vs-silent split, printed only when the design
+   actually carries detection logic *)
+let detection_summary voter (c : Campaign.t) =
+  if Voter.has_detection voter then begin
+    let d = Campaign.detection_counts c in
+    Printf.printf
+      "  detection: corrected %d, detected-wrong %d, SDC %d (%.2f%% silent \
+       wrong), silent-correct %d\n"
+      d.Campaign.dc_detected_corrected d.Campaign.dc_detected_wrong
+      d.Campaign.dc_silent_wrong (Campaign.sdc_percent c)
+      d.Campaign.dc_silent_correct
+  end
+
 let json_t =
   Arg.(
     value & flag
@@ -626,13 +671,13 @@ let inject_cmd =
   in
   (* inject via the shard engine: plan → (resume) → claim → merge *)
   let run_sharded_inject ~telem ~confidence ~scale ~seed ~faults ~design
-      ~no_diff ~batch_width ~json ~store ~exhaustive ~shards ~procs ~shard_dir
-      ~shard_limit ~fresh ~merged_out =
+      ~voter ~no_diff ~batch_width ~json ~store ~exhaustive ~shards ~procs
+      ~shard_dir ~shard_limit ~fresh ~merged_out =
     let ctx = mk_ctx scale seed faults in
-    let r = Runs.implement_design ctx design in
+    let r = Runs.implement_design ~voter ctx design in
     let job =
       Service.job ~scale ~seed ~faults ~exhaustive ?shards
-        ?workers:(jobs ()) ~diff:(not no_diff) ~batch_width design
+        ?workers:(jobs ()) ~diff:(not no_diff) ~batch_width ~voter design
     in
     let dir =
       match shard_dir with
@@ -711,11 +756,12 @@ let inject_cmd =
             o.Service.o_resumed o.Service.o_fresh procs
             (if procs = 1 then "" else "es");
           effect_table c;
+          detection_summary voter c;
           engine_summary c
         end
   in
-  let run telem forensics scale seed faults design no_diff batch_width json
-      confidence stop_ci stop_min store exhaustive shards procs shard_dir
+  let run telem forensics scale seed faults design voter no_diff batch_width
+      json confidence stop_ci stop_min store exhaustive shards procs shard_dir
       shard_limit fresh merged_out =
     let sharded =
       exhaustive || procs > 1 || shards <> None || shard_dir <> None
@@ -741,11 +787,11 @@ let inject_cmd =
     with_forensics forensics @@ fun () ->
     if sharded then
       run_sharded_inject ~telem ~confidence ~scale ~seed ~faults ~design
-        ~no_diff ~batch_width ~json ~store ~exhaustive ~shards ~procs
+        ~voter ~no_diff ~batch_width ~json ~store ~exhaustive ~shards ~procs
         ~shard_dir ~shard_limit ~fresh ~merged_out
     else begin
       let ctx = mk_ctx scale seed faults in
-      let r = Runs.implement_design ctx design in
+      let r = Runs.implement_design ~voter ctx design in
       let stop = stop_rule_of ~confidence ~stop_min stop_ci in
       let progress, flush = ci_progress ~confidence () in
       let r =
@@ -777,6 +823,7 @@ let inject_cmd =
               c.Campaign.wrong
               (rate_ci_line ~confidence c);
             effect_table c;
+            detection_summary voter c;
             engine_summary c
           end
     end
@@ -785,7 +832,7 @@ let inject_cmd =
     (Cmd.info "inject" ~doc:"fault-injection campaign on one design")
     Term.(
       const run $ telemetry_t $ forensics_file_t $ scale_t $ seed_t $ faults_t
-      $ design_t $ no_diff_t $ batch_width_t $ json_t $ confidence_t
+      $ design_t $ voter_t $ no_diff_t $ batch_width_t $ json_t $ confidence_t
       $ stop_ci_t $ stop_min_t $ inject_store_t $ exhaustive_t $ shards_t
       $ procs_t $ shard_dir_t $ shard_limit_t $ fresh_t $ merged_out_t)
 
@@ -807,10 +854,10 @@ let explain_cmd =
             "Write the faulty run's output waveforms to $(docv) in VCD \
              format, one signal per output port plus its golden reference.")
   in
-  let run telem scale seed design bit vcd_out =
+  let run telem scale seed design voter bit vcd_out =
     with_telemetry telem @@ fun () ->
     let ctx = mk_ctx scale seed 0 in
-    let r = Runs.implement_design ctx design in
+    let r = Runs.implement_design ~voter ctx design in
     let impl = r.Runs.impl in
     let dev = impl.Impl.dev and db = impl.Impl.db in
     if bit < 0 || bit >= Bitdb.num_bits db then begin
@@ -866,9 +913,25 @@ let explain_cmd =
         (Bitstream.copy impl.Impl.bitgen.Tmr_pnr.Bitgen.bitstream)
     in
     let ws = Fsim.make_workspace dev in
+    (* the detecting voter's disagreement flags, when the design has
+       them: watched at the end, expected all-zero, like in campaigns *)
+    let detect_map =
+      List.filter_map
+        (fun port ->
+          if
+            List.mem_assoc port
+              (Tmr_netlist.Netlist.output_ports impl.Impl.mapped)
+          then Some (port, Campaign.dut_output_wires impl port)
+          else None)
+        Voter.detect_ports
+    in
+    let ndetect =
+      List.fold_left (fun n (_, w) -> n + Array.length w) 0 detect_map
+    in
     let watch_outputs =
       Array.concat
-        (List.map (fun (port, _) -> Campaign.dut_output_wires impl port) golden)
+        (List.map (fun (port, _) -> Campaign.dut_output_wires impl port) golden
+        @ List.map snd detect_map)
     in
     let base = Fsim.build ~ws ex ~watch_outputs in
     let cone = Fsim.snapshot_cone ws in
@@ -912,8 +975,10 @@ let explain_cmd =
           done;
           let base_watch = Fsim.watch_nodes base watch_outputs in
           let expected =
+            let det_zeros = Array.make ndetect Logic.Zero in
             Array.init cycles (fun c ->
-                Array.concat (List.map (fun (_, m) -> m.(c)) golden))
+                Array.concat
+                  (List.map (fun (_, m) -> m.(c)) golden @ [ det_zeros ]))
           in
           let dsc = Fsim.make_dscratch () in
           let run_diff sim seeds =
@@ -921,8 +986,8 @@ let explain_cmd =
               if sim == base then base_watch
               else Fsim.watch_nodes sim watch_outputs
             in
-            Fsim.diff_run ~forensics:true ~scratch:dsc ~tape ~base ~sim ~seeds
-              ~watch ~base_watch ~expected
+            Fsim.diff_run ~ndetect ~forensics:true ~scratch:dsc ~tape ~base
+              ~sim ~seeds ~watch ~base_watch ~expected ()
           in
           match plan with
           | Fsim.Path_patch ->
@@ -966,6 +1031,12 @@ let explain_cmd =
     Fsim.reset fsim;
     let first_err = ref (-1) in
     let err_detail = ref None in
+    (* per disagreement flag: the first cycle it left zero *)
+    let det_nodes =
+      List.map
+        (fun (port, wires) -> (port, Fsim.watch_nodes fsim wires, ref (-1)))
+        detect_map
+    in
     for c = 0 to cycles - 1 do
       drive fsim ins c;
       Fsim.eval fsim;
@@ -982,6 +1053,16 @@ let explain_cmd =
               end)
             nodes)
         outs;
+      List.iter
+        (fun (_, nodes, first) ->
+          if
+            !first < 0
+            && Array.exists
+                 (fun n ->
+                   not (Logic.equal (Fsim.node_value fsim n) Logic.Zero))
+                 nodes
+          then first := c)
+        det_nodes;
       (match vcd with
       | Some w ->
           List.iter2
@@ -1000,6 +1081,27 @@ let explain_cmd =
         Printf.printf
           "  outcome      WRONG ANSWER, first at cycle %d (port %S bit %d)\n"
           c port i);
+    if ndetect > 0 then begin
+      let fired =
+        List.filter_map
+          (fun (port, _, first) ->
+            if !first >= 0 then Some (port, !first) else None)
+          det_nodes
+      in
+      match fired with
+      | [] ->
+          print_endline
+            (if !first_err >= 0 then
+               "  detection    NONE — silent data corruption: no \
+                disagreement flag ever fired"
+             else "  detection    none (no voter pair ever disagreed)")
+      | l ->
+          let earliest = List.fold_left (fun a (_, c) -> min a c) max_int l in
+          Printf.printf "  detection    %s  (first flag at cycle %d)\n"
+            (String.concat ", "
+               (List.map (fun (p, c) -> Printf.sprintf "%s@%d" p c) l))
+            earliest
+    end;
     (match diffinfo with
     | None -> (
         match plan with
@@ -1011,7 +1113,11 @@ let explain_cmd =
             print_endline
               "  divergence   n/a: the fault restructures the netlist \
                (rebuild path), no differential trace")
-    | Some (dsc, (derr, conv)) ->
+    | Some (dsc, (derr, conv, ddet)) ->
+        if ndetect > 0 && ddet >= 0 then
+          Printf.printf
+            "  diff detect  differential engine saw the flag at cycle %d\n"
+            ddet;
         let d = Fsim.diff_forensics dsc in
         Printf.printf "  cone         %d nodes, %d seeds, frontier %d\n"
           d.Fsim.df_cone d.Fsim.df_seeds d.Fsim.df_frontier;
@@ -1086,7 +1192,8 @@ let explain_cmd =
     (Cmd.info "explain"
        ~doc:"forensic deep-dive of one configuration bit on one design")
     Term.(
-      const run $ telemetry_t $ scale_t $ seed_t $ design_t $ bit_t $ vcd_t)
+      const run $ telemetry_t $ scale_t $ seed_t $ design_t $ voter_t $ bit_t
+      $ vcd_t)
 
 (* --- congestion --- *)
 
@@ -1121,10 +1228,12 @@ let export_cmd =
   let mapped_t =
     Arg.(value & flag & info [ "mapped" ] ~doc:"export the post-techmap netlist")
   in
-  let run telem scale seed design mapped out =
+  let run telem scale seed design voter mapped out =
     with_telemetry telem @@ fun () ->
     let ctx = mk_ctx scale seed 0 in
-    let nl = Tmr_filter.Designs.build ~params:ctx.Context.params design in
+    let nl =
+      Tmr_filter.Designs.build ~params:ctx.Context.params ~voter design
+    in
     let nl =
       if mapped then (Tmr_techmap.Techmap.run nl).Tmr_techmap.Techmap.mapped
       else nl
@@ -1139,7 +1248,9 @@ let export_cmd =
   in
   Cmd.v
     (Cmd.info "export" ~doc:"dump a design netlist in the text interchange format")
-    Term.(const run $ telemetry_t $ scale_t $ seed_t $ design_t $ mapped_t $ out_t)
+    Term.(
+      const run $ telemetry_t $ scale_t $ seed_t $ design_t $ voter_t
+      $ mapped_t $ out_t)
 
 (* --- tables --- *)
 
@@ -1154,40 +1265,79 @@ let tables_cmd =
              --json) extended with slices, MHz, DUT bits by class, the \
              paper's Table 3 row and the injection-coverage record.")
   in
-  let run telem forensics scale seed faults no_diff batch_width json =
+  let voters_t =
+    Arg.(
+      value
+      & opt (list voter_conv) [ Voter.Majority; Voter.Improved; Voter.Detecting ]
+      & info [ "voters" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated voter variants to campaign for the detection \
+             coverage table (default all three).  The first listed voter \
+             feeds Tables 2/3/4 and the forensics table, so the default \
+             reproduces the paper's majority-voter numbers while \
+             re-measuring the partition optimum under every variant.")
+  in
+  let run telem forensics scale seed faults no_diff batch_width voters json =
     with_telemetry telem @@ fun () ->
     with_forensics forensics @@ fun () ->
     let ctx = mk_ctx scale seed faults in
+    let voters = match voters with [] -> [ Voter.Majority ] | vs -> vs in
+    let primary = List.hd voters in
     let impls =
-      List.map (Runs.implement_design ctx) Partition.all_paper_designs
+      List.map
+        (Runs.implement_design ~voter:primary ctx)
+        Partition.all_paper_designs
     in
     if not json then begin
       print_string (Tables.table2 impls);
       print_newline ()
     end;
     let progress, flush = ci_progress ~confidence:0.95 () in
-    let runs =
-      List.map
-        (Runs.campaign_design ~progress ?workers:(jobs ())
-           ~diff:(not no_diff) ~batch_width ~forensics:true ctx)
-        impls
+    let campaign =
+      Runs.campaign_design ~progress ?workers:(jobs ()) ~diff:(not no_diff)
+        ~batch_width ~forensics:true ctx
+    in
+    let runs = List.map campaign impls in
+    (* the remaining voter variants, campaigned over the same fault
+       sample for the per-voter SDC comparison *)
+    let extra =
+      List.concat_map
+        (fun v ->
+          List.filter_map
+            (fun strategy ->
+              (* a costlier voter can overflow the device on the larger
+                 partitionings; the detection table renders those as "-" *)
+              match Runs.implement_design ~voter:v ctx strategy with
+              | r -> Some (campaign r)
+              | exception Failure msg ->
+                  Printf.eprintf "tables: skipping %s with %s voter (%s)\n%!"
+                    (Partition.name strategy) (Voter.name v) msg;
+                  None)
+            Partition.all_paper_designs)
+        (List.filter (fun v -> v <> primary) voters)
     in
     flush ();
-    if json then print_endline (Tables.tables_json ctx runs)
+    if json then print_endline (Tables.tables_json ctx (runs @ extra))
     else begin
       print_string (Tables.table3 runs);
       print_newline ();
       print_string (Tables.table4 runs);
       print_newline ();
-      print_string (Tables.table_forensics runs)
+      print_string (Tables.table_forensics runs);
+      print_newline ();
+      print_string (Tables.table_voters ());
+      print_newline ();
+      print_string (Tables.table_detection (runs @ extra))
     end
   in
   Cmd.v
     (Cmd.info "tables"
-       ~doc:"regenerate the paper's Tables 2, 3 and 4 plus fault forensics")
+       ~doc:
+         "regenerate the paper's Tables 2, 3 and 4 plus fault forensics \
+          and the per-voter detection coverage comparison")
     Term.(
       const run $ telemetry_t $ forensics_file_t $ scale_t $ seed_t $ faults_t
-      $ no_diff_t $ batch_width_t $ tables_json_t)
+      $ no_diff_t $ batch_width_t $ voters_t $ tables_json_t)
 
 (* --- profile --- *)
 
@@ -1436,11 +1586,11 @@ let submit_cmd =
       & info [ "workers" ] ~docv:"W"
           ~doc:"domain workers per process, on the server")
   in
-  let run host port scale seed faults design exhaustive shards workers
+  let run host port scale seed faults design voter exhaustive shards workers
       no_diff batch_width =
     let j =
       Service.job ~scale ~seed ~faults ~exhaustive ?shards ?workers
-        ~diff:(not no_diff) ~batch_width design
+        ~diff:(not no_diff) ~batch_width ~voter design
     in
     let jname = Service.job_name j in
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -1492,11 +1642,12 @@ let submit_cmd =
           relay its event stream (JSONL on stdout) until the job is done")
     Term.(
       const run $ host_t $ port_t $ scale_t $ seed_t $ faults_t $ design_t
-      $ exhaustive_t $ shards_t $ workers_t $ no_diff_t $ batch_width_t)
+      $ voter_t $ exhaustive_t $ shards_t $ workers_t $ no_diff_t
+      $ batch_width_t)
 
 let () =
   let doc = "optimal TMR voter partitioning on an SRAM FPGA (DATE'05 reproduction)" in
-  let info = Cmd.info "tmrtool" ~doc in
+  let info = Cmd.info "tmrtool" ~doc ~version:(Store.version_string ()) in
   exit (Cmd.eval (Cmd.group info
        [ report_cmd; implement_cmd; inject_cmd; explain_cmd; congestion_cmd;
          export_cmd; tables_cmd; profile_cmd; watch_cmd; serve_cmd;

@@ -34,7 +34,10 @@ let strategy_for nl k =
   let barriers = Partition.boundary_cells ~group_of:(group_of_k k) nl in
   Partition.Custom
     ( Printf.sprintf "taps/%d" k,
-      { Tmr.barrier = (fun _ c -> barriers.(c)); vote_registers = true } )
+      { Tmr.barrier = (fun _ c -> barriers.(c));
+        vote_registers = true;
+        voter = Tmr_core.Voter.Majority;
+      } )
 
 let () =
   let scale =

@@ -52,21 +52,26 @@ let boundary_cells ~group_of nl =
           then result.(c) <- true);
   result
 
-let spec_for nl strategy =
+let spec_for ?voter nl strategy =
+  let v = Option.value ~default:Voter.Majority voter in
   match strategy with
   | Unprotected -> None
   | Max_partition ->
       let b = boundary_cells ~group_of:component_group nl in
-      Some { Tmr.barrier = (fun _ c -> b.(c)); vote_registers = true }
+      Some { Tmr.barrier = (fun _ c -> b.(c)); vote_registers = true; voter = v }
   | Medium_partition ->
       let b = boundary_cells ~group_of:block_group nl in
-      Some { Tmr.barrier = (fun _ c -> b.(c)); vote_registers = true }
+      Some { Tmr.barrier = (fun _ c -> b.(c)); vote_registers = true; voter = v }
   | Min_partition ->
-      Some { Tmr.barrier = (fun _ _ -> false); vote_registers = true }
-  | Min_partition_nv -> Some Tmr.no_barriers
-  | Custom (_, spec) -> Some spec
+      Some { Tmr.barrier = (fun _ _ -> false); vote_registers = true; voter = v }
+  | Min_partition_nv -> Some { Tmr.no_barriers with Tmr.voter = v }
+  | Custom (_, spec) -> (
+      (* a Custom spec owns its voter choice unless the caller overrides *)
+      match voter with
+      | Some v -> Some { spec with Tmr.voter = v }
+      | None -> Some spec)
 
-let protect nl strategy =
-  match spec_for nl strategy with
+let protect ?voter nl strategy =
+  match spec_for ?voter nl strategy with
   | None -> nl
   | Some spec -> Tmr.triplicate nl spec

@@ -47,8 +47,15 @@ val component_group : string -> string
 val block_group : string -> string
 (** First ["/"]-separated segment (tap-block granularity). *)
 
-val spec_for : Tmr_netlist.Netlist.t -> strategy -> Tmr.spec option
-(** [None] for {!Unprotected}. *)
+val spec_for :
+  ?voter:Voter.variant -> Tmr_netlist.Netlist.t -> strategy -> Tmr.spec option
+(** [None] for {!Unprotected}.  [voter] (default {!Voter.Majority})
+    selects the voter microarchitecture for the built-in strategies; a
+    {!Custom} spec keeps its own voter unless explicitly overridden. *)
 
-val protect : Tmr_netlist.Netlist.t -> strategy -> Tmr_netlist.Netlist.t
+val protect :
+  ?voter:Voter.variant ->
+  Tmr_netlist.Netlist.t ->
+  strategy ->
+  Tmr_netlist.Netlist.t
 (** Apply the strategy ({!Unprotected} returns the input unchanged). *)

@@ -3,9 +3,11 @@ module Netlist = Tmr_netlist.Netlist
 type spec = {
   barrier : Netlist.t -> int -> bool;
   vote_registers : bool;
+  voter : Voter.variant;
 }
 
-let no_barriers = { barrier = (fun _ _ -> false); vote_registers = false }
+let no_barriers =
+  { barrier = (fun _ _ -> false); vote_registers = false; voter = Voter.Majority }
 
 let domains = 3
 
@@ -37,17 +39,32 @@ let triplicate src spec =
     | Netlist.Maj3 | Netlist.Lut _ ->
         spec.barrier src c
   in
+  (* per-voted-bit pairwise disagreement detectors (Detecting voter),
+     collected in cell-index order and OR-reduced into the tmr_err_*
+     output ports after the regular ports *)
+  let det_ab = ref [] and det_bc = ref [] and det_ac = ref [] in
+  let add_detect comp name a b c =
+    Netlist.set_comp dst comp;
+    let ab, bc, ac = Voter.emit_detect dst ~name ~a ~b ~c in
+    det_ab := ab :: !det_ab;
+    det_bc := bc :: !det_bc;
+    det_ac := ac :: !det_ac
+  in
   let add_voters c =
     for d = 0 to domains - 1 do
       Netlist.set_comp dst (Netlist.comp src c ^ "/vote");
       let v =
-        Netlist.add_cell dst
+        Voter.emit_vote spec.voter dst
           ~name:(Printf.sprintf "%s/vote~%d" (Netlist.name src c) d)
-          ~domain:d ~voter:true Netlist.Maj3
-          ~fanins:[| copy.(0).(c); copy.(1).(c); copy.(2).(c) |]
+          ~domain:d ~a:copy.(0).(c) ~b:copy.(1).(c) ~c:copy.(2).(c) ()
       in
       repr.(d).(c) <- v
-    done
+    done;
+    if Voter.has_detection spec.voter then
+      add_detect
+        (Netlist.comp src c ^ "/vote")
+        (Netlist.name src c ^ "/vote")
+        copy.(0).(c) copy.(1).(c) copy.(2).(c)
   in
   for c = 0 to n - 1 do
     let kind = Netlist.kind src c in
@@ -129,11 +146,14 @@ let triplicate src spec =
             let s = (Netlist.fanins src ocell).(0) in
             Netlist.set_comp dst "output/vote";
             let v =
-              Netlist.add_cell dst
+              Voter.emit_vote spec.voter dst
                 ~name:(Netlist.name src ocell ^ "/vote")
-                ~voter:true Netlist.Maj3
-                ~fanins:[| copy.(0).(s); copy.(1).(s); copy.(2).(s) |]
+                ~a:copy.(0).(s) ~b:copy.(1).(s) ~c:copy.(2).(s) ()
             in
+            if Voter.has_detection spec.voter then
+              add_detect "output/vote"
+                (Netlist.name src ocell ^ "/vote")
+                copy.(0).(s) copy.(1).(s) copy.(2).(s);
             Netlist.set_comp dst "output";
             Netlist.add_cell dst ~name:(Netlist.name src ocell) Netlist.Output
               ~fanins:[| v |])
@@ -141,4 +161,20 @@ let triplicate src spec =
       in
       Netlist.add_output_port dst port out_bits)
     (Netlist.output_ports src);
+  (* detection aggregation: one single-bit error port per disagreeing
+     pair, OR over every voted bit's detector (emission order) *)
+  if Voter.has_detection spec.voter then
+    List.iter2
+      (fun port dets ->
+        match List.rev !dets with
+        | [] -> ()
+        | ids ->
+            Netlist.set_comp dst "detect";
+            let root = Voter.or_tree dst ~name:port ids in
+            let o =
+              Netlist.add_cell dst ~name:port Netlist.Output ~fanins:[| root |]
+            in
+            Netlist.add_output_port dst port [| o |])
+      Voter.detect_ports
+      [ det_ab; det_bc; det_ac ];
   dst

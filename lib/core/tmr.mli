@@ -25,10 +25,16 @@ type spec = {
   vote_registers : bool;
       (** insert voter triples after every flip-flop (fig. 2); when false
           the registers are merely triplicated — the paper's TMR_p3_nv *)
+  voter : Voter.variant;
+      (** voter microarchitecture instantiated at every barrier, register
+          and output voter.  {!Voter.Detecting} additionally exports the
+          [tmr_err_ab]/[tmr_err_bc]/[tmr_err_ac] single-bit output ports:
+          one pairwise-disagreement OR over every voted bit. *)
 }
 
 val no_barriers : spec
-(** Triplication with final output voters only and unvoted registers. *)
+(** Triplication with final output voters only and unvoted registers
+    (plain {!Voter.Majority} voters). *)
 
 val triplicate : Tmr_netlist.Netlist.t -> spec -> Tmr_netlist.Netlist.t
 (** The input must be a flat (untriplicated) design: every cell with

@@ -1,0 +1,104 @@
+module Netlist = Tmr_netlist.Netlist
+
+type variant =
+  | Majority
+  | Improved
+  | Detecting
+
+let all = [ Majority; Improved; Detecting ]
+
+let name = function
+  | Majority -> "majority"
+  | Improved -> "improved"
+  | Detecting -> "detecting"
+
+let of_name = function
+  | "majority" -> Some Majority
+  | "improved" -> Some Improved
+  | "detecting" -> Some Detecting
+  | _ -> None
+
+let description = function
+  | Majority -> "plain 3-input majority gate (one LUT per voted bit)"
+  | Improved ->
+      "fault-tolerance-improved majority: v = ab + (a+b)c as four 2-input \
+       gates, no internal node feeds two gate inputs of the same path"
+  | Detecting ->
+      "majority vote plus pairwise A/B, B/C, A/C disagreement detectors \
+       aggregated into tmr_err_* outputs"
+
+let has_detection = function Detecting -> true | Majority | Improved -> false
+
+let detect_ports = [ "tmr_err_ab"; "tmr_err_bc"; "tmr_err_ac" ]
+
+let is_detect_port p = List.mem p detect_ports
+
+type cost = {
+  vote_cells : int;  (** gate cells per voted bit per redundancy domain *)
+  detect_cells : int;
+      (** pairwise-disagreement cells per voted bit, shared across the
+          three domain voters (the OR aggregation tree is amortised) *)
+  levels : int;  (** combinational depth of the vote function, in gates *)
+  delay_ns : float;  (** [levels] post-map LUT delays *)
+}
+
+let cost variant =
+  let lut = Tmr_pnr.Timing.lut_delay in
+  match variant with
+  | Majority -> { vote_cells = 1; detect_cells = 0; levels = 1; delay_ns = lut }
+  | Improved ->
+      (* ab | (a|b)&c: the ab and (a|b) gates share level 1 *)
+      { vote_cells = 4; detect_cells = 0; levels = 3; delay_ns = 3.0 *. lut }
+  | Detecting ->
+      (* the vote path is a plain majority; detection rides beside it *)
+      { vote_cells = 1; detect_cells = 3; levels = 1; delay_ns = lut }
+
+(* Emit one voted bit.  All cells carry the [voter] flag: the checker and
+   the forensic attribution treat the whole macro as voter logic, and the
+   flag exempts the per-domain gates from the TMR isolation lint (a voter
+   legitimately reads all three domains). *)
+let emit_vote variant nl ~name ?domain ~a ~b ~c () =
+  let cell kind fanins nm =
+    match domain with
+    | Some d -> Netlist.add_cell nl ~name:nm ~domain:d ~voter:true kind ~fanins
+    | None -> Netlist.add_cell nl ~name:nm ~voter:true kind ~fanins
+  in
+  match variant with
+  | Majority | Detecting -> cell Netlist.Maj3 [| a; b; c |] name
+  | Improved ->
+      let ab = cell Netlist.And2 [| a; b |] (name ^ "/ab") in
+      let a_or_b = cell Netlist.Or2 [| a; b |] (name ^ "/a+b") in
+      let sel_c = cell Netlist.And2 [| a_or_b; c |] (name ^ "/(a+b)c") in
+      cell Netlist.Or2 [| ab; sel_c |] name
+
+(* Pairwise disagreement detectors for one voted bit.  Emitted once per
+   voted source cell (not per domain): all three domain voters read the
+   same copy triple, so the XORs are shared.  Domain stays -1 — the
+   detectors feed the global error aggregation, like the output voters. *)
+let emit_detect nl ~name ~a ~b ~c =
+  let x nm p q =
+    Netlist.add_cell nl ~name:nm ~voter:true Netlist.Xor2 ~fanins:[| p; q |]
+  in
+  (x (name ^ "/err_ab") a b, x (name ^ "/err_bc") b c, x (name ^ "/err_ac") a c)
+
+(* Balanced OR reduction: logarithmic depth, deterministic shape for a
+   fixed emission order. *)
+let or_tree nl ~name ids =
+  let rec reduce level = function
+    | [] -> invalid_arg "Voter.or_tree: empty"
+    | [ x ] -> x
+    | xs ->
+        let rec pair i acc = function
+          | a :: b :: tl ->
+              let o =
+                Netlist.add_cell nl
+                  ~name:(Printf.sprintf "%s/or%d_%d" name level i)
+                  Netlist.Or2 ~fanins:[| a; b |]
+              in
+              pair (i + 1) (o :: acc) tl
+          | [ a ] -> pair i (a :: acc) []
+          | [] -> List.rev acc
+        in
+        reduce (level + 1) (pair 0 [] xs)
+  in
+  reduce 0 ids

@@ -1,0 +1,79 @@
+(** Pluggable voter library.
+
+    The paper treats the voter as an opaque majority gate; this module
+    makes the voter microarchitecture a design axis (Balasubramanian &
+    Prasad's fault-tolerance-improved voter; a self-checking voter with
+    pairwise disagreement outputs).  {!Tmr.triplicate} instantiates the
+    selected variant at every barrier, register and output voter; the
+    {!Detecting} variant additionally exports three single-bit error
+    ports ([tmr_err_ab]/[tmr_err_bc]/[tmr_err_ac]) that fault campaigns
+    observe as in-circuit detection telemetry. *)
+
+type variant =
+  | Majority  (** plain 3-input majority — the paper's voter *)
+  | Improved
+      (** [v = ab + (a+b)c] as four 2-input gates (Balasubramanian &
+          Prasad): deeper but with no internal fanout-of-two node *)
+  | Detecting
+      (** majority vote plus pairwise A/B, B/C, A/C disagreement
+          detectors aggregated into the [tmr_err_*] output ports *)
+
+val all : variant list
+val name : variant -> string
+val of_name : string -> variant option
+val description : variant -> string
+
+val has_detection : variant -> bool
+
+val detect_ports : string list
+(** [["tmr_err_ab"; "tmr_err_bc"; "tmr_err_ac"]] — the single-bit error
+    ports a {!Detecting} design exports, in emission order. *)
+
+val is_detect_port : string -> bool
+
+type cost = {
+  vote_cells : int;  (** gate cells per voted bit per redundancy domain *)
+  detect_cells : int;
+      (** disagreement cells per voted bit, shared across the domains *)
+  levels : int;  (** combinational depth of the vote function *)
+  delay_ns : float;  (** [levels] post-map LUT delays *)
+}
+
+val cost : variant -> cost
+(** Area/delay model per voted bit, derived from the {!Tmr_pnr.Timing}
+    LUT delay.  The full flow needs no separate model — the variants emit
+    real cells, so techmap and timing see the true structure — but the
+    model lets reports compare variants without re-implementing. *)
+
+(** {1 Emission} — used by {!Tmr.triplicate}. *)
+
+val emit_vote :
+  variant ->
+  Tmr_netlist.Netlist.t ->
+  name:string ->
+  ?domain:int ->
+  a:Tmr_netlist.Netlist.id ->
+  b:Tmr_netlist.Netlist.id ->
+  c:Tmr_netlist.Netlist.id ->
+  unit ->
+  Tmr_netlist.Netlist.id
+(** Emit one voted bit over the copy triple [(a, b, c)]; returns the cell
+    downstream logic reads.  Every emitted cell carries the voter flag. *)
+
+val emit_detect :
+  Tmr_netlist.Netlist.t ->
+  name:string ->
+  a:Tmr_netlist.Netlist.id ->
+  b:Tmr_netlist.Netlist.id ->
+  c:Tmr_netlist.Netlist.id ->
+  Tmr_netlist.Netlist.id * Tmr_netlist.Netlist.id * Tmr_netlist.Netlist.id
+(** Pairwise disagreement XORs [(ab, bc, ac)] for one voted bit, shared
+    across the three domain voters. *)
+
+val or_tree :
+  Tmr_netlist.Netlist.t ->
+  name:string ->
+  Tmr_netlist.Netlist.id list ->
+  Tmr_netlist.Netlist.id
+(** Balanced OR reduction of the per-bit detectors into one error net.
+    Raises [Invalid_argument] on an empty list. *)

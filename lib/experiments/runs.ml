@@ -5,19 +5,30 @@ module Campaign = Tmr_inject.Campaign
 
 type design_run = {
   strategy : Partition.strategy;
+  voter : Tmr_core.Voter.variant;
   nl : Tmr_netlist.Netlist.t;
   impl : Impl.t;
   faultlist : Faultlist.t;
   campaign : Campaign.t option;
 }
 
-let implement_design (ctx : Context.t) strategy =
-  let nl = Tmr_filter.Designs.build ~params:ctx.Context.params strategy in
+let implement_design ?(voter = Tmr_core.Voter.Majority) (ctx : Context.t)
+    strategy =
+  let nl =
+    Tmr_filter.Designs.build ~params:ctx.Context.params ~voter strategy
+  in
   let impl =
     Impl.implement_exn ~seed:ctx.Context.seed
       ?moves_per_site:ctx.Context.place_moves ctx.Context.dev ctx.Context.db nl
   in
-  { strategy; nl; impl; faultlist = Faultlist.of_impl impl; campaign = None }
+  {
+    strategy;
+    voter;
+    nl;
+    impl;
+    faultlist = Faultlist.of_impl impl;
+    campaign = None;
+  }
 
 let campaign_design ?progress ?workers ?cone_skip ?diff ?forensics ?stop_at_ci
     ?batch_width (ctx : Context.t) run =
@@ -34,12 +45,12 @@ let campaign_design ?progress ?workers ?cone_skip ?diff ?forensics ?stop_at_ci
   in
   { run with campaign = Some campaign }
 
-let run_all ?progress ?workers ?forensics ?stop_at_ci ?batch_width ctx =
+let run_all ?progress ?workers ?forensics ?stop_at_ci ?batch_width ?voter ctx =
   List.map
     (fun strategy ->
       campaign_design ?progress ?workers ?forensics ?stop_at_ci ?batch_width
         ctx
-        (implement_design ctx strategy))
+        (implement_design ?voter ctx strategy))
     Partition.all_paper_designs
 
 let coverage_of run =

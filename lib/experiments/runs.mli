@@ -3,6 +3,7 @@
 
 type design_run = {
   strategy : Tmr_core.Partition.strategy;
+  voter : Tmr_core.Voter.variant;  (** voter macro used by the TMR designs *)
   nl : Tmr_netlist.Netlist.t;  (** the (possibly TMR) gate-level design *)
   impl : Tmr_pnr.Impl.t;
   faultlist : Tmr_inject.Faultlist.t;
@@ -10,8 +11,14 @@ type design_run = {
 }
 
 val implement_design :
-  Context.t -> Tmr_core.Partition.strategy -> design_run
-(** Build, map, place, route; no fault injection. *)
+  ?voter:Tmr_core.Voter.variant ->
+  Context.t ->
+  Tmr_core.Partition.strategy ->
+  design_run
+(** Build, map, place, route; no fault injection.  [voter] (default
+    [Majority]) selects the voter macro every voter partition
+    instantiates; [Detecting] adds the pairwise-disagreement outputs
+    campaigns classify into the detected-vs-silent taxonomy. *)
 
 val campaign_design :
   ?progress:(string -> Tmr_inject.Campaign.progress -> unit) ->
@@ -35,6 +42,7 @@ val run_all :
   ?forensics:bool ->
   ?stop_at_ci:Tmr_obs.Stats.stop_rule ->
   ?batch_width:int ->
+  ?voter:Tmr_core.Voter.variant ->
   Context.t ->
   design_run list
 (** The five paper designs, implemented and injected. *)

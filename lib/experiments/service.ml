@@ -30,11 +30,12 @@ type job = {
   j_workers : int;
   j_diff : bool;
   j_batch_width : int;
+  j_voter : Tmr_core.Voter.variant;
 }
 
 let job ?(scale = Context.Paper) ?(seed = 1) ?(faults = 1500)
     ?(exhaustive = false) ?(shards = 16) ?(workers = 1) ?(diff = true)
-    ?(batch_width = 64) design =
+    ?(batch_width = 64) ?(voter = Tmr_core.Voter.Majority) design =
   {
     j_design = design;
     j_scale = scale;
@@ -45,6 +46,7 @@ let job ?(scale = Context.Paper) ?(seed = 1) ?(faults = 1500)
     j_workers = workers;
     j_diff = diff;
     j_batch_width = batch_width;
+    j_voter = voter;
   }
 
 let scale_name = function
@@ -52,10 +54,14 @@ let scale_name = function
   | Context.Reduced -> "reduced"
 
 let job_name j =
-  Printf.sprintf "%s-%s-seed%d-%s"
+  Printf.sprintf "%s-%s-seed%d-%s%s"
     (Partition.name j.j_design)
     (scale_name j.j_scale) j.j_seed
     (if j.j_exhaustive then "exhaustive" else string_of_int j.j_faults)
+    (* majority stays unsuffixed so existing queue directories resume *)
+    (match j.j_voter with
+    | Tmr_core.Voter.Majority -> ""
+    | v -> "-" ^ Tmr_core.Voter.name v)
 
 let job_to_json j =
   let int n = Json.Num (float_of_int n) in
@@ -70,6 +76,7 @@ let job_to_json j =
       ("workers", int j.j_workers);
       ("diff", Json.Bool j.j_diff);
       ("batch_width", int j.j_batch_width);
+      ("voter", Json.Str (Tmr_core.Voter.name j.j_voter));
     ]
 
 let job_of_json json =
@@ -111,6 +118,12 @@ let job_of_json json =
   let* j_workers = opt "workers" Json.int 1 in
   let* j_diff = opt "diff" Json.bool true in
   let* j_batch_width = opt "batch_width" Json.int 64 in
+  let* voter_s = opt "voter" Json.str "majority" in
+  let* j_voter =
+    match Tmr_core.Voter.of_name voter_s with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "job: unknown voter %S" voter_s)
+  in
   if j_shards <= 0 then Error "job: shards must be positive"
   else if j_batch_width <> 0 && j_batch_width <> 32 && j_batch_width <> 64 then
     Error "job: batch_width must be 0, 32 or 64"
@@ -126,6 +139,7 @@ let job_of_json json =
         j_workers;
         j_diff;
         j_batch_width;
+        j_voter;
       }
 
 let faults_of _ctx (run : Runs.design_run) j =
@@ -750,6 +764,7 @@ let serve ?(host = "127.0.0.1") ?max_jobs ?(procs = 1) ~port ~dir () =
     let jname = job_name j in
     let design = Partition.name j.j_design in
     Metrics.set m_jobs_active 1.0;
+    Printf.eprintf "serve: job %s started (%s)\n%!" jname (Store.version_string ());
     broadcast (Events.Job_started { job = jname; design });
     (match
        let ckey = (scale_name j.j_scale, j.j_seed) in
@@ -764,12 +779,18 @@ let serve ?(host = "127.0.0.1") ?max_jobs ?(procs = 1) ~port ~dir () =
              Hashtbl.add ctxs ckey ctx;
              ctx
        in
-       let rkey = (scale_name j.j_scale, j.j_seed, design) in
+       let rkey =
+         ( scale_name j.j_scale,
+           j.j_seed,
+           design ^ "/" ^ Tmr_core.Voter.name j.j_voter )
+       in
        let run =
          match Hashtbl.find_opt runs rkey with
          | Some run -> run
          | None ->
-             let run = Runs.implement_design ctx j.j_design in
+             let run =
+               Runs.implement_design ~voter:j.j_voter ctx j.j_design
+             in
              Hashtbl.add runs rkey run;
              run
        in

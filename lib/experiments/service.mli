@@ -29,13 +29,17 @@ type job = {
   j_workers : int;  (** domain workers per process *)
   j_diff : bool;
   j_batch_width : int;
+  j_voter : Tmr_core.Voter.variant;
+      (** voter macro the design is built with; part of the job
+          fingerprint, so a resume never mixes voter variants *)
 }
 
 val job : ?scale:Context.scale -> ?seed:int -> ?faults:int ->
   ?exhaustive:bool -> ?shards:int -> ?workers:int -> ?diff:bool ->
-  ?batch_width:int -> Tmr_core.Partition.strategy -> job
+  ?batch_width:int -> ?voter:Tmr_core.Voter.variant ->
+  Tmr_core.Partition.strategy -> job
 (** Defaults: paper scale, seed 1, 1500 faults, sampled, 16 shards,
-    1 worker, diff on, batch width 64. *)
+    1 worker, diff on, batch width 64, majority voter. *)
 
 val job_name : job -> string
 (** Stable human-readable id, e.g. ["tmr_p2-reduced-seed1-exhaustive"] —

@@ -36,15 +36,24 @@ type manifest = {
   m_faults_per_sec : float;
   m_wall_ns : int;
   m_utilization : float;
+  m_voter : string;
+  m_detection : detection option;
   m_coverage : Json.t;
   m_metrics_digest : string;
+}
+
+and detection = {
+  md_silent_correct : int;
+  md_detected_corrected : int;
+  md_detected_wrong : int;
+  md_silent_wrong : int;
 }
 
 let scale_name = function
   | Context.Paper -> "paper"
   | Context.Reduced -> "reduced"
 
-let tool_version = "0.8.0"
+let tool_version = "0.9.0"
 
 let iso8601 t =
   let tm = Unix.gmtime t in
@@ -62,6 +71,9 @@ let git_commit =
        | Unix.WEXITED 0 when line <> "" -> line
        | _ -> "unknown"
      with _ -> "unknown")
+
+let version_string () =
+  Printf.sprintf "tmrtool %s (git %s)" tool_version (Lazy.force git_commit)
 
 let of_run ?(confidence = 0.95) ?(cone_skip = true) ?(diff = true)
     ?(forensics = false) ?stop ?(exhaustive = false) ?events_path
@@ -121,6 +133,19 @@ let of_run ?(confidence = 0.95) ?(cone_skip = true) ?(diff = true)
          /. (float_of_int c.Campaign.wall_ns /. 1e9));
     m_wall_ns = c.Campaign.wall_ns;
     m_utilization = Campaign.utilization c;
+    m_voter = Tmr_core.Voter.name run.Runs.voter;
+    m_detection =
+      (if Tmr_core.Voter.has_detection run.Runs.voter then begin
+         let d = Campaign.detection_counts c in
+         Some
+           {
+             md_silent_correct = d.Campaign.dc_silent_correct;
+             md_detected_corrected = d.Campaign.dc_detected_corrected;
+             md_detected_wrong = d.Campaign.dc_detected_wrong;
+             md_silent_wrong = d.Campaign.dc_silent_wrong;
+           }
+       end
+       else None);
     m_coverage = coverage;
     m_metrics_digest = digest;
   }
@@ -180,6 +205,18 @@ let to_json m =
       ("faults_per_sec", num m.m_faults_per_sec);
       ("wall_ns", int m.m_wall_ns);
       ("utilization", num m.m_utilization);
+      ("voter", Json.Str m.m_voter);
+      ( "detection",
+        match m.m_detection with
+        | None -> Json.Null
+        | Some d ->
+            Json.Obj
+              [
+                ("silent_correct", int d.md_silent_correct);
+                ("detected_corrected", int d.md_detected_corrected);
+                ("detected_wrong", int d.md_detected_wrong);
+                ("silent_wrong", int d.md_silent_wrong);
+              ] );
       ("coverage", m.m_coverage);
       ("metrics_digest", Json.Str m.m_metrics_digest);
     ]
@@ -275,6 +312,28 @@ let of_json j =
       m_faults_per_sec = faults_per_sec;
       m_wall_ns = wall_ns;
       m_utilization = utilization;
+      (* absent in manifests written by older tool versions: every
+         pre-0.9 campaign ran the plain majority voter *)
+      m_voter = Option.value ~default:"majority" (str "voter");
+      m_detection =
+        (match Json.member "detection" j with
+        | Some (Json.Obj _ as d) -> (
+            match
+              ( Option.bind (Json.member "silent_correct" d) Json.int,
+                Option.bind (Json.member "detected_corrected" d) Json.int,
+                Option.bind (Json.member "detected_wrong" d) Json.int,
+                Option.bind (Json.member "silent_wrong" d) Json.int )
+            with
+            | Some sc, Some dc, Some dw, Some sw ->
+                Some
+                  {
+                    md_silent_correct = sc;
+                    md_detected_corrected = dc;
+                    md_detected_wrong = dw;
+                    md_silent_wrong = sw;
+                  }
+            | _ -> None)
+        | _ -> None);
       m_coverage = Option.value ~default:Json.Null (Json.member "coverage" j);
       m_metrics_digest = digest;
     }
@@ -346,7 +405,9 @@ let load_dir ?(warn = default_warn) ~dir () =
 let baseline_for ~history m =
   List.fold_left
     (fun acc h ->
-      if h.m_design = m.m_design && h.m_scale = m.m_scale then Some h else acc)
+      if h.m_design = m.m_design && h.m_scale = m.m_scale && h.m_voter = m.m_voter
+      then Some h
+      else acc)
     None history
 
 (* ---- markdown report ------------------------------------------------ *)
@@ -474,6 +535,55 @@ let report_markdown ?(confidence = 0.95) ?(throughput_drop = 0.30) ~history
     (fun note -> Buffer.add_string b (Printf.sprintf "- %s\n" note))
     (List.rev !notes);
   if !notes <> [] then Buffer.add_char b '\n';
+  (* in-circuit detection: the four-way verdict split of campaigns run
+     with a detecting voter, the SDC (silent-wrong) rate compared
+     against the stored baseline by the same two-proportion test the
+     wrong-answer rate uses *)
+  if List.exists (fun m -> m.m_detection <> None) currents then begin
+    Buffer.add_string b "## In-circuit detection\n\n";
+    Buffer.add_string b
+      "| design | voter | corrected | detected-wrong | SDC | SDC rate | \
+       baseline SDC | verdict |\n";
+    Buffer.add_string b "|---|---|---|---|---|---|---|---|\n";
+    List.iter
+      (fun m ->
+        match m.m_detection with
+        | None -> ()
+        | Some d ->
+            let sdc_rate =
+              if m.m_injected = 0 then 0.
+              else float_of_int d.md_silent_wrong /. float_of_int m.m_injected
+            in
+            let base_str, verdict =
+              match
+                Option.bind (baseline_for ~history m) (fun h ->
+                    Option.map (fun hd -> (h, hd)) h.m_detection)
+              with
+              | None -> ("-", "new")
+              | Some (h, hd) ->
+                  let base_rate =
+                    if h.m_injected = 0 then 0.
+                    else
+                      float_of_int hd.md_silent_wrong
+                      /. float_of_int h.m_injected
+                  in
+                  let ok =
+                    Stats.compatible ~confidence ~n1:m.m_injected
+                      ~k1:d.md_silent_wrong ~n2:h.m_injected
+                      ~k2:hd.md_silent_wrong ()
+                  in
+                  ( Printf.sprintf "%.2f%%" (pct base_rate),
+                    if ok then "compatible"
+                    else if sdc_rate > base_rate then "**regression**"
+                    else "improvement" )
+            in
+            Buffer.add_string b
+              (Printf.sprintf "| %s | %s | %d | %d | %d | %.2f%% | %s | %s |\n"
+                 m.m_design m.m_voter d.md_detected_corrected d.md_detected_wrong
+                 d.md_silent_wrong (pct sdc_rate) base_str verdict))
+      currents;
+    Buffer.add_char b '\n'
+  end;
   (* coverage: distinct injected bits vs. the essential-bit population *)
   if List.exists (fun m -> m.m_coverage <> Json.Null) currents then begin
     Buffer.add_string b "## Injection coverage\n\n";

@@ -7,6 +7,14 @@
     design's latest stored baseline, rates compared by CI overlap plus a
     two-proportion z test, throughput by relative faults/s drop. *)
 
+val tool_version : string
+(** The version stamped into every manifest (and printed by
+    [tmrtool --version]). *)
+
+val version_string : unit -> string
+(** ["tmrtool <version> (git <short-hash>)"] — the manifest identity
+    fields as one line, for [--version] and service job logs. *)
+
 type spool_ref = {
   sr_worker : int;  (** worker slot, 1-based *)
   sr_path : string;  (** the worker's event spool file *)
@@ -52,11 +60,28 @@ type manifest = {
   m_faults_per_sec : float;
   m_wall_ns : int;
   m_utilization : float;
+  m_voter : string;
+      (** voter-macro variant the design was built with
+          ({!Tmr_core.Voter.name}); manifests written by pre-0.9 tools
+          load as ["majority"] *)
+  m_detection : detection option;
+      (** four-way detected-vs-silent verdict counts, present only when
+          the design carried a detecting voter (and absent in pre-0.9
+          manifests) *)
   m_coverage : Tmr_obs.Json.t;  (** {!Tmr_inject.Coverage.to_json}, or [Null] *)
   m_metrics_digest : string;
       (** MD5 hex of the process metrics snapshot at manifest time — ties
           the manifest to its telemetry dump *)
 }
+
+and detection = {
+  md_silent_correct : int;
+  md_detected_corrected : int;
+  md_detected_wrong : int;
+  md_silent_wrong : int;  (** the SDC class *)
+}
+(** The campaign's {!Tmr_inject.Campaign.verdict} split; the four counts
+    sum to the injected faults. *)
 
 val of_run :
   ?confidence:float ->
@@ -92,7 +117,7 @@ val load_dir : ?warn:(string -> unit) -> dir:string -> unit -> manifest list
     history, which crash-resume relies on. *)
 
 val baseline_for : history:manifest list -> manifest -> manifest option
-(** Latest stored manifest with the same design and scale. *)
+(** Latest stored manifest with the same design, scale and voter. *)
 
 val report_markdown :
   ?confidence:float ->

@@ -271,6 +271,103 @@ let table4 runs =
   Texttab.render t
 
 (* ------------------------------------------------------------------ *)
+(* Voter library: cost model and detection coverage.  Not in the paper —
+   the voter microarchitecture is this repo's extra design axis — but
+   rendered in the same style so the partition optimum can be re-read
+   under each voter choice. *)
+
+module Voter = Tmr_core.Voter
+
+let table_voters () =
+  let t =
+    Texttab.create
+      ~title:"Voter library: per-voted-bit cost model (post-map LUT delays)"
+      ~header:
+        [ "Voter"; "Vote cells"; "Detect cells"; "Levels"; "Delay [ns]";
+          "Description" ]
+      [ Texttab.Left; Texttab.Right; Texttab.Right; Texttab.Right;
+        Texttab.Right; Texttab.Left ]
+  in
+  List.iter
+    (fun v ->
+      let c = Voter.cost v in
+      Texttab.add_row t
+        [
+          Voter.name v;
+          string_of_int c.Voter.vote_cells;
+          string_of_int c.Voter.detect_cells;
+          string_of_int c.Voter.levels;
+          Printf.sprintf "%.2f" c.Voter.delay_ns;
+          Voter.description v;
+        ])
+    Voter.all;
+  Texttab.render t
+
+(* Group the runs by voter variant, preserving first-seen order in both
+   axes.  Majority/improved designs have no detection logic, so their
+   SDC share just restates the wrong-answer rate — printing it anyway
+   makes the detecting column's SDC reduction directly comparable. *)
+let table_detection runs =
+  let voters = ref [] in
+  List.iter
+    (fun (run : Runs.design_run) ->
+      if not (List.mem_assoc run.Runs.voter !voters) then
+        voters := !voters @ [ (run.Runs.voter, ()) ])
+    runs;
+  let voters = List.map fst !voters in
+  let designs = ref [] in
+  List.iter
+    (fun (run : Runs.design_run) ->
+      if not (List.exists (fun s -> s = run.Runs.strategy) !designs) then
+        designs := !designs @ [ run.Runs.strategy ])
+    runs;
+  let header =
+    "Design"
+    :: List.concat_map
+         (fun v -> [ Voter.name v ^ " wrong%"; "SDC%"; "detected%" ])
+         voters
+  in
+  let aligns =
+    Texttab.Left
+    :: List.concat_map
+         (fun _ -> [ Texttab.Right; Texttab.Right; Texttab.Right ])
+         voters
+  in
+  let t =
+    Texttab.create
+      ~title:
+        "Detection coverage: wrong-answer, silent-data-corruption and \
+         detected shares per design x voter"
+      ~header aligns
+  in
+  List.iter
+    (fun strategy ->
+      let row =
+        Partition.paper_name strategy
+        :: List.concat_map
+             (fun v ->
+               match
+                 List.find_opt
+                   (fun (run : Runs.design_run) ->
+                     run.Runs.strategy = strategy && run.Runs.voter = v
+                     && run.Runs.campaign <> None)
+                   runs
+               with
+               | None -> [ "-"; "-"; "-" ]
+               | Some run ->
+                   let c = Option.get run.Runs.campaign in
+                   [
+                     Printf.sprintf "%.2f" (Campaign.wrong_percent c);
+                     Printf.sprintf "%.2f" (Campaign.sdc_percent c);
+                     Printf.sprintf "%.2f" (Campaign.detected_percent c);
+                   ])
+             voters
+      in
+      Texttab.add_row t row)
+    !designs;
+  Texttab.render t
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable emission (tmrtool tables --json): per design, the
    same engine-summary object as [tmrtool inject --json], extended with
    the implementation numbers the text tables show and the paper's own
@@ -292,6 +389,7 @@ let json_of_run (run : Runs.design_run) =
       let extra =
         [
           ("paper_name", Json.Str (Partition.paper_name run.Runs.strategy));
+          ("voter", Json.Str (Voter.name run.Runs.voter));
           ("slices", int (Impl.used_slices run.Runs.impl));
           ( "mhz",
             Json.Num run.Runs.impl.Impl.timing.Tmr_pnr.Timing.mhz );

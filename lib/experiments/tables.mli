@@ -21,6 +21,17 @@ val table4 : Runs.design_run list -> string
 (** Classification of the effects of the upsets that caused a wrong
     answer. *)
 
+val table_voters : unit -> string
+(** The voter library's per-voted-bit cost model (vote/detect cells,
+    combinational depth, post-map delay) with one row per
+    {!Tmr_core.Voter.variant}. *)
+
+val table_detection : Runs.design_run list -> string
+(** Detection coverage across design x voter: wrong-answer, SDC
+    (silent-wrong) and detected shares, one column triple per voter
+    variant present in [runs] — the partition optimum re-read under each
+    voter choice.  Runs without campaigns render as "-". *)
+
 val table_forensics : Runs.design_run list -> string
 (** Aggregate fault forensics per design: cross-domain fault share (the
     upsets no vote can fix, tracking each partitioning's inter-domain

@@ -1656,8 +1656,8 @@ let replay_lut t node rv0 rv1 rv2 rv3 =
 
 type dseeds = Seed_node of int | Seed_derived
 
-let diff_run ~forensics ~scratch:d ~tape:tp ~base ~sim ~seeds ~watch
-    ~base_watch ~expected =
+let diff_run ?(ndetect = 0) ~forensics ~scratch:d ~tape:tp ~base ~sim ~seeds
+    ~watch ~base_watch ~expected () =
   let n = sim.nnodes in
   let cycles = tp.tp_cycles in
   if tp.tp_nnodes <> base.nnodes then
@@ -1666,6 +1666,11 @@ let diff_run ~forensics ~scratch:d ~tape:tp ~base ~sim ~seeds ~watch
     invalid_arg "Fsim.diff_run: expected matrix / tape cycle mismatch";
   if Array.length watch <> Array.length base_watch then
     invalid_arg "Fsim.diff_run: watch array length mismatch";
+  if ndetect < 0 || ndetect > Array.length watch then
+    invalid_arg "Fsim.diff_run: ndetect out of range";
+  (* watch layout: functional outputs first, then [ndetect] detection
+     nodes (voter disagreement flags, expected Zero on the baseline) *)
+  let nfunc = Array.length watch - ndetect in
   dscratch_ensure d n;
   dscratch_suspect_ensure d (Array.length watch);
   (match d.dd_csr_for with
@@ -1946,8 +1951,17 @@ let diff_run ~forensics ~scratch:d ~tape:tp ~base ~sim ~seeds ~watch
   (* ---- the per-cycle loop ---- *)
   let error_cycle = ref (-1) in
   let converge_cycle = ref (-1) in
+  (* first cycle a detection watch node left Zero; the loop keeps running
+     past a functional error until detection also resolves (fires,
+     converges away, or the stimulus ends) — and vice versa *)
+  let detect_cycle = ref (-1) in
+  let det_pending () = ndetect > 0 && !detect_cycle < 0 in
   let cy = ref 0 in
-  while !error_cycle < 0 && !converge_cycle < 0 && !cy < cycles do
+  while
+    (!error_cycle < 0 || det_pending ())
+    && !converge_cycle < 0
+    && !cy < cycles
+  do
     let c = !cy in
     let tick = tick0 + c in
     (* frontier values come from the tape; a change schedules readers *)
@@ -2033,17 +2047,21 @@ let diff_run ~forensics ~scratch:d ~tape:tp ~base ~sim ~seeds ~watch
     (* cone-aware output check: only suspects can differ from golden *)
     let exp = expected.(c) in
     let i = ref 0 in
-    while !error_cycle < 0 && !i < d.dd_nsuspect do
+    while (!error_cycle < 0 || det_pending ()) && !i < d.dd_nsuspect do
       let wi = d.dd_suspect.(!i) in
       let w = watch.(wi) in
       let v =
         if Bytes.get d.dd_mark w <> '\000' then values.(w)
         else tape_get_u tp c w
       in
-      if not (Logic.equal v exp.(wi)) then error_cycle := c;
+      if not (Logic.equal v exp.(wi)) then
+        if wi < nfunc then begin
+          if !error_cycle < 0 then error_cycle := c
+        end
+        else if !detect_cycle < 0 then detect_cycle := c;
       incr i
     done;
-    if !error_cycle < 0 then begin
+    if !error_cycle < 0 || det_pending () then begin
       (* clock the cone registers; a q change dirties readers next cycle *)
       for i = 0 to d.dd_nregs - 1 do
         let r = d.dd_regs.(i) in
@@ -2077,16 +2095,21 @@ let diff_run ~forensics ~scratch:d ~tape:tp ~base ~sim ~seeds ~watch
            skipped cycles *)
         if !remapped_old then begin
           let c' = ref (c + 1) in
-          while !error_cycle < 0 && !c' < cycles do
+          while (!error_cycle < 0 || det_pending ()) && !c' < cycles do
             let exp = expected.(!c') in
             let si = ref 0 in
-            while !error_cycle < 0 && !si < d.dd_nsuspect do
+            while (!error_cycle < 0 || det_pending ()) && !si < d.dd_nsuspect
+            do
               let wi = d.dd_suspect.(!si) in
               let w = watch.(wi) in
               if
                 w <> base_watch.(wi)
                 && not (Logic.equal (tape_get_u tp !c' w) exp.(wi))
-              then error_cycle := !c';
+              then
+                if wi < nfunc then begin
+                  if !error_cycle < 0 then error_cycle := !c'
+                end
+                else if !detect_cycle < 0 then detect_cycle := !c';
               incr si
             done;
             incr c'
@@ -2096,7 +2119,7 @@ let diff_run ~forensics ~scratch:d ~tape:tp ~base ~sim ~seeds ~watch
     end;
     incr cy
   done;
-  (!error_cycle, !converge_cycle)
+  (!error_cycle, !converge_cycle, !detect_cycle)
 
 (* Forensic view of the last [diff_run]. *)
 type diff_forensics = {

@@ -273,6 +273,7 @@ type dseeds =
           appended node *)
 
 val diff_run :
+  ?ndetect:int ->
   forensics:bool ->
   scratch:dscratch ->
   tape:tape ->
@@ -282,16 +283,26 @@ val diff_run :
   watch:int array ->
   base_watch:int array ->
   expected:Tmr_logic.Logic.t array array ->
-  int * int
+  unit ->
+  int * int * int
 (** [diff_run ~scratch ~tape ~base ~sim ~seeds ~watch ~base_watch
     ~expected] simulates the fault differentially against the baseline
     [tape] (recorded from [base], which must already match the golden
     [expected] watch matrix — [expected.(cycle).(i)] for watch node
     [watch.(i)], with [base_watch] the base simulator's resolution of
     the same wires).  [sim] is [base] itself under {!with_patch} or a
-    {!reroute}d derivation.  Returns [(first_error_cycle, converge_cycle)],
-    each [-1] when absent; the result is bit-identical to a full DUT
-    replay of [sim].  Scribbles over [sim]'s value/state arrays.
+    {!reroute}d derivation.  Returns
+    [(first_error_cycle, converge_cycle, first_detect_cycle)], each [-1]
+    when absent; the result is bit-identical to a full DUT replay of
+    [sim].  Scribbles over [sim]'s value/state arrays.
+
+    [ndetect] (default 0) marks the last [ndetect] watch entries as
+    {e detection} nodes (voter disagreement flags whose expected rows
+    are all-Zero): a mismatch there sets [first_detect_cycle] instead of
+    [first_error_cycle], and the run keeps simulating past a functional
+    error until detection also resolves (fires, provably converges away,
+    or the stimulus ends) — and vice versa.  With [ndetect = 0] the
+    behaviour is exactly the historical two-result contract.
 
     With [~forensics:true] it additionally compares the settled
     cone against the tape every cycle, recording which nodes diverged

@@ -45,7 +45,11 @@ let bail msg =
   if debug then Printf.eprintf "[fsim_batch] bail: %s\n%!" msg;
   raise Ineligible
 
-type verdict = { bv_error_cycle : int; bv_converge_cycle : int }
+type verdict = {
+  bv_error_cycle : int;
+  bv_converge_cycle : int;
+  bv_detect_cycle : int;
+}
 
 type t = {
   base : F.t;
@@ -243,12 +247,15 @@ let last_cone t = Array.sub t.last_cone 0 t.last_nm
 (* Index of the single set bit of [m] (an isolated power of two). *)
 let rec bit_index m i = if m land 1 = 1 then i else bit_index (m lsr 1) (i + 1)
 
-let run t ~tape ~expected ~watch ~lanes =
+let run t ?(ndetect = 0) ~tape ~expected ~watch ~lanes () =
   let v = t.view in
   let bn = v.F.v_nnodes in
   let nlanes = Array.length lanes in
   if nlanes = 0 || nlanes > t.width then
     invalid_arg "Fsim_batch.run: lane count out of range";
+  if ndetect < 0 || ndetect > Array.length watch then
+    invalid_arg "Fsim_batch.run: ndetect out of range";
+  let nfunc = Array.length watch - ndetect in
   if F.tape_nnodes tape <> bn then
     invalid_arg "Fsim_batch.run: tape recorded for another simulator";
   let cycles = F.tape_cycles tape in
@@ -1352,6 +1359,7 @@ let run t ~tape ~expected ~watch ~lanes =
     let t_setup = if debug then Sys.time () else 0. in
     let err_cy = Array.make nlanes (-1) in
     let conv_cy = Array.make nlanes (-1) in
+    let det_cy = Array.make nlanes (-1) in
     let dbg_sweeps = ref 0 in
     let und = Lanemask.create nlanes in
     Lanemask.set_all und;
@@ -1419,7 +1427,13 @@ let run t ~tape ~expected ~watch ~lanes =
         done
       done;
       (* watched-output check (before the clock, like the scalar
-         engine); an erroring lane is decided and leaves the batch *)
+         engine).  Functional entries ([wi < nfunc]) record the first
+         error; trailing detection entries record the first disagreement
+         flag.  A lane is decided — and leaves the batch — once its
+         functional verdict landed and no detection verdict is still
+         pending, mirroring the scalar engine's continue-past-error
+         rule; with [ndetect = 0] this degenerates to the historical
+         retire-on-first-error behaviour. *)
       let exp = expected.(c) in
       for si = 0 to Array.length suspects - 1 do
         let wi = suspects.(si) in
@@ -1439,13 +1453,19 @@ let run t ~tape ~expected ~watch ~lanes =
             land Lanemask.word und s
           in
           if mism <> 0 then begin
-            Lanemask.set_word und s (Lanemask.word und s land lnot mism);
             let m = ref mism in
             while !m <> 0 do
               let lsb = !m land - !m in
               let li = (s * 32) + bit_index lsb 0 in
-              err_cy.(li) <- c;
-              purge_lane li;
+              (if wi < nfunc then begin
+                 if err_cy.(li) < 0 then err_cy.(li) <- c
+               end
+               else if det_cy.(li) < 0 then det_cy.(li) <- c);
+              if err_cy.(li) >= 0 && (ndetect = 0 || det_cy.(li) >= 0)
+              then begin
+                Lanemask.clear und li;
+                purge_lane li
+              end;
               m := !m land (!m - 1)
             done
           end
@@ -1581,5 +1601,6 @@ let run t ~tape ~expected ~watch ~lanes =
                {
                  bv_error_cycle = err_cy.(li);
                  bv_converge_cycle = conv_cy.(li);
+                 bv_detect_cycle = det_cy.(li);
                }))
   with Ineligible -> None

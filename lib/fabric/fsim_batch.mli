@@ -35,23 +35,37 @@ type verdict = {
   bv_error_cycle : int;  (** first watched-output error, [-1] = silent *)
   bv_converge_cycle : int;
       (** convergence early-exit boundary, [-1] = ran every cycle *)
+  bv_detect_cycle : int;
+      (** first cycle a trailing detection watch entry left its all-zero
+          expectation, [-1] = never (always [-1] when [ndetect = 0]) *)
 }
-(** Exactly {!Fsim.diff_run}'s [(first_error_cycle, converge_cycle)]
-    pair for the lane's fault. *)
+(** Exactly {!Fsim.diff_run}'s
+    [(first_error_cycle, converge_cycle, detect_cycle)] triple for the
+    lane's fault. *)
 
 val run :
   t ->
+  ?ndetect:int ->
   tape:Fsim.tape ->
   expected:Tmr_logic.Logic.t array array ->
   watch:int array ->
   lanes:Fsim.delta array ->
+  unit ->
   verdict option array option
-(** [run t ~tape ~expected ~watch ~lanes] simulates all faults of
+(** [run t ~tape ~expected ~watch ~lanes ()] simulates all faults of
     [lanes] (at most [width t], each a {!Fsim.patch_delta} or
     {!Fsim.fault_delta} overlay) in one batch against the baseline
     [tape]; [watch] are the base simulator's watch nodes and
     [expected.(cycle).(i)] the golden value of [watch.(i)] — the same
     arrays a scalar {!Fsim.diff_run} of these faults would receive.
+
+    [ndetect] marks the last [ndetect] entries of [watch] as in-circuit
+    detection flags with all-zero expected rows, exactly as in
+    {!Fsim.diff_run}: a lane whose functional verdict has landed keeps
+    simulating while a detection verdict is still pending, and vice
+    versa, so detection latency matches the scalar engine bit for bit.
+    Defaults to [0] (every watch entry functional — the historical
+    contract).
 
     A [None] element declines that single lane: its rewiring makes the
     lane's own effective circuit combinationally cyclic (a bridge can

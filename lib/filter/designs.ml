@@ -1,7 +1,7 @@
 module Partition = Tmr_core.Partition
 
-let build ?(params = Fir.paper_params) strategy =
-  Partition.protect (Fir.build params) strategy
+let build ?(params = Fir.paper_params) ?voter strategy =
+  Partition.protect ?voter (Fir.build params) strategy
 
 let description = function
   | Partition.Unprotected -> "standard filter, no protection"

@@ -1,9 +1,12 @@
 (** The five filter versions of the paper's evaluation (§3, Table 2/3/4). *)
 
 val build :
-  ?params:Fir.params -> Tmr_core.Partition.strategy -> Tmr_netlist.Netlist.t
+  ?params:Fir.params ->
+  ?voter:Tmr_core.Voter.variant ->
+  Tmr_core.Partition.strategy ->
+  Tmr_netlist.Netlist.t
 (** The filter protected by the given strategy (default: the paper's
-    11-tap 9-bit filter). *)
+    11-tap 9-bit filter, plain majority voters). *)
 
 val description : Tmr_core.Partition.strategy -> string
 (** The paper's wording for each version. *)

@@ -23,8 +23,34 @@ type fault_result = {
   outcome : outcome;
   effect : Classify.effect;
   first_error_cycle : int;
+  detect_cycle : int;
+      (** first cycle an in-circuit disagreement flag fired, [-1] = never
+          (always [-1] on designs without detection voters) *)
   forensics : Forensics.t option;  (** None when collection was off *)
 }
+
+(* Four-way detected-vs-silent verdict taxonomy: the functional outcome
+   crossed with whether the design's own detection logic flagged the
+   upset.  [Silent_wrong] is the silent-data-corruption (SDC) class —
+   the design answered wrongly and its voters never noticed. *)
+type verdict =
+  | Silent_correct
+  | Detected_corrected
+  | Detected_wrong
+  | Silent_wrong
+
+let verdict_of r =
+  match (r.outcome, r.detect_cycle >= 0) with
+  | Silent, false -> Silent_correct
+  | Silent, true -> Detected_corrected
+  | Wrong_answer, true -> Detected_wrong
+  | Wrong_answer, false -> Silent_wrong
+
+let verdict_name = function
+  | Silent_correct -> "silent_correct"
+  | Detected_corrected -> "detected_corrected"
+  | Detected_wrong -> "detected_wrong"
+  | Silent_wrong -> "silent_wrong"
 
 type engine_stats = {
   skipped : int;
@@ -108,6 +134,22 @@ let m_converge = Tmr_obs.Metrics.histogram "campaign.diff_converge_cycle"
 (* Latency-to-error distribution: at which stimulus cycle wrong-answer
    faults first disagree with the golden reference. *)
 let m_first_error = Tmr_obs.Metrics.histogram "campaign.first_error_cycle"
+
+(* In-circuit detection observability (campaigns whose design carries a
+   detecting voter): the four-way verdict split, the detection latency
+   distribution (cycles from first internal divergence — when forensics
+   recorded one — to the first disagreement flag), and the headline SDC
+   rate of the last campaign. *)
+let m_det_silent_correct =
+  Tmr_obs.Metrics.counter "campaign.detection.silent_correct"
+let m_det_corrected =
+  Tmr_obs.Metrics.counter "campaign.detection.detected_corrected"
+let m_det_wrong = Tmr_obs.Metrics.counter "campaign.detection.detected_wrong"
+let m_det_silent_wrong =
+  Tmr_obs.Metrics.counter "campaign.detection.silent_wrong"
+let m_det_latency =
+  Tmr_obs.Metrics.histogram "campaign.detection.latency_cycles"
+let m_sdc_rate = Tmr_obs.Metrics.gauge "campaign.detection.sdc_rate"
 let m_busy = Tmr_obs.Metrics.counter "campaign.worker_busy_ns"
 let m_setup = Tmr_obs.Metrics.counter "campaign.worker_setup_ns"
 let m_wall = Tmr_obs.Metrics.gauge "campaign.wall_ns"
@@ -195,6 +237,9 @@ let dut_output_wires impl port =
 type io = {
   io_ins : (int array list * int array) list;
   io_outs : (int array * Logic.t array array) list;
+  io_dets : int array list;
+      (* in-circuit detection flag nodes, one array per detect port;
+         expected all-zero on the fault-free device *)
 }
 
 (* Sequential-stopping monitor.  Results land in arbitrary order, but the
@@ -293,8 +338,29 @@ let run_body ?progress ?workers ?(cone_skip = true) ?(diff = true)
       (fun (port, matrix) -> (port, dut_output_wires impl port, matrix))
       golden_ref
   in
+  (* In-circuit detection flags: the detecting voter's pairwise
+     disagreement ports, when the implemented design carries them.
+     Their pad wires ride at the END of [watch_outputs] with an
+     all-zero expectation; the engines treat the trailing [ndetect]
+     watch entries as detection observables and keep simulating past a
+     functional error until the flag verdict resolves (and vice
+     versa).  Designs without detection ports get [ndetect = 0] and
+     the historical behaviour, bit for bit. *)
+  let detect_map =
+    List.filter_map
+      (fun port ->
+        if List.mem_assoc port (Netlist.output_ports impl.Impl.mapped) then
+          Some (port, dut_output_wires impl port)
+        else None)
+      Tmr_core.Voter.detect_ports
+  in
+  let ndetect =
+    List.fold_left (fun n (_, w) -> n + Array.length w) 0 detect_map
+  in
   let watch_outputs =
-    Array.concat (List.map (fun (_, wires, _) -> wires) output_map)
+    Array.concat
+      (List.map (fun (_, wires, _) -> wires) output_map
+      @ List.map snd detect_map)
   in
   let dev = impl.Impl.dev and db = impl.Impl.db in
   let golden_bits = impl.Impl.bitgen.Tmr_pnr.Bitgen.bitstream in
@@ -316,6 +382,8 @@ let run_body ?progress ?workers ?(cone_skip = true) ?(diff = true)
         List.map
           (fun (_, wires, matrix) -> (Fsim.watch_nodes sim wires, matrix))
           output_map;
+      io_dets =
+        List.map (fun (_, wires) -> Fsim.watch_nodes sim wires) detect_map;
     }
   in
   let drive sim io c =
@@ -332,35 +400,50 @@ let run_body ?progress ?workers ?(cone_skip = true) ?(diff = true)
       io.io_ins
   in
   (* Run the DUT through the stimulus; return the first cycle where any
-     output bit disagrees with the golden reference, or -1. *)
+     functional output bit disagrees with the golden reference (or -1)
+     paired with the first cycle an in-circuit detection flag left zero
+     (or -1).  With detection flags present the run continues past a
+     functional error until the flag verdict also resolves — detection
+     latency is an observable, not a side effect of when we stopped. *)
   let run_dut sim io =
     Fsim.reset sim;
     let error_cycle = ref (-1) in
+    let detect_cycle = ref (-1) in
+    let det_pending () = io.io_dets <> [] && !detect_cycle < 0 in
     let cycle = ref 0 in
-    while !error_cycle < 0 && !cycle < stimulus.cycles do
+    while (!error_cycle < 0 || det_pending ()) && !cycle < stimulus.cycles do
       let c = !cycle in
       drive sim io c;
       Fsim.eval sim;
-      let ok =
-        List.for_all
-          (fun (nodes, matrix) ->
-            let expected = matrix.(c) in
-            let n = Array.length nodes in
-            let rec check i =
-              i >= n
-              || (Logic.equal (Fsim.node_value sim nodes.(i)) expected.(i)
-                  && check (i + 1))
-            in
-            check 0)
-          io.io_outs
-      in
-      if not ok then error_cycle := c
-      else begin
-        Fsim.clock sim;
-        incr cycle
-      end
+      if !error_cycle < 0 then begin
+        let ok =
+          List.for_all
+            (fun (nodes, matrix) ->
+              let expected = matrix.(c) in
+              let n = Array.length nodes in
+              let rec check i =
+                i >= n
+                || (Logic.equal (Fsim.node_value sim nodes.(i)) expected.(i)
+                    && check (i + 1))
+              in
+              check 0)
+            io.io_outs
+        in
+        if not ok then error_cycle := c
+      end;
+      if det_pending () then begin
+        let fired =
+          List.exists
+            (Array.exists (fun n1 ->
+                 not (Logic.equal (Fsim.node_value sim n1) Logic.Zero)))
+            io.io_dets
+        in
+        if fired then detect_cycle := c
+      end;
+      if !error_cycle < 0 || det_pending () then Fsim.clock sim;
+      incr cycle
     done;
-    !error_cycle
+    (!error_cycle, !detect_cycle)
   in
   (* The fault-free per-cycle value of every node, for the differential
      engine: recorded once per worker, amortised over all its faults. *)
@@ -381,14 +464,22 @@ let run_body ?progress ?workers ?(cone_skip = true) ?(diff = true)
      the differential engine's cone-aware output check indexes it by
      flat watch position. *)
   let expected_flat =
+    let det_zeros = Array.make ndetect Logic.Zero in
     Array.init stimulus.cycles (fun c ->
-        Array.concat (List.map (fun (_, _, m) -> m.(c)) output_map))
+        Array.concat
+          (List.map (fun (_, _, m) -> m.(c)) output_map @ [ det_zeros ]))
   in
   (* baseline: the un-faulted DUT must match the golden device *)
   let check_baseline sim io =
     match run_dut sim io with
-    | -1 -> ()
-    | c ->
+    | -1, -1 -> ()
+    | -1, d ->
+        failwith
+          (Printf.sprintf
+             "Campaign %s: fault-free DUT raises an in-circuit detection \
+              flag at cycle %d"
+             name d)
+    | c, _ ->
         (* pinpoint the first disagreeing output bit for the message *)
         let detail =
           List.find_map
@@ -420,7 +511,7 @@ let run_body ?progress ?workers ?(cone_skip = true) ?(diff = true)
   let total = Array.length faults in
   let dummy =
     { bit = -1; outcome = Silent; effect = Classify.Other_effect;
-      first_error_cycle = -1; forensics = None }
+      first_error_cycle = -1; detect_cycle = -1; forensics = None }
   in
   let results = Array.make total dummy in
   (* Batch schedule: one planning pass over the (un-flipped) golden
@@ -524,7 +615,9 @@ let run_body ?progress ?workers ?(cone_skip = true) ?(diff = true)
        instead of being evicted by every interleaved reroute *)
     let dsc_patch = Fsim.make_dscratch () in
     let dsc_reroute = Fsim.make_dscratch () in
-    let base_watch = Array.concat (List.map fst base_io.io_outs) in
+    let base_watch =
+      Array.concat (List.map fst base_io.io_outs @ base_io.io_dets)
+    in
     (* voter bels of the golden cone as simulation nodes, for the
        masked-at-voter verdict *)
     let voter_nodes =
@@ -589,13 +682,14 @@ let run_body ?progress ?workers ?(cone_skip = true) ?(diff = true)
           in
           Some f
     in
-    let finish ?dsc bit error_cycle =
+    let finish ?dsc ?(detect = -1) bit error_cycle =
       if error_cycle >= 0 then Tmr_obs.Metrics.observe m_first_error error_cycle;
       {
         bit;
         outcome = (if error_cycle >= 0 then Wrong_answer else Silent);
         effect = Classify.classify impl bit;
         first_error_cycle = error_cycle;
+        detect_cycle = detect;
         forensics = forensic_of bit error_cycle dsc;
       }
     in
@@ -620,20 +714,21 @@ let run_body ?progress ?workers ?(cone_skip = true) ?(diff = true)
               | Some tape ->
                   bump (fun s -> { s with diffed = s.diffed + 1 });
                   let seed = Fsim.patch_node cone ex bit in
-                  let err, cv =
+                  let err, cv, det =
                     Fsim.with_patch cone base ex bit (fun sim ->
-                        Fsim.diff_run ~forensics ~scratch:dsc_patch ~tape
-                          ~base ~sim ~seeds:(Fsim.Seed_node seed)
+                        Fsim.diff_run ~ndetect ~forensics ~scratch:dsc_patch
+                          ~tape ~base ~sim ~seeds:(Fsim.Seed_node seed)
                           ~watch:base_watch ~base_watch
-                          ~expected:expected_flat)
+                          ~expected:expected_flat ())
                   in
                   note_converge cv;
-                  (finish ~dsc:dsc_patch bit err, Fsim.Path_diff)
+                  (finish ~dsc:dsc_patch ~detect:det bit err, Fsim.Path_diff)
               | None ->
-                  ( finish bit
-                      (Fsim.with_patch cone base ex bit (fun sim ->
-                           run_dut sim base_io)),
-                    Fsim.Path_patch ))
+                  let err, det =
+                    Fsim.with_patch cone base ex bit (fun sim ->
+                        run_dut sim base_io)
+                  in
+                  (finish ~detect:det bit err, Fsim.Path_patch))
       | Fsim.Path_reroute | Fsim.Path_rebuild ->
           Extract.apply_bit_flip ex bit;
           Fun.protect
@@ -654,19 +749,21 @@ let run_body ?progress ?workers ?(cone_skip = true) ?(diff = true)
                         if Fsim.same_io base sim then base_watch
                         else Fsim.watch_nodes sim watch_outputs
                       in
-                      let err, cv =
-                        Fsim.diff_run ~forensics ~scratch:dsc_reroute ~tape
-                          ~base ~sim ~seeds:Fsim.Seed_derived ~watch
-                          ~base_watch ~expected:expected_flat
+                      let err, cv, det =
+                        Fsim.diff_run ~ndetect ~forensics ~scratch:dsc_reroute
+                          ~tape ~base ~sim ~seeds:Fsim.Seed_derived ~watch
+                          ~base_watch ~expected:expected_flat ()
                       in
                       note_converge cv;
-                      (finish ~dsc:dsc_reroute bit err, Fsim.Path_diff)
+                      (finish ~dsc:dsc_reroute ~detect:det bit err, Fsim.Path_diff)
                   | None ->
-                      (finish bit (run_dut sim (io_for sim)), Fsim.Path_reroute))
+                      let err, det = run_dut sim (io_for sim) in
+                      (finish ~detect:det bit err, Fsim.Path_reroute))
               | None ->
                   bump (fun s -> { s with rebuilt = s.rebuilt + 1 });
                   let sim = Fsim.build ~ws ex ~watch_outputs in
-                  (finish bit (run_dut sim (resolve_io sim)), Fsim.Path_rebuild))
+                  let err, det = run_dut sim (resolve_io sim) in
+                  (finish ~detect:det bit err, Fsim.Path_rebuild))
     in
     let do_fault i =
       let bit = faults.(i) in
@@ -735,8 +832,8 @@ let run_body ?progress ?workers ?(cone_skip = true) ?(diff = true)
           let verdicts =
             if Array.length lanes = 0 then None
             else
-              Fsim_batch.run bt ~tape ~expected:expected_flat ~watch:base_watch
-                ~lanes
+              Fsim_batch.run bt ~ndetect ~tape ~expected:expected_flat
+                ~watch:base_watch ~lanes ()
           in
           (match verdicts with
           | Some vs ->
@@ -800,7 +897,10 @@ let run_body ?progress ?workers ?(cone_skip = true) ?(diff = true)
                           ~dur_ns:per ();
                         incr ks
                       end;
-                      let r = finish faults.(i) v.Fsim_batch.bv_error_cycle in
+                      let r =
+                        finish ~detect:v.Fsim_batch.bv_detect_cycle faults.(i)
+                          v.Fsim_batch.bv_error_cycle
+                      in
                       results.(i) <- r;
                       if r.outcome = Wrong_answer then
                         ignore (Atomic.fetch_and_add wrong_live 1);
@@ -897,6 +997,49 @@ let run_body ?progress ?workers ?(cone_skip = true) ?(diff = true)
       (fun acc r -> if r.outcome = Wrong_answer then acc + 1 else acc)
       0 results
   in
+  (* Verdict accounting over the kept prefix, aggregated post-hoc in the
+     main thread: deterministic for a fixed fault list (workers racing
+     atomic counters past a CI stop would overcount), and only on
+     designs that actually carry detection logic.  Detection latency is
+     measured from the fault's first recorded internal divergence (the
+     forensic provenance) when available, else from injection. *)
+  if ndetect > 0 then begin
+    let n_sc = ref 0 and n_dc = ref 0 and n_dw = ref 0 and n_sw = ref 0 in
+    Array.iter
+      (fun r ->
+        (match verdict_of r with
+        | Silent_correct -> incr n_sc
+        | Detected_corrected -> incr n_dc
+        | Detected_wrong -> incr n_dw
+        | Silent_wrong -> incr n_sw);
+        if r.detect_cycle >= 0 then begin
+          let from =
+            match r.forensics with
+            | Some f when f.Forensics.diverge_cycle >= 0 ->
+                f.Forensics.diverge_cycle
+            | _ -> 0
+          in
+          Tmr_obs.Metrics.observe m_det_latency (r.detect_cycle - from)
+        end)
+      results;
+    Tmr_obs.Metrics.incr ~by:!n_sc m_det_silent_correct;
+    Tmr_obs.Metrics.incr ~by:!n_dc m_det_corrected;
+    Tmr_obs.Metrics.incr ~by:!n_dw m_det_wrong;
+    Tmr_obs.Metrics.incr ~by:!n_sw m_det_silent_wrong;
+    Tmr_obs.Metrics.set m_sdc_rate
+      (if effective > 0 then float_of_int !n_sw /. float_of_int effective
+       else 0.0);
+    if emit_events then
+      Tmr_obs.Events.publish
+        (Tmr_obs.Events.Campaign_detection
+           {
+             design = name;
+             silent_correct = !n_sc;
+             detected_corrected = !n_dc;
+             detected_wrong = !n_dw;
+             silent_wrong = !n_sw;
+           })
+  end;
   if emit_events then begin
     Tmr_obs.Events.publish
       (Tmr_obs.Events.Plan_paths
@@ -954,6 +1097,49 @@ let wrong_percent t =
 
 let ci ?confidence t =
   Tmr_obs.Stats.wilson ?confidence ~n:t.injected ~k:t.wrong ()
+
+(* ------------------------------------------------------------------ *)
+(* Detection taxonomy aggregation. *)
+
+type detection_counts = {
+  dc_silent_correct : int;
+  dc_detected_corrected : int;
+  dc_detected_wrong : int;
+  dc_silent_wrong : int;
+}
+
+let detection_counts t =
+  Array.fold_left
+    (fun acc r ->
+      match verdict_of r with
+      | Silent_correct -> { acc with dc_silent_correct = acc.dc_silent_correct + 1 }
+      | Detected_corrected ->
+          { acc with dc_detected_corrected = acc.dc_detected_corrected + 1 }
+      | Detected_wrong ->
+          { acc with dc_detected_wrong = acc.dc_detected_wrong + 1 }
+      | Silent_wrong -> { acc with dc_silent_wrong = acc.dc_silent_wrong + 1 })
+    {
+      dc_silent_correct = 0;
+      dc_detected_corrected = 0;
+      dc_detected_wrong = 0;
+      dc_silent_wrong = 0;
+    }
+    t.results
+
+let sdc_percent t =
+  if t.injected = 0 then 0.0
+  else
+    100.0
+    *. float_of_int (detection_counts t).dc_silent_wrong
+    /. float_of_int t.injected
+
+let detected_percent t =
+  if t.injected = 0 then 0.0
+  else
+    let d = detection_counts t in
+    100.0
+    *. float_of_int (d.dc_detected_corrected + d.dc_detected_wrong)
+    /. float_of_int t.injected
 
 (* ------------------------------------------------------------------ *)
 (* Forensic aggregation: the per-design numbers that explain Table 2's
@@ -1046,6 +1232,14 @@ let summary_json t =
         (Printf.sprintf "\"%s\":%d" (Tmr_obs.Jsonl.escape (Classify.name e)) n))
     Classify.all;
   Buffer.add_char b '}';
+  (* the four-way detected-vs-silent verdict split; the four counts
+     always sum to [injected] *)
+  (let d = detection_counts t in
+   Buffer.add_string b
+     (Printf.sprintf
+        ",\"detection\":{\"silent_correct\":%d,\"detected_corrected\":%d,\"detected_wrong\":%d,\"silent_wrong\":%d,\"sdc_percent\":%.4f,\"detected_percent\":%.4f}"
+        d.dc_silent_correct d.dc_detected_corrected d.dc_detected_wrong
+        d.dc_silent_wrong (sdc_percent t) (detected_percent t)));
   (match forensic_summary t with
   | None -> Buffer.add_string b ",\"forensics\":null"
   | Some s ->

@@ -49,11 +49,28 @@ type fault_result = {
   outcome : outcome;
   effect : Classify.effect;
   first_error_cycle : int;  (** -1 when silent *)
+  detect_cycle : int;
+      (** first cycle an in-circuit detection flag (a detecting voter's
+          pairwise disagreement output) fired; [-1] when it never did —
+          always [-1] on designs without detection voters *)
   forensics : Forensics.t option;
       (** per-fault forensic record; [None] when collection was off.
           Collection never changes [bit]/[outcome]/[effect]/
           [first_error_cycle] — results are bit-identical either way. *)
 }
+
+(** Four-way detected-vs-silent verdict taxonomy: the functional outcome
+    crossed with whether the design's own detection logic flagged the
+    upset.  [Silent_wrong] is the silent-data-corruption (SDC) class —
+    a wrong answer the circuit never noticed. *)
+type verdict =
+  | Silent_correct  (** output correct, no flag — masked or out-voted *)
+  | Detected_corrected  (** output correct, flag fired — TMR repaired it *)
+  | Detected_wrong  (** output wrong, but the flag fired *)
+  | Silent_wrong  (** output wrong, no flag — SDC *)
+
+val verdict_of : fault_result -> verdict
+val verdict_name : verdict -> string
 
 type engine_stats = {
   skipped : int;  (** classified [Silent] without building or simulating *)
@@ -206,6 +223,27 @@ val wrong_percent : t -> float
 val ci : ?confidence:float -> t -> Tmr_obs.Stats.interval
 (** Wilson CI (default 95 %) on the campaign's wrong-answer rate. *)
 
+(** {1 Detection taxonomy} *)
+
+type detection_counts = {
+  dc_silent_correct : int;
+  dc_detected_corrected : int;
+  dc_detected_wrong : int;
+  dc_silent_wrong : int;
+}
+(** The four {!verdict} class sizes; they always sum to [injected]. *)
+
+val detection_counts : t -> detection_counts
+
+val sdc_percent : t -> float
+(** Share of injected faults in the {!Silent_wrong} (SDC) class, in
+    percent.  On designs without detection logic this equals
+    {!wrong_percent} — every wrong answer is silent. *)
+
+val detected_percent : t -> float
+(** Share of injected faults whose detection flag fired (detected and
+    corrected plus detected but wrong), in percent. *)
+
 (** {1 Forensic aggregation} *)
 
 type forensic_summary = {
@@ -226,5 +264,5 @@ val forensic_summary : t -> forensic_summary option
 val summary_json : t -> string
 (** One-line JSON engine summary: requested/injected/wrong/wrong_percent
     with its 95 % Wilson CI, worker utilization, plan-path breakdown,
-    wrong answers per effect class and the forensic aggregate (or
-    [null]) — [tmrtool inject --json]. *)
+    wrong answers per effect class, the four-way detection verdict split
+    and the forensic aggregate (or [null]) — [tmrtool inject --json]. *)

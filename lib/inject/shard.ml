@@ -33,11 +33,11 @@ let outcome_name = function
 
 let result_to_line ~index (r : Campaign.fault_result) =
   Printf.sprintf
-    "{\"index\":%d,\"bit\":%d,\"outcome\":\"%s\",\"effect\":\"%s\",\"first_error_cycle\":%d}"
+    "{\"index\":%d,\"bit\":%d,\"outcome\":\"%s\",\"effect\":\"%s\",\"first_error_cycle\":%d,\"detect_cycle\":%d}"
     index r.Campaign.bit
     (outcome_name r.Campaign.outcome)
     (Tmr_obs.Jsonl.escape (Classify.name r.Campaign.effect))
-    r.Campaign.first_error_cycle
+    r.Campaign.first_error_cycle r.Campaign.detect_cycle
 
 let ( let* ) r f = Result.bind r f
 
@@ -53,6 +53,11 @@ let result_of_line line =
   let* outcome_s = field "outcome" Json.str j in
   let* effect_s = field "effect" Json.str j in
   let* first_error_cycle = field "first_error_cycle" Json.int j in
+  (* absent on result lines written before the detection taxonomy
+     existed: resumed campaigns keep their old spools readable *)
+  let detect_cycle =
+    Option.value ~default:(-1) (Option.bind (Json.member "detect_cycle" j) Json.int)
+  in
   let* outcome =
     match outcome_s with
     | "silent" -> Ok Campaign.Silent
@@ -71,6 +76,7 @@ let result_of_line line =
         outcome;
         effect;
         first_error_cycle;
+        detect_cycle;
         forensics = None;
       } )
 
@@ -223,6 +229,7 @@ let merge ~design ~total ~procs ~wall_ns shards =
       outcome = Campaign.Silent;
       effect = Classify.Other_effect;
       first_error_cycle = -1;
+      detect_cycle = -1;
       forensics = None;
     }
   in

@@ -17,6 +17,11 @@ let run nl =
         match Netlist.kind nl c with
         | Netlist.Maj3 -> ()
         | Netlist.Lut { arity = 3; table } when lut_is_maj3 table -> ()
+        (* voter macros beyond the single majority gate: the improved
+           voter's 2-input gate decomposition and the detecting voter's
+           pairwise disagreement XORs *)
+        | Netlist.And2 | Netlist.Or2 | Netlist.Xor2 -> ()
+        | Netlist.Lut { arity = 2; _ } -> ()
         | k ->
             err "cell %d: voter flag on non-majority cell (%s)" c
               (Format.asprintf "%a" Netlist.pp_kind k)

@@ -6,8 +6,10 @@
 
 val run : Netlist.t -> (unit, string list) result
 (** Checks: no combinational loops; output ports driven; domains within
-    [-1, 2]; voters are 3-input majority functions; LUT tables within
-    range; TMR invariant — a non-voter cell never reads a net from a
-    different non-negative domain. *)
+    [-1, 2]; voter-flagged cells are majority functions or 2-input voter
+    macro gates (the improved voter's decomposition, the detecting
+    voter's disagreement XORs); LUT tables within range; TMR invariant —
+    a non-voter cell never reads a net from a different non-negative
+    domain. *)
 
 val run_exn : Netlist.t -> unit

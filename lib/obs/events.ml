@@ -21,6 +21,13 @@ type event =
       wrong : int;
       wall_ns : int;
     }
+  | Campaign_detection of {
+      design : string;
+      silent_correct : int;
+      detected_corrected : int;
+      detected_wrong : int;
+      silent_wrong : int;
+    }
   | Batch_dispatched of { design : string; lanes : int }
   | Worker_heartbeat of {
       worker : int;
@@ -62,6 +69,7 @@ let type_name = function
   | Campaign_progress _ -> "campaign_progress"
   | Campaign_ci _ -> "campaign_ci"
   | Campaign_stopped _ -> "campaign_stopped"
+  | Campaign_detection _ -> "campaign_detection"
   | Batch_dispatched _ -> "batch_dispatched"
   | Worker_heartbeat _ -> "worker_heartbeat"
   | Plan_paths _ -> "plan_paths"
@@ -103,6 +111,14 @@ let payload_of ev =
       int "injected" injected;
       int "wrong" wrong;
       int "wall_ns" wall_ns
+  | Campaign_detection
+      { design; silent_correct; detected_corrected; detected_wrong;
+        silent_wrong } ->
+      str "design" design;
+      int "silent_correct" silent_correct;
+      int "detected_corrected" detected_corrected;
+      int "detected_wrong" detected_wrong;
+      int "silent_wrong" silent_wrong
   | Batch_dispatched { design; lanes } ->
       str "design" design;
       int "lanes" lanes
@@ -626,6 +642,16 @@ let parse_line line =
         let* wrong = int_f "wrong" in
         let* wall_ns = int_f "wall_ns" in
         Ok (Campaign_stopped { design; requested; injected; wrong; wall_ns })
+    | "campaign_detection" ->
+        let* design = str_f "design" in
+        let* silent_correct = int_f "silent_correct" in
+        let* detected_corrected = int_f "detected_corrected" in
+        let* detected_wrong = int_f "detected_wrong" in
+        let* silent_wrong = int_f "silent_wrong" in
+        Ok
+          (Campaign_detection
+             { design; silent_correct; detected_corrected; detected_wrong;
+               silent_wrong })
     | "batch_dispatched" ->
         let* design = str_f "design" in
         let* lanes = int_f "lanes" in

@@ -46,6 +46,16 @@ type event =
       wrong : int;
       wall_ns : int;
     }
+  | Campaign_detection of {
+      design : string;
+      silent_correct : int;
+      detected_corrected : int;
+      detected_wrong : int;
+      silent_wrong : int;
+    }
+      (** four-way detected-vs-silent verdict split of a finished
+          campaign on a design with in-circuit detection voters; the
+          counts sum to the campaign's injected faults *)
   | Batch_dispatched of { design : string; lanes : int }
   | Worker_heartbeat of {
       worker : int;

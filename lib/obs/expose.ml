@@ -11,6 +11,55 @@ let fmt_float f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.9g" f
 
+(* # HELP text per metric family — promtool lint wants every family
+   introduced by a HELP line before its TYPE line.  Names missing from
+   the table fall back to a generic line instead of failing a scrape. *)
+let help_for name =
+  match name with
+  | "campaign.batch_lanes" -> "Faults executed word-parallel as batch lanes"
+  | "campaign.batch_scalar" ->
+      "Batchable faults that fell back to the scalar differential engine"
+  | "campaign.batch_occupancy" -> "Lane count of each executed batch"
+  | "campaign.detection.silent_correct" ->
+      "Faults with correct outputs and no disagreement flag"
+  | "campaign.detection.detected_corrected" ->
+      "Faults corrected by the vote whose disagreement flags still fired"
+  | "campaign.detection.detected_wrong" ->
+      "Wrong-answer faults the in-circuit detectors flagged"
+  | "campaign.detection.silent_wrong" ->
+      "Silent data corruption: wrong answers no detector flagged"
+  | "campaign.detection.latency_cycles" ->
+      "Cycles from first internal divergence to the first disagreement flag"
+  | "campaign.detection.sdc_rate" ->
+      "Silent-wrong share of the last campaign's injected faults"
+  | "campaign.diff_converge_cycle" ->
+      "Cycle at which a differentially simulated fault rejoined the baseline"
+  | "campaign.fault_ns.silent" -> "Per-fault latency, silent plan path"
+  | "campaign.fault_ns.patch" -> "Per-fault latency, patch plan path"
+  | "campaign.fault_ns.reroute" -> "Per-fault latency, reroute plan path"
+  | "campaign.fault_ns.rebuild" -> "Per-fault latency, rebuild plan path"
+  | "campaign.fault_ns.diff" -> "Per-fault latency, differential engine"
+  | "campaign.fault_ns.batch" -> "Amortised per-fault latency, batch engine"
+  | "campaign.first_error_cycle" ->
+      "Stimulus cycle at which wrong-answer faults first disagreed"
+  | "campaign.wall_ns" -> "Wall time of the last campaign"
+  | "campaign.worker_busy_ns" -> "Summed worker busy time"
+  | "campaign.worker_setup_ns" -> "Summed worker setup time"
+  | "campaign.worker_utilization" -> "Busy share of the last campaign's workers"
+  | "fsim.build_ns" -> "Fabric simulator build time"
+  | "fsim.reroute_ns" -> "Incremental reroute time"
+  | "fsim.reroute_fallback" -> "Reroutes that fell back to a full rebuild"
+  | "pool.chunks" -> "Work chunks claimed by campaign workers"
+  | "pool.claim_wait_ns" -> "Time workers waited to claim a chunk"
+  | "service.queue_depth" -> "Jobs waiting in the service queue"
+  | "service.shards_done" -> "Completed shards of the running job"
+  | "service.orphan_reclaims" -> "Crashed workers' shard claims reclaimed"
+  | "service.claim_ns" -> "Shard claim latency"
+  | "service.jobs_active" -> "Jobs currently executing"
+  | "service.jobs_completed" -> "Jobs completed since the service started"
+  | "service.clients" -> "Connected event-stream clients"
+  | _ -> "tmrtool metric " ^ name
+
 (* Extra snapshot sources folded into every scrape: the campaign parent
    registers a reader over its workers' metrics files here, so /metrics
    reports fleet-wide totals rather than the parent's (mostly idle)
@@ -38,18 +87,21 @@ let render () =
   List.iter
     (fun (name, v) ->
       let n = sanitize name in
+      line "# HELP %s %s" n (help_for name);
       line "# TYPE %s counter" n;
       line "%s %d" n v)
     snap.Metrics.counters;
   List.iter
     (fun (name, v) ->
       let n = sanitize name in
+      line "# HELP %s %s" n (help_for name);
       line "# TYPE %s gauge" n;
       line "%s %s" n (fmt_float v))
     snap.Metrics.gauges;
   List.iter
     (fun (name, (s : Metrics.hist_summary)) ->
       let n = sanitize name in
+      line "# HELP %s %s" n (help_for name);
       line "# TYPE %s histogram" n;
       let cum = ref 0 in
       Array.iter
@@ -61,18 +113,24 @@ let render () =
       line "%s_bucket{le=\"+Inf\"} %d" n s.Metrics.count;
       line "%s_sum %d" n s.Metrics.sum;
       line "%s_count %d" n s.Metrics.count;
+      line "# HELP %s_min Smallest observation of %s" n n;
       line "# TYPE %s_min gauge" n;
       line "%s_min %d" n s.Metrics.min;
+      line "# HELP %s_max Largest observation of %s" n n;
       line "# TYPE %s_max gauge" n;
       line "%s_max %d" n s.Metrics.max)
     snap.Metrics.histograms;
   (* event-bus liveness: how far the stream is, and what was lost *)
+  line "# HELP events_bus_published Events accepted onto the bus";
   line "# TYPE events_bus_published gauge";
   line "events_bus_published %d" (Events.published ());
+  line "# HELP events_bus_dropped Events dropped by the bounded buffer";
   line "# TYPE events_bus_dropped gauge";
   line "events_bus_dropped %d" (Events.dropped ());
+  line "# HELP events_bus_last_seq Sequence number of the newest event";
   line "# TYPE events_bus_last_seq gauge";
   line "events_bus_last_seq %d" (Events.last_seq ());
+  line "# HELP events_bus_clients Connected event-stream clients";
   line "# TYPE events_bus_clients gauge";
   line "events_bus_clients %d" (Events.clients ());
   Buffer.contents b

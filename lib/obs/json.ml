@@ -107,7 +107,12 @@ let parse_exn s =
     | Some f -> Num f
     | None -> fail start (Printf.sprintf "bad number %S" str)
   in
-  let rec parse_value () =
+  (* Containers recurse, so bound the nesting depth: unbounded input
+     (hostile or corrupt) must yield a parse error, never a native
+     stack overflow. *)
+  let max_depth = 512 in
+  let rec parse_value depth =
+    if depth > max_depth then fail !pos "nesting too deep";
     skip_ws ();
     match peek () with
     | None -> fail !pos "unexpected end of input"
@@ -126,7 +131,7 @@ let parse_exn s =
             let key = parse_string () in
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             fields := (key, v) :: !fields;
             skip_ws ();
             match peek () with
@@ -149,7 +154,7 @@ let parse_exn s =
         else begin
           let items = ref [] in
           let rec elements () =
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             items := v :: !items;
             skip_ws ();
             match peek () with
@@ -168,7 +173,7 @@ let parse_exn s =
     | Some ('-' | '0' .. '9') -> parse_number ()
     | Some c -> fail !pos (Printf.sprintf "unexpected character %c" c)
   in
-  let v = parse_value () in
+  let v = parse_value 0 in
   skip_ws ();
   if !pos <> n then fail !pos "trailing garbage after document";
   v

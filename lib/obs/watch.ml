@@ -12,6 +12,8 @@ type campaign = {
   mutable c_batches : int;
   mutable c_lanes : int;
   mutable c_plan : (int * int * int * int * int * int * int) option;
+  mutable c_detection : (int * int * int * int) option;
+      (* silent-correct, detected-corrected, detected-wrong, silent-wrong *)
   mutable c_manifest : string option;
   mutable c_shards_done : int;
   mutable c_shards_pending : int;  (* latest pending count seen *)
@@ -93,6 +95,7 @@ let campaign_of t design =
           c_batches = 0;
           c_lanes = 0;
           c_plan = None;
+          c_detection = None;
           c_manifest = None;
           c_shards_done = 0;
           c_shards_pending = 0;
@@ -222,6 +225,21 @@ let feed t (p : Events.parsed) =
           c.c_completed <- injected;
           c.c_wrong <- wrong;
           c.c_wall_ns <- wall_ns)
+  | Events.Campaign_detection
+      { design; silent_correct; detected_corrected; detected_wrong;
+        silent_wrong } ->
+      let c = campaign_of t design in
+      (* accumulate across shards, like plan_paths *)
+      let sc0, dc0, dw0, sw0 =
+        match c.c_detection with Some v -> v | None -> (0, 0, 0, 0)
+      in
+      c.c_detection <-
+        Some
+          ( sc0 + silent_correct,
+            dc0 + detected_corrected,
+            dw0 + detected_wrong,
+            sw0 + silent_wrong );
+      c.c_last_ts <- ts
   | Events.Batch_dispatched { design; lanes } ->
       let c = campaign_of t design in
       c.c_batches <- c.c_batches + 1;
@@ -348,6 +366,16 @@ let render ?(confidence = 0.95) ?worker_timeout t =
             (Printf.sprintf
                "             paths: silent %d patch %d reroute %d rebuild %d (diffed %d, converged %d)\n"
                silent patched rerouted rebuilt diffed converged)
+      | None -> ());
+      (match c.c_detection with
+      | Some (sc, dc, dw, sw) ->
+          let tot = sc + dc + dw + sw in
+          Buffer.add_string b
+            (Printf.sprintf
+               "             detection: corrected %d, detected-wrong %d, SDC %d (%.2f%%)\n"
+               dc dw sw
+               (if tot = 0 then 0.0
+                else 100.0 *. float_of_int sw /. float_of_int tot))
       | None -> ());
       if c.c_batches > 0 then
         Buffer.add_string b

@@ -6,6 +6,11 @@
     paper reports "estimated performance" from the vendor tools; what must
     be preserved is the ordering between the five filter versions. *)
 
+val lut_delay : float
+(** One LUT's propagation delay (ns) — exported so voter-variant cost
+    models ([Tmr_core.Voter.cost]) stay consistent with the timing
+    analysis they predict. *)
+
 type report = {
   critical_ns : float;
   mhz : float;

@@ -164,35 +164,42 @@ let run nl =
       | Netlist.Output | Netlist.Not | Netlist.And2 | Netlist.Or2
       | Netlist.Xor2 | Netlist.Mux2 | Netlist.Maj3 | Netlist.Lut _ ->
           ());
-  (* Pass 2: cone roots, in topological order so leaves are mapped first. *)
+  (* Pass 2: cone roots, in topological order so leaves are mapped first.
+     A support leaf can itself be an unmapped non-root gate when the
+     4-leaf limit kept it out of its reader's cone (deep fanout-1 chains,
+     e.g. a wide OR reduction); such a leaf becomes a cone of its own,
+     mapped depth-first before the cell that reads it. *)
+  let rec map_cone c =
+    if cell_map.(c) < 0 then begin
+      let support = expand_cone nl fanouts roots c in
+      match support with
+      | [] ->
+          (* Constant cone. *)
+          let v = eval_cone nl (Hashtbl.create 1) c in
+          cell_map.(c) <- add_like c (Netlist.Const v) ~fanins:[||]
+      | _ :: _ ->
+          let table = cone_truth_table nl support c in
+          let arity = List.length support in
+          let fanins =
+            Array.of_list
+              (List.map
+                 (fun leaf ->
+                   map_cone leaf;
+                   let m = cell_map.(leaf) in
+                   if m < 0 then
+                     invalid_arg "Techmap: support leaf not yet mapped";
+                   m)
+                 support)
+          in
+          cell_map.(c) <-
+            add_like c
+              ~voter:(Netlist.is_voter nl c)
+              (Netlist.Lut { arity; table })
+              ~fanins
+    end
+  in
   Array.iter
-    (fun c ->
-      if is_gate nl c && roots.(c) then begin
-        let support = expand_cone nl fanouts roots c in
-        match support with
-        | [] ->
-            (* Constant cone. *)
-            let v = eval_cone nl (Hashtbl.create 1) c in
-            cell_map.(c) <- add_like c (Netlist.Const v) ~fanins:[||]
-        | _ :: _ ->
-            let table = cone_truth_table nl support c in
-            let arity = List.length support in
-            let fanins =
-              Array.of_list
-                (List.map
-                   (fun leaf ->
-                     let m = cell_map.(leaf) in
-                     if m < 0 then
-                       invalid_arg "Techmap: support leaf not yet mapped";
-                     m)
-                   support)
-            in
-            cell_map.(c) <-
-              add_like c
-                ~voter:(Netlist.is_voter nl c)
-                (Netlist.Lut { arity; table })
-                ~fanins
-      end)
+    (fun c -> if is_gate nl c && roots.(c) then map_cone c)
     lev.Levelize.order;
   (* Pass 3: outputs and flip-flop D fix-ups. *)
   Netlist.iter_cells nl (fun c ->

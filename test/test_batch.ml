@@ -147,11 +147,11 @@ let test_engine_verdicts_and_grouping () =
         (fun () ->
           let seed = Fsim.patch_node cone ex bit in
           let delta = Fsim.patch_delta cone ex bit in
-          let derr, dcv =
+          let derr, dcv, _det =
             Fsim.with_patch cone base ex bit (fun sim ->
                 Fsim.diff_run ~forensics:false ~scratch:dsc ~tape ~base ~sim
                   ~seeds:(Fsim.Seed_node seed) ~watch ~base_watch:watch
-                  ~expected)
+                  ~expected ())
           in
           faults := (bit, seed, delta, derr, dcv) :: !faults)
     end
@@ -173,7 +173,7 @@ let test_engine_verdicts_and_grouping () =
     in
     let verdicts =
       match
-        Fsim_batch.run bt ~tape ~expected ~watch ~lanes
+        Fsim_batch.run bt ~tape ~expected ~watch ~lanes ()
       with
       | Some vs -> vs
       | None -> Alcotest.fail "batch declined a pure-patch batch"

@@ -156,11 +156,11 @@ let test_patch_diff_matches_oracle () =
         ~finally:(fun () -> Extract.apply_bit_flip ex bit)
         (fun () ->
           let seed = Fsim.patch_node cone ex bit in
-          let derr, _cv =
+          let derr, _cv, _det =
             Fsim.with_patch cone base ex bit (fun sim ->
                 Fsim.diff_run ~forensics:false ~scratch:dsc ~tape ~base ~sim
                   ~seeds:(Fsim.Seed_node seed) ~watch ~base_watch:watch
-                  ~expected)
+                  ~expected ())
           in
           Alcotest.(check bool)
             (Printf.sprintf "bit %d: cone closed under successors" bit)

@@ -506,6 +506,130 @@ let test_progress_callback () =
   Alcotest.(check bool) "label switch starts a new bar" true
     (List.exists (has_prefix "beta: 400/400") lines)
 
+(* ------------------------------------------------------------------ *)
+(* Tmr_obs.Json parser error paths: every malformed input yields
+   [Error], never an exception or a mangled tree. *)
+
+let test_json_error_paths () =
+  let rejects name input =
+    match Tmr_obs.Json.parse input with
+    | Error msg ->
+        Alcotest.(check bool)
+          (name ^ ": error message non-empty")
+          true
+          (String.length msg > 0)
+    | Ok _ -> Alcotest.failf "%s: accepted %S" name input
+  in
+  (* truncated input *)
+  rejects "empty input" "";
+  rejects "truncated object" "{\"a\": 1";
+  rejects "truncated array" "[1, 2";
+  rejects "truncated string" "\"abc";
+  rejects "key without value" "{\"a\"";
+  rejects "dangling comma" "[1,";
+  rejects "truncated escape" "\"\\";
+  rejects "truncated unicode escape" "\"\\u12";
+  (* bad escapes and tokens *)
+  rejects "unknown escape" "\"\\q\"";
+  rejects "non-hex unicode escape" "\"\\uzzzz\"";
+  rejects "bare minus" "-";
+  rejects "double dot number" "1.2.3";
+  rejects "misspelled literal" "ture";
+  rejects "trailing garbage" "1 2";
+  (* deep nesting fails cleanly instead of overflowing the stack *)
+  rejects "deep array nesting" (String.make 5000 '[');
+  rejects "deep closed nesting"
+    (String.make 1000 '[' ^ "1" ^ String.make 1000 ']');
+  (match Tmr_obs.Json.parse "{\"a\": [1, {\"b\": null}]}" with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "valid document rejected: %s" msg);
+  (* nesting below the limit still parses *)
+  (match
+     Tmr_obs.Json.parse (String.make 100 '[' ^ "0" ^ String.make 100 ']')
+   with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "100-deep array rejected: %s" msg);
+  (* parse_exn converts the same errors into Failure *)
+  match Tmr_obs.Json.parse_exn "[1," with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "parse_exn: expected Failure on truncated array"
+
+(* ------------------------------------------------------------------ *)
+(* Coverage heatmap on degenerate grids: an empty fault list renders a
+   blank (all-spaces) grid, and a zero-density sample renders only
+   uninjected marks — never digits, '#' or a crash. *)
+
+let heatmap_grid_lines t text =
+  (* interior rows between the +---+ borders, frame stripped *)
+  let lines = String.split_on_char '\n' text in
+  let interior =
+    List.filter
+      (fun l ->
+        String.length l > 3
+        && String.sub l 0 3 = "  |"
+        && l.[String.length l - 1] = '|')
+      lines
+  in
+  Alcotest.(check int) "one rendered line per grid row"
+    t.Tmr_inject.Coverage.rows (List.length interior);
+  List.map
+    (fun l -> String.sub l 3 (String.length l - 4))
+    interior
+
+let test_coverage_empty_grid () =
+  let dev = Tmr_arch.Device.build Tmr_arch.Arch.small in
+  let db = Tmr_arch.Bitdb.build dev in
+  let empty = { Tmr_inject.Faultlist.bits = [||]; by_class = [] } in
+  let cov =
+    Tmr_inject.Coverage.of_faults ~db ~faultlist:empty ~faults:[||]
+  in
+  Alcotest.(check int) "no essential bits" 0 cov.Tmr_inject.Coverage.essential;
+  Alcotest.(check int) "no injected bits" 0 cov.Tmr_inject.Coverage.injected;
+  Alcotest.(check int) "no distinct bits" 0
+    cov.Tmr_inject.Coverage.injected_distinct;
+  let text = Tmr_inject.Coverage.heatmap cov in
+  List.iter
+    (fun row ->
+      Alcotest.(check int) "grid row width" cov.Tmr_inject.Coverage.cols
+        (String.length row);
+      String.iter
+        (fun ch ->
+          Alcotest.(check char) "empty grid renders spaces only" ' ' ch)
+        row)
+    (heatmap_grid_lines cov text);
+  (* the JSON form of the degenerate record still parses *)
+  match
+    Tmr_obs.Json.parse
+      (Tmr_obs.Json.to_string (Tmr_inject.Coverage.to_json cov))
+  with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "empty coverage JSON rejected: %s" msg
+
+let test_coverage_zero_density () =
+  let dev = Tmr_arch.Device.build Tmr_arch.Arch.small in
+  let db = Tmr_arch.Bitdb.build dev in
+  (* a real fault list but an empty sample: density is zero everywhere *)
+  let faultlist =
+    {
+      Tmr_inject.Faultlist.bits = Array.init 64 (fun i -> i * 7);
+      by_class = [];
+    }
+  in
+  let cov = Tmr_inject.Coverage.of_faults ~db ~faultlist ~faults:[||] in
+  Alcotest.(check int) "essential bits counted" 64
+    cov.Tmr_inject.Coverage.essential;
+  Alcotest.(check int) "no injected bits" 0 cov.Tmr_inject.Coverage.injected;
+  let saw_dot = ref false in
+  List.iter
+    (String.iter (fun ch ->
+         if ch = '.' then saw_dot := true
+         else
+           Alcotest.(check char)
+             "zero-density grid has no digits or fills"
+             ' ' ch))
+    (heatmap_grid_lines cov (Tmr_inject.Coverage.heatmap cov));
+  Alcotest.(check bool) "essential cells rendered as uninjected" true !saw_dot
+
 (* keep last: wipes every registered instrument *)
 let test_reset () =
   let c = Metrics.counter "test.reset.counter" in
@@ -543,5 +667,16 @@ let () =
         ] );
       ( "progress",
         [ Alcotest.test_case "labelled callback" `Quick test_progress_callback ] );
+      ( "json",
+        [
+          Alcotest.test_case "parser error paths" `Quick test_json_error_paths;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "heatmap on empty fault list" `Quick
+            test_coverage_empty_grid;
+          Alcotest.test_case "heatmap on zero-density sample" `Quick
+            test_coverage_zero_density;
+        ] );
       ( "reset", [ Alcotest.test_case "reset zeroes" `Quick test_reset ] );
     ]

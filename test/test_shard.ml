@@ -80,13 +80,14 @@ let test_result_line_roundtrip () =
   List.iter
     (fun effect ->
       List.iter
-        (fun (outcome, cycle) ->
+        (fun (outcome, cycle, detect) ->
           let r =
             {
               Campaign.bit = 4242;
               outcome;
               effect;
               first_error_cycle = cycle;
+              detect_cycle = detect;
               forensics = None;
             }
           in
@@ -96,7 +97,12 @@ let test_result_line_roundtrip () =
           | Ok (i, r') ->
               Alcotest.(check int) "index" 17 i;
               Alcotest.(check bool) "result survives" true (r = r'))
-        [ (Campaign.Silent, -1); (Campaign.Wrong_answer, 12) ])
+        [
+          (Campaign.Silent, -1, -1);
+          (Campaign.Wrong_answer, 12, -1);
+          (Campaign.Silent, -1, 7);
+          (Campaign.Wrong_answer, 12, 3);
+        ])
     Classify.all
 
 let test_manifest_roundtrip () =
@@ -182,6 +188,7 @@ let lines_of (r : Shard.range) =
           outcome = Campaign.Silent;
           effect = Classify.Other_effect;
           first_error_cycle = -1;
+          detect_cycle = -1;
           forensics = None;
         })
 

@@ -265,17 +265,41 @@ let test_expose_render () =
         true
         (contains ~needle text))
     [
+      "# HELP test_expose_counter tmrtool metric test.expose.counter";
       "# TYPE test_expose_counter counter";
       "test_expose_counter 7";
+      "# HELP test_expose_hist tmrtool metric test.expose.hist";
       "# TYPE test_expose_hist histogram";
       "test_expose_hist_bucket{le=\"+Inf\"} 2";
       "test_expose_hist_sum 9005";
       "test_expose_hist_count 2";
+      "# HELP test_expose_hist_min Smallest observation of test_expose_hist";
       "test_expose_hist_min 5";
       "test_expose_hist_max 9000";
+      "# HELP events_bus_published Events accepted onto the bus";
       "# TYPE events_bus_published gauge";
       "events_bus_clients 0";
     ];
+  (* every # TYPE family line is introduced by a # HELP line for the
+     same family, in HELP-then-TYPE order (what promtool lint checks) *)
+  let lines = String.split_on_char '\n' text in
+  let prev = ref "" in
+  List.iter
+    (fun l ->
+      if String.length l > 7 && String.sub l 0 7 = "# TYPE " then begin
+        let fam =
+          match String.index_from_opt l 7 ' ' with
+          | Some i -> String.sub l 7 (i - 7)
+          | None -> String.sub l 7 (String.length l - 7)
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "HELP precedes TYPE for %s" fam)
+          true
+          (String.length !prev > 8 + String.length fam
+          && String.sub !prev 0 (8 + String.length fam) = "# HELP " ^ fam ^ " ")
+      end;
+      prev := l)
+    lines;
   (* cumulative buckets: each le count is >= the previous one *)
   let bucket_counts =
     String.split_on_char '\n' text
